@@ -1,0 +1,112 @@
+// E1 — regenerates Figure 1 + Table 1: membership matrix of the
+// deterministic TVG-automaton for {aⁿbⁿ}, per prime pair, plus the
+// acceptance-cost profile. The "table" the paper prints is the schedule
+// itself; we print it back from the constructed graph, then demonstrate
+// the language it defines.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/constructions.hpp"
+#include "core/expressivity.hpp"
+#include "tm/machines.hpp"
+
+namespace {
+
+using namespace tvg;
+using namespace tvg::core;
+
+void print_reproduction() {
+  std::printf("=== E1: Figure 1 / Table 1 reproduction ===\n");
+  const AnbnConstruction c = make_anbn_tvg(2, 3);
+  std::printf("Graph (p=%lld, q=%lld), reading starts at t=%lld:\n",
+              static_cast<long long>(c.p), static_cast<long long>(c.q),
+              static_cast<long long>(c.start_time));
+  std::printf("%s", c.graph.to_string().c_str());
+  std::printf("deterministic on [0,2000): %s\n",
+              c.graph.first_nondeterministic_instant(0, 2000).has_value()
+                  ? "NO (!)"
+                  : "yes");
+
+  std::printf("\n--- L_nowait membership, exhaustive over {a,b}^<=12 ---\n");
+  std::printf("%-8s %-8s %-10s %-10s %-10s\n", "(p,q)", "words", "members",
+              "mismatch", "verdict");
+  const auto words = all_words("ab", 12);
+  for (const auto& [p, q] : std::vector<std::pair<Time, Time>>{
+           {2, 3}, {3, 5}, {5, 7}, {2, 7}}) {
+    const TvgAutomaton a = make_anbn_tvg(p, q).automaton();
+    const OracleComparison cmp =
+        compare_with_oracle(a, Policy::no_wait(), tm::is_anbn, words);
+    std::printf("(%lld,%lld)   %-8zu %-10zu %-10zu %s\n",
+                static_cast<long long>(p), static_cast<long long>(q),
+                cmp.total, cmp.accepted_by_both, cmp.mismatches.size(),
+                cmp.perfect() ? "L_nowait = a^n b^n" : "MISMATCH");
+  }
+
+  std::printf("\n--- acceptance of a^n b^n (nowait) vs n ---\n");
+  std::printf("%-6s %-10s %-10s %-22s\n", "n", "accepted", "configs",
+              "deepest time touched");
+  const TvgAutomaton a = make_anbn_tvg(2, 3).automaton();
+  for (std::size_t n = 1; n <= 22; n += 3) {
+    const Word w = Word(n, 'a') + Word(n, 'b');
+    const AcceptResult r = a.accepts(w, Policy::no_wait());
+    const Time deepest =
+        r.witness ? r.witness->legs.back().departure : Time{-1};
+    std::printf("%-6zu %-10s %-10zu %lld\n", n, r.accepted ? "yes" : "NO",
+                r.configs_explored, static_cast<long long>(deepest));
+  }
+
+  std::printf("\n--- the same graph under Wait (Theorem 2.2 collapse) ---\n");
+  const auto lang = a.enumerate_language(6, Policy::wait());
+  std::printf("L_wait ∩ {a,b}^<=6 = { ");
+  for (const Word& w : lang) std::printf("%s ", w.c_str());
+  std::printf("}  (= b+|ab|a+bb+ — regular; counter destroyed)\n\n");
+}
+
+void BM_Figure1AcceptMember(benchmark::State& state) {
+  const TvgAutomaton a = make_anbn_tvg(2, 3).automaton();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Word w = Word(n, 'a') + Word(n, 'b');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.accepts(w, Policy::no_wait()).accepted);
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Figure1AcceptMember)->Arg(4)->Arg(8)->Arg(16)->Arg(22);
+
+void BM_Figure1RejectNearMiss(benchmark::State& state) {
+  const TvgAutomaton a = make_anbn_tvg(2, 3).automaton();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Word w = Word(n, 'a') + Word(n + 1, 'b');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.accepts(w, Policy::no_wait()).accepted);
+  }
+}
+BENCHMARK(BM_Figure1RejectNearMiss)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Figure1WaitAccept(benchmark::State& state) {
+  const TvgAutomaton a = make_anbn_tvg(2, 3).automaton();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Word w = Word(n, 'a') + Word(n + 3, 'b');  // in L_wait only
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.accepts(w, Policy::wait()).accepted);
+  }
+}
+BENCHMARK(BM_Figure1WaitAccept)->Arg(4)->Arg(8);
+
+void BM_Figure1Construction(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_anbn_tvg(2, 3).graph.edge_count());
+  }
+}
+BENCHMARK(BM_Figure1Construction);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

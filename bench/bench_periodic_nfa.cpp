@@ -1,0 +1,108 @@
+// E9 — cost and output size of the exact TVG -> NFA pipeline across the
+// (nodes × period) plane, per waiting policy: how big are the automata
+// the decidable fragment yields, and what does exactness cost?
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/periodic_nfa.hpp"
+#include "fa/dfa.hpp"
+#include "tvg/generators.hpp"
+
+namespace {
+
+using namespace tvg;
+using namespace tvg::core;
+
+TvgAutomaton make_case(std::size_t nodes, Time period, std::uint64_t seed) {
+  RandomPeriodicParams gen;
+  gen.nodes = nodes;
+  gen.edges = nodes * 3;
+  gen.period = period;
+  gen.seed = seed;
+  TimeVaryingGraph g = make_random_periodic(gen);
+  TvgAutomaton a(std::move(g), 0);
+  a.set_initial(0);
+  a.set_accepting(static_cast<NodeId>(nodes - 1));
+  return a;
+}
+
+void print_reproduction() {
+  std::printf("=== E9: TVG -> NFA pipeline output sizes ===\n");
+  std::printf("%-6s %-7s %-12s %-22s %-22s\n", "nodes", "period",
+              "NFA states", "minDFA nowait/wait", "shape");
+  for (const std::size_t nodes : {3, 5, 8, 12}) {
+    for (const Time period : {4, 8, 16}) {
+      const TvgAutomaton a = make_case(nodes, period, 7);
+      const fa::Nfa nfa = semi_periodic_to_nfa(a, Policy::no_wait());
+      const auto nowait_states =
+          fa::Dfa::determinize(nfa).minimized().state_count();
+      const auto wait_states =
+          fa::Dfa::determinize(semi_periodic_to_nfa(a, Policy::wait()))
+              .minimized()
+              .state_count();
+      std::printf("%-6zu %-7lld %-12zu %-4zu / %-15zu %s\n", nodes,
+                  static_cast<long long>(period), nfa.state_count(),
+                  nowait_states, wait_states,
+                  wait_states <= nowait_states
+                      ? "wait <= nowait (collapse)"
+                      : "wait > nowait");
+    }
+  }
+  std::printf("(NFA states = |V|·(T+P); minimal DFAs show how much of "
+              "that structure each policy actually uses)\n\n");
+}
+
+void BM_PipelineBuild(benchmark::State& state) {
+  const TvgAutomaton a = make_case(
+      static_cast<std::size_t>(state.range(0)), state.range(1), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        semi_periodic_to_nfa(a, Policy::wait()).state_count());
+  }
+  state.counters["nodes"] = static_cast<double>(state.range(0));
+  state.counters["period"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_PipelineBuild)
+    ->Args({3, 4})
+    ->Args({5, 8})
+    ->Args({8, 16})
+    ->Args({12, 16})
+    ->Args({16, 32});
+
+void BM_PipelineDeterminizeMinimize(benchmark::State& state) {
+  const TvgAutomaton a = make_case(
+      static_cast<std::size_t>(state.range(0)), state.range(1), 7);
+  const fa::Nfa nfa = semi_periodic_to_nfa(a, Policy::no_wait());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fa::Dfa::determinize(nfa).minimized().state_count());
+  }
+}
+BENCHMARK(BM_PipelineDeterminizeMinimize)
+    ->Args({3, 4})
+    ->Args({5, 8})
+    ->Args({8, 16});
+
+void BM_PipelinePolicyComparison(benchmark::State& state) {
+  const TvgAutomaton a = make_case(6, 8, 7);
+  const Policy policy = state.range(0) == 0   ? Policy::no_wait()
+                        : state.range(0) == 1 ? Policy::wait()
+                                              : Policy::bounded_wait(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        semi_periodic_to_nfa(a, policy).state_count());
+  }
+  state.SetLabel(policy.to_string());
+}
+BENCHMARK(BM_PipelinePolicyComparison)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

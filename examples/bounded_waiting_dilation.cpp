@@ -1,0 +1,102 @@
+// Theorem 2.3 live: bounded waiting buys nothing against an adversarial
+// schedule. We take a relay where a 1-unit wait is essential, then dilate
+// the timetable so that any fixed buffering budget d is again useless —
+// and show the general equality on a random periodic network via exact
+// automata equivalence.
+//
+//   $ ./bounded_waiting_dilation
+#include <cstdio>
+
+#include "core/constructions.hpp"
+#include "core/periodic_nfa.hpp"
+#include "fa/dfa.hpp"
+#include "tvg/generators.hpp"
+
+using namespace tvg;
+using namespace tvg::core;
+
+int main() {
+  // A relay where the connecting edge leaves exactly 1 unit after the
+  // feeder arrives: direct journeys miss it, wait[1] catches it.
+  TimeVaryingGraph g;
+  const NodeId u = g.add_node("u");
+  const NodeId v = g.add_node("v");
+  const NodeId w = g.add_node("w");
+  g.add_edge(u, v, 'a', Presence::at_times({0}), Latency::constant(1));
+  g.add_edge(v, w, 'b', Presence::at_times({2}), Latency::constant(1));
+  TvgAutomaton a(g, 0);
+  a.set_initial(u);
+  a.set_accepting(w);
+
+  std::printf("Relay: %s\n", g.to_string().c_str());
+  std::printf("\"ab\" with nowait: %s | wait[1]: %s\n",
+              a.accepts("ab", Policy::no_wait()).accepted ? "ACCEPT"
+                                                          : "reject",
+              a.accepts("ab", Policy::bounded_wait(1)).accepted ? "ACCEPT"
+                                                                : "reject");
+
+  std::printf("\nNow dilate the timetable by s = d+1 and watch wait[d] "
+              "lose its power:\n");
+  std::printf("%-4s %-4s %-22s %-22s\n", "d", "s", "wait[d] on dilate(G,s)",
+              "events now at");
+  for (const Time d : {1, 2, 4, 8}) {
+    const Time s = d + 1;
+    const TvgAutomaton dil = dilate(a, s);
+    const bool accepted =
+        dil.accepts("ab", Policy::bounded_wait(d)).accepted;
+    std::printf("%-4lld %-4lld %-22s t=0 and t=%lld (gap %lld > d)\n",
+                static_cast<long long>(d), static_cast<long long>(s),
+                accepted ? "ACCEPT (?!)" : "reject (Thm 2.3)",
+                static_cast<long long>(2 * s), static_cast<long long>(s));
+  }
+
+  // The general statement, exactly: on a random periodic network,
+  // L_wait[d](dilate(G, d+1)) == L_nowait(G) as minimal DFAs.
+  std::printf("\nExact check on a random periodic TVG (5 nodes):\n");
+  RandomPeriodicParams gen;
+  gen.nodes = 5;
+  gen.edges = 13;
+  gen.period = 6;
+  // Pick the first seed whose no-wait language is non-trivial, so the
+  // equality below is not vacuous.
+  fa::Dfa nowait;
+  TvgAutomaton ra(TimeVaryingGraph{}, 0);
+  for (gen.seed = 1;; ++gen.seed) {
+    TimeVaryingGraph rg = make_random_periodic(gen);
+    TvgAutomaton candidate(std::move(rg), 0);
+    candidate.set_initial(0);
+    candidate.set_accepting(4);
+    const fa::Dfa dfa =
+        fa::Dfa::determinize(
+            semi_periodic_to_nfa(candidate, Policy::no_wait()))
+            .minimized();
+    if (!dfa.empty_language()) {
+      nowait = dfa;
+      ra = std::move(candidate);
+      break;
+    }
+  }
+  std::printf("(seed %llu, shortest member of L_nowait: '%s')\n",
+              static_cast<unsigned long long>(gen.seed),
+              nowait.shortest_word()->c_str());
+  std::printf("%-4s %-28s %-10s\n", "d", "L_wait[d](dilate) vs L_nowait",
+              "DFA states");
+  for (const Time d : {1, 3, 7}) {
+    const TvgAutomaton dil = dilate(ra, d + 1);
+    const fa::Dfa bounded =
+        fa::Dfa::determinize(
+            semi_periodic_to_nfa(dil, Policy::bounded_wait(d)))
+            .minimized();
+    Word counterexample;
+    const bool equal = fa::Dfa::equivalent(nowait, bounded, &counterexample);
+    std::printf("%-4lld %-28s %zu\n", static_cast<long long>(d),
+                equal ? "EQUAL (exact, all word lengths)"
+                      : ("differ on '" + counterexample + "'").c_str(),
+                bounded.state_count());
+  }
+
+  std::printf("\nConclusion (Thm 2.3): a FIXED waiting budget collapses to "
+              "no waiting at all — only unpredictable (unbounded) waiting "
+              "changes what dynamic networks can express.\n");
+  return 0;
+}

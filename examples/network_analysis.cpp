@@ -1,0 +1,87 @@
+// Dynamic-network measurement: generate an edge-Markovian mobility-like
+// trace, export/import it as a DTN contact trace, classify the TVG, and
+// report the temporal metrics — everything a measurement study needs,
+// with the waiting policy as the analysis knob.
+//
+//   $ ./network_analysis [nodes] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "tvg/algorithms.hpp"
+#include "tvg/classes.hpp"
+#include "tvg/contact_trace.hpp"
+#include "tvg/generators.hpp"
+#include "tvg/metrics.hpp"
+
+using namespace tvg;
+
+int main(int argc, char** argv) {
+  const std::size_t nodes =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 12;
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 7;
+
+  EdgeMarkovianParams params;
+  params.nodes = nodes;
+  params.initial_on = 2.0 / static_cast<double>(nodes);
+  params.p_birth = 0.03;
+  params.p_death = 0.35;
+  params.horizon = 72;
+  params.seed = seed;
+  const TimeVaryingGraph g = make_edge_markovian(params);
+
+  std::printf("Edge-Markovian dynamic network: %zu nodes, %zu directed "
+              "temporal edges, horizon %lld\n",
+              g.node_count(), g.edge_count(),
+              static_cast<long long>(params.horizon));
+
+  // 1. Contact-trace view (the DTN exchange format).
+  const auto contacts = extract_contacts(g, params.horizon);
+  const TraceStats stats = trace_stats(contacts);
+  std::printf("\nContact trace: %zu contacts, total contact time %lld, "
+              "mean duration %lld, span %lld, max global gap %lld\n",
+              stats.contact_count,
+              static_cast<long long>(stats.total_contact_time),
+              static_cast<long long>(stats.mean_contact_duration),
+              static_cast<long long>(stats.span),
+              static_cast<long long>(stats.max_gap_between_contacts));
+  // Round-trip through the text format, as a dataset would.
+  const auto reparsed = contacts_from_text(contacts_to_text(contacts));
+  std::printf("text round-trip: %zu contacts -> %s\n", reparsed.size(),
+              reparsed == contacts ? "lossless" : "LOSSY (!)");
+
+  // 2. Where does the graph sit in the TVG class hierarchy?
+  const TvgClassReport report = classify(g, Policy::wait());
+  std::printf("\nTVG classes (under wait): %s\n",
+              report.to_string().c_str());
+
+  // 3. Snapshot vs temporal structure.
+  std::printf("\nAverage snapshot density: %.3f (no single snapshot need "
+              "be connected)\n",
+              average_density(g, params.horizon));
+
+  // 4. The waiting premium, node by node.
+  std::printf("\n%-6s %-24s %-24s\n", "node",
+              "closeness (nowait)", "closeness (wait)");
+  SearchLimits limits;
+  limits.horizon = params.horizon + 16;
+  for (NodeId v = 0; v < std::min<std::size_t>(g.node_count(), 6); ++v) {
+    std::printf("%-6u %-24.4f %-24.4f\n", v,
+                temporal_closeness(g, v, 0, Policy::no_wait(),
+                                   limits.horizon),
+                temporal_closeness(g, v, 0, Policy::wait(),
+                                   limits.horizon));
+  }
+
+  const auto ctd_wait =
+      characteristic_temporal_distance(g, 0, Policy::wait(),
+                                       limits.horizon);
+  std::printf("\nCharacteristic temporal distance (wait): %s\n",
+              ctd_wait ? std::to_string(*ctd_wait).c_str()
+                       : "undefined (disconnected)");
+  std::printf("\nInterpretation: store-carry-forward (waiting) turns a "
+              "sparse contact trace into a usable network — the paper "
+              "quantifies exactly how much computational structure that "
+              "buffering hides.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Theorem 2.1 live: the adversarial schedule computes. Pick a decidable
+// language; the example builds a TVG whose presence function runs the
+// decider (even a real Turing machine) and whose NO-WAIT journeys spell
+// exactly that language.
+//
+//   $ ./turing_power anbncn aabbcc aabbc
+//   $ ./turing_power primes aaaaa aaaa
+//   $ ./turing_power palindrome abba abab
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/constructions.hpp"
+#include "tm/machines.hpp"
+
+using namespace tvg;
+using namespace tvg::core;
+
+int main(int argc, char** argv) {
+  const auto suite = tm::standard_language_suite();
+  if (argc < 3) {
+    std::printf("usage: %s <language> <words>...\nlanguages:", argv[0]);
+    for (const auto& lang : suite) std::printf(" %s", lang.name.c_str());
+    std::printf("\n");
+    return 1;
+  }
+
+  const std::string chosen = argv[1];
+  const auto it =
+      std::find_if(suite.begin(), suite.end(),
+                   [&](const auto& l) {
+                     return l.name == chosen ||
+                            (chosen == "primes" && l.name == "unary_prime");
+                   });
+  if (it == suite.end()) {
+    std::printf("unknown language '%s'\n", chosen.c_str());
+    return 1;
+  }
+
+  const ComputableConstruction c = computable_to_tvg(
+      tm::Decider::from_function(it->oracle, it->name, it->alphabet));
+  const TvgAutomaton automaton = c.automaton();
+
+  std::printf("Theorem 2.1 construction for '%s' over Σ = {%s}:\n",
+              it->name.c_str(), it->alphabet.c_str());
+  std::printf("%s", c.graph.to_string().c_str());
+  std::printf("encoding base K = %lld, capacity %zu symbols\n\n",
+              static_cast<long long>(c.K), c.max_word_length);
+
+  std::printf("%-16s %-10s %-10s %s\n", "word", "oracle", "L_nowait",
+              "journey time = encoding");
+  for (int i = 2; i < argc; ++i) {
+    const Word w = argv[i];
+    const bool oracle = it->oracle(w);
+    const AcceptResult r = automaton.accepts(w, Policy::no_wait());
+    long long enc = -1;
+    if (r.witness && !r.witness->legs.empty()) {
+      enc = static_cast<long long>(r.witness->arrival(c.graph));
+    }
+    std::printf("%-16s %-10s %-10s %lld\n", w.c_str(),
+                oracle ? "member" : "non-member",
+                r.accepted ? "ACCEPT" : "reject", enc);
+    if (oracle != r.accepted) {
+      std::printf("  ^^ MISMATCH — this should never happen\n");
+    }
+  }
+
+  std::printf("\n(the accepting edge for '%c' is present at time t exactly "
+              "when decode(K*t + i) ∈ L — the schedule runs the decider)\n",
+              it->alphabet[0]);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// The paper's constructions, executable.
+//
+//  * make_anbn_tvg      — Figure 1 + Table 1 verbatim: a deterministic
+//    TVG-automaton with L_nowait = {aⁿbⁿ : n >= 1}.
+//  * computable_to_tvg  — Theorem 2.1 (computable ⊆ L_nowait): a TVG whose
+//    direct journeys spell exactly a given decidable language; the
+//    presence function runs the decider (optionally an actual Turing
+//    machine).
+//  * regular_to_tvg     — Theorem 2.2 (⊇ direction): every regular
+//    language is some L_wait(G).
+//  * dilate             — Theorem 2.3: the time dilation that neutralizes
+//    d-bounded waiting (L_wait[d](dilate(G, d+1)) = L_nowait(G)).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/tvg_automaton.hpp"
+#include "fa/dfa.hpp"
+#include "tm/decider.hpp"
+#include "tvg/graph.hpp"
+
+namespace tvg::core {
+
+// --------------------------------------------------------------------
+// Figure 1 / Table 1
+// --------------------------------------------------------------------
+
+/// The Figure 1 graph with Table 1's schedule, for primes p < q:
+///
+///   edge  route    label  presence ρ(e,t)=1 iff       latency ζ(e,t)
+///   e0    v0->v0   a      always                      (p-1)·t
+///   e1    v0->v1   b      t > p                       (q-1)·t
+///   e2    v1->v1   b      t != p^i·q^(i-1), i > 1     (q-1)·t
+///   e3    v0->v2   b      t = p                       any (param)
+///   e4    v1->v2   b      t = p^i·q^(i-1), i > 1      any (param)
+///
+/// Reading starts at t = 1, v0 is initial, v2 is accepting. Under NoWait
+/// the language is exactly {aⁿbⁿ : n >= 1}; under Wait it collapses to
+/// the regular a⁺b⁺ (Theorem 2.2 in microcosm).
+struct AnbnConstruction {
+  Time p{2};
+  Time q{3};
+  TimeVaryingGraph graph;
+  NodeId v0{}, v1{}, v2{};
+  EdgeId e0{}, e1{}, e2{}, e3{}, e4{};
+  Time start_time{1};
+  /// Longest n such that every time reached while reading aⁿbⁿ fits in
+  /// 64-bit Time (p^n·q^(n-1) bounded).
+  std::size_t max_n{};
+
+  /// A(G) with I = {v0}, F = {v2}, reading from start_time.
+  [[nodiscard]] TvgAutomaton automaton() const;
+};
+
+/// Builds Figure 1. `any_latency` instantiates the "any" entries of
+/// Table 1 (e3, e4); the language is independent of its value.
+[[nodiscard]] AnbnConstruction make_anbn_tvg(Time p = 2, Time q = 3,
+                                             Time any_latency = 1);
+
+/// True iff t = p^i·q^(i-1) for some i > 1 (Table 1's magic instants).
+[[nodiscard]] bool is_pq_power(Time t, Time p, Time q);
+/// Smallest magic instant >= from, if representable.
+[[nodiscard]] std::optional<Time> next_pq_power(Time from, Time p, Time q);
+
+// --------------------------------------------------------------------
+// Theorem 2.1: computable ⊆ L_nowait
+// --------------------------------------------------------------------
+
+/// Injective word <-> time encoding with K = |Σ|+1:
+/// enc(ε) = 1, enc(w·σᵢ) = K·enc(w) + i (σᵢ the i-th alphabet symbol,
+/// 1-based). Throws std::overflow_error when the word does not fit.
+[[nodiscard]] Time encode_word(const Word& w, const std::string& alphabet);
+/// Inverse of encode_word; nullopt if t encodes no word.
+[[nodiscard]] std::optional<Word> decode_time(Time t,
+                                              const std::string& alphabet);
+
+/// The Theorem 2.1 construction: a hub node whose always-present
+/// self-loops have affine latencies arranged so that the arrival time of
+/// a direct journey *is* the encoding of the word read so far; one
+/// accepting edge per symbol is present at departure time t exactly when
+/// the word encoded by the corresponding arrival is in L (the presence
+/// predicate runs the decider). Hence L_nowait(G) = L for every
+/// decidable L, up to the 64-bit encoding capacity (asserted, never
+/// silently wrong).
+struct ComputableConstruction {
+  std::string alphabet;
+  Time K{};  // |alphabet| + 1
+  TimeVaryingGraph graph;
+  NodeId hub{};
+  NodeId acc{};
+  std::optional<NodeId> eps_acc;  // present iff ε ∈ L
+  Time start_time{1};
+  std::size_t max_word_length{};
+
+  [[nodiscard]] TvgAutomaton automaton() const;
+};
+
+[[nodiscard]] ComputableConstruction computable_to_tvg(tm::Decider language);
+
+// --------------------------------------------------------------------
+// Theorem 2.2 (⊇): regular ⊆ L_wait
+// --------------------------------------------------------------------
+
+/// Maps a (complete) DFA to a TVG with always-present unit-latency edges;
+/// L_wait(G) = L_nowait(G) = L(dfa), witnessing regular ⊆ L_wait.
+[[nodiscard]] TvgAutomaton regular_to_tvg(const fa::Dfa& dfa);
+
+// --------------------------------------------------------------------
+// Theorem 2.3: time dilation
+// --------------------------------------------------------------------
+
+/// Scales the schedule by factor s >= 1: presences survive only at
+/// multiples of s (at s·t when originally at t) and latencies scale so
+/// that crossing dilate(e) at s·t arrives at s·(t + ζ(t)). Journeys of G
+/// correspond 1:1 to journeys of dilate(G, s) with all times multiplied
+/// by s — and any wait shorter than s cannot reach a new event, which is
+/// exactly why L_wait[d](dilate(G, d+1)) = L_nowait(G).
+[[nodiscard]] TimeVaryingGraph dilate(const TimeVaryingGraph& g, Time s);
+
+/// Dilates the graph and the start time together.
+[[nodiscard]] TvgAutomaton dilate(const TvgAutomaton& a, Time s);
+
+}  // namespace tvg::core

@@ -1,0 +1,59 @@
+#include "core/expressivity.hpp"
+
+#include <random>
+
+namespace tvg::core {
+
+std::vector<Word> all_words(const std::string& alphabet,
+                            std::size_t max_len) {
+  std::vector<Word> words{Word{}};
+  std::size_t level_begin = 0;
+  for (std::size_t len = 1; len <= max_len; ++len) {
+    const std::size_t level_end = words.size();
+    for (std::size_t i = level_begin; i < level_end; ++i) {
+      for (char c : alphabet) words.push_back(words[i] + c);
+    }
+    level_begin = level_end;
+  }
+  return words;
+}
+
+std::vector<Word> random_words(const std::string& alphabet, std::size_t count,
+                               std::size_t min_len, std::size_t max_len,
+                               std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> len_dist(min_len, max_len);
+  std::uniform_int_distribution<std::size_t> sym_dist(0, alphabet.size() - 1);
+  std::vector<Word> words;
+  words.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Word w;
+    const std::size_t len = len_dist(rng);
+    w.reserve(len);
+    for (std::size_t j = 0; j < len; ++j) w.push_back(alphabet[sym_dist(rng)]);
+    words.push_back(std::move(w));
+  }
+  return words;
+}
+
+OracleComparison compare_with_oracle(
+    const TvgAutomaton& automaton, Policy policy,
+    const std::function<bool(const Word&)>& oracle,
+    const std::vector<Word>& words, const AcceptOptions& options) {
+  OracleComparison cmp;
+  cmp.total = words.size();
+  for (const Word& w : words) {
+    const AcceptResult r = automaton.accepts(w, policy, options);
+    cmp.any_truncated = cmp.any_truncated || r.truncated;
+    const bool expected = oracle(w);
+    if (r.accepted == expected) {
+      ++cmp.agreements;
+      if (expected) ++cmp.accepted_by_both;
+    } else {
+      cmp.mismatches.push_back(w);
+    }
+  }
+  return cmp;
+}
+
+}  // namespace tvg::core

@@ -1,0 +1,47 @@
+// Experiment drivers for the expressivity results: exhaustive word
+// sweeps, oracle comparisons, and language summaries. These are the
+// shared building blocks of the bench harness (E1, E2, E6) and of the
+// integration tests.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/tvg_automaton.hpp"
+
+namespace tvg::core {
+
+/// All words over `alphabet` with length <= max_len, in
+/// length-lexicographic order (|Σ|^(max_len+1) growth — keep it small).
+[[nodiscard]] std::vector<Word> all_words(const std::string& alphabet,
+                                          std::size_t max_len);
+
+/// Pseudo-random words for sampling regimes exhaustion can't reach.
+[[nodiscard]] std::vector<Word> random_words(const std::string& alphabet,
+                                             std::size_t count,
+                                             std::size_t min_len,
+                                             std::size_t max_len,
+                                             std::uint64_t seed);
+
+/// Result of checking a TVG-automaton against a membership oracle.
+struct OracleComparison {
+  std::size_t total{0};
+  std::size_t agreements{0};
+  std::size_t accepted_by_both{0};
+  std::vector<Word> mismatches;  // words where automaton != oracle
+  bool any_truncated{false};     // some acceptance search hit its cap
+
+  [[nodiscard]] bool perfect() const noexcept {
+    return mismatches.empty() && !any_truncated;
+  }
+};
+
+/// Runs `automaton.accepts(w, policy)` for every word and compares with
+/// the oracle.
+[[nodiscard]] OracleComparison compare_with_oracle(
+    const TvgAutomaton& automaton, Policy policy,
+    const std::function<bool(const Word&)>& oracle,
+    const std::vector<Word>& words, const AcceptOptions& options = {});
+
+}  // namespace tvg::core

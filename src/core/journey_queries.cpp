@@ -1,0 +1,158 @@
+#include "core/journey_queries.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+namespace tvg::core {
+namespace {
+
+struct ProductConfig {
+  NodeId node;
+  Time time;
+  fa::State dfa_state;
+  std::uint32_t len;
+  std::int64_t parent;
+  EdgeId via;
+  Time dep;
+};
+
+[[nodiscard]] std::uint64_t key_of(NodeId v, Time t, fa::State q) noexcept {
+  std::uint64_t h = static_cast<std::uint64_t>(t);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<std::uint64_t>(q) * 0xc2b2ae3d27d4eb4fULL;
+  return h;
+}
+
+}  // namespace
+
+std::optional<ConstrainedJourney> find_constrained_journey(
+    const TvgAutomaton& a, const fa::Dfa& constraint, Policy policy,
+    std::size_t max_len, const AcceptOptions& options) {
+  const TimeVaryingGraph& g = a.graph();
+  std::vector<ProductConfig> configs;
+  std::unordered_set<std::uint64_t> visited;
+  std::queue<std::int64_t> queue;
+
+  auto build_result = [&](std::int64_t idx) {
+    std::vector<JourneyLeg> legs;
+    Word word;
+    NodeId start = kInvalidNode;
+    for (std::int64_t i = idx; i >= 0;
+         i = configs[static_cast<std::size_t>(i)].parent) {
+      const ProductConfig& c = configs[static_cast<std::size_t>(i)];
+      if (c.via != kInvalidEdge) {
+        legs.push_back(JourneyLeg{c.via, c.dep});
+        word.push_back(g.edge(c.via).label);
+      } else {
+        start = c.node;
+      }
+    }
+    std::reverse(legs.begin(), legs.end());
+    std::reverse(word.begin(), word.end());
+    return ConstrainedJourney{std::move(word),
+                              Journey{start, a.start_time(), std::move(legs)}};
+  };
+
+  auto push = [&](ProductConfig c) -> std::optional<std::int64_t> {
+    if (c.time == kTimeInfinity || c.time > options.horizon)
+      return std::nullopt;
+    if (!visited.insert(key_of(c.node, c.time, c.dfa_state)).second)
+      return std::nullopt;
+    configs.push_back(c);
+    const auto idx = static_cast<std::int64_t>(configs.size()) - 1;
+    if (a.accepting().contains(c.node) &&
+        constraint.is_accepting(c.dfa_state)) {
+      return idx;
+    }
+    queue.push(idx);
+    return std::nullopt;
+  };
+
+  for (NodeId v : a.initial()) {
+    if (auto hit = push(ProductConfig{v, a.start_time(),
+                                      constraint.initial(), 0, -1,
+                                      kInvalidEdge, 0})) {
+      return build_result(*hit);
+    }
+  }
+
+  while (!queue.empty() && configs.size() < options.max_configs) {
+    const std::int64_t idx = queue.front();
+    queue.pop();
+    const ProductConfig cur = configs[static_cast<std::size_t>(idx)];
+    if (cur.len >= max_len) continue;
+
+    std::optional<std::int64_t> hit;
+    for (EdgeId eid : g.out_edges(cur.node)) {
+      if (hit) break;
+      const Edge& e = g.edge(eid);
+      if (constraint.alphabet().find(e.label) == std::string::npos) continue;
+      const fa::State next_q = constraint.transition(cur.dfa_state, e.label);
+      auto try_departure = [&](Time dep) {
+        if (hit) return;
+        hit = push(ProductConfig{e.to, e.arrival(dep), next_q, cur.len + 1,
+                                 idx, eid, dep});
+      };
+      switch (policy.kind) {
+        case WaitingPolicy::kNoWait:
+          if (e.present(cur.time)) try_departure(cur.time);
+          break;
+        case WaitingPolicy::kBoundedWait: {
+          const Time last =
+              std::min(policy.max_departure(cur.time), options.horizon);
+          Time cursor = cur.time;
+          while (cursor <= last && !hit) {
+            auto dep = e.presence.next_present(cursor);
+            if (!dep || *dep > last) break;
+            try_departure(*dep);
+            if (*dep == kTimeInfinity) break;
+            cursor = *dep + 1;
+          }
+          break;
+        }
+        case WaitingPolicy::kWait: {
+          std::size_t budget =
+              e.latency.is_affine() ? 1 : options.departures_per_edge;
+          Time cursor = cur.time;
+          while (budget-- > 0 && !hit) {
+            auto dep = e.presence.next_present(cursor);
+            if (!dep || *dep > options.horizon) break;
+            try_departure(*dep);
+            if (*dep == kTimeInfinity) break;
+            cursor = *dep + 1;
+          }
+          break;
+        }
+      }
+    }
+    if (hit) return build_result(*hit);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> language_census(const TvgAutomaton& a, Policy policy,
+                                         std::size_t max_len,
+                                         const AcceptOptions& options,
+                                         std::string alphabet) {
+  if (alphabet.empty()) alphabet = a.graph().alphabet();
+  std::vector<std::size_t> census(max_len + 1, 0);
+  std::vector<Word> frontier{Word{}};
+  for (std::size_t len = 0; len <= max_len; ++len) {
+    for (const Word& w : frontier) {
+      if (a.accepts(w, policy, options).accepted) ++census[len];
+    }
+    if (len == max_len) break;
+    std::vector<Word> next;
+    next.reserve(frontier.size() * alphabet.size());
+    for (const Word& w : frontier) {
+      for (Symbol c : alphabet) next.push_back(w + c);
+    }
+    frontier = std::move(next);
+  }
+  return census;
+}
+
+}  // namespace tvg::core

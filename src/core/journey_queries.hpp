@@ -1,0 +1,36 @@
+// Regex-constrained journey queries: the "model checking" face of the
+// TVG-automaton. Given A(G), a waiting policy and a regular constraint R,
+// answer whether some feasible journey spells a word of R — with a
+// witness — and count the words of L_policy(G) by length. This is the
+// product construction (TVG-automaton × DFA) over (node, time, state)
+// configurations.
+#pragma once
+
+#include <optional>
+
+#include "core/tvg_automaton.hpp"
+#include "fa/dfa.hpp"
+
+namespace tvg::core {
+
+/// Result of a constrained-journey query.
+struct ConstrainedJourney {
+  Word word;        // the spelled word, in L(constraint)
+  Journey journey;  // the feasible witness
+};
+
+/// Searches for a feasible journey (under `policy`, word length
+/// <= max_len) whose label word is accepted by `constraint`.
+/// Returns the first (shortest-word) witness, or nullopt.
+[[nodiscard]] std::optional<ConstrainedJourney> find_constrained_journey(
+    const TvgAutomaton& a, const fa::Dfa& constraint, Policy policy,
+    std::size_t max_len, const AcceptOptions& options = {});
+
+/// Number of distinct accepted words per length 0..max_len under
+/// `policy` (the language census — nowait vs wait censuses diverge
+/// exactly when the expressivity gap bites).
+[[nodiscard]] std::vector<std::size_t> language_census(
+    const TvgAutomaton& a, Policy policy, std::size_t max_len,
+    const AcceptOptions& options = {}, std::string alphabet = "");
+
+}  // namespace tvg::core

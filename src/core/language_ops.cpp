@@ -1,0 +1,78 @@
+#include "core/language_ops.hpp"
+
+#include <stdexcept>
+
+#include "tvg/composition.hpp"
+
+namespace tvg::core {
+
+TvgAutomaton tvg_union(const TvgAutomaton& a, const TvgAutomaton& b) {
+  if (a.start_time() != b.start_time()) {
+    throw std::invalid_argument("tvg_union: start times differ");
+  }
+  auto [graph, offset] = disjoint_union(a.graph(), b.graph());
+  TvgAutomaton out(std::move(graph), a.start_time());
+  for (NodeId v : a.initial()) out.set_initial(v);
+  for (NodeId v : a.accepting()) out.set_accepting(v);
+  for (NodeId v : b.initial()) out.set_initial(v + offset);
+  for (NodeId v : b.accepting()) out.set_accepting(v + offset);
+  return out;
+}
+
+bool is_static_fragment(const TvgAutomaton& a) {
+  const TimeVaryingGraph& g = a.graph();
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!g.edge(e).presence.is_always() ||
+        !g.edge(e).latency.is_constant()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TvgAutomaton tvg_concat(const TvgAutomaton& a, const TvgAutomaton& b) {
+  if (!is_static_fragment(a) || !is_static_fragment(b)) {
+    throw std::domain_error(
+        "tvg_concat: concatenation is only locally constructible on the "
+        "static (always-present, constant-latency) fragment — on timed "
+        "schedules the seam time matters (see header)");
+  }
+  auto [graph, offset] = disjoint_union(a.graph(), b.graph());
+
+  const bool eps_in_a = [&] {
+    for (NodeId v : a.initial()) {
+      if (a.accepting().contains(v)) return true;
+    }
+    return false;
+  }();
+  const bool eps_in_b = [&] {
+    for (NodeId v : b.initial()) {
+      if (b.accepting().contains(v)) return true;
+    }
+    return false;
+  }();
+
+  // Splice: every accepting state of A imitates B's initial out-edges.
+  for (NodeId f : a.accepting()) {
+    for (NodeId i : b.initial()) {
+      for (EdgeId eid : b.graph().out_edges(i)) {
+        const Edge& e = b.graph().edge(eid);
+        graph.add_edge(f, e.to + offset, e.label, e.presence, e.latency,
+                       "splice." + e.name);
+      }
+    }
+  }
+
+  TvgAutomaton out(std::move(graph), a.start_time());
+  for (NodeId v : a.initial()) out.set_initial(v);
+  if (eps_in_a) {
+    for (NodeId v : b.initial()) out.set_initial(v + offset);
+  }
+  for (NodeId v : b.accepting()) out.set_accepting(v + offset);
+  if (eps_in_b) {
+    for (NodeId v : a.accepting()) out.set_accepting(v);
+  }
+  return out;
+}
+
+}  // namespace tvg::core

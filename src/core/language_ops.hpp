@@ -1,0 +1,36 @@
+// Closure operations on TVG languages. The full version of the paper
+// studies what the classes L_nowait / L_wait are closed under; here are
+// the executable constructions:
+//   * union        — disjoint union of graphs, both initial sets kept
+//                    (L(A ∪ B) = L(A) ∪ L(B), any policy);
+//   * concatenation — ε-free splice: accepting states of A grow copies of
+//                    B's initial out-edges. Exact for the always-present
+//                    unit-latency fragment (regular_to_tvg images); on
+//                    general schedules the TIME at the seam matters and
+//                    concatenation of languages is not achievable by any
+//                    local construction — precisely the phenomenon the
+//                    paper's encodings exploit. The function therefore
+//                    requires the static fragment and throws otherwise.
+#pragma once
+
+#include "core/tvg_automaton.hpp"
+
+namespace tvg::core {
+
+/// L(result, policy) = L(a, policy) ∪ L(b, policy) for every policy.
+/// Requires a.start_time() == b.start_time().
+[[nodiscard]] TvgAutomaton tvg_union(const TvgAutomaton& a,
+                                     const TvgAutomaton& b);
+
+/// True iff every edge is always-present with constant latency — the
+/// "static TVG" fragment where acceptance does not depend on time and
+/// language concatenation is locally constructible.
+[[nodiscard]] bool is_static_fragment(const TvgAutomaton& a);
+
+/// L(result) = L(a)·L(b) on the static fragment (throws
+/// std::domain_error outside it). ε-in-L(a) / ε-in-L(b) handled via
+/// initial/accepting bookkeeping.
+[[nodiscard]] TvgAutomaton tvg_concat(const TvgAutomaton& a,
+                                      const TvgAutomaton& b);
+
+}  // namespace tvg::core

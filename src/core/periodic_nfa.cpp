@@ -1,0 +1,140 @@
+#include "core/periodic_nfa.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace tvg::core {
+namespace {
+
+[[nodiscard]] Time lcm_capped(Time a, Time b, Time cap) {
+  const Time g = std::gcd(a, b);
+  const Time l = sat_mul(a / g, b);
+  if (l > cap) {
+    throw std::domain_error(
+        "semi_periodic_to_nfa: lcm of periods exceeds the state cap");
+  }
+  return l;
+}
+
+}  // namespace
+
+bool in_semi_periodic_fragment(const TvgAutomaton& a) {
+  return a.graph().all_semi_periodic() && a.graph().all_constant_latency();
+}
+
+fa::Nfa semi_periodic_to_nfa(const TvgAutomaton& a, Policy policy,
+                             const PeriodicNfaOptions& options) {
+  const TimeVaryingGraph& g = a.graph();
+  if (!in_semi_periodic_fragment(a)) {
+    throw std::domain_error(
+        "semi_periodic_to_nfa: graph outside the semi-periodic fragment");
+  }
+
+  // Unified unrolling parameters.
+  Time t_abs = 0;  // length of the exact absolute-time prefix
+  Time period = 1;
+  const Time cap = static_cast<Time>(options.max_states);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Presence& pr = g.edge(e).presence;
+    t_abs = std::max(t_abs, pr.initial_length());
+    period = lcm_capped(period, pr.period(), cap);
+  }
+  // The start configuration must live in the unrolled prefix when it is
+  // below t_abs; otherwise it folds into the tail like everything else.
+  const Time start = std::max<Time>(a.start_time(), 0);
+  const Time slots = t_abs + period;
+  const std::size_t node_count = g.node_count();
+  if (static_cast<Time>(node_count) != 0 &&
+      slots > cap / static_cast<Time>(node_count)) {
+    throw std::domain_error("semi_periodic_to_nfa: state space exceeds cap");
+  }
+
+  auto slot_of_time = [&](Time t) -> Time {
+    return t < t_abs ? t : t_abs + (t - t_abs) % period;
+  };
+  auto state_of = [&](NodeId v, Time slot) -> fa::State {
+    return static_cast<fa::State>(static_cast<Time>(v) * slots + slot);
+  };
+  // Presence of an edge "at a slot": exact for absolute slots; for tail
+  // slots, presence at any concrete instant with that residue (they all
+  // agree once t >= t_abs >= every T0).
+  auto present_at_slot = [&](const Edge& e, Time slot) -> bool {
+    return e.presence.present(slot);  // slot IS a representative instant
+  };
+
+  fa::Nfa nfa(node_count * static_cast<std::size_t>(slots), g.alphabet());
+
+  for (NodeId v = 0; v < node_count; ++v) {
+    if (a.accepting().contains(v)) {
+      for (Time s = 0; s < slots; ++s) nfa.set_accepting(state_of(v, s));
+    }
+  }
+  for (NodeId v : a.initial()) {
+    nfa.set_initial(state_of(v, slot_of_time(start)));
+  }
+
+  for (NodeId v = 0; v < node_count; ++v) {
+    for (EdgeId eid : g.out_edges(v)) {
+      const Edge& e = g.edge(eid);
+      const Time c = *e.latency.constant_value();
+      for (Time slot = 0; slot < slots; ++slot) {
+        const fa::State from = state_of(v, slot);
+        auto connect = [&](Time dep_slot) {
+          if (!present_at_slot(e, dep_slot)) return;
+          // dep_slot is a representative instant; the arrival slot is
+          // exact for absolute departures and residue-exact for tail ones.
+          nfa.add_transition(from, e.label,
+                             state_of(e.to, slot_of_time(dep_slot + c)));
+        };
+        switch (policy.kind) {
+          case WaitingPolicy::kNoWait: {
+            connect(slot);
+            break;
+          }
+          case WaitingPolicy::kWait: {
+            if (slot < t_abs) {
+              // Absolute: wait to any later absolute instant...
+              for (Time dep = slot; dep < t_abs; ++dep) connect(dep);
+              // ...or to any tail residue (each recurs forever).
+              for (Time r = 0; r < period; ++r) connect(t_abs + r);
+            } else {
+              // Tail: any residue is reachable from any tail instant.
+              for (Time r = 0; r < period; ++r) connect(t_abs + r);
+            }
+            break;
+          }
+          case WaitingPolicy::kBoundedWait: {
+            if (slot < t_abs) {
+              // Concrete instant: the window [slot, slot + d] is exact.
+              const Time last = sat_add(slot, policy.bound);
+              for (Time dep = slot; dep <= std::min(last, t_abs - 1); ++dep) {
+                connect(dep);
+              }
+              if (last >= t_abs) {
+                // Tail part of the window: offsets beyond a full period
+                // add no new residues.
+                const Time max_off = std::min(last - t_abs, period - 1);
+                for (Time off = 0; off <= max_off; ++off) {
+                  connect(t_abs + off % period);
+                }
+              }
+            } else {
+              // Tail instant with residue r = slot - t_abs: offsets
+              // 0..min(d, period-1) cover all distinct residues.
+              const Time max_off =
+                  std::min(policy.bound, period - 1);
+              for (Time off = 0; off <= max_off; ++off) {
+                const Time r = (slot - t_abs + off) % period;
+                connect(t_abs + r);
+              }
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+  return nfa;
+}
+
+}  // namespace tvg::core

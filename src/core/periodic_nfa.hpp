@@ -1,0 +1,51 @@
+// Exact TVG -> NFA compilation on the semi-periodic fragment.
+//
+// Theorem 2.2 states that L_wait is precisely the regular languages; its
+// ⊆ direction is proved with well-quasi-order algebra (see wqo/). This
+// module makes the statement *effective* on the decidable fragment: for a
+// TVG whose presences are semi-periodic (initial segment of length T0,
+// then period P) and whose latencies are constant, the infinite
+// configuration space (node, time) quotients exactly onto
+//
+//     node × ( {0..T-1}  ∪  {T+r : r ∈ Z_P} )
+//
+// with T = max T0 and P = lcm of the periods: presence at any t >= T
+// depends only on (t - T) mod P. The resulting finite automaton accepts
+// *exactly* L_policy(G) over the infinite lifetime — for each of the
+// three waiting policies:
+//   * NoWait        — depart exactly at the current instant;
+//   * Wait          — depart at any present abs instant in [t, T) or at
+//                     any present tail residue (each recurs infinitely
+//                     often, so it is always reachable by waiting);
+//   * BoundedWait d — departures within a window of d instants, folded
+//                     into residues once past T.
+//
+// This is the workhorse behind bench_thm22_wait_regular and the exact
+// minimal-DFA equalities of bench_thm23_bounded_wait.
+#pragma once
+
+#include <cstddef>
+
+#include "core/tvg_automaton.hpp"
+#include "fa/nfa.hpp"
+
+namespace tvg::core {
+
+struct PeriodicNfaOptions {
+  /// Refuse to build automata larger than this many states
+  /// (|V| · (T + lcm of periods)).
+  std::size_t max_states{1 << 22};
+};
+
+/// True iff the automaton's graph is in the fragment this pipeline
+/// handles exactly (all presences semi-periodic, all latencies constant).
+[[nodiscard]] bool in_semi_periodic_fragment(const TvgAutomaton& a);
+
+/// Compiles A(G) under `policy` into an equivalent NFA.
+/// Throws std::domain_error when the graph is outside the fragment or the
+/// unrolled state space exceeds options.max_states.
+[[nodiscard]] fa::Nfa semi_periodic_to_nfa(
+    const TvgAutomaton& a, Policy policy,
+    const PeriodicNfaOptions& options = {});
+
+}  // namespace tvg::core

@@ -1,0 +1,198 @@
+#include "core/tvg_automaton.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace tvg::core {
+namespace {
+
+struct Config {
+  NodeId node;
+  Time time;
+  std::uint32_t pos;
+  std::int64_t parent;
+  EdgeId via;
+  Time dep;
+};
+
+[[nodiscard]] std::uint64_t config_key(NodeId v, Time t,
+                                       std::uint32_t pos) noexcept {
+  std::uint64_t h = static_cast<std::uint64_t>(t);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<std::uint64_t>(pos) * 0xc2b2ae3d27d4eb4fULL;
+  return h;
+}
+
+}  // namespace
+
+TvgAutomaton::TvgAutomaton(TimeVaryingGraph graph, Time start_time)
+    : graph_(std::move(graph)), start_time_(start_time) {}
+
+void TvgAutomaton::set_initial(NodeId v, bool initial) {
+  if (v >= graph_.node_count())
+    throw std::out_of_range("TvgAutomaton::set_initial");
+  if (initial) {
+    initial_.insert(v);
+  } else {
+    initial_.erase(v);
+  }
+}
+
+void TvgAutomaton::set_accepting(NodeId v, bool accepting) {
+  if (v >= graph_.node_count())
+    throw std::out_of_range("TvgAutomaton::set_accepting");
+  if (accepting) {
+    accepting_.insert(v);
+  } else {
+    accepting_.erase(v);
+  }
+}
+
+AcceptResult TvgAutomaton::accepts(const Word& word, Policy policy,
+                                   const AcceptOptions& options) const {
+  AcceptResult result;
+  std::vector<Config> configs;
+  std::unordered_set<std::uint64_t> visited;
+  std::queue<std::int64_t> queue;
+
+  auto make_witness = [&](std::int64_t idx) {
+    std::vector<JourneyLeg> legs;
+    NodeId start = kInvalidNode;
+    for (std::int64_t i = idx; i >= 0;
+         i = configs[static_cast<std::size_t>(i)].parent) {
+      const Config& c = configs[static_cast<std::size_t>(i)];
+      if (c.via != kInvalidEdge) {
+        legs.push_back(JourneyLeg{c.via, c.dep});
+      } else {
+        start = c.node;
+      }
+    }
+    std::reverse(legs.begin(), legs.end());
+    return Journey{start, start_time_, std::move(legs)};
+  };
+
+  auto push = [&](Config c) -> std::optional<std::int64_t> {
+    if (c.time == kTimeInfinity || c.time > options.horizon)
+      return std::nullopt;
+    if (!visited.insert(config_key(c.node, c.time, c.pos)).second)
+      return std::nullopt;
+    configs.push_back(c);
+    const auto idx = static_cast<std::int64_t>(configs.size()) - 1;
+    if (c.pos == word.size() && accepting_.contains(c.node)) return idx;
+    queue.push(idx);
+    return std::nullopt;
+  };
+
+  for (NodeId v : initial_) {
+    if (auto hit = push(Config{v, start_time_, 0, -1, kInvalidEdge, 0})) {
+      result.accepted = true;
+      result.configs_explored = configs.size();
+      result.witness = make_witness(*hit);
+      return result;
+    }
+  }
+
+  while (!queue.empty()) {
+    if (configs.size() >= options.max_configs) {
+      result.truncated = true;
+      break;
+    }
+    const std::int64_t idx = queue.front();
+    queue.pop();
+    const Config cur = configs[static_cast<std::size_t>(idx)];
+    if (cur.pos >= word.size()) continue;
+    const Symbol symbol = word[cur.pos];
+
+    std::optional<std::int64_t> hit;
+    auto try_departure = [&](const Edge& e, EdgeId eid, Time dep) {
+      if (hit) return;
+      const Time arr = e.arrival(dep);
+      hit = push(Config{e.to, arr, cur.pos + 1, idx, eid, dep});
+    };
+
+    for (EdgeId eid : graph_.out_edges(cur.node)) {
+      if (hit) break;
+      const Edge& e = graph_.edge(eid);
+      if (e.label != symbol) continue;
+      switch (policy.kind) {
+        case WaitingPolicy::kNoWait: {
+          if (e.present(cur.time)) try_departure(e, eid, cur.time);
+          break;
+        }
+        case WaitingPolicy::kBoundedWait: {
+          const Time last =
+              std::min(policy.max_departure(cur.time), options.horizon);
+          Time cursor = cur.time;
+          while (cursor <= last && !hit) {
+            auto dep = e.presence.next_present(cursor);
+            if (!dep || *dep > last) break;
+            try_departure(e, eid, *dep);
+            if (*dep == kTimeInfinity) break;
+            cursor = *dep + 1;
+          }
+          break;
+        }
+        case WaitingPolicy::kWait: {
+          if (e.latency.is_affine()) {
+            // Arrival is monotone in departure: the earliest admissible
+            // departure dominates (see header comment).
+            if (auto dep = e.presence.next_present(cur.time);
+                dep && *dep <= options.horizon) {
+              try_departure(e, eid, *dep);
+            }
+          } else {
+            Time cursor = cur.time;
+            for (std::size_t k = 0;
+                 k < options.departures_per_edge && !hit; ++k) {
+              auto dep = e.presence.next_present(cursor);
+              if (!dep || *dep > options.horizon) break;
+              try_departure(e, eid, *dep);
+              if (*dep == kTimeInfinity) break;
+              cursor = *dep + 1;
+            }
+          }
+          break;
+        }
+      }
+    }
+    if (hit) {
+      result.accepted = true;
+      result.witness = make_witness(*hit);
+      break;
+    }
+  }
+
+  result.configs_explored = configs.size();
+  return result;
+}
+
+std::vector<Word> TvgAutomaton::enumerate_language(
+    std::size_t max_len, Policy policy, const AcceptOptions& options,
+    std::size_t max_words, std::string alphabet) const {
+  if (alphabet.empty()) alphabet = graph_.alphabet();
+  std::vector<Word> accepted;
+  // Breadth-first over words in length-lexicographic order.
+  std::vector<Word> frontier{Word{}};
+  for (std::size_t len = 0; len <= max_len; ++len) {
+    for (const Word& w : frontier) {
+      if (accepts(w, policy, options).accepted) {
+        accepted.push_back(w);
+        if (accepted.size() >= max_words) return accepted;
+      }
+    }
+    if (len == max_len) break;
+    std::vector<Word> next;
+    next.reserve(frontier.size() * alphabet.size());
+    for (const Word& w : frontier) {
+      for (Symbol c : alphabet) next.push_back(w + c);
+    }
+    frontier = std::move(next);
+  }
+  return accepted;
+}
+
+}  // namespace tvg::core

@@ -1,0 +1,94 @@
+// TVG-automata: the paper's central definition.
+//
+// A time-varying graph G whose edges are labeled over Σ is viewed as an
+// automaton A(G) = (Σ, S, I, E, F): S = V, and (s, t, a, s', t') ∈ E iff
+// some edge e = (s, s', a) has ρ(e, t) = 1 and ζ(e, t) = t' − t. A word is
+// accepted iff it is spelled by a *feasible* journey from an initial to an
+// accepting state, where feasibility is governed by the waiting policy:
+//   L_nowait(G)  — only direct journeys,
+//   L_wait(G)    — indirect journeys allowed,
+//   L_wait[d](G) — waits bounded by d.
+//
+// Acceptance explores (node, time, position) configurations. Under Wait,
+// an earlier arrival dominates a later one (it can imitate it by waiting),
+// and for edges whose arrival time is monotone in the departure time
+// (affine ζ — every construction in this repo) the earliest admissible
+// departure suffices; for exotic non-monotone ζ we enumerate a bounded
+// number of departures (see AcceptOptions::departures_per_edge).
+// Searches are exact up to the configured horizon; the geometric time
+// growth of the paper's constructions means a 64-bit horizon covers every
+// word length the encoding supports.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tvg/graph.hpp"
+#include "tvg/journey.hpp"
+#include "tvg/policy.hpp"
+
+namespace tvg::core {
+
+/// Search knobs for acceptance.
+struct AcceptOptions {
+  Time horizon{kTimeInfinity};       // ignore configurations beyond
+  std::size_t max_configs{1 << 20};  // memory/exploration cap
+  /// Departures enumerated per edge under Wait when ζ is not affine
+  /// (affine ζ needs only the earliest — see header comment).
+  std::size_t departures_per_edge{16};
+};
+
+/// Outcome of an acceptance query.
+struct AcceptResult {
+  bool accepted{false};
+  /// True if max_configs stopped the search: `accepted == false` is then
+  /// "not found within budget" rather than a proof of rejection.
+  bool truncated{false};
+  std::size_t configs_explored{0};
+  /// A feasible witness journey when accepted (validates under the policy).
+  std::optional<Journey> witness;
+
+  explicit operator bool() const noexcept { return accepted; }
+};
+
+/// A(G) with designated initial / accepting node sets and a start time
+/// (the paper's Figure 1 starts reading at t = 1).
+class TvgAutomaton {
+ public:
+  explicit TvgAutomaton(TimeVaryingGraph graph, Time start_time = 0);
+
+  void set_initial(NodeId v, bool initial = true);
+  void set_accepting(NodeId v, bool accepting = true);
+  void set_start_time(Time t) { start_time_ = t; }
+
+  [[nodiscard]] const TimeVaryingGraph& graph() const noexcept {
+    return graph_;
+  }
+  [[nodiscard]] Time start_time() const noexcept { return start_time_; }
+  [[nodiscard]] const std::set<NodeId>& initial() const noexcept {
+    return initial_;
+  }
+  [[nodiscard]] const std::set<NodeId>& accepting() const noexcept {
+    return accepting_;
+  }
+
+  /// Does A(G) accept `word` under `policy`?
+  [[nodiscard]] AcceptResult accepts(const Word& word, Policy policy,
+                                     const AcceptOptions& options = {}) const;
+
+  /// All accepted words of length <= max_len over the graph's alphabet
+  /// (or `alphabet` if non-empty), capped at max_words.
+  [[nodiscard]] std::vector<Word> enumerate_language(
+      std::size_t max_len, Policy policy, const AcceptOptions& options = {},
+      std::size_t max_words = 100000, std::string alphabet = "") const;
+
+ private:
+  TimeVaryingGraph graph_;
+  Time start_time_{0};
+  std::set<NodeId> initial_;
+  std::set<NodeId> accepting_;
+};
+
+}  // namespace tvg::core

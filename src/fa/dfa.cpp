@@ -1,0 +1,387 @@
+#include "fa/dfa.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+namespace tvg::fa {
+namespace {
+
+std::string merge_alphabets(const std::string& a, const std::string& b) {
+  std::string merged = a + b;
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+}  // namespace
+
+Dfa::Dfa(std::size_t states, std::string alphabet)
+    : alphabet_(std::move(alphabet)),
+      accepting_(states, false),
+      table_(states * alphabet_.size(), 0) {
+  std::sort(alphabet_.begin(), alphabet_.end());
+  alphabet_.erase(std::unique(alphabet_.begin(), alphabet_.end()),
+                  alphabet_.end());
+  table_.assign(states * alphabet_.size(), 0);
+}
+
+void Dfa::set_initial(State s) {
+  if (s >= state_count()) throw std::out_of_range("Dfa::set_initial");
+  initial_ = s;
+}
+
+void Dfa::set_accepting(State s, bool accepting) {
+  accepting_.at(s) = accepting;
+}
+
+std::size_t Dfa::symbol_index(Symbol c) const {
+  const auto pos = alphabet_.find(c);
+  if (pos == std::string::npos)
+    throw std::invalid_argument(std::string("Dfa: symbol '") + c +
+                                "' not in alphabet");
+  return pos;
+}
+
+void Dfa::set_transition(State from, Symbol symbol, State to) {
+  if (from >= state_count() || to >= state_count())
+    throw std::out_of_range("Dfa::set_transition");
+  table_[from * alphabet_.size() + symbol_index(symbol)] = to;
+}
+
+State Dfa::transition(State from, Symbol symbol) const {
+  return table_.at(from * alphabet_.size() + symbol_index(symbol));
+}
+
+bool Dfa::accepts(const Word& w) const {
+  if (state_count() == 0) return false;
+  State s = initial_;
+  for (Symbol c : w) {
+    if (alphabet_.find(c) == std::string::npos) return false;
+    s = table_[s * alphabet_.size() + alphabet_.find(c)];
+  }
+  return accepting_[s];
+}
+
+std::size_t Dfa::accepting_count() const {
+  return static_cast<std::size_t>(
+      std::count(accepting_.begin(), accepting_.end(), true));
+}
+
+Dfa Dfa::determinize(const Nfa& nfa, std::string alphabet_override) {
+  const std::string alphabet =
+      alphabet_override.empty() ? nfa.alphabet() : alphabet_override;
+  std::map<std::set<State>, State> ids;
+  std::vector<std::set<State>> subsets;
+  auto intern = [&](std::set<State> subset) -> State {
+    auto [it, inserted] = ids.try_emplace(subset, 0);
+    if (inserted) {
+      it->second = static_cast<State>(subsets.size());
+      subsets.push_back(std::move(subset));
+    }
+    return it->second;
+  };
+
+  std::set<State> start = nfa.initial();
+  nfa.epsilon_close(start);
+  intern(std::move(start));
+
+  std::vector<std::vector<State>> rows;  // per subset, per symbol
+  std::vector<bool> acc;
+  for (std::size_t i = 0; i < subsets.size(); ++i) {
+    const std::set<State> current = subsets[i];  // copy: subsets grows
+    std::vector<State> row;
+    row.reserve(alphabet.size());
+    for (Symbol c : alphabet) {
+      row.push_back(intern(nfa.step(current, c)));
+    }
+    rows.push_back(std::move(row));
+    acc.push_back(std::any_of(current.begin(), current.end(), [&](State s) {
+      return nfa.is_accepting(s);
+    }));
+  }
+
+  Dfa out(subsets.size(), alphabet);
+  out.set_initial(0);
+  for (State s = 0; s < subsets.size(); ++s) {
+    if (acc[s]) out.set_accepting(s);
+    for (std::size_t ci = 0; ci < alphabet.size(); ++ci) {
+      out.set_transition(s, alphabet[ci], rows[s][ci]);
+    }
+  }
+  return out;
+}
+
+Dfa Dfa::minimized() const {
+  if (state_count() == 0) {
+    Dfa out(1, alphabet_);
+    out.set_initial(0);
+    for (Symbol c : alphabet_) out.set_transition(0, c, 0);
+    return out;
+  }
+  const std::size_t k = alphabet_.size();
+
+  // 1. Keep only reachable states.
+  std::vector<State> remap(state_count(), kInvalidState);
+  std::vector<State> order;
+  remap[initial_] = 0;
+  order.push_back(initial_);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (std::size_t ci = 0; ci < k; ++ci) {
+      const State t = table_[order[i] * k + ci];
+      if (remap[t] == kInvalidState) {
+        remap[t] = static_cast<State>(order.size());
+        order.push_back(t);
+      }
+    }
+  }
+  const std::size_t n = order.size();
+
+  // 2. Moore partition refinement (simple, O(n^2 k) worst case — all our
+  //    automata are small; Hopcroft's queue optimization is unnecessary).
+  std::vector<std::size_t> block(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    block[i] = accepting_[order[i]] ? 1 : 0;
+  }
+  std::size_t blocks = 2;
+  // If everything is accepting or nothing is, start from one block.
+  {
+    bool any0 = false;
+    bool any1 = false;
+    for (std::size_t b : block) (b != 0u ? any1 : any0) = true;
+    if (!any0 || !any1) {
+      std::fill(block.begin(), block.end(), 0);
+      blocks = 1;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::vector<std::size_t>, std::size_t> signature_to_block;
+    std::vector<std::size_t> next_block(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<std::size_t> sig;
+      sig.reserve(k + 1);
+      sig.push_back(block[i]);
+      for (std::size_t ci = 0; ci < k; ++ci) {
+        sig.push_back(block[remap[table_[order[i] * k + ci]]]);
+      }
+      auto [it, inserted] =
+          signature_to_block.try_emplace(std::move(sig),
+                                         signature_to_block.size());
+      next_block[i] = it->second;
+    }
+    if (signature_to_block.size() != blocks) {
+      blocks = signature_to_block.size();
+      block = std::move(next_block);
+      changed = true;
+    }
+  }
+
+  Dfa out(blocks, alphabet_);
+  out.set_initial(static_cast<State>(block[0]));
+  for (std::size_t i = 0; i < n; ++i) {
+    const State b = static_cast<State>(block[i]);
+    if (accepting_[order[i]]) out.set_accepting(b);
+    for (std::size_t ci = 0; ci < k; ++ci) {
+      out.set_transition(
+          b, alphabet_[ci],
+          static_cast<State>(block[remap[table_[order[i] * k + ci]]]));
+    }
+  }
+  return out;
+}
+
+Dfa Dfa::complemented() const {
+  Dfa out = *this;
+  for (std::size_t s = 0; s < out.accepting_.size(); ++s) {
+    out.accepting_[s] = !out.accepting_[s];
+  }
+  return out;
+}
+
+std::pair<Dfa, Dfa> Dfa::harmonized(const Dfa& a, const Dfa& b) {
+  const std::string alphabet = merge_alphabets(a.alphabet_, b.alphabet_);
+  auto widen = [&](const Dfa& d) {
+    if (d.alphabet_ == alphabet && d.state_count() > 0) return d;
+    // Rebuild over the merged alphabet with a dead state for new symbols.
+    const std::size_t n = std::max<std::size_t>(d.state_count(), 1);
+    Dfa out(n + 1, alphabet);  // last state = dead
+    const State dead = static_cast<State>(n);
+    out.set_initial(d.state_count() == 0 ? dead : d.initial_);
+    for (State s = 0; s < n; ++s) {
+      if (s < d.state_count() && d.accepting_[s]) out.set_accepting(s);
+      for (Symbol c : alphabet) {
+        const bool known =
+            s < d.state_count() && d.alphabet_.find(c) != std::string::npos;
+        out.set_transition(s, c, known ? d.transition(s, c) : dead);
+      }
+    }
+    for (Symbol c : alphabet) out.set_transition(dead, c, dead);
+    return out;
+  };
+  return {widen(a), widen(b)};
+}
+
+Dfa Dfa::product(const Dfa& a_in, const Dfa& b_in, ProductMode mode) {
+  const auto [a, b] = harmonized(a_in, b_in);
+  const std::size_t nb = b.state_count();
+  const std::size_t total = a.state_count() * nb;
+  Dfa out(total, a.alphabet_);
+  out.set_initial(static_cast<State>(a.initial_ * nb + b.initial_));
+  for (State sa = 0; sa < a.state_count(); ++sa) {
+    for (State sb = 0; sb < nb; ++sb) {
+      const State s = static_cast<State>(sa * nb + sb);
+      const bool fa = a.accepting_[sa];
+      const bool fb = b.accepting_[sb];
+      bool acc = false;
+      switch (mode) {
+        case ProductMode::kIntersection:
+          acc = fa && fb;
+          break;
+        case ProductMode::kUnion:
+          acc = fa || fb;
+          break;
+        case ProductMode::kDifference:
+          acc = fa && !fb;
+          break;
+      }
+      if (acc) out.set_accepting(s);
+      for (Symbol c : a.alphabet_) {
+        out.set_transition(
+            s, c,
+            static_cast<State>(a.transition(sa, c) * nb + b.transition(sb, c)));
+      }
+    }
+  }
+  return out;
+}
+
+bool Dfa::empty_language() const { return !shortest_word().has_value(); }
+
+std::optional<Word> Dfa::shortest_word() const {
+  if (state_count() == 0) return std::nullopt;
+  std::vector<bool> visited(state_count(), false);
+  std::queue<std::pair<State, Word>> queue;
+  visited[initial_] = true;
+  queue.emplace(initial_, Word{});
+  while (!queue.empty()) {
+    auto [s, w] = queue.front();
+    queue.pop();
+    if (accepting_[s]) return w;
+    for (Symbol c : alphabet_) {
+      const State t = transition(s, c);
+      if (!visited[t]) {
+        visited[t] = true;
+        queue.emplace(t, w + c);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool Dfa::equivalent(const Dfa& a, const Dfa& b, Word* counterexample) {
+  const Dfa diff_ab = product(a, b, ProductMode::kDifference);
+  const Dfa diff_ba = product(b, a, ProductMode::kDifference);
+  const auto wa = diff_ab.shortest_word();
+  const auto wb = diff_ba.shortest_word();
+  if (!wa && !wb) return true;
+  if (counterexample != nullptr) {
+    if (wa && wb) {
+      *counterexample = wa->size() <= wb->size() ? *wa : *wb;
+    } else {
+      *counterexample = wa ? *wa : *wb;
+    }
+  }
+  return false;
+}
+
+bool Dfa::included(const Dfa& a, const Dfa& b, Word* counterexample) {
+  const Dfa diff = product(a, b, ProductMode::kDifference);
+  const auto w = diff.shortest_word();
+  if (!w) return true;
+  if (counterexample != nullptr) *counterexample = *w;
+  return false;
+}
+
+std::vector<Word> Dfa::enumerate(std::size_t max_len,
+                                 std::size_t max_words) const {
+  std::vector<Word> result;
+  if (state_count() == 0) return result;
+  std::vector<std::pair<State, Word>> frontier{{initial_, {}}};
+  for (std::size_t len = 0; len <= max_len; ++len) {
+    for (const auto& [s, w] : frontier) {
+      if (accepting_[s]) {
+        result.push_back(w);
+        if (result.size() >= max_words) return result;
+      }
+    }
+    if (len == max_len) break;
+    std::vector<std::pair<State, Word>> next;
+    next.reserve(frontier.size() * alphabet_.size());
+    for (const auto& [s, w] : frontier) {
+      for (Symbol c : alphabet_) {
+        next.emplace_back(transition(s, c), w + c);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> Dfa::census(std::size_t max_len) const {
+  std::vector<std::uint64_t> counts(max_len + 1, 0);
+  if (state_count() == 0) return counts;
+  // counts-per-state dynamic program (avoids enumerating words).
+  std::vector<std::uint64_t> cur(state_count(), 0);
+  cur[initial_] = 1;
+  for (std::size_t len = 0; len <= max_len; ++len) {
+    for (State s = 0; s < state_count(); ++s) {
+      if (accepting_[s]) counts[len] += cur[s];
+    }
+    if (len == max_len) break;
+    std::vector<std::uint64_t> next(state_count(), 0);
+    for (State s = 0; s < state_count(); ++s) {
+      if (cur[s] == 0) continue;
+      for (Symbol c : alphabet_) {
+        next[transition(s, c)] += cur[s];
+      }
+    }
+    cur = std::move(next);
+  }
+  return counts;
+}
+
+Nfa Dfa::to_nfa() const {
+  Nfa out(state_count(), alphabet_);
+  out.set_initial(initial_);
+  for (State s = 0; s < state_count(); ++s) {
+    if (accepting_[s]) out.set_accepting(s);
+    for (Symbol c : alphabet_) {
+      out.add_transition(s, c, transition(s, c));
+    }
+  }
+  return out;
+}
+
+std::string Dfa::to_dot(const std::string& name) const {
+  std::ostringstream os;
+  os << "digraph " << name << " {\n  rankdir=LR;\n";
+  for (State s = 0; s < state_count(); ++s) {
+    os << "  q" << s << " [shape="
+       << (accepting_[s] ? "doublecircle" : "circle") << "];\n";
+  }
+  os << "  __start [shape=point];\n  __start -> q" << initial_ << ";\n";
+  for (State s = 0; s < state_count(); ++s) {
+    for (Symbol c : alphabet_) {
+      os << "  q" << s << " -> q" << transition(s, c) << " [label=\"" << c
+         << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace tvg::fa

@@ -1,0 +1,101 @@
+// Deterministic finite automata: complete transition tables, Hopcroft
+// minimization, boolean combinations, and equivalence with witness.
+//
+// Minimal DFAs are the canonical form in which the Theorem 2.2 / 2.3
+// experiments compare languages: two regular languages are equal iff
+// their minimal DFAs are isomorphic, and the product construction yields
+// a shortest distinguishing word when they are not.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fa/nfa.hpp"
+
+namespace tvg::fa {
+
+/// A complete DFA over an explicit alphabet. State 0.. are dense;
+/// `transition(s, c)` is total (a dead state is materialized as needed).
+class Dfa {
+ public:
+  Dfa() = default;
+  Dfa(std::size_t states, std::string alphabet);
+
+  [[nodiscard]] std::size_t state_count() const noexcept {
+    return accepting_.size();
+  }
+  [[nodiscard]] const std::string& alphabet() const noexcept {
+    return alphabet_;
+  }
+  [[nodiscard]] State initial() const noexcept { return initial_; }
+  void set_initial(State s);
+  void set_accepting(State s, bool accepting = true);
+  [[nodiscard]] bool is_accepting(State s) const { return accepting_.at(s); }
+
+  void set_transition(State from, Symbol symbol, State to);
+  [[nodiscard]] State transition(State from, Symbol symbol) const;
+
+  [[nodiscard]] bool accepts(const Word& w) const;
+
+  /// Number of accepting states.
+  [[nodiscard]] std::size_t accepting_count() const;
+
+  /// Subset construction. The result is complete over the NFA's alphabet
+  /// (or `alphabet_override` if non-empty).
+  [[nodiscard]] static Dfa determinize(const Nfa& nfa,
+                                       std::string alphabet_override = "");
+
+  /// Hopcroft minimization (result is complete, reachable, minimal).
+  [[nodiscard]] Dfa minimized() const;
+
+  /// Complement (flips accepting states; requires completeness, which
+  /// holds by construction).
+  [[nodiscard]] Dfa complemented() const;
+
+  /// Product automaton; `mode` selects accept condition.
+  enum class ProductMode { kIntersection, kUnion, kDifference };
+  [[nodiscard]] static Dfa product(const Dfa& a, const Dfa& b,
+                                   ProductMode mode);
+
+  /// True iff no accepting state is reachable.
+  [[nodiscard]] bool empty_language() const;
+
+  /// A shortest accepted word, if any.
+  [[nodiscard]] std::optional<Word> shortest_word() const;
+
+  /// Language equality; on inequality, returns a shortest word in the
+  /// symmetric difference through `counterexample` (if non-null).
+  [[nodiscard]] static bool equivalent(const Dfa& a, const Dfa& b,
+                                       Word* counterexample = nullptr);
+
+  /// Language inclusion L(a) ⊆ L(b); on failure, a witness in L(a)\L(b).
+  [[nodiscard]] static bool included(const Dfa& a, const Dfa& b,
+                                     Word* counterexample = nullptr);
+
+  /// All accepted words of length <= max_len.
+  [[nodiscard]] std::vector<Word> enumerate(std::size_t max_len,
+                                            std::size_t max_words = 100000)
+      const;
+
+  /// Number of accepted words of each length 0..max_len (useful for
+  /// census-style language comparisons).
+  [[nodiscard]] std::vector<std::uint64_t> census(std::size_t max_len) const;
+
+  /// Back to an NFA (for closure operations).
+  [[nodiscard]] Nfa to_nfa() const;
+
+  [[nodiscard]] std::string to_dot(const std::string& name = "dfa") const;
+
+ private:
+  [[nodiscard]] std::size_t symbol_index(Symbol c) const;
+  /// Harmonizes two DFAs onto a merged alphabet (returns completed copies).
+  static std::pair<Dfa, Dfa> harmonized(const Dfa& a, const Dfa& b);
+
+  std::string alphabet_;
+  State initial_{0};
+  std::vector<bool> accepting_;
+  std::vector<State> table_;  // state * |alphabet| + symbol_index
+};
+
+}  // namespace tvg::fa

@@ -1,0 +1,86 @@
+#include "fa/grammar.hpp"
+
+#include <algorithm>
+
+namespace tvg::fa {
+
+bool CnfGrammar::accepts(const Word& w) const {
+  if (w.empty()) return accepts_epsilon_;
+  const std::size_t n = w.size();
+  const std::size_t m = nonterminal_count();
+  // table[i][len][A]: does A derive w[i, i+len)?
+  auto idx = [&](std::size_t i, std::size_t len) { return (len - 1) * n + i; };
+  std::vector<std::vector<bool>> table(n * n, std::vector<bool>(m, false));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (NonTerminal a = 0; a < m; ++a) {
+      if (std::find(terminal_[a].begin(), terminal_[a].end(), w[i]) !=
+          terminal_[a].end()) {
+        table[idx(i, 1)][a] = true;
+      }
+    }
+  }
+  for (std::size_t len = 2; len <= n; ++len) {
+    for (std::size_t i = 0; i + len <= n; ++i) {
+      auto& cell = table[idx(i, len)];
+      for (std::size_t split = 1; split < len; ++split) {
+        const auto& left = table[idx(i, split)];
+        const auto& right = table[idx(i + split, len - split)];
+        for (NonTerminal a = 0; a < m; ++a) {
+          if (cell[a]) continue;
+          for (const auto& [b, c] : binary_[a]) {
+            if (left[b] && right[c]) {
+              cell[a] = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+  return table[idx(0, n)][0];
+}
+
+CnfGrammar CnfGrammar::anbn() {
+  // S -> AB | AT ; T -> SB ; A -> a ; B -> b.
+  enum : NonTerminal { S = 0, T, A, B };
+  CnfGrammar g(4);
+  g.add_binary(S, A, B);
+  g.add_binary(S, A, T);
+  g.add_binary(T, S, B);
+  g.add_terminal(A, 'a');
+  g.add_terminal(B, 'b');
+  return g;
+}
+
+CnfGrammar CnfGrammar::even_palindromes() {
+  // S -> AX | BY | AA | BB ; X -> SA ; Y -> SB ; A -> a ; B -> b.
+  enum : NonTerminal { S = 0, X, Y, A, B };
+  CnfGrammar g(5);
+  g.add_binary(S, A, X);
+  g.add_binary(S, B, Y);
+  g.add_binary(S, A, A);
+  g.add_binary(S, B, B);
+  g.add_binary(X, S, A);
+  g.add_binary(Y, S, B);
+  g.add_terminal(A, 'a');
+  g.add_terminal(B, 'b');
+  g.set_accepts_epsilon(true);
+  return g;
+}
+
+CnfGrammar CnfGrammar::dyck1() {
+  // Non-empty balanced strings with a='(' and b=')':
+  // S -> AT | AB | SS ; T -> SB ; A -> a ; B -> b.
+  enum : NonTerminal { S = 0, T, A, B };
+  CnfGrammar g(4);
+  g.add_binary(S, A, T);
+  g.add_binary(S, A, B);
+  g.add_binary(S, S, S);
+  g.add_binary(T, S, B);
+  g.add_terminal(A, 'a');
+  g.add_terminal(B, 'b');
+  return g;
+}
+
+}  // namespace tvg::fa

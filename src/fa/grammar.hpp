@@ -1,0 +1,54 @@
+// Context-free grammars with a CYK recognizer.
+//
+// Used by the expressivity experiments to *classify* witness languages:
+// Figure 1's {aⁿbⁿ} is context-free but not regular, Theorem 2.1's
+// {aⁿbⁿcⁿ} is not even context-free — the gap the paper quantifies.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fa/nfa.hpp"
+
+namespace tvg::fa {
+
+/// A context-free grammar in (weak) Chomsky normal form:
+/// A -> BC, A -> a, and optionally S -> ε.
+class CnfGrammar {
+ public:
+  using NonTerminal = std::uint32_t;
+
+  /// Creates a grammar; nonterminal 0 is the start symbol.
+  explicit CnfGrammar(std::size_t nonterminals)
+      : binary_(nonterminals), terminal_(nonterminals) {}
+
+  [[nodiscard]] std::size_t nonterminal_count() const {
+    return binary_.size();
+  }
+
+  void add_binary(NonTerminal a, NonTerminal b, NonTerminal c) {
+    binary_.at(a).emplace_back(b, c);
+  }
+  void add_terminal(NonTerminal a, Symbol s) {
+    terminal_.at(a).push_back(s);
+  }
+  void set_accepts_epsilon(bool accepts) { accepts_epsilon_ = accepts; }
+
+  /// CYK membership, O(|w|^3 · |G|).
+  [[nodiscard]] bool accepts(const Word& w) const;
+
+  /// The textbook grammar for {aⁿbⁿ : n >= 1}.
+  [[nodiscard]] static CnfGrammar anbn();
+  /// The textbook grammar for even-length palindromes over {a, b}.
+  [[nodiscard]] static CnfGrammar even_palindromes();
+  /// Balanced parentheses rendered as a/b (Dyck-1, non-empty).
+  [[nodiscard]] static CnfGrammar dyck1();
+
+ private:
+  std::vector<std::vector<std::pair<NonTerminal, NonTerminal>>> binary_;
+  std::vector<std::vector<Symbol>> terminal_;
+  bool accepts_epsilon_{false};
+};
+
+}  // namespace tvg::fa

@@ -1,0 +1,359 @@
+#include "fa/nfa.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+namespace tvg::fa {
+namespace {
+
+std::string normalize_alphabet(std::string alphabet) {
+  std::sort(alphabet.begin(), alphabet.end());
+  alphabet.erase(std::unique(alphabet.begin(), alphabet.end()),
+                 alphabet.end());
+  return alphabet;
+}
+
+}  // namespace
+
+Nfa::Nfa(std::size_t states, std::string alphabet)
+    : alphabet_(normalize_alphabet(std::move(alphabet))),
+      trans_(states),
+      eps_(states) {}
+
+State Nfa::add_state() {
+  trans_.emplace_back();
+  eps_.emplace_back();
+  return static_cast<State>(trans_.size() - 1);
+}
+
+void Nfa::add_transition(State from, Symbol symbol, State to) {
+  if (from >= state_count() || to >= state_count())
+    throw std::out_of_range("Nfa::add_transition: bad state");
+  if (alphabet_.find(symbol) == std::string::npos) {
+    alphabet_ = normalize_alphabet(alphabet_ + symbol);
+  }
+  trans_[from].emplace_back(symbol, to);
+}
+
+void Nfa::add_epsilon(State from, State to) {
+  if (from >= state_count() || to >= state_count())
+    throw std::out_of_range("Nfa::add_epsilon: bad state");
+  eps_[from].push_back(to);
+}
+
+void Nfa::set_initial(State s, bool initial) {
+  if (s >= state_count()) throw std::out_of_range("Nfa::set_initial");
+  if (initial) {
+    initial_.insert(s);
+  } else {
+    initial_.erase(s);
+  }
+}
+
+void Nfa::set_accepting(State s, bool accepting) {
+  if (s >= state_count()) throw std::out_of_range("Nfa::set_accepting");
+  if (accepting) {
+    accepting_.insert(s);
+  } else {
+    accepting_.erase(s);
+  }
+}
+
+void Nfa::epsilon_close(std::set<State>& states) const {
+  std::deque<State> work(states.begin(), states.end());
+  while (!work.empty()) {
+    const State s = work.front();
+    work.pop_front();
+    for (State t : eps_[s]) {
+      if (states.insert(t).second) work.push_back(t);
+    }
+  }
+}
+
+std::set<State> Nfa::step(const std::set<State>& states, Symbol symbol) const {
+  std::set<State> next;
+  for (State s : states) {
+    for (const auto& [sym, to] : trans_[s]) {
+      if (sym == symbol) next.insert(to);
+    }
+  }
+  epsilon_close(next);
+  return next;
+}
+
+bool Nfa::accepts(const Word& w) const {
+  std::set<State> current = initial_;
+  epsilon_close(current);
+  for (Symbol c : w) {
+    current = step(current, c);
+    if (current.empty()) return false;
+  }
+  return std::any_of(current.begin(), current.end(),
+                     [&](State s) { return accepting_.contains(s); });
+}
+
+bool Nfa::empty_language() const { return !shortest_word().has_value(); }
+
+std::optional<Word> Nfa::shortest_word() const {
+  // BFS over ε-closed subset configurations would be exponential; BFS over
+  // single states suffices for emptiness/shortest-witness since NFA
+  // nondeterminism is angelic.
+  std::set<State> start = initial_;
+  epsilon_close(start);
+  std::vector<bool> visited(state_count(), false);
+  std::queue<std::pair<State, Word>> queue;
+  for (State s : start) {
+    if (accepting_.contains(s)) return Word{};
+    visited[s] = true;
+    queue.emplace(s, Word{});
+  }
+  while (!queue.empty()) {
+    auto [s, w] = queue.front();
+    queue.pop();
+    auto visit = [&](State t, Word next_word) -> std::optional<Word> {
+      std::set<State> closure{t};
+      epsilon_close(closure);
+      for (State u : closure) {
+        if (accepting_.contains(u)) return next_word;
+        if (!visited[u]) {
+          visited[u] = true;
+          queue.emplace(u, next_word);
+        }
+      }
+      return std::nullopt;
+    };
+    for (State t : eps_[s]) {
+      if (auto w2 = visit(t, w)) return w2;
+    }
+    for (const auto& [sym, t] : trans_[s]) {
+      if (auto w2 = visit(t, w + sym)) return w2;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Word> Nfa::enumerate(std::size_t max_len,
+                                 std::size_t max_words) const {
+  std::vector<Word> result;
+  // BFS over (word) via subset states, lexicographic within each length.
+  struct Item {
+    std::set<State> states;
+    Word word;
+  };
+  std::set<State> start = initial_;
+  epsilon_close(start);
+  std::vector<Item> frontier{{std::move(start), {}}};
+  for (std::size_t len = 0; len <= max_len; ++len) {
+    for (const Item& item : frontier) {
+      const bool acc =
+          std::any_of(item.states.begin(), item.states.end(),
+                      [&](State s) { return accepting_.contains(s); });
+      if (acc) {
+        result.push_back(item.word);
+        if (result.size() >= max_words) return result;
+      }
+    }
+    if (len == max_len) break;
+    std::vector<Item> next;
+    for (const Item& item : frontier) {
+      for (Symbol c : alphabet_) {
+        std::set<State> ns = step(item.states, c);
+        if (!ns.empty()) next.push_back({std::move(ns), item.word + c});
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  return result;
+}
+
+Nfa Nfa::trimmed() const {
+  const std::size_t n = state_count();
+  // Forward reachability.
+  std::vector<bool> fwd(n, false);
+  std::deque<State> work;
+  for (State s : initial_) {
+    fwd[s] = true;
+    work.push_back(s);
+  }
+  while (!work.empty()) {
+    const State s = work.front();
+    work.pop_front();
+    auto visit = [&](State t) {
+      if (!fwd[t]) {
+        fwd[t] = true;
+        work.push_back(t);
+      }
+    };
+    for (State t : eps_[s]) visit(t);
+    for (const auto& [sym, t] : trans_[s]) visit(t);
+  }
+  // Backward (co-)reachability.
+  std::vector<std::vector<State>> rev(n);
+  for (State s = 0; s < n; ++s) {
+    for (State t : eps_[s]) rev[t].push_back(s);
+    for (const auto& [sym, t] : trans_[s]) rev[t].push_back(s);
+  }
+  std::vector<bool> bwd(n, false);
+  for (State s : accepting_) {
+    bwd[s] = true;
+    work.push_back(s);
+  }
+  while (!work.empty()) {
+    const State s = work.front();
+    work.pop_front();
+    for (State t : rev[s]) {
+      if (!bwd[t]) {
+        bwd[t] = true;
+        work.push_back(t);
+      }
+    }
+  }
+  // Remap surviving states.
+  std::vector<State> remap(n, kInvalidState);
+  Nfa out(0, alphabet_);
+  for (State s = 0; s < n; ++s) {
+    if (fwd[s] && bwd[s]) remap[s] = out.add_state();
+  }
+  for (State s = 0; s < n; ++s) {
+    if (remap[s] == kInvalidState) continue;
+    for (State t : eps_[s]) {
+      if (remap[t] != kInvalidState) out.add_epsilon(remap[s], remap[t]);
+    }
+    for (const auto& [sym, t] : trans_[s]) {
+      if (remap[t] != kInvalidState)
+        out.add_transition(remap[s], sym, remap[t]);
+    }
+  }
+  for (State s : initial_) {
+    if (remap[s] != kInvalidState) out.set_initial(remap[s]);
+  }
+  for (State s : accepting_) {
+    if (remap[s] != kInvalidState) out.set_accepting(remap[s]);
+  }
+  return out;
+}
+
+Nfa Nfa::reversed() const {
+  Nfa out(state_count(), alphabet_);
+  for (State s = 0; s < state_count(); ++s) {
+    for (State t : eps_[s]) out.add_epsilon(t, s);
+    for (const auto& [sym, t] : trans_[s]) out.add_transition(t, sym, s);
+  }
+  for (State s : accepting_) out.set_initial(s);
+  for (State s : initial_) out.set_accepting(s);
+  return out;
+}
+
+void Nfa::widen_alphabet(const std::string& symbols) {
+  alphabet_ = normalize_alphabet(alphabet_ + symbols);
+}
+
+std::string Nfa::to_dot(const std::string& name) const {
+  std::ostringstream os;
+  os << "digraph " << name << " {\n  rankdir=LR;\n";
+  for (State s = 0; s < state_count(); ++s) {
+    os << "  q" << s << " [shape="
+       << (accepting_.contains(s) ? "doublecircle" : "circle") << "];\n";
+  }
+  for (State s : initial_) {
+    os << "  __start" << s << " [shape=point];\n  __start" << s << " -> q"
+       << s << ";\n";
+  }
+  for (State s = 0; s < state_count(); ++s) {
+    for (State t : eps_[s]) os << "  q" << s << " -> q" << t
+                               << " [label=\"ε\"];\n";
+    for (const auto& [sym, t] : trans_[s]) {
+      os << "  q" << s << " -> q" << t << " [label=\"" << sym << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void Nfa::absorb(const Nfa& other, State offset) {
+  for (State s = 0; s < other.state_count(); ++s) {
+    for (State t : other.eps_[s]) add_epsilon(s + offset, t + offset);
+    for (const auto& [sym, t] : other.trans_[s]) {
+      add_transition(s + offset, sym, t + offset);
+    }
+  }
+}
+
+Nfa Nfa::empty_lang(std::string alphabet) { return Nfa(0, std::move(alphabet)); }
+
+Nfa Nfa::epsilon_lang(std::string alphabet) {
+  Nfa out(1, std::move(alphabet));
+  out.set_initial(0);
+  out.set_accepting(0);
+  return out;
+}
+
+Nfa Nfa::literal(Symbol c, std::string alphabet) {
+  Nfa out(2, std::move(alphabet));
+  out.add_transition(0, c, 1);
+  out.set_initial(0);
+  out.set_accepting(1);
+  return out;
+}
+
+Nfa Nfa::word_lang(const Word& w, std::string alphabet) {
+  Nfa out(w.size() + 1, std::move(alphabet));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    out.add_transition(static_cast<State>(i), w[i],
+                       static_cast<State>(i + 1));
+  }
+  out.set_initial(0);
+  out.set_accepting(static_cast<State>(w.size()));
+  return out;
+}
+
+Nfa Nfa::union_of(const Nfa& a, const Nfa& b) {
+  Nfa out(a.state_count() + b.state_count(), a.alphabet_ + b.alphabet_);
+  out.absorb(a, 0);
+  out.absorb(b, static_cast<State>(a.state_count()));
+  for (State s : a.initial_) out.set_initial(s);
+  for (State s : a.accepting_) out.set_accepting(s);
+  const State off = static_cast<State>(a.state_count());
+  for (State s : b.initial_) out.set_initial(s + off);
+  for (State s : b.accepting_) out.set_accepting(s + off);
+  return out;
+}
+
+Nfa Nfa::concat(const Nfa& a, const Nfa& b) {
+  Nfa out(a.state_count() + b.state_count(), a.alphabet_ + b.alphabet_);
+  out.absorb(a, 0);
+  const State off = static_cast<State>(a.state_count());
+  out.absorb(b, off);
+  for (State s : a.initial_) out.set_initial(s);
+  for (State s : a.accepting_) {
+    for (State t : b.initial_) out.add_epsilon(s, t + off);
+  }
+  for (State s : b.accepting_) out.set_accepting(s + off);
+  return out;
+}
+
+Nfa Nfa::star(const Nfa& a) {
+  Nfa out(a.state_count() + 1, a.alphabet_);
+  out.absorb(a, 1);
+  out.set_initial(0);
+  out.set_accepting(0);
+  for (State s : a.initial_) out.add_epsilon(0, s + 1);
+  for (State s : a.accepting_) {
+    out.set_accepting(s + 1);
+    out.add_epsilon(s + 1, 0);
+  }
+  return out;
+}
+
+Nfa Nfa::plus(const Nfa& a) { return concat(a, star(a)); }
+
+Nfa Nfa::optional(const Nfa& a) {
+  return union_of(a, epsilon_lang(a.alphabet_));
+}
+
+}  // namespace tvg::fa

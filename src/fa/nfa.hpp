@@ -1,0 +1,114 @@
+// Nondeterministic finite automata with ε-transitions.
+//
+// The regular-language side of Theorem 2.2: TVG-automata with waiting
+// express exactly the languages these machines accept. NFAs are also the
+// output format of the TVG -> NFA pipeline (core/periodic_nfa) and the
+// input of regular_to_tvg.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tvg::fa {
+
+using State = std::uint32_t;
+using Symbol = char;
+using Word = std::string;
+
+inline constexpr State kInvalidState = static_cast<State>(-1);
+
+/// An NFA (Σ, Q, I, Δ, F) with ε-moves. Value type.
+class Nfa {
+ public:
+  Nfa() = default;
+  /// Creates an NFA with `states` states over `alphabet`.
+  explicit Nfa(std::size_t states, std::string alphabet = "");
+
+  State add_state();
+  void add_transition(State from, Symbol symbol, State to);
+  void add_epsilon(State from, State to);
+  void set_initial(State s, bool initial = true);
+  void set_accepting(State s, bool accepting = true);
+
+  [[nodiscard]] std::size_t state_count() const noexcept {
+    return trans_.size();
+  }
+  [[nodiscard]] const std::string& alphabet() const noexcept {
+    return alphabet_;
+  }
+  [[nodiscard]] const std::set<State>& initial() const noexcept {
+    return initial_;
+  }
+  [[nodiscard]] const std::set<State>& accepting() const noexcept {
+    return accepting_;
+  }
+  [[nodiscard]] bool is_accepting(State s) const {
+    return accepting_.contains(s);
+  }
+  [[nodiscard]] const std::vector<std::pair<Symbol, State>>& transitions_from(
+      State s) const {
+    return trans_.at(s);
+  }
+  [[nodiscard]] const std::vector<State>& epsilons_from(State s) const {
+    return eps_.at(s);
+  }
+
+  /// ε-closure of a state set (in place).
+  void epsilon_close(std::set<State>& states) const;
+  /// One symbol step from a closed state set (result is ε-closed).
+  [[nodiscard]] std::set<State> step(const std::set<State>& states,
+                                     Symbol symbol) const;
+
+  /// Word membership by on-the-fly subset simulation.
+  [[nodiscard]] bool accepts(const Word& w) const;
+
+  /// True iff the accepted language is empty.
+  [[nodiscard]] bool empty_language() const;
+
+  /// A shortest accepted word, if the language is non-empty.
+  [[nodiscard]] std::optional<Word> shortest_word() const;
+
+  /// All accepted words of length <= max_len (lexicographic), capped at
+  /// `max_words` results.
+  [[nodiscard]] std::vector<Word> enumerate(std::size_t max_len,
+                                            std::size_t max_words = 100000)
+      const;
+
+  /// Restriction to states reachable from I and co-reachable from F.
+  [[nodiscard]] Nfa trimmed() const;
+
+  /// Reverses every transition and swaps I and F (recognizes the mirror
+  /// language).
+  [[nodiscard]] Nfa reversed() const;
+
+  /// Ensures `symbols` are part of the alphabet.
+  void widen_alphabet(const std::string& symbols);
+
+  [[nodiscard]] std::string to_dot(const std::string& name = "nfa") const;
+
+  // --- Thompson-style constructors -------------------------------------
+  [[nodiscard]] static Nfa empty_lang(std::string alphabet);      // ∅
+  [[nodiscard]] static Nfa epsilon_lang(std::string alphabet);    // {ε}
+  [[nodiscard]] static Nfa literal(Symbol c, std::string alphabet);
+  [[nodiscard]] static Nfa word_lang(const Word& w, std::string alphabet);
+  [[nodiscard]] static Nfa union_of(const Nfa& a, const Nfa& b);
+  [[nodiscard]] static Nfa concat(const Nfa& a, const Nfa& b);
+  [[nodiscard]] static Nfa star(const Nfa& a);
+  [[nodiscard]] static Nfa plus(const Nfa& a);
+  [[nodiscard]] static Nfa optional(const Nfa& a);
+
+ private:
+  std::string alphabet_;
+  std::vector<std::vector<std::pair<Symbol, State>>> trans_;
+  std::vector<std::vector<State>> eps_;
+  std::set<State> initial_;
+  std::set<State> accepting_;
+
+  /// Copies `other` into *this with all states shifted by `offset`.
+  void absorb(const Nfa& other, State offset);
+};
+
+}  // namespace tvg::fa

@@ -1,0 +1,143 @@
+#include "fa/regex.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tvg::fa {
+namespace {
+
+class RegexParser {
+ public:
+  RegexParser(const std::string& pattern, std::string alphabet)
+      : pattern_(pattern), alphabet_(std::move(alphabet)) {
+    if (alphabet_.empty()) {
+      for (std::size_t i = 0; i < pattern_.size(); ++i) {
+        const char c = pattern_[i];
+        if (c == '\\') {
+          if (i + 1 < pattern_.size()) alphabet_.push_back(pattern_[i + 1]);
+          ++i;
+        } else if (std::string("()|*+?.").find(c) == std::string::npos) {
+          alphabet_.push_back(c);
+        }
+      }
+      std::sort(alphabet_.begin(), alphabet_.end());
+      alphabet_.erase(std::unique(alphabet_.begin(), alphabet_.end()),
+                      alphabet_.end());
+    }
+  }
+
+  Nfa parse() {
+    if (pattern_.empty()) return Nfa::epsilon_lang(alphabet_);
+    Nfa result = parse_alternation();
+    if (pos_ != pattern_.size()) {
+      throw std::invalid_argument("regex: unexpected '" +
+                                  std::string(1, pattern_[pos_]) +
+                                  "' at position " + std::to_string(pos_));
+    }
+    result.widen_alphabet(alphabet_);
+    return result;
+  }
+
+ private:
+  [[nodiscard]] bool done() const { return pos_ >= pattern_.size(); }
+  [[nodiscard]] char peek() const { return pattern_[pos_]; }
+
+  Nfa parse_alternation() {
+    Nfa left = parse_concat();
+    while (!done() && peek() == '|') {
+      ++pos_;
+      left = Nfa::union_of(left, parse_concat());
+    }
+    return left;
+  }
+
+  Nfa parse_concat() {
+    Nfa result = Nfa::epsilon_lang(alphabet_);
+    bool first = true;
+    while (!done() && peek() != '|' && peek() != ')') {
+      Nfa piece = parse_repetition();
+      result = first ? std::move(piece) : Nfa::concat(result, piece);
+      first = false;
+    }
+    return result;
+  }
+
+  Nfa parse_repetition() {
+    Nfa atom = parse_atom();
+    while (!done()) {
+      const char c = peek();
+      if (c == '*') {
+        atom = Nfa::star(atom);
+      } else if (c == '+') {
+        atom = Nfa::plus(atom);
+      } else if (c == '?') {
+        atom = Nfa::optional(atom);
+      } else {
+        break;
+      }
+      ++pos_;
+    }
+    return atom;
+  }
+
+  Nfa parse_atom() {
+    if (done()) throw std::invalid_argument("regex: unexpected end");
+    const char c = peek();
+    if (c == '(') {
+      ++pos_;
+      Nfa inner = parse_alternation();
+      if (done() || peek() != ')') {
+        throw std::invalid_argument("regex: missing ')'");
+      }
+      ++pos_;
+      return inner;
+    }
+    if (c == '.') {
+      ++pos_;
+      if (alphabet_.empty()) {
+        throw std::invalid_argument(
+            "regex: '.' needs an explicit alphabet");
+      }
+      Nfa any(2, alphabet_);
+      for (char a : alphabet_) any.add_transition(0, a, 1);
+      any.set_initial(0);
+      any.set_accepting(1);
+      return any;
+    }
+    if (c == '\\') {
+      ++pos_;
+      if (done()) throw std::invalid_argument("regex: trailing '\\'");
+      const char lit = peek();
+      ++pos_;
+      return Nfa::literal(lit, alphabet_);
+    }
+    if (std::string(")|*+?").find(c) != std::string::npos) {
+      throw std::invalid_argument("regex: misplaced '" + std::string(1, c) +
+                                  "'");
+    }
+    ++pos_;
+    return Nfa::literal(c, alphabet_);
+  }
+
+  const std::string& pattern_;
+  std::string alphabet_;
+  std::size_t pos_{0};
+};
+
+}  // namespace
+
+Nfa parse_regex(const std::string& pattern, std::string alphabet) {
+  return RegexParser(pattern, std::move(alphabet)).parse();
+}
+
+Dfa regex_to_min_dfa(const std::string& pattern, std::string alphabet) {
+  return Dfa::determinize(parse_regex(pattern, std::move(alphabet)))
+      .minimized();
+}
+
+bool regex_match(const std::string& pattern, const Word& word,
+                 std::string alphabet) {
+  return parse_regex(pattern, std::move(alphabet)).accepts(word);
+}
+
+}  // namespace tvg::fa

@@ -1,0 +1,31 @@
+// A small regular-expression engine (Thompson construction).
+//
+// Supports: literals, '.', grouping ( ), alternation |, repetition * + ?,
+// and '\'-escapes. This is the convenient front-end for specifying the
+// regular languages in the Theorem 2.2 experiments (e.g. "a+b+" — the
+// language the paper's own Figure 1 graph collapses to once waiting is
+// allowed).
+#pragma once
+
+#include <string>
+
+#include "fa/dfa.hpp"
+#include "fa/nfa.hpp"
+
+namespace tvg::fa {
+
+/// Parses `pattern` into an NFA. `alphabet` bounds what '.' matches; if
+/// empty, the alphabet is the set of literals appearing in the pattern.
+/// Throws std::invalid_argument on syntax errors.
+[[nodiscard]] Nfa parse_regex(const std::string& pattern,
+                              std::string alphabet = "");
+
+/// Convenience: parse, determinize and minimize in one step.
+[[nodiscard]] Dfa regex_to_min_dfa(const std::string& pattern,
+                                   std::string alphabet = "");
+
+/// Convenience: does `pattern` match `word` exactly (full match)?
+[[nodiscard]] bool regex_match(const std::string& pattern, const Word& word,
+                               std::string alphabet = "");
+
+}  // namespace tvg::fa

@@ -1,0 +1,67 @@
+// Computable-language wrappers: the "L" of Theorem 2.1.
+//
+// A Decider is a total membership test for a language over some alphabet.
+// It can be backed by a C++ oracle or by an actual TuringMachine run (with
+// fuel; deciders must halt, so exhausting fuel throws rather than guessing).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "tm/machine.hpp"
+
+namespace tvg::tm {
+
+class Decider {
+ public:
+  /// Wraps a C++ membership oracle.
+  [[nodiscard]] static Decider from_function(
+      std::function<bool(const std::string&)> fn, std::string name,
+      std::string alphabet) {
+    return Decider(std::move(fn), std::move(name), std::move(alphabet));
+  }
+
+  /// Wraps a Turing machine; `fuel` bounds each run. The machine is copied
+  /// into the closure, so the Decider is self-contained (it can outlive
+  /// the machine and be stored inside a presence function).
+  [[nodiscard]] static Decider from_machine(TuringMachine machine,
+                                            std::string name,
+                                            std::string alphabet,
+                                            std::uint64_t fuel = 1u << 20) {
+    auto shared =
+        std::make_shared<const TuringMachine>(std::move(machine));
+    return Decider(
+        [shared, fuel](const std::string& w) {
+          const auto verdict = shared->decides(w, fuel);
+          if (!verdict) {
+            throw std::runtime_error(
+                "Decider: Turing machine exhausted fuel on input '" + w +
+                "' (not a decider at this fuel)");
+          }
+          return *verdict;
+        },
+        std::move(name), std::move(alphabet));
+  }
+
+  [[nodiscard]] bool operator()(const std::string& w) const { return fn_(w); }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& alphabet() const noexcept {
+    return alphabet_;
+  }
+
+ private:
+  Decider(std::function<bool(const std::string&)> fn, std::string name,
+          std::string alphabet)
+      : fn_(std::move(fn)),
+        name_(std::move(name)),
+        alphabet_(std::move(alphabet)) {}
+
+  std::function<bool(const std::string&)> fn_;
+  std::string name_;
+  std::string alphabet_;
+};
+
+}  // namespace tvg::tm

@@ -1,0 +1,110 @@
+#include "tm/machine.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace tvg::tm {
+
+TuringMachine::TuringMachine(std::string initial_state,
+                             std::string accept_state,
+                             std::string reject_state)
+    : initial_(0), accept_(0), reject_(0) {
+  initial_ = intern(initial_state);
+  accept_ = intern(accept_state);
+  reject_ = intern(reject_state);
+  if (accept_ == reject_) {
+    throw std::invalid_argument("TuringMachine: accept == reject state");
+  }
+}
+
+TuringMachine::StateId TuringMachine::intern(const std::string& name) {
+  auto [it, inserted] =
+      state_ids_.try_emplace(name, static_cast<StateId>(state_names_.size()));
+  if (inserted) state_names_.push_back(name);
+  return it->second;
+}
+
+void TuringMachine::add_transition(const std::string& state, TapeSymbol read,
+                                   const std::string& next, TapeSymbol write,
+                                   Move move) {
+  const StateId s = intern(state);
+  if (s == accept_ || s == reject_) {
+    throw std::invalid_argument(
+        "TuringMachine: transitions from halting states are not allowed");
+  }
+  const StateId n = intern(next);
+  if (!delta_.try_emplace({s, read}, Action{n, write, move}).second) {
+    throw std::invalid_argument("TuringMachine: duplicate transition (" +
+                                state + ", " + std::string(1, read) + ")");
+  }
+}
+
+TuringMachine::RunResult TuringMachine::run(const std::string& input,
+                                            std::uint64_t fuel) const {
+  std::unordered_map<std::int64_t, TapeSymbol> tape;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    tape[static_cast<std::int64_t>(i)] = input[i];
+  }
+  std::int64_t head = 0;
+  StateId state = initial_;
+  RunResult result;
+
+  auto read_cell = [&](std::int64_t pos) -> TapeSymbol {
+    auto it = tape.find(pos);
+    return it == tape.end() ? kBlank : it->second;
+  };
+
+  while (result.steps < fuel) {
+    if (state == accept_ || state == reject_) break;
+    const TapeSymbol sym = read_cell(head);
+    auto it = delta_.find({state, sym});
+    if (it == delta_.end()) {
+      state = reject_;  // undefined transition rejects
+      break;
+    }
+    const Action& act = it->second;
+    if (act.write == kBlank) {
+      tape.erase(head);
+    } else {
+      tape[head] = act.write;
+    }
+    head += static_cast<std::int64_t>(act.move);
+    state = act.next;
+    ++result.steps;
+  }
+
+  if (state == accept_) {
+    result.outcome = Outcome::kAccept;
+  } else if (state == reject_) {
+    result.outcome = Outcome::kReject;
+  } else {
+    result.outcome = Outcome::kTimeout;
+  }
+
+  if (!tape.empty()) {
+    std::int64_t lo = tape.begin()->first;
+    std::int64_t hi = lo;
+    for (const auto& [pos, sym] : tape) {
+      lo = std::min(lo, pos);
+      hi = std::max(hi, pos);
+    }
+    for (std::int64_t p = lo; p <= hi; ++p) result.final_tape += read_cell(p);
+  }
+  return result;
+}
+
+std::optional<bool> TuringMachine::decides(const std::string& input,
+                                           std::uint64_t fuel) const {
+  const RunResult r = run(input, fuel);
+  switch (r.outcome) {
+    case Outcome::kAccept:
+      return true;
+    case Outcome::kReject:
+      return false;
+    case Outcome::kTimeout:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tvg::tm

@@ -1,0 +1,75 @@
+// Single-tape deterministic Turing machines.
+//
+// Theorem 2.1 says L_nowait contains all *computable* languages; this
+// module supplies the computability side: real DTMs whose deciders can be
+// embedded into presence functions (the schedule literally runs a Turing
+// machine to decide whether an edge exists — see core/constructions).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tvg::tm {
+
+using TapeSymbol = char;
+inline constexpr TapeSymbol kBlank = '_';
+
+enum class Move : std::int8_t { kLeft = -1, kStay = 0, kRight = 1 };
+
+/// A deterministic single-tape Turing machine. States are interned
+/// strings; missing transitions reject (standard convention).
+class TuringMachine {
+ public:
+  TuringMachine(std::string initial_state, std::string accept_state,
+                std::string reject_state);
+
+  /// δ(state, read) = (next, write, move). Adding a transition from the
+  /// accept/reject state is an error (they halt).
+  void add_transition(const std::string& state, TapeSymbol read,
+                      const std::string& next, TapeSymbol write, Move move);
+
+  enum class Outcome { kAccept, kReject, kTimeout };
+
+  struct RunResult {
+    Outcome outcome{Outcome::kTimeout};
+    std::uint64_t steps{0};
+    std::string final_tape;  // trimmed of surrounding blanks
+  };
+
+  /// Runs on `input` (head at cell 0) for at most `fuel` steps.
+  [[nodiscard]] RunResult run(const std::string& input,
+                              std::uint64_t fuel = 1u << 20) const;
+
+  /// Accept=true / reject=false; nullopt when fuel runs out.
+  [[nodiscard]] std::optional<bool> decides(const std::string& input,
+                                            std::uint64_t fuel = 1u
+                                                                 << 20) const;
+
+  [[nodiscard]] std::size_t state_count() const { return state_names_.size(); }
+  [[nodiscard]] std::size_t transition_count() const { return delta_.size(); }
+  [[nodiscard]] const std::string& initial_state() const {
+    return state_names_[initial_];
+  }
+
+ private:
+  using StateId = std::uint32_t;
+  StateId intern(const std::string& name);
+
+  std::vector<std::string> state_names_;
+  std::map<std::string, StateId> state_ids_;
+  StateId initial_;
+  StateId accept_;
+  StateId reject_;
+
+  struct Action {
+    StateId next;
+    TapeSymbol write;
+    Move move;
+  };
+  std::map<std::pair<StateId, TapeSymbol>, Action> delta_;
+};
+
+}  // namespace tvg::tm

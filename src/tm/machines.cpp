@@ -1,0 +1,184 @@
+#include "tm/machines.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace tvg::tm {
+
+TuringMachine make_anbn_machine() {
+  // Marking machine: X marks a matched 'a', Y a matched 'b'.
+  //   q0: pick next unmarked 'a' (or verify tail once none are left)
+  //   q1: scan right to the first 'b', mark it
+  //   q2: rewind to the X boundary
+  //   q3: verify only Y's remain
+  TuringMachine m("q0", "acc", "rej");
+  m.add_transition("q0", 'a', "q1", 'X', Move::kRight);
+  m.add_transition("q0", 'Y', "q3", 'Y', Move::kRight);
+  m.add_transition("q1", 'a', "q1", 'a', Move::kRight);
+  m.add_transition("q1", 'Y', "q1", 'Y', Move::kRight);
+  m.add_transition("q1", 'b', "q2", 'Y', Move::kLeft);
+  m.add_transition("q2", 'a', "q2", 'a', Move::kLeft);
+  m.add_transition("q2", 'Y', "q2", 'Y', Move::kLeft);
+  m.add_transition("q2", 'X', "q0", 'X', Move::kRight);
+  m.add_transition("q3", 'Y', "q3", 'Y', Move::kRight);
+  m.add_transition("q3", kBlank, "acc", kBlank, Move::kStay);
+  return m;
+}
+
+bool is_anbn(const std::string& w) {
+  if (w.empty() || w.size() % 2 != 0) return false;
+  const std::size_t n = w.size() / 2;
+  return std::all_of(w.begin(), w.begin() + n, [](char c) { return c == 'a'; }) &&
+         std::all_of(w.begin() + n, w.end(), [](char c) { return c == 'b'; });
+}
+
+TuringMachine make_anbncn_machine() {
+  TuringMachine m("q0", "acc", "rej");
+  m.add_transition("q0", 'a', "q1", 'X', Move::kRight);
+  m.add_transition("q0", 'Y', "q4", 'Y', Move::kRight);
+  m.add_transition("q1", 'a', "q1", 'a', Move::kRight);
+  m.add_transition("q1", 'Y', "q1", 'Y', Move::kRight);
+  m.add_transition("q1", 'b', "q2", 'Y', Move::kRight);
+  m.add_transition("q2", 'b', "q2", 'b', Move::kRight);
+  m.add_transition("q2", 'Z', "q2", 'Z', Move::kRight);
+  m.add_transition("q2", 'c', "q3", 'Z', Move::kLeft);
+  m.add_transition("q3", 'a', "q3", 'a', Move::kLeft);
+  m.add_transition("q3", 'b', "q3", 'b', Move::kLeft);
+  m.add_transition("q3", 'Y', "q3", 'Y', Move::kLeft);
+  m.add_transition("q3", 'Z', "q3", 'Z', Move::kLeft);
+  m.add_transition("q3", 'X', "q0", 'X', Move::kRight);
+  m.add_transition("q4", 'Y', "q4", 'Y', Move::kRight);
+  m.add_transition("q4", 'Z', "q4", 'Z', Move::kRight);
+  m.add_transition("q4", kBlank, "acc", kBlank, Move::kStay);
+  return m;
+}
+
+bool is_anbncn(const std::string& w) {
+  if (w.empty() || w.size() % 3 != 0) return false;
+  const std::size_t n = w.size() / 3;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const char expect = i < n ? 'a' : (i < 2 * n ? 'b' : 'c');
+    if (w[i] != expect) return false;
+  }
+  return true;
+}
+
+TuringMachine make_palindrome_machine() {
+  // Erase matching symbols from both ends.
+  TuringMachine m("q0", "acc", "rej");
+  m.add_transition("q0", kBlank, "acc", kBlank, Move::kStay);
+  m.add_transition("q0", 'a', "r_a", kBlank, Move::kRight);
+  m.add_transition("q0", 'b', "r_b", kBlank, Move::kRight);
+  // Run to the right end remembering the erased symbol.
+  m.add_transition("r_a", 'a', "r_a", 'a', Move::kRight);
+  m.add_transition("r_a", 'b', "r_a", 'b', Move::kRight);
+  m.add_transition("r_a", kBlank, "c_a", kBlank, Move::kLeft);
+  m.add_transition("r_b", 'a', "r_b", 'a', Move::kRight);
+  m.add_transition("r_b", 'b', "r_b", 'b', Move::kRight);
+  m.add_transition("r_b", kBlank, "c_b", kBlank, Move::kLeft);
+  // Compare the last symbol (blank means odd pivot: accept).
+  m.add_transition("c_a", kBlank, "acc", kBlank, Move::kStay);
+  m.add_transition("c_a", 'a', "back", kBlank, Move::kLeft);
+  m.add_transition("c_b", kBlank, "acc", kBlank, Move::kStay);
+  m.add_transition("c_b", 'b', "back", kBlank, Move::kLeft);
+  // Rewind to the left end.
+  m.add_transition("back", 'a', "back", 'a', Move::kLeft);
+  m.add_transition("back", 'b', "back", 'b', Move::kLeft);
+  m.add_transition("back", kBlank, "q0", kBlank, Move::kRight);
+  return m;
+}
+
+bool is_palindrome(const std::string& w) {
+  return std::equal(w.begin(), w.begin() + static_cast<std::ptrdiff_t>(w.size() / 2),
+                    w.rbegin());
+}
+
+TuringMachine make_even_a_machine() {
+  TuringMachine m("even", "acc", "rej");
+  m.add_transition("even", 'a', "odd", 'a', Move::kRight);
+  m.add_transition("even", 'b', "even", 'b', Move::kRight);
+  m.add_transition("even", kBlank, "acc", kBlank, Move::kStay);
+  m.add_transition("odd", 'a', "even", 'a', Move::kRight);
+  m.add_transition("odd", 'b', "odd", 'b', Move::kRight);
+  m.add_transition("odd", kBlank, "rej", kBlank, Move::kStay);
+  return m;
+}
+
+bool has_even_a(const std::string& w) {
+  return std::count(w.begin(), w.end(), 'a') % 2 == 0;
+}
+
+TuringMachine make_dyck_machine() {
+  // a = '(' , b = ')'. Match each ')' with the nearest '(' on its left.
+  // Rejects the empty word (the paper-side CFG is the non-empty Dyck-1).
+  TuringMachine m("init", "acc", "rej");
+  m.add_transition("init", kBlank, "rej", kBlank, Move::kStay);
+  m.add_transition("init", 'a', "scan", 'a', Move::kStay);
+  m.add_transition("init", 'b', "rej", 'b', Move::kStay);
+  // scan: find the leftmost unmatched ')'.
+  m.add_transition("scan", 'a', "scan", 'a', Move::kRight);
+  m.add_transition("scan", 'X', "scan", 'X', Move::kRight);
+  m.add_transition("scan", 'Y', "scan", 'Y', Move::kRight);
+  m.add_transition("scan", 'b', "match", 'Y', Move::kLeft);
+  m.add_transition("scan", kBlank, "verify", kBlank, Move::kLeft);
+  // match: find the nearest '(' to the left.
+  m.add_transition("match", 'Y', "match", 'Y', Move::kLeft);
+  m.add_transition("match", 'X', "match", 'X', Move::kLeft);
+  m.add_transition("match", 'a', "scan", 'X', Move::kRight);
+  m.add_transition("match", kBlank, "rej", kBlank, Move::kStay);
+  // verify: no unmatched '(' may remain.
+  m.add_transition("verify", 'X', "verify", 'X', Move::kLeft);
+  m.add_transition("verify", 'Y', "verify", 'Y', Move::kLeft);
+  m.add_transition("verify", 'a', "rej", 'a', Move::kStay);
+  m.add_transition("verify", kBlank, "acc", kBlank, Move::kStay);
+  return m;
+}
+
+bool is_dyck(const std::string& w) {
+  if (w.empty()) return false;
+  int depth = 0;
+  for (char c : w) {
+    if (c == 'a') {
+      ++depth;
+    } else if (c == 'b') {
+      if (--depth < 0) return false;
+    } else {
+      return false;
+    }
+  }
+  return depth == 0;
+}
+
+bool is_ww(const std::string& w) {
+  if (w.size() % 2 != 0) return false;
+  const std::size_t n = w.size() / 2;
+  return std::equal(w.begin(), w.begin() + static_cast<std::ptrdiff_t>(n),
+                    w.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+bool is_unary_prime(const std::string& w) {
+  if (w.empty()) return false;
+  for (char c : w) {
+    if (c != 'a') return false;
+  }
+  const std::size_t n = w.size();
+  if (n < 2) return false;
+  for (std::size_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+std::vector<NamedLanguage> standard_language_suite() {
+  return {
+      {"anbn", "ab", is_anbn},
+      {"anbncn", "abc", is_anbncn},
+      {"palindrome", "ab", is_palindrome},
+      {"even_a", "ab", has_even_a},
+      {"dyck1", "ab", is_dyck},
+      {"ww", "ab", is_ww},
+      {"unary_prime", "a", is_unary_prime},
+  };
+}
+
+}  // namespace tvg::tm

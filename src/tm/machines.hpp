@@ -1,0 +1,54 @@
+// A library of concrete deciders for the Theorem 2.1 experiments.
+//
+// Each language comes in two forms: a hand-written deterministic Turing
+// machine (the "honest" computability witness) and a direct C++ oracle
+// (fast cross-check). Tests verify the two agree; the Theorem 2.1
+// construction can embed either into a presence function.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "tm/machine.hpp"
+
+namespace tvg::tm {
+
+/// {aⁿbⁿ : n >= 1} — context-free, not regular (the Figure 1 language).
+[[nodiscard]] TuringMachine make_anbn_machine();
+[[nodiscard]] bool is_anbn(const std::string& w);
+
+/// {aⁿbⁿcⁿ : n >= 1} — not even context-free.
+[[nodiscard]] TuringMachine make_anbncn_machine();
+[[nodiscard]] bool is_anbncn(const std::string& w);
+
+/// Palindromes over {a, b} (any length, ε included).
+[[nodiscard]] TuringMachine make_palindrome_machine();
+[[nodiscard]] bool is_palindrome(const std::string& w);
+
+/// Words over {a, b} with an even number of a's — regular (TVGs must of
+/// course express these too).
+[[nodiscard]] TuringMachine make_even_a_machine();
+[[nodiscard]] bool has_even_a(const std::string& w);
+
+/// Non-empty balanced strings with a = '(' and b = ')' (Dyck-1).
+[[nodiscard]] TuringMachine make_dyck_machine();
+[[nodiscard]] bool is_dyck(const std::string& w);
+
+/// {ww : w over {a,b}} — the copy language, context-sensitive.
+[[nodiscard]] bool is_ww(const std::string& w);
+
+/// {a^p : p prime} — unary primes, decidable, far outside context-free.
+[[nodiscard]] bool is_unary_prime(const std::string& w);
+
+/// A named decidable language: C++ oracle plus optional honest TM.
+struct NamedLanguage {
+  std::string name;
+  std::string alphabet;
+  std::function<bool(const std::string&)> oracle;
+};
+
+/// The standard benchmark suite of decidable languages used across the
+/// Theorem 2.1 / expressivity experiments.
+[[nodiscard]] std::vector<NamedLanguage> standard_language_suite();
+
+}  // namespace tvg::tm

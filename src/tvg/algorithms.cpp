@@ -1,0 +1,389 @@
+#include "tvg/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+namespace tvg {
+namespace {
+
+using ConfigRec = ForemostTree::ConfigRec;
+
+/// 64-bit key for a (node, time) configuration (time fits in 40+ bits for
+/// every horizon we explore; mix to avoid collisions anyway).
+[[nodiscard]] std::uint64_t config_key(NodeId v, Time t) noexcept {
+  std::uint64_t h = static_cast<std::uint64_t>(t);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
+  return h;
+}
+
+/// Enumerates admissible departure times for edge `e` when ready at `t`
+/// under `policy`, bounded by `horizon`, invoking `fn(dep)` for each.
+template <typename Fn>
+void for_each_departure(const Edge& e, Time t, Policy policy, Time horizon,
+                        Fn&& fn) {
+  switch (policy.kind) {
+    case WaitingPolicy::kNoWait: {
+      if (t <= horizon && e.present(t)) fn(t);
+      return;
+    }
+    case WaitingPolicy::kWait: {
+      // Only the earliest departure matters for foremost-style searches:
+      // any later presence yields a later-or-equal arrival for constant
+      // latency, but NOT for general latencies. We still enumerate just
+      // the earliest here; general-latency exactness is the business of
+      // the TvgAutomaton search (core/), which enumerates all departures.
+      if (auto dep = e.presence.next_present(t); dep && *dep <= horizon) {
+        fn(*dep);
+      }
+      return;
+    }
+    case WaitingPolicy::kBoundedWait: {
+      const Time last = std::min(policy.max_departure(t), horizon);
+      Time cursor = t;
+      while (cursor <= last) {
+        auto dep = e.presence.next_present(cursor);
+        if (!dep || *dep > last) return;
+        fn(*dep);
+        if (*dep == kTimeInfinity) return;
+        cursor = *dep + 1;
+      }
+      return;
+    }
+  }
+}
+
+struct SearchOutput {
+  std::vector<ConfigRec> configs;
+  std::vector<std::int64_t> best;  // per node
+  std::vector<Time> arrival;       // per node
+  bool truncated{false};
+  std::int64_t first_goal{-1};  // first config hitting `goal` (BFS only)
+};
+
+/// Dijkstra over (node, arrival) — exact for the Wait policy, where
+/// earlier arrivals dominate. `initial` are root configs.
+SearchOutput dijkstra_wait(const TimeVaryingGraph& g,
+                           std::vector<ConfigRec> initial,
+                           SearchLimits limits) {
+  SearchOutput out;
+  const std::size_t n = g.node_count();
+  out.arrival.assign(n, kTimeInfinity);
+  out.best.assign(n, -1);
+
+  using Item = std::pair<Time, std::int64_t>;  // (arrival, config index)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+
+  for (ConfigRec& c : initial) {
+    if (c.time > limits.horizon) continue;
+    if (c.time < out.arrival[c.node]) {
+      out.configs.push_back(c);
+      const auto idx = static_cast<std::int64_t>(out.configs.size()) - 1;
+      out.arrival[c.node] = c.time;
+      out.best[c.node] = idx;
+      pq.emplace(c.time, idx);
+    }
+  }
+
+  while (!pq.empty()) {
+    const auto [t, idx] = pq.top();
+    pq.pop();
+    const NodeId v = out.configs[static_cast<std::size_t>(idx)].node;
+    if (t != out.arrival[v]) continue;  // stale entry
+    if (out.configs.size() >= limits.max_configs) {
+      out.truncated = true;
+      break;
+    }
+    for (EdgeId eid : g.out_edges(v)) {
+      const Edge& e = g.edge(eid);
+      for_each_departure(e, t, Policy::wait(), limits.horizon, [&](Time dep) {
+        const Time arr = e.arrival(dep);
+        if (arr == kTimeInfinity || arr > limits.horizon) return;
+        if (arr < out.arrival[e.to]) {
+          out.configs.push_back(ConfigRec{e.to, arr, idx, eid, dep});
+          const auto nidx = static_cast<std::int64_t>(out.configs.size()) - 1;
+          out.arrival[e.to] = arr;
+          out.best[e.to] = nidx;
+          pq.emplace(arr, nidx);
+        }
+      });
+    }
+  }
+  return out;
+}
+
+/// Hop-ordered BFS over all (node, time) configurations — required for
+/// NoWait / BoundedWait where early arrivals do not dominate. If
+/// `goal` is set, records the first config reaching it (min hops).
+SearchOutput config_bfs(const TimeVaryingGraph& g,
+                        std::vector<ConfigRec> initial, Policy policy,
+                        SearchLimits limits,
+                        std::optional<NodeId> goal = std::nullopt) {
+  SearchOutput out;
+  const std::size_t n = g.node_count();
+  out.arrival.assign(n, kTimeInfinity);
+  out.best.assign(n, -1);
+
+  std::unordered_set<std::uint64_t> visited;
+  std::queue<std::int64_t> queue;
+
+  auto push = [&](ConfigRec c) -> bool {
+    if (c.time > limits.horizon || c.time == kTimeInfinity) return false;
+    if (!visited.insert(config_key(c.node, c.time)).second) return false;
+    out.configs.push_back(c);
+    const auto idx = static_cast<std::int64_t>(out.configs.size()) - 1;
+    if (c.time < out.arrival[c.node]) {
+      out.arrival[c.node] = c.time;
+      out.best[c.node] = idx;
+    }
+    if (goal && c.node == *goal && out.first_goal < 0) out.first_goal = idx;
+    queue.push(idx);
+    return true;
+  };
+
+  for (const ConfigRec& c : initial) push(c);
+
+  while (!queue.empty()) {
+    if (out.configs.size() >= limits.max_configs) {
+      out.truncated = true;
+      break;
+    }
+    const std::int64_t idx = queue.front();
+    queue.pop();
+    if (goal && out.first_goal >= 0) break;  // min-hop goal reached
+    const ConfigRec cur = out.configs[static_cast<std::size_t>(idx)];
+    for (EdgeId eid : g.out_edges(cur.node)) {
+      const Edge& e = g.edge(eid);
+      for_each_departure(e, cur.time, policy, limits.horizon, [&](Time dep) {
+        const Time arr = e.arrival(dep);
+        if (arr == kTimeInfinity || arr > limits.horizon) return;
+        push(ConfigRec{e.to, arr, idx, eid, dep});
+      });
+    }
+  }
+  return out;
+}
+
+SearchOutput run_search(const TimeVaryingGraph& g,
+                        std::vector<ConfigRec> initial, Policy policy,
+                        SearchLimits limits,
+                        std::optional<NodeId> goal = std::nullopt) {
+  if (policy.kind == WaitingPolicy::kWait && g.all_constant_latency()) {
+    // Dominance argument requires that departing later never arrives
+    // earlier, which constant latencies guarantee.
+    return dijkstra_wait(g, std::move(initial), limits);
+  }
+  if (policy.kind == WaitingPolicy::kWait) {
+    // General latencies under Wait: fall back to bounded enumeration by
+    // treating Wait as a very large bounded wait within the horizon.
+    Policy capped = Policy::bounded_wait(limits.horizon == kTimeInfinity
+                                             ? kTimeInfinity
+                                             : limits.horizon);
+    return config_bfs(g, std::move(initial), capped, limits, goal);
+  }
+  return config_bfs(g, std::move(initial), policy, limits, goal);
+}
+
+Journey journey_from_config(const std::vector<ConfigRec>& configs,
+                            std::int64_t idx, NodeId source,
+                            Time start_time) {
+  std::vector<JourneyLeg> legs;
+  for (std::int64_t i = idx; i >= 0; i = configs[static_cast<std::size_t>(i)].parent) {
+    const ConfigRec& c = configs[static_cast<std::size_t>(i)];
+    if (c.via != kInvalidEdge) legs.push_back(JourneyLeg{c.via, c.dep});
+  }
+  std::reverse(legs.begin(), legs.end());
+  return Journey{source, start_time, std::move(legs)};
+}
+
+}  // namespace
+
+std::optional<Journey> ForemostTree::journey_to(const TimeVaryingGraph& g,
+                                                NodeId target) const {
+  (void)g;
+  if (target >= best_config.size() || best_config[target] < 0)
+    return std::nullopt;
+  return journey_from_config(configs, best_config[target], source,
+                             start_time);
+}
+
+ForemostTree foremost_arrivals(const TimeVaryingGraph& g, NodeId source,
+                               Time start_time, Policy policy,
+                               SearchLimits limits) {
+  std::vector<ConfigRec> initial{
+      ConfigRec{source, start_time, -1, kInvalidEdge, 0}};
+  SearchOutput out = run_search(g, std::move(initial), policy, limits);
+  ForemostTree tree;
+  tree.source = source;
+  tree.start_time = start_time;
+  tree.arrival = std::move(out.arrival);
+  tree.truncated = out.truncated;
+  tree.configs = std::move(out.configs);
+  tree.best_config = std::move(out.best);
+  return tree;
+}
+
+std::optional<Journey> foremost_journey(const TimeVaryingGraph& g,
+                                        NodeId source, NodeId target,
+                                        Time start_time, Policy policy,
+                                        SearchLimits limits) {
+  return foremost_arrivals(g, source, start_time, policy, limits)
+      .journey_to(g, target);
+}
+
+std::optional<Journey> shortest_journey(const TimeVaryingGraph& g,
+                                        NodeId source, NodeId target,
+                                        Time start_time, Policy policy,
+                                        SearchLimits limits) {
+  if (source == target) return Journey{source, start_time, {}};
+  if (policy.kind == WaitingPolicy::kWait && g.all_constant_latency()) {
+    // Hop-layered DP: under Wait a min-hop journey never revisits a node,
+    // so |V| - 1 layers suffice; per layer, earlier arrival dominates.
+    const std::size_t n = g.node_count();
+    std::vector<Time> arr(n, kTimeInfinity);
+    std::vector<std::vector<ConfigRec>> layer_cfg(1);
+    std::vector<Time> cur = arr;
+    cur[source] = start_time;
+    std::vector<ConfigRec> parents;  // flattened witness forest
+    parents.push_back(ConfigRec{source, start_time, -1, kInvalidEdge, 0});
+    std::vector<std::int64_t> cfg_of(n, -1);
+    cfg_of[source] = 0;
+    for (std::size_t hop = 0; hop < n; ++hop) {
+      std::vector<Time> next(n, kTimeInfinity);
+      std::vector<std::int64_t> next_cfg(n, -1);
+      for (NodeId v = 0; v < n; ++v) {
+        if (cur[v] == kTimeInfinity) continue;
+        for (EdgeId eid : g.out_edges(v)) {
+          const Edge& e = g.edge(eid);
+          for_each_departure(e, cur[v], Policy::wait(), limits.horizon,
+                             [&](Time dep) {
+                               const Time a = e.arrival(dep);
+                               if (a == kTimeInfinity || a > limits.horizon)
+                                 return;
+                               if (a < next[e.to]) {
+                                 next[e.to] = a;
+                                 parents.push_back(ConfigRec{
+                                     e.to, a, cfg_of[v], eid, dep});
+                                 next_cfg[e.to] = static_cast<std::int64_t>(
+                                                      parents.size()) -
+                                                  1;
+                               }
+                             });
+        }
+      }
+      if (next[target] != kTimeInfinity) {
+        return journey_from_config(parents, next_cfg[target], source,
+                                   start_time);
+      }
+      cur = std::move(next);
+      cfg_of = std::move(next_cfg);
+      if (std::all_of(cur.begin(), cur.end(),
+                      [](Time t) { return t == kTimeInfinity; })) {
+        break;
+      }
+    }
+    return std::nullopt;
+  }
+  std::vector<ConfigRec> initial{
+      ConfigRec{source, start_time, -1, kInvalidEdge, 0}};
+  SearchOutput out = run_search(g, std::move(initial), policy, limits, target);
+  if (out.first_goal < 0) return std::nullopt;
+  return journey_from_config(out.configs, out.first_goal, source, start_time);
+}
+
+std::optional<Journey> fastest_journey(const TimeVaryingGraph& g,
+                                       NodeId source, NodeId target,
+                                       Time depart_lo, Time depart_hi,
+                                       Policy policy, SearchLimits limits) {
+  if (source == target) return Journey{source, depart_lo, {}};
+  // Candidate first departures: presence events of source out-edges.
+  std::vector<Time> candidates;
+  constexpr std::size_t kMaxCandidates = 4096;
+  for (EdgeId eid : g.out_edges(source)) {
+    const Edge& e = g.edge(eid);
+    Time cursor = depart_lo;
+    while (cursor <= depart_hi && candidates.size() < kMaxCandidates) {
+      auto dep = e.presence.next_present(cursor);
+      if (!dep || *dep > depart_hi) break;
+      candidates.push_back(*dep);
+      if (*dep == kTimeInfinity) break;
+      cursor = *dep + 1;
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::optional<Journey> best;
+  Time best_duration = kTimeInfinity;
+  for (Time s : candidates) {
+    std::vector<ConfigRec> roots{ConfigRec{source, s, -1, kInvalidEdge, 0}};
+    SearchOutput out = run_search(g, std::move(roots), policy, limits);
+    if (out.best[target] < 0) continue;
+    Journey j = journey_from_config(out.configs, out.best[target], source, s);
+    if (j.legs.empty()) continue;
+    // If the search waited at the source past s, the same journey is found
+    // (with its true duration) under the later candidate equal to its
+    // actual first departure; skip it here.
+    if (j.legs.front().departure != s) continue;
+    const Time duration = j.duration(g);
+    if (duration < best_duration) {
+      best_duration = duration;
+      best = std::move(j);
+    }
+  }
+  return best;
+}
+
+std::vector<bool> reachable_set(const TimeVaryingGraph& g, NodeId source,
+                                Time start_time, Policy policy,
+                                SearchLimits limits) {
+  const ForemostTree tree =
+      foremost_arrivals(g, source, start_time, policy, limits);
+  std::vector<bool> reach(g.node_count(), false);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    reach[v] = tree.arrival[v] != kTimeInfinity;
+  }
+  return reach;
+}
+
+std::vector<std::vector<Time>> temporal_closure(const TimeVaryingGraph& g,
+                                                Time start_time, Policy policy,
+                                                SearchLimits limits) {
+  std::vector<std::vector<Time>> closure;
+  closure.reserve(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    closure.push_back(
+        foremost_arrivals(g, u, start_time, policy, limits).arrival);
+  }
+  return closure;
+}
+
+bool temporally_connected(const TimeVaryingGraph& g, Time start_time,
+                          Policy policy, SearchLimits limits) {
+  const auto closure = temporal_closure(g, start_time, policy, limits);
+  for (const auto& row : closure) {
+    for (Time t : row) {
+      if (t == kTimeInfinity) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Time> temporal_diameter(const TimeVaryingGraph& g,
+                                      Time start_time, Policy policy,
+                                      SearchLimits limits) {
+  const auto closure = temporal_closure(g, start_time, policy, limits);
+  Time diameter = 0;
+  for (const auto& row : closure) {
+    for (Time t : row) {
+      if (t == kTimeInfinity) return std::nullopt;
+      diameter = std::max(diameter, t - start_time);
+    }
+  }
+  return diameter;
+}
+
+}  // namespace tvg

@@ -1,0 +1,120 @@
+// Temporal reachability and journey optimization over time-varying graphs.
+//
+// This is the algorithmic substrate of the TVG framework the paper builds
+// on (its reference [1], Casteigts-Flocchini-Quattrociocchi-Santoro): the
+// three classic notions of optimal journey —
+//   * foremost  : earliest arrival,
+//   * shortest  : fewest hops,
+//   * fastest   : smallest (arrival − departure) duration —
+// plus temporal reachability / connectivity / diameter, each under a
+// waiting policy.
+//
+// A key structural fact drives the implementations: with unbounded
+// waiting, "arriving earlier" dominates (an earlier arrival can imitate
+// any later one by waiting), so foremost arrival admits a Dijkstra-style
+// monotone relaxation. Under NoWait and BoundedWait(d) this dominance
+// FAILS — arriving later can enable departures an early arrival cannot
+// reach — so reachability must track the full set of (node, time)
+// configurations. That asymmetry is the algorithmic shadow of the paper's
+// expressivity gap, and bench_journeys measures it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tvg/graph.hpp"
+#include "tvg/journey.hpp"
+#include "tvg/policy.hpp"
+
+namespace tvg {
+
+/// Common knobs for reachability searches.
+struct SearchLimits {
+  Time horizon{kTimeInfinity};       // ignore departures/arrivals beyond
+  std::size_t max_configs{1 << 20};  // cap on explored (node,time) configs
+
+  [[nodiscard]] static SearchLimits up_to(Time horizon) {
+    return SearchLimits{horizon, 1 << 20};
+  }
+};
+
+/// Result of a single-source foremost computation, with enough witness
+/// structure to reconstruct an optimal journey to any node.
+struct ForemostTree {
+  NodeId source{kInvalidNode};
+  Time start_time{0};
+  /// arrival[v] = earliest arrival at v (kTimeInfinity if unreachable).
+  std::vector<Time> arrival;
+  /// True if the config cap truncated the search (arrivals are then an
+  /// upper bound / reachability a lower bound).
+  bool truncated{false};
+
+  /// Explored configurations, as a parent forest.
+  struct ConfigRec {
+    NodeId node{kInvalidNode};
+    Time time{0};
+    std::int64_t parent{-1};   // index into configs, -1 for roots
+    EdgeId via{kInvalidEdge};  // edge crossed to reach this config
+    Time dep{0};               // its departure time
+  };
+  std::vector<ConfigRec> configs;
+  /// Per node: index of the earliest-arrival config (-1 if unreachable).
+  std::vector<std::int64_t> best_config;
+
+  /// Reconstructs the foremost journey to `target`, if reachable.
+  [[nodiscard]] std::optional<Journey> journey_to(const TimeVaryingGraph& g,
+                                                  NodeId target) const;
+};
+
+/// Single-source earliest-arrival under `policy`, departing `source` at
+/// `start_time`. Exact under Wait (Dijkstra over monotone arrivals);
+/// exact-up-to-horizon under NoWait / BoundedWait (configuration BFS).
+[[nodiscard]] ForemostTree foremost_arrivals(const TimeVaryingGraph& g,
+                                             NodeId source, Time start_time,
+                                             Policy policy,
+                                             SearchLimits limits = {});
+
+/// The foremost journey source -> target, if any.
+[[nodiscard]] std::optional<Journey> foremost_journey(
+    const TimeVaryingGraph& g, NodeId source, NodeId target, Time start_time,
+    Policy policy, SearchLimits limits = {});
+
+/// Minimum-hop journey source -> target under `policy`.
+[[nodiscard]] std::optional<Journey> shortest_journey(
+    const TimeVaryingGraph& g, NodeId source, NodeId target, Time start_time,
+    Policy policy, SearchLimits limits = {});
+
+/// Minimum-duration (fastest) journey source -> target whose first edge
+/// departs in [depart_lo, depart_hi], under `policy`. Scans candidate
+/// first departures (presence events of source out-edges) and minimizes
+/// arrival − departure.
+[[nodiscard]] std::optional<Journey> fastest_journey(
+    const TimeVaryingGraph& g, NodeId source, NodeId target, Time depart_lo,
+    Time depart_hi, Policy policy, SearchLimits limits = {});
+
+/// Nodes reachable from `source` (including itself).
+[[nodiscard]] std::vector<bool> reachable_set(const TimeVaryingGraph& g,
+                                              NodeId source, Time start_time,
+                                              Policy policy,
+                                              SearchLimits limits = {});
+
+/// All-pairs earliest arrivals: closure[u][v].
+[[nodiscard]] std::vector<std::vector<Time>> temporal_closure(
+    const TimeVaryingGraph& g, Time start_time, Policy policy,
+    SearchLimits limits = {});
+
+/// True iff every ordered pair (u, v) is connected by a feasible journey
+/// starting at `start_time` (the class "temporally connected" of [1]).
+[[nodiscard]] bool temporally_connected(const TimeVaryingGraph& g,
+                                        Time start_time, Policy policy,
+                                        SearchLimits limits = {});
+
+/// max over ordered pairs of (foremost arrival − start_time);
+/// nullopt if some pair is unreachable.
+[[nodiscard]] std::optional<Time> temporal_diameter(const TimeVaryingGraph& g,
+                                                    Time start_time,
+                                                    Policy policy,
+                                                    SearchLimits limits = {});
+
+}  // namespace tvg

@@ -1,0 +1,54 @@
+// TVG connectivity classes, following the framework paper the PODC brief
+// builds on (its reference [1]): recurrence of edges and the hierarchy of
+// temporal-connectivity classes. The paper's dichotomy lives here too:
+// whether waiting is allowed changes which class a deployment needs.
+#pragma once
+
+#include <optional>
+
+#include "tvg/graph.hpp"
+#include "tvg/policy.hpp"
+
+namespace tvg {
+
+/// Is the edge present infinitely often? Exact for semi-periodic
+/// presences (recurrent iff the periodic tail is non-empty); predicates
+/// are probed up to `probe_horizon` and reported conservatively.
+[[nodiscard]] bool edge_is_recurrent(const Edge& e,
+                                     Time probe_horizon = 1 << 16);
+
+/// The largest gap between consecutive presences of a recurrent
+/// semi-periodic edge (nullopt if not recurrent or not semi-periodic).
+/// Bounded-recurrent ("class B" in [1]) means this is finite — which for
+/// semi-periodic schedules it always is.
+[[nodiscard]] std::optional<Time> edge_max_gap(const Edge& e);
+
+/// All edges recurrent (the "recurrent TVG" class ER of [1]).
+[[nodiscard]] bool all_edges_recurrent(const TimeVaryingGraph& g,
+                                       Time probe_horizon = 1 << 16);
+
+/// The recurrence bound of the whole graph: max over edges of
+/// edge_max_gap (nullopt if some edge is not boundedly recurrent).
+[[nodiscard]] std::optional<Time> recurrence_bound(const TimeVaryingGraph& g);
+
+/// Temporal connectivity from EVERY start instant (class TCR of [1]).
+/// Exact for semi-periodic graphs with constant latencies: checking the
+/// first T + P start instants covers all behaviours.
+[[nodiscard]] bool recurrently_connected(const TimeVaryingGraph& g,
+                                         Policy policy,
+                                         std::size_t max_configs = 1 << 20);
+
+/// Summary of where a graph sits in the class hierarchy.
+struct TvgClassReport {
+  bool edge_recurrent{false};
+  std::optional<Time> recurrence_bound;  // finite => bounded-recurrent
+  bool temporally_connected_from_0{false};
+  bool recurrently_connected{false};
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] TvgClassReport classify(const TimeVaryingGraph& g,
+                                      Policy policy);
+
+}  // namespace tvg

@@ -1,0 +1,119 @@
+#include "tvg/composition.hpp"
+
+#include <stdexcept>
+
+namespace tvg {
+
+std::pair<TimeVaryingGraph, NodeId> disjoint_union(const TimeVaryingGraph& a,
+                                                   const TimeVaryingGraph& b) {
+  TimeVaryingGraph out;
+  for (NodeId v = 0; v < a.node_count(); ++v) {
+    out.add_node("a." + a.node_name(v));
+  }
+  const NodeId offset = static_cast<NodeId>(a.node_count());
+  for (NodeId v = 0; v < b.node_count(); ++v) {
+    out.add_node("b." + b.node_name(v));
+  }
+  for (EdgeId e = 0; e < a.edge_count(); ++e) {
+    const Edge& ed = a.edge(e);
+    out.add_edge(ed.from, ed.to, ed.label, ed.presence, ed.latency, ed.name);
+  }
+  for (EdgeId e = 0; e < b.edge_count(); ++e) {
+    const Edge& ed = b.edge(e);
+    out.add_edge(ed.from + offset, ed.to + offset, ed.label, ed.presence,
+                 ed.latency, ed.name);
+  }
+  return {std::move(out), offset};
+}
+
+TimeVaryingGraph relabeled(const TimeVaryingGraph& g,
+                           const std::map<Symbol, Symbol>& mapping) {
+  TimeVaryingGraph out;
+  for (NodeId v = 0; v < g.node_count(); ++v) out.add_node(g.node_name(v));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& ed = g.edge(e);
+    const auto it = mapping.find(ed.label);
+    const Symbol label = it == mapping.end() ? ed.label : it->second;
+    out.add_edge(ed.from, ed.to, label, ed.presence, ed.latency, ed.name);
+  }
+  return out;
+}
+
+TimeVaryingGraph restricted_to_window(const TimeVaryingGraph& g, Time lo,
+                                      Time hi) {
+  TimeVaryingGraph out;
+  for (NodeId v = 0; v < g.node_count(); ++v) out.add_node(g.node_name(v));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& ed = g.edge(e);
+    Presence windowed = ed.presence;
+    if (ed.presence.is_semi_periodic()) {
+      // Materialize the window as a finite interval set (exact).
+      IntervalSet instants;
+      Time cursor = lo;
+      while (cursor < hi) {
+        const auto next = ed.presence.next_present(cursor);
+        if (!next || *next >= hi) break;
+        instants.insert_point(*next);
+        cursor = *next + 1;
+      }
+      windowed = Presence::intervals(std::move(instants));
+    } else {
+      const Presence original = ed.presence;
+      windowed = Presence::predicate(
+          [original, lo, hi](Time t) {
+            return t >= lo && t < hi && original.present(t);
+          },
+          ed.presence.to_string() + "&[" + std::to_string(lo) + "," +
+              std::to_string(hi) + ")");
+    }
+    out.add_edge(ed.from, ed.to, ed.label, std::move(windowed), ed.latency,
+                 ed.name);
+  }
+  return out;
+}
+
+TimeVaryingGraph time_shifted(const TimeVaryingGraph& g, Time delta) {
+  if (delta < 0) throw std::invalid_argument("time_shifted: delta < 0");
+  if (!g.all_constant_latency()) {
+    throw std::invalid_argument(
+        "time_shifted: requires constant latencies");
+  }
+  TimeVaryingGraph out;
+  for (NodeId v = 0; v < g.node_count(); ++v) out.add_node(g.node_name(v));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& ed = g.edge(e);
+    Presence shifted = ed.presence;
+    if (ed.presence.is_semi_periodic()) {
+      // Initial segment moves to [delta, T0+delta). The tail reference
+      // moves with it (T0' = T0 + delta), so for t >= T0':
+      // (t - T0') mod P == ((t - delta) - T0) mod P and the pattern
+      // carries over unrotated.
+      shifted = Presence::semi_periodic(
+          sat_add(ed.presence.initial_length(), delta),
+          ed.presence.initial().shifted(delta), ed.presence.period(),
+          ed.presence.pattern());
+    } else {
+      const Presence original = ed.presence;
+      shifted = Presence::predicate(
+          [original, delta](Time t) {
+            return t >= delta && original.present(t - delta);
+          },
+          ed.presence.to_string() + "+" + std::to_string(delta));
+    }
+    out.add_edge(ed.from, ed.to, ed.label, std::move(shifted), ed.latency,
+                 ed.name);
+  }
+  return out;
+}
+
+TimeVaryingGraph edge_reversed(const TimeVaryingGraph& g) {
+  TimeVaryingGraph out;
+  for (NodeId v = 0; v < g.node_count(); ++v) out.add_node(g.node_name(v));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& ed = g.edge(e);
+    out.add_edge(ed.to, ed.from, ed.label, ed.presence, ed.latency, ed.name);
+  }
+  return out;
+}
+
+}  // namespace tvg

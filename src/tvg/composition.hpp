@@ -1,0 +1,44 @@
+// Structural operations on time-varying graphs: disjoint union,
+// relabeling, time-window restriction and time shifting. These are the
+// building blocks the experiments use to assemble adversarial schedules
+// from simple pieces.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "tvg/graph.hpp"
+
+namespace tvg {
+
+/// Disjoint union: nodes of `b` are appended after those of `a`.
+/// Returns the offset added to b's node ids.
+[[nodiscard]] std::pair<TimeVaryingGraph, NodeId> disjoint_union(
+    const TimeVaryingGraph& a, const TimeVaryingGraph& b);
+
+/// Replaces edge labels via `mapping` (labels absent from the map are
+/// kept unchanged).
+[[nodiscard]] TimeVaryingGraph relabeled(const TimeVaryingGraph& g,
+                                         const std::map<Symbol, Symbol>&
+                                             mapping);
+
+/// Restricts every presence to the window [lo, hi) (the graph "exists"
+/// only during that window). Exact for semi-periodic presences; for
+/// predicates the window test wraps the original ρ.
+[[nodiscard]] TimeVaryingGraph restricted_to_window(const TimeVaryingGraph& g,
+                                                    Time lo, Time hi);
+
+/// Shifts the whole schedule `delta >= 0` into the future: the shifted
+/// edge is present at t iff the original is present at t − delta.
+/// Requires constant latencies (a time-shifted affine latency would need
+/// to evaluate at negative times); throws std::invalid_argument
+/// otherwise.
+[[nodiscard]] TimeVaryingGraph time_shifted(const TimeVaryingGraph& g,
+                                            Time delta);
+
+/// Reverses every edge (journeys of the result are reversed walks of the
+/// original; note journey TIMES do not reverse — this is the structural
+/// reverse used to build co-reachability experiments).
+[[nodiscard]] TimeVaryingGraph edge_reversed(const TimeVaryingGraph& g);
+
+}  // namespace tvg

@@ -1,0 +1,127 @@
+#include "tvg/contact_trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace tvg {
+
+std::vector<Contact> extract_contacts(const TimeVaryingGraph& g,
+                                      Time horizon) {
+  std::vector<Contact> contacts;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& ed = g.edge(e);
+    Time cursor = 0;
+    while (cursor < horizon) {
+      const auto start = ed.presence.next_present(cursor);
+      if (!start || *start >= horizon) break;
+      Time end = *start + 1;
+      while (end < horizon && ed.presence.present(end)) ++end;
+      contacts.push_back(Contact{ed.from, ed.to, *start, end});
+      cursor = end + 1;
+    }
+  }
+  std::sort(contacts.begin(), contacts.end(),
+            [](const Contact& a, const Contact& b) {
+              return std::tie(a.start, a.from, a.to, a.end) <
+                     std::tie(b.start, b.from, b.to, b.end);
+            });
+  return contacts;
+}
+
+TimeVaryingGraph graph_from_contacts(const std::vector<Contact>& contacts,
+                                     std::size_t node_count, Symbol label,
+                                     Time latency) {
+  TimeVaryingGraph g;
+  g.add_nodes(node_count);
+  std::map<std::pair<NodeId, NodeId>, IntervalSet> windows;
+  for (const Contact& c : contacts) {
+    if (c.from >= node_count || c.to >= node_count) {
+      throw std::invalid_argument(
+          "graph_from_contacts: contact references unknown node");
+    }
+    if (c.end <= c.start) {
+      throw std::invalid_argument("graph_from_contacts: empty contact");
+    }
+    windows[{c.from, c.to}].insert({c.start, c.end});
+  }
+  for (auto& [pair, set] : windows) {
+    g.add_edge(pair.first, pair.second, label,
+               Presence::intervals(std::move(set)),
+               Latency::constant(latency));
+  }
+  return g;
+}
+
+std::string contacts_to_text(const std::vector<Contact>& contacts) {
+  std::ostringstream os;
+  os << "# contact trace: from to start end (half-open)\n";
+  for (const Contact& c : contacts) {
+    os << c.from << " " << c.to << " " << c.start << " " << c.end << "\n";
+  }
+  return os.str();
+}
+
+std::vector<Contact> contacts_from_text(const std::string& text) {
+  std::vector<Contact> contacts;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    Contact c;
+    long long from = 0;
+    long long to = 0;
+    if (!(ls >> from)) continue;  // blank line
+    if (!(ls >> to >> c.start >> c.end) || from < 0 || to < 0) {
+      throw std::invalid_argument("contacts_from_text: line " +
+                                  std::to_string(line_no) + ": malformed");
+    }
+    c.from = static_cast<NodeId>(from);
+    c.to = static_cast<NodeId>(to);
+    std::string extra;
+    if (ls >> extra) {
+      throw std::invalid_argument("contacts_from_text: line " +
+                                  std::to_string(line_no) +
+                                  ": trailing tokens");
+    }
+    contacts.push_back(c);
+  }
+  return contacts;
+}
+
+TraceStats trace_stats(const std::vector<Contact>& contacts) {
+  TraceStats stats;
+  stats.contact_count = contacts.size();
+  if (contacts.empty()) return stats;
+  Time first_start = kTimeInfinity;
+  Time last_end = 0;
+  std::vector<std::pair<Time, Time>> spans;
+  spans.reserve(contacts.size());
+  for (const Contact& c : contacts) {
+    stats.total_contact_time += c.end - c.start;
+    first_start = std::min(first_start, c.start);
+    last_end = std::max(last_end, c.end);
+    spans.emplace_back(c.start, c.end);
+  }
+  stats.mean_contact_duration =
+      stats.total_contact_time / static_cast<Time>(contacts.size());
+  stats.span = last_end - first_start;
+  // Max gap on the merged global timeline.
+  std::sort(spans.begin(), spans.end());
+  Time covered_until = spans.front().second;
+  for (const auto& [start, end] : spans) {
+    if (start > covered_until) {
+      stats.max_gap_between_contacts =
+          std::max(stats.max_gap_between_contacts, start - covered_until);
+    }
+    covered_until = std::max(covered_until, end);
+  }
+  return stats;
+}
+
+}  // namespace tvg

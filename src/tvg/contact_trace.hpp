@@ -1,0 +1,55 @@
+// Contact traces: the exchange format of the DTN / opportunistic-network
+// community (one line per contact: "u v t_start t_end"). Real mobility
+// datasets (the paper's motivating MANET scenarios) ship in this shape;
+// importing one yields a TimeVaryingGraph with interval presences, and
+// any interval-presence TVG exports losslessly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tvg/graph.hpp"
+
+namespace tvg {
+
+/// One contact: a maximal presence window of a (directed) link.
+struct Contact {
+  NodeId from{kInvalidNode};
+  NodeId to{kInvalidNode};
+  Time start{0};
+  Time end{0};  // half-open [start, end)
+
+  friend bool operator==(const Contact&, const Contact&) = default;
+};
+
+/// Extracts all contacts within [0, horizon), sorted by (start, from, to).
+/// Exact for semi-periodic presences (periodic tails unroll up to the
+/// horizon).
+[[nodiscard]] std::vector<Contact> extract_contacts(
+    const TimeVaryingGraph& g, Time horizon);
+
+/// Builds a TVG from contacts. Contacts of the same (from, to) pair merge
+/// into one edge whose presence is the union of the windows; all edges
+/// get `label` and constant `latency`.
+[[nodiscard]] TimeVaryingGraph graph_from_contacts(
+    const std::vector<Contact>& contacts, std::size_t node_count,
+    Symbol label = 'c', Time latency = 1);
+
+/// Text round-trip: "u v start end" per line, '#' comments allowed.
+[[nodiscard]] std::string contacts_to_text(const std::vector<Contact>&
+                                               contacts);
+[[nodiscard]] std::vector<Contact> contacts_from_text(const std::string&
+                                                          text);
+
+/// Summary statistics of a trace (the usual first table of a DTN paper).
+struct TraceStats {
+  std::size_t contact_count{0};
+  Time total_contact_time{0};
+  Time mean_contact_duration{0};
+  Time max_gap_between_contacts{0};  // over the global contact timeline
+  Time span{0};                      // last end − first start
+};
+
+[[nodiscard]] TraceStats trace_stats(const std::vector<Contact>& contacts);
+
+}  // namespace tvg

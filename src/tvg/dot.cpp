@@ -1,0 +1,54 @@
+#include "tvg/dot.hpp"
+
+#include <sstream>
+
+namespace tvg {
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const TimeVaryingGraph& g, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph " << options.graph_name << " {\n";
+  os << "  rankdir=LR;\n";
+  if (!options.start_node.empty()) {
+    os << "  __start [shape=point];\n";
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::string& name = g.node_name(v);
+    os << "  \"" << escape(name) << "\"";
+    if (name == options.highlight_node) {
+      os << " [shape=doublecircle]";
+    } else {
+      os << " [shape=circle]";
+    }
+    os << ";\n";
+  }
+  if (!options.start_node.empty()) {
+    os << "  __start -> \"" << escape(options.start_node) << "\";\n";
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& ed = g.edge(e);
+    os << "  \"" << escape(g.node_name(ed.from)) << "\" -> \""
+       << escape(g.node_name(ed.to)) << "\" [label=\"" << ed.label;
+    if (options.show_schedules) {
+      os << "\\nρ: " << escape(ed.presence.to_string())
+         << "\\nζ: " << escape(ed.latency.to_string());
+    }
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace tvg

@@ -1,0 +1,23 @@
+// Graphviz (DOT) export for time-varying graphs, annotated with the
+// presence/latency schedules — handy for inspecting constructions such as
+// the paper's Figure 1.
+#pragma once
+
+#include <string>
+
+#include "tvg/graph.hpp"
+
+namespace tvg {
+
+struct DotOptions {
+  bool show_schedules{true};        // annotate ρ / ζ on edge labels
+  std::string highlight_node;       // drawn doubly-circled (accepting)
+  std::string start_node;           // drawn with an incoming arrow
+  std::string graph_name{"tvg"};
+};
+
+/// Renders the TVG as a DOT digraph.
+[[nodiscard]] std::string to_dot(const TimeVaryingGraph& g,
+                                 const DotOptions& options = {});
+
+}  // namespace tvg

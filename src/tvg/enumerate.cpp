@@ -1,0 +1,66 @@
+#include "tvg/enumerate.hpp"
+
+#include <queue>
+
+namespace tvg {
+
+std::vector<Journey> enumerate_journeys(const TimeVaryingGraph& g,
+                                        NodeId source, Time start_time,
+                                        Policy policy,
+                                        const EnumerateOptions& options) {
+  std::vector<Journey> result;
+  std::queue<Journey> frontier;
+  frontier.push(Journey{source, start_time, {}});
+
+  while (!frontier.empty() && result.size() < options.max_journeys) {
+    Journey current = std::move(frontier.front());
+    frontier.pop();
+    result.push_back(current);
+    if (current.hops() >= options.max_hops) continue;
+
+    const NodeId at = current.end_node(g);
+    const Time ready = current.arrival(g);
+    for (EdgeId eid : g.out_edges(at)) {
+      const Edge& e = g.edge(eid);
+      auto extend = [&](Time dep) {
+        const Time arr = e.arrival(dep);
+        if (arr == kTimeInfinity || arr > options.horizon) return;
+        Journey next = current;
+        next.legs.push_back(JourneyLeg{eid, dep});
+        frontier.push(std::move(next));
+      };
+      switch (policy.kind) {
+        case WaitingPolicy::kNoWait:
+          if (e.present(ready)) extend(ready);
+          break;
+        case WaitingPolicy::kBoundedWait: {
+          const Time last =
+              std::min(policy.max_departure(ready), options.horizon);
+          Time cursor = ready;
+          while (cursor <= last) {
+            const auto dep = e.presence.next_present(cursor);
+            if (!dep || *dep > last) break;
+            extend(*dep);
+            if (*dep == kTimeInfinity) break;
+            cursor = *dep + 1;
+          }
+          break;
+        }
+        case WaitingPolicy::kWait: {
+          Time cursor = ready;
+          for (std::size_t k = 0; k < options.departures_per_edge; ++k) {
+            const auto dep = e.presence.next_present(cursor);
+            if (!dep || *dep > options.horizon) break;
+            extend(*dep);
+            if (*dep == kTimeInfinity) break;
+            cursor = *dep + 1;
+          }
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tvg

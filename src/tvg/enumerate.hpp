@@ -1,0 +1,31 @@
+// Exhaustive journey enumeration: every feasible journey from a source
+// under a policy, up to a hop bound. Exponential by nature — this is the
+// debugging / cross-validation tool (the acceptance search and the
+// journey optimizers are checked against it on small graphs), not the
+// fast path.
+#pragma once
+
+#include <vector>
+
+#include "tvg/algorithms.hpp"
+#include "tvg/journey.hpp"
+
+namespace tvg {
+
+struct EnumerateOptions {
+  std::size_t max_hops{4};
+  Time horizon{kTimeInfinity};
+  /// Departures tried per edge per step under Wait (the enumeration is
+  /// otherwise infinite); exact when presence events within the horizon
+  /// are fewer.
+  std::size_t departures_per_edge{8};
+  std::size_t max_journeys{100000};
+};
+
+/// All feasible journeys (including the empty one) starting at
+/// (source, start_time) under `policy`, in non-decreasing hop order.
+[[nodiscard]] std::vector<Journey> enumerate_journeys(
+    const TimeVaryingGraph& g, NodeId source, Time start_time, Policy policy,
+    const EnumerateOptions& options = {});
+
+}  // namespace tvg

@@ -1,0 +1,109 @@
+#include "tvg/generators.hpp"
+
+#include <random>
+
+namespace tvg {
+namespace {
+
+Symbol pick_symbol(const std::string& alphabet, std::mt19937_64& rng) {
+  std::uniform_int_distribution<std::size_t> dist(0, alphabet.size() - 1);
+  return alphabet[dist(rng)];
+}
+
+Time pick_latency(Time max_latency, std::mt19937_64& rng) {
+  if (max_latency <= 1) return 1;
+  std::uniform_int_distribution<Time> dist(1, max_latency);
+  return dist(rng);
+}
+
+}  // namespace
+
+TimeVaryingGraph make_edge_markovian(const EdgeMarkovianParams& params) {
+  TimeVaryingGraph g;
+  g.add_nodes(params.nodes);
+  std::mt19937_64 rng(params.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  for (NodeId u = 0; u < params.nodes; ++u) {
+    for (NodeId v = params.directed ? 0 : u + 1; v < params.nodes; ++v) {
+      if (u == v) continue;
+      // Simulate the two-state Markov chain over [0, horizon).
+      IntervalSet schedule;
+      bool on = coin(rng) < params.initial_on;
+      Time window_start = 0;
+      for (Time t = 1; t <= params.horizon; ++t) {
+        const bool next_on =
+            t == params.horizon
+                ? false  // close any open window at the horizon
+                : (on ? coin(rng) >= params.p_death
+                      : coin(rng) < params.p_birth);
+        if (on && !next_on) schedule.insert({window_start, t});
+        if (!on && next_on) window_start = t;
+        on = next_on;
+      }
+      if (schedule.empty()) continue;
+      const Symbol label = pick_symbol(params.alphabet, rng);
+      const Time lat = pick_latency(params.max_latency, rng);
+      g.add_edge(u, v, label, Presence::intervals(schedule),
+                 Latency::constant(lat));
+      if (!params.directed) {
+        g.add_edge(v, u, label, Presence::intervals(schedule),
+                   Latency::constant(lat));
+      }
+    }
+  }
+  return g;
+}
+
+TimeVaryingGraph make_random_periodic(const RandomPeriodicParams& params) {
+  TimeVaryingGraph g;
+  g.add_nodes(params.nodes);
+  std::mt19937_64 rng(params.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<NodeId> node_dist(
+      0, static_cast<NodeId>(params.nodes - 1));
+
+  for (std::size_t i = 0; i < params.edges; ++i) {
+    NodeId u = node_dist(rng);
+    NodeId v = node_dist(rng);
+    if (!params.allow_self_loops && u == v) {
+      v = (v + 1) % static_cast<NodeId>(params.nodes);
+      if (u == v) continue;
+    }
+    IntervalSet pattern;
+    for (Time r = 0; r < params.period; ++r) {
+      if (coin(rng) < params.density) pattern.insert_point(r);
+    }
+    if (pattern.empty()) pattern.insert_point(0);  // keep the edge alive
+    g.add_edge(u, v, pick_symbol(params.alphabet, rng),
+               Presence::periodic(params.period, pattern),
+               Latency::constant(pick_latency(params.max_latency, rng)));
+  }
+  return g;
+}
+
+TimeVaryingGraph make_random_scheduled(const RandomScheduledParams& params) {
+  TimeVaryingGraph g;
+  g.add_nodes(params.nodes);
+  std::mt19937_64 rng(params.seed);
+  std::uniform_int_distribution<NodeId> node_dist(
+      0, static_cast<NodeId>(params.nodes - 1));
+  std::uniform_int_distribution<Time> start_dist(0, params.horizon - 1);
+  std::uniform_int_distribution<Time> len_dist(1, params.max_window);
+
+  for (std::size_t i = 0; i < params.edges; ++i) {
+    const NodeId u = node_dist(rng);
+    const NodeId v = node_dist(rng);
+    IntervalSet schedule;
+    for (std::size_t w = 0; w < params.windows_per_edge; ++w) {
+      const Time lo = start_dist(rng);
+      schedule.insert({lo, std::min(lo + len_dist(rng), params.horizon)});
+    }
+    g.add_edge(u, v, pick_symbol(params.alphabet, rng),
+               Presence::intervals(schedule),
+               Latency::constant(pick_latency(params.max_latency, rng)));
+  }
+  return g;
+}
+
+}  // namespace tvg

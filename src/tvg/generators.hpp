@@ -1,0 +1,69 @@
+// Random time-varying graph generators: the workload side of the
+// benchmark harness (bench_journeys, bench_thm22/23 property sweeps).
+//
+// Three families, matching the schedules the dynamic-network literature
+// simulates:
+//  * edge-Markovian  — each node pair flips on/off with birth/death
+//    probabilities per step (the standard model for highly dynamic
+//    MANET-like topologies); produces finite interval schedules.
+//  * random periodic — each edge carries a random pattern repeating with
+//    period P (satellite/bus-schedule-like); stays in the decidable
+//    semi-periodic fragment, so the TVG->NFA pipeline applies.
+//  * random scheduled — a fixed number of presence windows per edge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tvg/graph.hpp"
+
+namespace tvg {
+
+struct EdgeMarkovianParams {
+  std::size_t nodes{16};
+  double initial_on{0.2};   // P(edge present at t=0)
+  double p_birth{0.05};     // P(off -> on) per step
+  double p_death{0.2};      // P(on -> off) per step
+  Time horizon{128};        // schedule generated over [0, horizon)
+  Time max_latency{1};      // latency drawn uniformly from [1, max_latency]
+  std::string alphabet{"a"};
+  std::uint64_t seed{1};
+  bool directed{false};  // if false, both directions share the schedule
+};
+
+/// Edge-Markovian dynamic graph over the complete topology.
+[[nodiscard]] TimeVaryingGraph make_edge_markovian(
+    const EdgeMarkovianParams& params);
+
+struct RandomPeriodicParams {
+  std::size_t nodes{8};
+  std::size_t edges{16};
+  Time period{8};
+  double density{0.4};  // P(each residue present)
+  Time max_latency{1};
+  std::string alphabet{"ab"};
+  std::uint64_t seed{1};
+  bool allow_self_loops{true};
+};
+
+/// Random semi-periodic TVG (period-P patterns, constant latencies):
+/// every instance is exactly analyzable by the TVG->NFA pipeline.
+[[nodiscard]] TimeVaryingGraph make_random_periodic(
+    const RandomPeriodicParams& params);
+
+struct RandomScheduledParams {
+  std::size_t nodes{8};
+  std::size_t edges{20};
+  Time horizon{64};
+  std::size_t windows_per_edge{3};
+  Time max_window{6};
+  Time max_latency{2};
+  std::string alphabet{"ab"};
+  std::uint64_t seed{1};
+};
+
+/// Random finite-window TVG (each edge present during a few intervals).
+[[nodiscard]] TimeVaryingGraph make_random_scheduled(
+    const RandomScheduledParams& params);
+
+}  // namespace tvg

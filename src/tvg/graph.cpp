@@ -1,0 +1,123 @@
+#include "tvg/graph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace tvg {
+
+NodeId TimeVaryingGraph::add_node(std::string name) {
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  if (name.empty()) name = "v" + std::to_string(id);
+  node_names_.push_back(std::move(name));
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+NodeId TimeVaryingGraph::add_nodes(std::size_t count) {
+  const NodeId first = static_cast<NodeId>(node_names_.size());
+  for (std::size_t i = 0; i < count; ++i) add_node();
+  return first;
+}
+
+EdgeId TimeVaryingGraph::add_edge(NodeId from, NodeId to, Symbol label,
+                                  Presence presence, Latency latency,
+                                  std::string name) {
+  if (from >= node_count() || to >= node_count())
+    throw std::out_of_range("TimeVaryingGraph::add_edge: bad node id");
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  if (name.empty()) name = "e" + std::to_string(id);
+  edges_.push_back(Edge{from, to, label, std::move(presence),
+                        std::move(latency), std::move(name)});
+  out_[from].push_back(id);
+  in_[to].push_back(id);
+  return id;
+}
+
+EdgeId TimeVaryingGraph::add_static_edge(NodeId from, NodeId to, Symbol label,
+                                         Time latency, std::string name) {
+  return add_edge(from, to, label, Presence::always(),
+                  Latency::constant(latency), std::move(name));
+}
+
+std::optional<NodeId> TimeVaryingGraph::find_node(
+    std::string_view name) const {
+  for (NodeId v = 0; v < node_names_.size(); ++v) {
+    if (node_names_[v] == name) return v;
+  }
+  return std::nullopt;
+}
+
+std::span<const EdgeId> TimeVaryingGraph::out_edges(NodeId v) const {
+  return out_.at(v);
+}
+
+std::span<const EdgeId> TimeVaryingGraph::in_edges(NodeId v) const {
+  return in_.at(v);
+}
+
+std::vector<EdgeId> TimeVaryingGraph::out_edges_labeled(NodeId v,
+                                                        Symbol label) const {
+  std::vector<EdgeId> result;
+  for (EdgeId e : out_.at(v)) {
+    if (edges_[e].label == label) result.push_back(e);
+  }
+  return result;
+}
+
+std::string TimeVaryingGraph::alphabet() const {
+  std::set<Symbol> symbols;
+  for (const Edge& e : edges_) symbols.insert(e.label);
+  return std::string{symbols.begin(), symbols.end()};
+}
+
+std::vector<EdgeId> TimeVaryingGraph::snapshot(Time t) const {
+  std::vector<EdgeId> present;
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (edges_[e].present(t)) present.push_back(e);
+  }
+  return present;
+}
+
+bool TimeVaryingGraph::all_semi_periodic() const {
+  return std::all_of(edges_.begin(), edges_.end(), [](const Edge& e) {
+    return e.presence.is_semi_periodic();
+  });
+}
+
+bool TimeVaryingGraph::all_constant_latency() const {
+  return std::all_of(edges_.begin(), edges_.end(), [](const Edge& e) {
+    return e.latency.is_constant();
+  });
+}
+
+std::optional<std::pair<Time, NodeId>>
+TimeVaryingGraph::first_nondeterministic_instant(Time t_lo, Time t_hi) const {
+  for (Time t = t_lo; t < t_hi; ++t) {
+    for (NodeId v = 0; v < node_count(); ++v) {
+      std::set<Symbol> seen;
+      for (EdgeId e : out_[v]) {
+        if (!edges_[e].present(t)) continue;
+        if (!seen.insert(edges_[e].label).second) return std::pair{t, v};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string TimeVaryingGraph::to_string() const {
+  std::ostringstream os;
+  os << "TVG(" << node_count() << " nodes, " << edge_count() << " edges)\n";
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    const Edge& ed = edges_[e];
+    os << "  " << ed.name << ": " << node_names_[ed.from] << " -"
+       << ed.label << "-> " << node_names_[ed.to]
+       << "  ρ=" << ed.presence.to_string()
+       << "  ζ=" << ed.latency.to_string() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tvg

@@ -1,0 +1,108 @@
+// The time-varying graph G = (V, E, T, ρ, ζ) itself.
+//
+// V is a finite node set; E ⊆ V × V × Σ is a finite set of directed edges
+// labeled over an alphabet Σ (we use printable chars); ρ and ζ are
+// attached per-edge as Presence / Latency values. The lifetime T is
+// implicit ([0, ∞) over discrete time); algorithms take explicit horizons.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tvg/latency.hpp"
+#include "tvg/presence.hpp"
+#include "tvg/time.hpp"
+
+namespace tvg {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+using Symbol = char;
+using Word = std::string;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// A labeled temporal edge: (from, to, label) plus its ρ and ζ.
+struct Edge {
+  NodeId from{kInvalidNode};
+  NodeId to{kInvalidNode};
+  Symbol label{'?'};
+  Presence presence{Presence::always()};
+  Latency latency{Latency::constant(1)};
+  std::string name;
+
+  /// Can the edge be crossed departing at t?
+  [[nodiscard]] bool present(Time t) const { return presence.present(t); }
+  /// Arrival time when departing at t (caller must check presence).
+  [[nodiscard]] Time arrival(Time t) const { return latency.arrival(t); }
+};
+
+/// A directed, edge-labeled time-varying multigraph.
+class TimeVaryingGraph {
+ public:
+  TimeVaryingGraph() = default;
+
+  /// Adds a node; `name` is for diagnostics/DOT (auto-generated if empty).
+  NodeId add_node(std::string name = "");
+  /// Adds `count` anonymous nodes, returning the first id.
+  NodeId add_nodes(std::size_t count);
+
+  /// Adds a labeled temporal edge. Nodes must already exist.
+  EdgeId add_edge(NodeId from, NodeId to, Symbol label, Presence presence,
+                  Latency latency, std::string name = "");
+  /// Convenience: always-present edge with constant latency.
+  EdgeId add_static_edge(NodeId from, NodeId to, Symbol label,
+                         Time latency = 1, std::string name = "");
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return node_names_.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edges_.size();
+  }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_.at(e); }
+  [[nodiscard]] const std::string& node_name(NodeId v) const {
+    return node_names_.at(v);
+  }
+  [[nodiscard]] std::optional<NodeId> find_node(std::string_view name) const;
+
+  /// Ids of edges leaving / entering v.
+  [[nodiscard]] std::span<const EdgeId> out_edges(NodeId v) const;
+  [[nodiscard]] std::span<const EdgeId> in_edges(NodeId v) const;
+
+  /// Out-edges of v carrying the given label.
+  [[nodiscard]] std::vector<EdgeId> out_edges_labeled(NodeId v,
+                                                      Symbol label) const;
+
+  /// The sorted set of distinct edge labels.
+  [[nodiscard]] std::string alphabet() const;
+
+  /// Edge ids present at time t (the "snapshot" G_t of the TVG).
+  [[nodiscard]] std::vector<EdgeId> snapshot(Time t) const;
+
+  /// True iff every ρ is in the decidable semi-periodic fragment.
+  [[nodiscard]] bool all_semi_periodic() const;
+  /// True iff every ζ is a constant.
+  [[nodiscard]] bool all_constant_latency() const;
+
+  /// Edge-schedule determinism check used by the Figure 1 reproduction:
+  /// at every instant in [t_lo, t_hi) and every (node, symbol), at most one
+  /// out-edge is present. Returns the first violating (time, node) if any.
+  [[nodiscard]] std::optional<std::pair<Time, NodeId>>
+  first_nondeterministic_instant(Time t_lo, Time t_hi) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> node_names_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace tvg

@@ -1,0 +1,107 @@
+#include "tvg/journey.hpp"
+
+#include <sstream>
+
+namespace tvg {
+
+Word Journey::word(const TimeVaryingGraph& g) const {
+  Word w;
+  w.reserve(legs.size());
+  for (const JourneyLeg& leg : legs) w.push_back(g.edge(leg.edge).label);
+  return w;
+}
+
+NodeId Journey::end_node(const TimeVaryingGraph& g) const {
+  if (legs.empty()) return start_node;
+  return g.edge(legs.back().edge).to;
+}
+
+Time Journey::arrival(const TimeVaryingGraph& g) const {
+  if (legs.empty()) return start_time;
+  const JourneyLeg& last = legs.back();
+  return g.edge(last.edge).arrival(last.departure);
+}
+
+Time Journey::duration(const TimeVaryingGraph& g) const {
+  if (legs.empty()) return 0;
+  return arrival(g) - legs.front().departure;
+}
+
+Time Journey::wait_before(const TimeVaryingGraph& g, std::size_t i) const {
+  const Time prev_arrival =
+      i == 0 ? start_time
+             : g.edge(legs[i - 1].edge).arrival(legs[i - 1].departure);
+  return legs.at(i).departure - prev_arrival;
+}
+
+Time Journey::max_wait(const TimeVaryingGraph& g) const {
+  Time m = 0;
+  for (std::size_t i = 0; i < legs.size(); ++i) {
+    m = std::max(m, wait_before(g, i));
+  }
+  return m;
+}
+
+std::string Journey::to_string(const TimeVaryingGraph& g) const {
+  std::ostringstream os;
+  os << "(" << g.node_name(start_node) << " @" << start_time << ")";
+  for (const JourneyLeg& leg : legs) {
+    const Edge& e = g.edge(leg.edge);
+    os << " -" << e.label << "[t=" << leg.departure << ",ζ="
+       << e.latency(leg.departure) << "]-> " << g.node_name(e.to);
+  }
+  return os.str();
+}
+
+JourneyValidation validate_journey(const TimeVaryingGraph& g,
+                                   const Journey& j, Policy policy) {
+  auto fail = [](std::string reason) {
+    return JourneyValidation{false, std::move(reason)};
+  };
+  if (j.start_node >= g.node_count()) return fail("invalid start node");
+
+  NodeId at = j.start_node;
+  Time ready = j.start_time;  // earliest admissible departure
+  for (std::size_t i = 0; i < j.legs.size(); ++i) {
+    const JourneyLeg& leg = j.legs[i];
+    if (leg.edge >= g.edge_count()) return fail("invalid edge id");
+    const Edge& e = g.edge(leg.edge);
+    if (e.from != at) {
+      return fail("leg " + std::to_string(i) + " departs from " +
+                  g.node_name(e.from) + " but journey is at " +
+                  g.node_name(at));
+    }
+    if (leg.departure < ready) {
+      return fail("leg " + std::to_string(i) +
+                  " departs before arrival (time travel)");
+    }
+    const Time wait = leg.departure - ready;
+    switch (policy.kind) {
+      case WaitingPolicy::kNoWait:
+        if (wait != 0) {
+          return fail("leg " + std::to_string(i) + " waits " +
+                      std::to_string(wait) + " but policy is nowait");
+        }
+        break;
+      case WaitingPolicy::kBoundedWait:
+        if (wait > policy.bound) {
+          return fail("leg " + std::to_string(i) + " waits " +
+                      std::to_string(wait) + " > bound " +
+                      std::to_string(policy.bound));
+        }
+        break;
+      case WaitingPolicy::kWait:
+        break;
+    }
+    if (!e.present(leg.departure)) {
+      return fail("edge " + e.name + " absent at departure t=" +
+                  std::to_string(leg.departure));
+    }
+    ready = e.arrival(leg.departure);
+    if (ready == kTimeInfinity) return fail("arrival overflows the horizon");
+    at = e.to;
+  }
+  return JourneyValidation{true, {}};
+}
+
+}  // namespace tvg

@@ -1,0 +1,79 @@
+// Journeys: "paths over time", the paper's central connectivity object.
+//
+// A journey is a walk <e1, ..., ek> with times <t1, ..., tk> such that
+// edge ei is present at ti and t(i+1) >= ti + ζ(ei, ti). It is *direct*
+// when every inequality is an equality (no waiting) and *indirect*
+// otherwise; Theorem 2.3's regime additionally bounds each wait by d.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tvg/graph.hpp"
+#include "tvg/policy.hpp"
+
+namespace tvg {
+
+/// One crossed edge together with its departure time ti.
+struct JourneyLeg {
+  EdgeId edge{kInvalidEdge};
+  Time departure{0};
+
+  friend bool operator==(const JourneyLeg&, const JourneyLeg&) = default;
+};
+
+/// A (candidate) journey: a start configuration plus crossed legs.
+/// The empty journey (no legs) is the trivial journey at `start_node`.
+struct Journey {
+  NodeId start_node{kInvalidNode};
+  Time start_time{0};
+  std::vector<JourneyLeg> legs;
+
+  [[nodiscard]] bool empty() const noexcept { return legs.empty(); }
+  /// Topological length (number of hops).
+  [[nodiscard]] std::size_t hops() const noexcept { return legs.size(); }
+
+  /// The word spelled by the edge labels (the object of the paper's
+  /// expressivity results).
+  [[nodiscard]] Word word(const TimeVaryingGraph& g) const;
+
+  /// Final node after all legs.
+  [[nodiscard]] NodeId end_node(const TimeVaryingGraph& g) const;
+
+  /// Arrival time after the last leg (start_time if empty).
+  [[nodiscard]] Time arrival(const TimeVaryingGraph& g) const;
+
+  /// Temporal length: arrival − departure of the first leg (0 if empty).
+  [[nodiscard]] Time duration(const TimeVaryingGraph& g) const;
+
+  /// Waiting incurred before leg i (departure minus previous arrival,
+  /// or minus start_time for i = 0).
+  [[nodiscard]] Time wait_before(const TimeVaryingGraph& g,
+                                 std::size_t i) const;
+
+  /// Largest single wait across the journey (0 if direct or empty).
+  [[nodiscard]] Time max_wait(const TimeVaryingGraph& g) const;
+
+  [[nodiscard]] std::string to_string(const TimeVaryingGraph& g) const;
+
+  friend bool operator==(const Journey&, const Journey&) = default;
+};
+
+/// Outcome of validating a journey against a graph and waiting policy.
+struct JourneyValidation {
+  bool ok{false};
+  std::string reason;  // empty when ok
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Checks that `j` is a feasible journey of `g` under `policy`:
+/// consecutive endpoints match, every edge is present at its departure,
+/// departures respect arrival times, and every wait obeys the policy
+/// (= 0 for NoWait, <= d for BoundedWait, unconstrained for Wait).
+[[nodiscard]] JourneyValidation validate_journey(const TimeVaryingGraph& g,
+                                                 const Journey& j,
+                                                 Policy policy);
+
+}  // namespace tvg

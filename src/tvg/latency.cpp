@@ -1,0 +1,86 @@
+#include "tvg/latency.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace tvg {
+
+Latency::Latency(Impl impl)
+    : impl_(std::make_shared<const Impl>(std::move(impl))) {}
+
+Latency Latency::constant(Time c) {
+  if (c < 0) throw std::invalid_argument("Latency: negative constant");
+  return Latency{AffineData{0, c}};
+}
+
+Latency Latency::affine(Time a, Time b) {
+  if (a < 0 || b < 0)
+    throw std::invalid_argument("Latency: negative affine coefficient");
+  return Latency{AffineData{a, b}};
+}
+
+Latency Latency::function(std::function<Time(Time)> fn, std::string name) {
+  if (!fn) throw std::invalid_argument("Latency: null function");
+  return Latency{FunctionData{std::move(fn), std::move(name)}};
+}
+
+Time Latency::operator()(Time t) const {
+  if (const auto* af = std::get_if<AffineData>(impl_.get())) {
+    return sat_add(sat_mul(af->a, std::max<Time>(t, 0)), af->b);
+  }
+  const Time v = std::get<FunctionData>(*impl_).fn(t);
+  return v < 0 ? 0 : v;
+}
+
+bool Latency::is_constant() const noexcept {
+  const auto* af = std::get_if<AffineData>(impl_.get());
+  return af != nullptr && af->a == 0;
+}
+
+std::optional<Time> Latency::constant_value() const noexcept {
+  const auto* af = std::get_if<AffineData>(impl_.get());
+  if (af == nullptr || af->a != 0) return std::nullopt;
+  return af->b;
+}
+
+bool Latency::is_affine() const noexcept {
+  return std::holds_alternative<AffineData>(*impl_);
+}
+
+std::optional<std::pair<Time, Time>> Latency::affine_coefficients()
+    const noexcept {
+  const auto* af = std::get_if<AffineData>(impl_.get());
+  if (af == nullptr) return std::nullopt;
+  return std::pair{af->a, af->b};
+}
+
+Latency Latency::dilated(Time s) const {
+  if (s < 1) throw std::invalid_argument("Latency: dilation factor < 1");
+  if (s == 1) return *this;
+  if (const auto* af = std::get_if<AffineData>(impl_.get())) {
+    // ζ'(s·t) = s·(a·t + b) = a·(s·t) + s·b.
+    return Latency{AffineData{af->a, sat_mul(af->b, s)}};
+  }
+  const auto& fd = std::get<FunctionData>(*impl_);
+  auto fn = fd.fn;
+  return function(
+      [fn, s](Time t) { return sat_mul(fn(t / s), s); },
+      fd.name + "*dilate" + std::to_string(s));
+}
+
+std::string Latency::to_string() const {
+  std::ostringstream os;
+  if (const auto* af = std::get_if<AffineData>(impl_.get())) {
+    if (af->a == 0) {
+      os << af->b;
+    } else {
+      os << af->a << "t";
+      if (af->b != 0) os << "+" << af->b;
+    }
+  } else {
+    os << std::get<FunctionData>(*impl_).name;
+  }
+  return os.str();
+}
+
+}  // namespace tvg

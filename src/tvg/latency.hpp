@@ -1,0 +1,69 @@
+// Latency functions: the ζ component of a time-varying graph.
+//
+// ζ : E × T -> T is the time it takes to cross an edge when starting at a
+// given instant; a direct journey arrives at t + ζ(e, t). Affine latencies
+// ζ(t) = a·t + b are first-class because they are the engine of the
+// paper's constructions: Table 1 uses ζ(e0,t) = (p-1)t so that crossing e0
+// at time t lands at p·t — time itself encodes how many a's were read.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "tvg/time.hpp"
+
+namespace tvg {
+
+/// Value-semantic latency function over discrete time t >= 0.
+/// Latencies are non-negative; evaluation saturates at kTimeInfinity
+/// (callers treat saturated arrivals as "past the horizon").
+class Latency {
+ public:
+  /// ζ(t) = c for all t.
+  [[nodiscard]] static Latency constant(Time c);
+  /// ζ(t) = a·t + b (a, b >= 0). Table 1's (p-1)t is affine(p-1, 0).
+  [[nodiscard]] static Latency affine(Time a, Time b);
+  /// Arbitrary computable latency.
+  [[nodiscard]] static Latency function(std::function<Time(Time)> fn,
+                                        std::string name = "fn");
+
+  /// ζ(t): crossing duration when departing at t.
+  [[nodiscard]] Time operator()(Time t) const;
+  /// Arrival time t + ζ(t), saturating.
+  [[nodiscard]] Time arrival(Time t) const { return sat_add(t, (*this)(t)); }
+
+  [[nodiscard]] bool is_constant() const noexcept;
+  /// The constant c if is_constant(), else nullopt.
+  [[nodiscard]] std::optional<Time> constant_value() const noexcept;
+  [[nodiscard]] bool is_affine() const noexcept;  // includes constants
+  /// (a, b) if affine.
+  [[nodiscard]] std::optional<std::pair<Time, Time>> affine_coefficients()
+      const noexcept;
+
+  /// Theorem 2.3 dilation by s: the dilated edge crossed at s·t must land
+  /// at s·(t + ζ(t)), i.e. ζ'(s·t) = s·ζ(t). constant c -> s·c; affine
+  /// (a,b) -> (a, s·b); functions are wrapped.
+  [[nodiscard]] Latency dilated(Time s) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct AffineData {
+    Time a{0};
+    Time b{0};
+  };
+  struct FunctionData {
+    std::function<Time(Time)> fn;
+    std::string name;
+  };
+  using Impl = std::variant<AffineData, FunctionData>;
+
+  explicit Latency(Impl impl);
+
+  std::shared_ptr<const Impl> impl_;
+};
+
+}  // namespace tvg

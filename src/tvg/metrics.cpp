@@ -1,0 +1,87 @@
+#include "tvg/metrics.hpp"
+
+#include "tvg/algorithms.hpp"
+
+namespace tvg {
+
+std::optional<Time> temporal_eccentricity(const TimeVaryingGraph& g,
+                                          NodeId v, Time start_time,
+                                          Policy policy, Time horizon) {
+  const ForemostTree tree = foremost_arrivals(
+      g, v, start_time, policy, SearchLimits::up_to(horizon));
+  Time ecc = 0;
+  for (Time arrival : tree.arrival) {
+    if (arrival == kTimeInfinity) return std::nullopt;
+    ecc = std::max(ecc, arrival - start_time);
+  }
+  return ecc;
+}
+
+double temporal_closeness(const TimeVaryingGraph& g, NodeId v,
+                          Time start_time, Policy policy, Time horizon) {
+  const ForemostTree tree = foremost_arrivals(
+      g, v, start_time, policy, SearchLimits::up_to(horizon));
+  double closeness = 0.0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (u == v || tree.arrival[u] == kTimeInfinity) continue;
+    closeness += 1.0 /
+                 static_cast<double>(tree.arrival[u] - start_time + 1);
+  }
+  return closeness;
+}
+
+std::size_t contact_count(const Edge& e, Time horizon) {
+  std::size_t contacts = 0;
+  bool in_contact = false;
+  for (Time t = 0; t < horizon; ++t) {
+    const bool present = e.present(t);
+    if (present && !in_contact) ++contacts;
+    in_contact = present;
+  }
+  return contacts;
+}
+
+Time total_presence(const TimeVaryingGraph& g, Time horizon) {
+  Time total = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    for (Time t = 0; t < horizon; ++t) {
+      if (g.edge(e).present(t)) ++total;
+    }
+  }
+  return total;
+}
+
+double snapshot_density(const TimeVaryingGraph& g, Time t) {
+  const std::size_t n = g.node_count();
+  if (n < 2) return 0.0;
+  const auto present = g.snapshot(t);
+  return static_cast<double>(present.size()) /
+         static_cast<double>(n * (n - 1));
+}
+
+double average_density(const TimeVaryingGraph& g, Time horizon) {
+  if (horizon <= 0) return 0.0;
+  double total = 0.0;
+  for (Time t = 0; t < horizon; ++t) total += snapshot_density(g, t);
+  return total / static_cast<double>(horizon);
+}
+
+std::optional<double> characteristic_temporal_distance(
+    const TimeVaryingGraph& g, Time start_time, Policy policy,
+    Time horizon) {
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const ForemostTree tree = foremost_arrivals(
+        g, u, start_time, policy, SearchLimits::up_to(horizon));
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (u == v || tree.arrival[v] == kTimeInfinity) continue;
+      total += static_cast<double>(tree.arrival[v] - start_time);
+      ++pairs;
+    }
+  }
+  if (pairs == 0) return std::nullopt;
+  return total / static_cast<double>(pairs);
+}
+
+}  // namespace tvg

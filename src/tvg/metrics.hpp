@@ -1,0 +1,48 @@
+// Temporal metrics over time-varying graphs: the quantitative vocabulary
+// (eccentricity, closeness, contact statistics, snapshot density) used by
+// the benchmark tables and by anyone adopting the library for dynamic-
+// network measurement.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tvg/graph.hpp"
+#include "tvg/policy.hpp"
+
+namespace tvg {
+
+struct SearchLimits;  // from algorithms.hpp
+
+/// Temporal eccentricity of v: max over targets of (foremost arrival −
+/// start_time); nullopt if some node is unreachable.
+[[nodiscard]] std::optional<Time> temporal_eccentricity(
+    const TimeVaryingGraph& g, NodeId v, Time start_time, Policy policy,
+    Time horizon = kTimeInfinity);
+
+/// Temporal closeness of v: sum over reachable targets u != v of
+/// 1 / (arrival(u) − start_time + 1). Higher = temporally more central.
+[[nodiscard]] double temporal_closeness(const TimeVaryingGraph& g, NodeId v,
+                                        Time start_time, Policy policy,
+                                        Time horizon = kTimeInfinity);
+
+/// Number of distinct contacts (maximal presence intervals) of an edge
+/// within [0, horizon).
+[[nodiscard]] std::size_t contact_count(const Edge& e, Time horizon);
+
+/// Total instants of presence of the whole graph within [0, horizon).
+[[nodiscard]] Time total_presence(const TimeVaryingGraph& g, Time horizon);
+
+/// Fraction of ordered node pairs with a present edge at instant t.
+[[nodiscard]] double snapshot_density(const TimeVaryingGraph& g, Time t);
+
+/// Average snapshot density over [0, horizon).
+[[nodiscard]] double average_density(const TimeVaryingGraph& g, Time horizon);
+
+/// Characteristic temporal distance: mean over reachable ordered pairs of
+/// (foremost arrival − start_time); nullopt when nothing is reachable.
+[[nodiscard]] std::optional<double> characteristic_temporal_distance(
+    const TimeVaryingGraph& g, Time start_time, Policy policy,
+    Time horizon = kTimeInfinity);
+
+}  // namespace tvg

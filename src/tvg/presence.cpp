@@ -1,0 +1,177 @@
+#include "tvg/presence.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace tvg {
+
+Presence::Presence(Impl impl)
+    : impl_(std::make_shared<const Impl>(std::move(impl))) {}
+
+Presence Presence::always() {
+  return Presence{SemiPeriodicData{0, IntervalSet{}, 1,
+                                   IntervalSet::single(0, 1)}};
+}
+
+Presence Presence::never() {
+  return Presence{SemiPeriodicData{0, IntervalSet{}, 1, IntervalSet{}}};
+}
+
+Presence Presence::intervals(IntervalSet set) {
+  if (set.empty()) return never();
+  const Time t0 = sat_add(*set.max(), 1);
+  return Presence{SemiPeriodicData{t0, std::move(set), 1, IntervalSet{}}};
+}
+
+Presence Presence::at_times(std::vector<Time> times) {
+  return intervals(IntervalSet::from_points(std::move(times)));
+}
+
+Presence Presence::periodic(Time period, IntervalSet pattern) {
+  if (period < 1) throw std::invalid_argument("Presence: period must be >= 1");
+  pattern = pattern.clipped(0, period);
+  return Presence{SemiPeriodicData{0, IntervalSet{}, period,
+                                   std::move(pattern)}};
+}
+
+Presence Presence::semi_periodic(Time t0, IntervalSet initial, Time period,
+                                 IntervalSet pattern) {
+  if (t0 < 0) throw std::invalid_argument("Presence: t0 must be >= 0");
+  if (period < 1) throw std::invalid_argument("Presence: period must be >= 1");
+  initial = initial.clipped(0, t0);
+  pattern = pattern.clipped(0, period);
+  return Presence{SemiPeriodicData{t0, std::move(initial), period,
+                                   std::move(pattern)}};
+}
+
+Presence Presence::eventually_always(Time from) {
+  if (from <= 0) return always();
+  return Presence{SemiPeriodicData{from, IntervalSet{}, 1,
+                                   IntervalSet::single(0, 1)}};
+}
+
+Presence Presence::predicate(std::function<bool(Time)> fn, std::string name,
+                             Time scan_limit) {
+  if (!fn) throw std::invalid_argument("Presence: null predicate");
+  return Presence{PredicateData{std::move(fn), nullptr, scan_limit,
+                                std::move(name)}};
+}
+
+Presence Presence::predicate_with_next(
+    std::function<bool(Time)> fn,
+    std::function<std::optional<Time>(Time)> next, std::string name) {
+  if (!fn || !next) throw std::invalid_argument("Presence: null function");
+  return Presence{PredicateData{std::move(fn), std::move(next), 0,
+                                std::move(name)}};
+}
+
+bool Presence::present(Time t) const {
+  if (t < 0) return false;
+  if (const auto* sp = std::get_if<SemiPeriodicData>(impl_.get())) {
+    if (t < sp->t0) return sp->init.contains(t);
+    return sp->pat.contains((t - sp->t0) % sp->per);
+  }
+  const auto& pd = std::get<PredicateData>(*impl_);
+  return pd.fn(t);
+}
+
+std::optional<Time> Presence::next_present(Time from) const {
+  from = std::max<Time>(from, 0);
+  if (const auto* sp = std::get_if<SemiPeriodicData>(impl_.get())) {
+    if (from < sp->t0) {
+      if (auto t = sp->init.next_in(from); t && *t < sp->t0) return t;
+      from = sp->t0;
+    }
+    if (sp->pat.empty()) return std::nullopt;
+    const Time r = (from - sp->t0) % sp->per;
+    if (auto nr = sp->pat.next_in(r)) return from + (*nr - r);
+    // Wrap to the first presence of the next period.
+    return sat_add(from, (sp->per - r) + *sp->pat.min());
+  }
+  const auto& pd = std::get<PredicateData>(*impl_);
+  if (pd.next) return pd.next(from);
+  for (Time t = from; t < sat_add(from, pd.scan_limit); ++t) {
+    if (pd.fn(t)) return t;
+  }
+  return std::nullopt;
+}
+
+bool Presence::is_semi_periodic() const noexcept {
+  return std::holds_alternative<SemiPeriodicData>(*impl_);
+}
+
+bool Presence::is_always() const {
+  if (const auto* sp = std::get_if<SemiPeriodicData>(impl_.get())) {
+    return sp->init.measure() == sp->t0 &&
+           sp->pat.measure() == sp->per;
+  }
+  return false;
+}
+
+bool Presence::is_never() const {
+  if (const auto* sp = std::get_if<SemiPeriodicData>(impl_.get())) {
+    return sp->init.empty() && sp->pat.empty();
+  }
+  return false;
+}
+
+Time Presence::initial_length() const {
+  return std::get<SemiPeriodicData>(*impl_).t0;
+}
+Time Presence::period() const {
+  return std::get<SemiPeriodicData>(*impl_).per;
+}
+const IntervalSet& Presence::initial() const {
+  return std::get<SemiPeriodicData>(*impl_).init;
+}
+const IntervalSet& Presence::pattern() const {
+  return std::get<SemiPeriodicData>(*impl_).pat;
+}
+
+Presence Presence::dilated(Time s) const {
+  if (s < 1) throw std::invalid_argument("Presence: dilation factor < 1");
+  if (s == 1) return *this;
+  if (const auto* sp = std::get_if<SemiPeriodicData>(impl_.get())) {
+    return Presence{SemiPeriodicData{
+        sat_mul(sp->t0, s), sp->init.dilated_points(s), sat_mul(sp->per, s),
+        sp->pat.dilated_points(s)}};
+  }
+  const auto& pd = std::get<PredicateData>(*impl_);
+  auto fn = pd.fn;
+  std::function<bool(Time)> dilated_fn = [fn, s](Time t) {
+    return t >= 0 && t % s == 0 && fn(t / s);
+  };
+  if (pd.next) {
+    auto next = pd.next;
+    std::function<std::optional<Time>(Time)> dilated_next =
+        [next, s](Time from) -> std::optional<Time> {
+      const Time base = std::max<Time>(from, 0);
+      const Time u = (base + s - 1) / s;  // ceil(base / s)
+      if (auto t = next(u)) {
+        if (mul_overflows(*t, s)) return std::nullopt;
+        return *t * s;
+      }
+      return std::nullopt;
+    };
+    return predicate_with_next(std::move(dilated_fn), std::move(dilated_next),
+                               pd.name + "*dilate" + std::to_string(s));
+  }
+  return predicate(std::move(dilated_fn),
+                   pd.name + "*dilate" + std::to_string(s),
+                   sat_mul(pd.scan_limit, s));
+}
+
+std::string Presence::to_string() const {
+  std::ostringstream os;
+  if (const auto* sp = std::get_if<SemiPeriodicData>(impl_.get())) {
+    if (is_always()) return "always";
+    if (is_never()) return "never";
+    os << "semi_periodic(T0=" << sp->t0 << ", init=" << sp->init.to_string()
+       << ", P=" << sp->per << ", pat=" << sp->pat.to_string() << ")";
+  } else {
+    os << std::get<PredicateData>(*impl_).name;
+  }
+  return os.str();
+}
+
+}  // namespace tvg

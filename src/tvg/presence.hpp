@@ -1,0 +1,111 @@
+// Presence functions: the ρ component of a time-varying graph.
+//
+// ρ : E × T -> {0,1} says whether an edge can be crossed starting at a
+// given instant. Two families are provided:
+//
+//  * SemiPeriodic — an explicit initial segment over [0, T0) followed by a
+//    periodic pattern of period P. This single shape subsumes the always /
+//    never / finitely-many-intervals / periodic / eventually-always
+//    schedules, is closed under union/dilation, and is the *decidable
+//    fragment* on which the TVG -> NFA pipeline (Theorem 2.2 experiments)
+//    is exact.
+//
+//  * Predicate — an arbitrary computable ρ(t) (optionally with a custom
+//    next-presence accelerator). This is what makes Theorem 2.1 tick: the
+//    schedule itself computes (the paper's Table 1 uses rows such as
+//    "present iff t = p^i q^(i-1)"), and in our Theorem 2.1 construction
+//    the predicate may run an actual Turing machine.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "tvg/time.hpp"
+
+namespace tvg {
+
+/// Value-semantic presence function over discrete time t >= 0.
+/// Cheap to copy (shared immutable implementation).
+class Presence {
+ public:
+  /// ρ(t) = 1 for all t >= 0.
+  [[nodiscard]] static Presence always();
+  /// ρ(t) = 0 for all t.
+  [[nodiscard]] static Presence never();
+  /// Present exactly on the given (finite) interval set.
+  [[nodiscard]] static Presence intervals(IntervalSet set);
+  /// Present exactly at the given instants.
+  [[nodiscard]] static Presence at_times(std::vector<Time> times);
+  /// ρ(t) = pattern(t mod period) for t >= 0.
+  [[nodiscard]] static Presence periodic(Time period, IntervalSet pattern);
+  /// Initial segment over [0, t0), then pattern(t - t0 mod period).
+  [[nodiscard]] static Presence semi_periodic(Time t0, IntervalSet initial,
+                                              Time period,
+                                              IntervalSet pattern);
+  /// ρ(t) = 1 iff t >= from (Table 1's "t > p" row is eventually_always(p+1)).
+  [[nodiscard]] static Presence eventually_always(Time from);
+
+  /// Arbitrary computable presence. `next_present` falls back to a linear
+  /// scan capped at `scan_limit` steps (absence beyond is reported as
+  /// "never again"; pick the cap per construction).
+  [[nodiscard]] static Presence predicate(std::function<bool(Time)> fn,
+                                          std::string name = "predicate",
+                                          Time scan_limit = 1 << 20);
+  /// Predicate with an exact accelerator: next(t) = min { t' >= t : ρ(t') }.
+  [[nodiscard]] static Presence predicate_with_next(
+      std::function<bool(Time)> fn,
+      std::function<std::optional<Time>(Time)> next,
+      std::string name = "predicate");
+
+  /// ρ(t). Times < 0 are outside the lifetime: always absent.
+  [[nodiscard]] bool present(Time t) const;
+
+  /// min { t' >= from : ρ(t') }, or nullopt if none (exact for
+  /// semi-periodic and predicate_with_next; scan-bounded for plain
+  /// predicates).
+  [[nodiscard]] std::optional<Time> next_present(Time from) const;
+
+  /// True when this presence is in the decidable (semi-periodic) fragment.
+  [[nodiscard]] bool is_semi_periodic() const noexcept;
+  /// True iff ρ(t) = 1 for all t >= 0.
+  [[nodiscard]] bool is_always() const;
+  /// True iff ρ is identically 0.
+  [[nodiscard]] bool is_never() const;
+
+  /// Semi-periodic accessors (precondition: is_semi_periodic()).
+  [[nodiscard]] Time initial_length() const;         // T0
+  [[nodiscard]] Time period() const;                 // P
+  [[nodiscard]] const IntervalSet& initial() const;  // subset of [0, T0)
+  [[nodiscard]] const IntervalSet& pattern() const;  // subset of [0, P)
+
+  /// Theorem 2.3 time dilation by factor s >= 1: the dilated schedule is
+  /// present at s*t exactly when the original is present at t, and absent
+  /// at non-multiples of s. Exact on both fragments.
+  [[nodiscard]] Presence dilated(Time s) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct SemiPeriodicData {
+    Time t0{0};
+    IntervalSet init;
+    Time per{1};
+    IntervalSet pat;
+  };
+  struct PredicateData {
+    std::function<bool(Time)> fn;
+    std::function<std::optional<Time>(Time)> next;  // may be null
+    Time scan_limit{1 << 20};
+    std::string name;
+  };
+  using Impl = std::variant<SemiPeriodicData, PredicateData>;
+
+  explicit Presence(Impl impl);
+
+  std::shared_ptr<const Impl> impl_;
+};
+
+}  // namespace tvg

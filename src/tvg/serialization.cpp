@@ -1,0 +1,261 @@
+#include "tvg/serialization.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace tvg {
+namespace {
+
+std::string interval_set_spec(const IntervalSet& set) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const TimeInterval& iv : set.intervals()) {
+    if (!first) os << ",";
+    first = false;
+    if (iv.length() == 1) {
+      os << iv.lo;
+    } else {
+      os << "[" << iv.lo << "," << iv.hi << ")";
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string presence_spec(const Presence& p) {
+  if (!p.is_semi_periodic()) {
+    throw std::invalid_argument(
+        "to_text: predicate presences cannot be serialized");
+  }
+  if (p.is_always()) return "always";
+  if (p.is_never()) return "never";
+  std::ostringstream os;
+  if (p.pattern().empty()) {
+    os << "intervals:" << interval_set_spec(p.initial());
+  } else if (p.initial_length() == 0) {
+    os << "periodic:" << p.period() << ":" << interval_set_spec(p.pattern());
+  } else {
+    os << "semi:" << p.initial_length() << ":"
+       << interval_set_spec(p.initial()) << ":" << p.period() << ":"
+       << interval_set_spec(p.pattern());
+  }
+  return os.str();
+}
+
+std::string latency_spec(const Latency& l) {
+  if (const auto c = l.constant_value()) {
+    return "const:" + std::to_string(*c);
+  }
+  if (const auto ab = l.affine_coefficients()) {
+    return "affine:" + std::to_string(ab->first) + "," +
+           std::to_string(ab->second);
+  }
+  throw std::invalid_argument(
+      "to_text: function latencies cannot be serialized");
+}
+
+class SpecParser {
+ public:
+  SpecParser(std::string_view text, std::size_t line)
+      : text_(text), line_(line) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("from_text: line " + std::to_string(line_) +
+                                ": " + what + " near '" +
+                                std::string(text_.substr(pos_)) + "'");
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Time number() {
+    Time value = 0;
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr == begin) fail("expected a number");
+    pos_ += static_cast<std::size_t>(ptr - begin);
+    return value;
+  }
+
+  IntervalSet interval_set() {
+    expect('{');
+    IntervalSet set;
+    if (consume('}')) return set;
+    for (;;) {
+      if (consume('[')) {
+        const Time lo = number();
+        expect(',');
+        const Time hi = number();
+        expect(')');
+        set.insert({lo, hi});
+      } else {
+        set.insert_point(number());
+      }
+      if (consume('}')) break;
+      expect(',');
+    }
+    return set;
+  }
+
+  [[nodiscard]] bool done() const { return pos_ >= text_.size(); }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_{0};
+  std::size_t line_;
+};
+
+Presence parse_presence(std::string_view spec, std::size_t line) {
+  SpecParser p(spec, line);
+  if (p.consume_word("always")) return Presence::always();
+  if (p.consume_word("never")) return Presence::never();
+  if (p.consume_word("at:")) return Presence::intervals(p.interval_set());
+  if (p.consume_word("intervals:")) {
+    return Presence::intervals(p.interval_set());
+  }
+  if (p.consume_word("periodic:")) {
+    const Time period = p.number();
+    p.expect(':');
+    return Presence::periodic(period, p.interval_set());
+  }
+  if (p.consume_word("semi:")) {
+    const Time t0 = p.number();
+    p.expect(':');
+    IntervalSet init = p.interval_set();
+    p.expect(':');
+    const Time period = p.number();
+    p.expect(':');
+    return Presence::semi_periodic(t0, std::move(init), period,
+                                   p.interval_set());
+  }
+  if (p.consume_word("eventually:")) {
+    return Presence::eventually_always(p.number());
+  }
+  p.fail("unknown presence spec");
+}
+
+Latency parse_latency(std::string_view spec, std::size_t line) {
+  SpecParser p(spec, line);
+  if (p.consume_word("const:")) return Latency::constant(p.number());
+  if (p.consume_word("affine:")) {
+    const Time a = p.number();
+    p.expect(',');
+    return Latency::affine(a, p.number());
+  }
+  p.fail("unknown latency spec");
+}
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+}  // namespace
+
+std::string to_text(const TimeVaryingGraph& g) {
+  std::ostringstream os;
+  os << "tvg 1\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    os << "node " << g.node_name(v) << "\n";
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& ed = g.edge(e);
+    os << "edge " << g.node_name(ed.from) << " " << g.node_name(ed.to) << " "
+       << ed.label << " presence=" << presence_spec(ed.presence)
+       << " latency=" << latency_spec(ed.latency) << " name=" << ed.name
+       << "\n";
+  }
+  return os.str();
+}
+
+TimeVaryingGraph from_text(const std::string& text) {
+  TimeVaryingGraph g;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+  auto fail = [&](const std::string& what) -> void {
+    throw std::invalid_argument("from_text: line " +
+                                std::to_string(line_no) + ": " + what);
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto tokens = split_ws(line);
+    if (tokens.empty() || tokens[0].starts_with('#')) continue;
+    if (!header_seen) {
+      if (tokens.size() != 2 || tokens[0] != "tvg" || tokens[1] != "1") {
+        fail("expected header 'tvg 1'");
+      }
+      header_seen = true;
+      continue;
+    }
+    if (tokens[0] == "node") {
+      if (tokens.size() != 2) fail("node wants exactly one name");
+      if (g.find_node(tokens[1])) fail("duplicate node '" + tokens[1] + "'");
+      g.add_node(tokens[1]);
+    } else if (tokens[0] == "edge") {
+      if (tokens.size() < 5) fail("edge wants: from to label presence= ...");
+      const auto from = g.find_node(tokens[1]);
+      const auto to = g.find_node(tokens[2]);
+      if (!from) fail("unknown node '" + tokens[1] + "'");
+      if (!to) fail("unknown node '" + tokens[2] + "'");
+      if (tokens[3].size() != 1) fail("label must be a single character");
+      Presence presence = Presence::always();
+      Latency latency = Latency::constant(1);
+      std::string name;
+      bool presence_seen = false;
+      bool latency_seen = false;
+      for (std::size_t i = 4; i < tokens.size(); ++i) {
+        const std::string& tok = tokens[i];
+        if (tok.starts_with("presence=")) {
+          presence = parse_presence(tok.substr(9), line_no);
+          presence_seen = true;
+        } else if (tok.starts_with("latency=")) {
+          latency = parse_latency(tok.substr(8), line_no);
+          latency_seen = true;
+        } else if (tok.starts_with("name=")) {
+          name = tok.substr(5);
+        } else {
+          fail("unknown attribute '" + tok + "'");
+        }
+      }
+      if (!presence_seen || !latency_seen) {
+        fail("edge needs both presence= and latency=");
+      }
+      g.add_edge(*from, *to, tokens[3][0], std::move(presence),
+                 std::move(latency), std::move(name));
+    } else {
+      fail("unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (!header_seen) {
+    throw std::invalid_argument("from_text: empty input (missing header)");
+  }
+  return g;
+}
+
+}  // namespace tvg

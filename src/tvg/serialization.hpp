@@ -1,0 +1,38 @@
+// A plain-text exchange format for time-varying graphs, so constructed
+// schedules (including the paper's Figure 1 in its semi-periodic parts)
+// can be stored, diffed and reloaded.
+//
+//   tvg 1
+//   node v0
+//   node v1
+//   edge v0 v1 a presence=periodic:24:{6,7} latency=const:3 name=morning
+//
+// Presence specs:
+//   always | never
+//   at:{t1,t2,...}                      exact instants
+//   intervals:{[lo,hi),...}             finite interval union
+//   periodic:P:{...}                    pattern repeating with period P
+//   semi:T0:{init}:P:{pattern}          general semi-periodic
+//   eventually:T                        present iff t >= T
+// Latency specs:
+//   const:c | affine:a,b
+// Predicate presences and function latencies are runtime-only and are
+// rejected by the writer (by design: they cannot round-trip).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tvg/graph.hpp"
+
+namespace tvg {
+
+/// Serializes `g`. Throws std::invalid_argument if the graph contains
+/// runtime-only schedules (predicates / function latencies).
+[[nodiscard]] std::string to_text(const TimeVaryingGraph& g);
+
+/// Parses the textual format. Throws std::invalid_argument with a line
+/// number on malformed input.
+[[nodiscard]] TimeVaryingGraph from_text(const std::string& text);
+
+}  // namespace tvg

@@ -1,0 +1,180 @@
+#include "tvg/time.hpp"
+
+#include <sstream>
+
+namespace tvg {
+
+IntervalSet::IntervalSet(std::vector<TimeInterval> intervals)
+    : ivs_(std::move(intervals)) {
+  normalize();
+}
+
+IntervalSet IntervalSet::from_points(std::vector<Time> points) {
+  std::vector<TimeInterval> ivs;
+  ivs.reserve(points.size());
+  for (Time t : points) ivs.push_back({t, sat_add(t, 1)});
+  return IntervalSet{std::move(ivs)};
+}
+
+IntervalSet IntervalSet::single(Time lo, Time hi) {
+  return IntervalSet{{TimeInterval{lo, hi}}};
+}
+
+void IntervalSet::normalize() {
+  std::erase_if(ivs_, [](const TimeInterval& iv) { return iv.empty(); });
+  std::sort(ivs_.begin(), ivs_.end(),
+            [](const TimeInterval& a, const TimeInterval& b) {
+              return a.lo < b.lo || (a.lo == b.lo && a.hi < b.hi);
+            });
+  std::vector<TimeInterval> merged;
+  merged.reserve(ivs_.size());
+  for (const TimeInterval& iv : ivs_) {
+    if (!merged.empty() && merged.back().mergeable(iv)) {
+      merged.back().hi = std::max(merged.back().hi, iv.hi);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  ivs_ = std::move(merged);
+}
+
+bool IntervalSet::contains(Time t) const noexcept {
+  // First interval with lo > t; the candidate is its predecessor.
+  auto it = std::upper_bound(
+      ivs_.begin(), ivs_.end(), t,
+      [](Time v, const TimeInterval& iv) { return v < iv.lo; });
+  if (it == ivs_.begin()) return false;
+  return std::prev(it)->contains(t);
+}
+
+std::optional<Time> IntervalSet::next_in(Time t) const noexcept {
+  auto it = std::upper_bound(
+      ivs_.begin(), ivs_.end(), t,
+      [](Time v, const TimeInterval& iv) { return v < iv.lo; });
+  if (it != ivs_.begin() && std::prev(it)->contains(t)) return t;
+  if (it == ivs_.end()) return std::nullopt;
+  return it->lo;
+}
+
+std::optional<Time> IntervalSet::prev_in(Time t) const noexcept {
+  auto it = std::lower_bound(
+      ivs_.begin(), ivs_.end(), t,
+      [](const TimeInterval& iv, Time v) { return iv.lo < v; });
+  if (it == ivs_.begin()) return std::nullopt;
+  const TimeInterval& iv = *std::prev(it);
+  return std::min(t - 1, iv.hi - 1);
+}
+
+std::optional<Time> IntervalSet::min() const noexcept {
+  if (ivs_.empty()) return std::nullopt;
+  return ivs_.front().lo;
+}
+
+std::optional<Time> IntervalSet::max() const noexcept {
+  if (ivs_.empty()) return std::nullopt;
+  return ivs_.back().hi - 1;
+}
+
+Time IntervalSet::measure() const noexcept {
+  Time total = 0;
+  for (const TimeInterval& iv : ivs_) total = sat_add(total, iv.length());
+  return total;
+}
+
+void IntervalSet::insert(TimeInterval iv) {
+  if (iv.empty()) return;
+  ivs_.push_back(iv);
+  normalize();
+}
+
+IntervalSet IntervalSet::unite(const IntervalSet& other) const {
+  std::vector<TimeInterval> all = ivs_;
+  all.insert(all.end(), other.ivs_.begin(), other.ivs_.end());
+  return IntervalSet{std::move(all)};
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
+  std::vector<TimeInterval> out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ivs_.size() && j < other.ivs_.size()) {
+    const TimeInterval& a = ivs_[i];
+    const TimeInterval& b = other.ivs_[j];
+    TimeInterval cut{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+    if (!cut.empty()) out.push_back(cut);
+    if (a.hi < b.hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return IntervalSet{std::move(out)};
+}
+
+IntervalSet IntervalSet::complement(Time lo, Time hi) const {
+  std::vector<TimeInterval> out;
+  Time cursor = lo;
+  for (const TimeInterval& iv : ivs_) {
+    if (iv.hi <= lo) continue;
+    if (iv.lo >= hi) break;
+    if (iv.lo > cursor) out.push_back({cursor, std::min(iv.lo, hi)});
+    cursor = std::max(cursor, iv.hi);
+    if (cursor >= hi) break;
+  }
+  if (cursor < hi) out.push_back({cursor, hi});
+  return IntervalSet{std::move(out)};
+}
+
+IntervalSet IntervalSet::shifted(Time delta) const {
+  std::vector<TimeInterval> out;
+  out.reserve(ivs_.size());
+  for (const TimeInterval& iv : ivs_) {
+    out.push_back({sat_add(iv.lo, delta), sat_add(iv.hi, delta)});
+  }
+  return IntervalSet{std::move(out)};
+}
+
+IntervalSet IntervalSet::clipped(Time lo, Time hi) const {
+  return intersect(IntervalSet::single(lo, hi));
+}
+
+IntervalSet IntervalSet::dilated_points(Time s) const {
+  assert(s >= 1);
+  if (s == 1) return *this;
+  std::vector<TimeInterval> out;
+  for (const TimeInterval& iv : ivs_) {
+    for (Time t = iv.lo; t < iv.hi; ++t) {
+      out.push_back({sat_mul(t, s), sat_add(sat_mul(t, s), 1)});
+    }
+  }
+  return IntervalSet{std::move(out)};
+}
+
+std::vector<Time> IntervalSet::points_in(Time lo, Time hi) const {
+  std::vector<Time> out;
+  for (const TimeInterval& iv : ivs_) {
+    const Time a = std::max(iv.lo, lo);
+    const Time b = std::min(iv.hi, hi);
+    for (Time t = a; t < b; ++t) out.push_back(t);
+  }
+  return out;
+}
+
+std::string IntervalSet::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const TimeInterval& iv : ivs_) {
+    if (!first) os << ", ";
+    first = false;
+    if (iv.length() == 1) {
+      os << iv.lo;
+    } else {
+      os << "[" << iv.lo << "," << iv.hi << ")";
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace tvg

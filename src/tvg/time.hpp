@@ -1,0 +1,142 @@
+// Discrete time, intervals and normalized interval sets.
+//
+// The paper studies time-varying graphs over a temporal domain T, with
+// T = N for discrete-time systems (the case its own example uses). We
+// model time as a 64-bit signed integer: the Figure 1 / Theorem 2.1
+// constructions make time grow geometrically (t -> p*t), so a 64-bit
+// range is what bounds the word lengths our experiments can exercise
+// (documented per construction, asserted at runtime).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tvg {
+
+using Time = std::int64_t;
+
+/// Sentinel for "no such time" / unbounded horizons.
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max();
+
+/// Saturating addition: never overflows, clamps at kTimeInfinity.
+[[nodiscard]] constexpr Time sat_add(Time a, Time b) noexcept {
+  if (a == kTimeInfinity || b == kTimeInfinity) return kTimeInfinity;
+  if (a > 0 && b > kTimeInfinity - a) return kTimeInfinity;
+  if (a < 0 && b < std::numeric_limits<Time>::min() - a)
+    return std::numeric_limits<Time>::min();
+  return a + b;
+}
+
+/// Saturating multiplication for non-negative operands.
+[[nodiscard]] constexpr Time sat_mul(Time a, Time b) noexcept {
+  assert(a >= 0 && b >= 0);
+  if (a == 0 || b == 0) return 0;
+  if (a == kTimeInfinity || b == kTimeInfinity) return kTimeInfinity;
+  if (a > kTimeInfinity / b) return kTimeInfinity;
+  return a * b;
+}
+
+/// True iff a*b would overflow Time (non-negative operands).
+[[nodiscard]] constexpr bool mul_overflows(Time a, Time b) noexcept {
+  assert(a >= 0 && b >= 0);
+  if (a == 0 || b == 0) return false;
+  return a > std::numeric_limits<Time>::max() / b;
+}
+
+/// Half-open time interval [lo, hi). Empty iff lo >= hi.
+struct TimeInterval {
+  Time lo{0};
+  Time hi{0};
+
+  [[nodiscard]] constexpr bool empty() const noexcept { return lo >= hi; }
+  [[nodiscard]] constexpr bool contains(Time t) const noexcept {
+    return lo <= t && t < hi;
+  }
+  [[nodiscard]] constexpr Time length() const noexcept {
+    return empty() ? 0 : hi - lo;
+  }
+  [[nodiscard]] constexpr bool overlaps(const TimeInterval& o) const noexcept {
+    return lo < o.hi && o.lo < hi;
+  }
+  /// True if the union of *this and o is a single interval (overlap or touch).
+  [[nodiscard]] constexpr bool mergeable(const TimeInterval& o) const noexcept {
+    return lo <= o.hi && o.lo <= hi;
+  }
+  friend constexpr bool operator==(const TimeInterval&,
+                                   const TimeInterval&) = default;
+};
+
+/// A normalized (sorted, disjoint, non-touching) finite union of half-open
+/// intervals. This is the value representation behind every decidable
+/// presence function (see presence.hpp).
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  /// Builds from an arbitrary list of intervals; normalizes.
+  explicit IntervalSet(std::vector<TimeInterval> intervals);
+
+  /// The set containing exactly the given instants.
+  [[nodiscard]] static IntervalSet from_points(std::vector<Time> points);
+  /// The single interval [lo, hi).
+  [[nodiscard]] static IntervalSet single(Time lo, Time hi);
+  /// The empty set.
+  [[nodiscard]] static IntervalSet empty_set() { return IntervalSet{}; }
+
+  [[nodiscard]] bool empty() const noexcept { return ivs_.empty(); }
+  [[nodiscard]] std::size_t interval_count() const noexcept {
+    return ivs_.size();
+  }
+  [[nodiscard]] const std::vector<TimeInterval>& intervals() const noexcept {
+    return ivs_;
+  }
+
+  [[nodiscard]] bool contains(Time t) const noexcept;
+
+  /// Smallest element >= t, if any.
+  [[nodiscard]] std::optional<Time> next_in(Time t) const noexcept;
+
+  /// Largest element < t, if any.
+  [[nodiscard]] std::optional<Time> prev_in(Time t) const noexcept;
+
+  /// Smallest element of the set, if non-empty.
+  [[nodiscard]] std::optional<Time> min() const noexcept;
+  /// Largest element (sets are finite unions of bounded intervals unless a
+  /// hi of kTimeInfinity was used; then returns kTimeInfinity - 1).
+  [[nodiscard]] std::optional<Time> max() const noexcept;
+
+  /// Total number of integer instants in the set (saturating).
+  [[nodiscard]] Time measure() const noexcept;
+
+  void insert(TimeInterval iv);
+  void insert_point(Time t) { insert({t, sat_add(t, 1)}); }
+
+  [[nodiscard]] IntervalSet unite(const IntervalSet& other) const;
+  [[nodiscard]] IntervalSet intersect(const IntervalSet& other) const;
+  /// Complement within [lo, hi).
+  [[nodiscard]] IntervalSet complement(Time lo, Time hi) const;
+  /// { t + delta : t in set }, saturating.
+  [[nodiscard]] IntervalSet shifted(Time delta) const;
+  /// Restriction to [lo, hi).
+  [[nodiscard]] IntervalSet clipped(Time lo, Time hi) const;
+  /// { s*t : t in set } for s >= 1 — the instants survive only at multiples
+  /// of s (used by the Theorem 2.3 time dilation).
+  [[nodiscard]] IntervalSet dilated_points(Time s) const;
+
+  /// All integer instants in the set intersected with [lo, hi).
+  [[nodiscard]] std::vector<Time> points_in(Time lo, Time hi) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+
+ private:
+  void normalize();
+  std::vector<TimeInterval> ivs_;  // sorted by lo, pairwise non-mergeable
+};
+
+}  // namespace tvg

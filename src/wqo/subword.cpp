@@ -1,0 +1,116 @@
+#include "wqo/subword.hpp"
+
+#include <algorithm>
+
+namespace tvg::wqo {
+
+bool is_subword(const Word& u, const Word& v) {
+  std::size_t i = 0;
+  for (std::size_t j = 0; i < u.size() && j < v.size(); ++j) {
+    if (u[i] == v[j]) ++i;
+  }
+  return i == u.size();
+}
+
+bool is_proper_subword(const Word& u, const Word& v) {
+  return u.size() < v.size() && is_subword(u, v);
+}
+
+std::vector<Word> minimal_elements(std::vector<Word> words) {
+  std::sort(words.begin(), words.end(), [](const Word& a, const Word& b) {
+    return a.size() < b.size() || (a.size() == b.size() && a < b);
+  });
+  words.erase(std::unique(words.begin(), words.end()), words.end());
+  std::vector<Word> minimal;
+  for (const Word& w : words) {
+    const bool dominated = std::any_of(
+        minimal.begin(), minimal.end(),
+        [&](const Word& m) { return is_subword(m, w); });
+    if (!dominated) minimal.push_back(w);
+  }
+  return minimal;
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> find_dominating_pair(
+    const std::vector<Word>& words) {
+  for (std::size_t j = 1; j < words.size(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      if (is_subword(words[i], words[j])) return std::pair{i, j};
+    }
+  }
+  return std::nullopt;
+}
+
+fa::Nfa upward_closure(const std::vector<Word>& basis,
+                       const std::string& alphabet) {
+  // One chain per basis word with Σ self-loops on every state; union.
+  fa::Nfa out(0, alphabet);
+  for (const Word& w : basis) {
+    std::vector<fa::State> chain;
+    chain.reserve(w.size() + 1);
+    for (std::size_t i = 0; i <= w.size(); ++i) chain.push_back(out.add_state());
+    out.set_initial(chain.front());
+    out.set_accepting(chain.back());
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      out.add_transition(chain[i], w[i], chain[i + 1]);
+    }
+    for (fa::State s : chain) {
+      for (char c : alphabet) out.add_transition(s, c, s);
+    }
+  }
+  if (basis.empty()) return fa::Nfa::empty_lang(alphabet);
+  return out;
+}
+
+fa::Nfa downward_closure(const fa::Nfa& nfa) {
+  fa::Nfa out = nfa;  // copy states/transitions/initial/accepting
+  // Add an ε parallel to every labeled transition ("skip this letter").
+  for (fa::State s = 0; s < nfa.state_count(); ++s) {
+    for (const auto& [sym, t] : nfa.transitions_from(s)) {
+      out.add_epsilon(s, t);
+    }
+  }
+  return out;
+}
+
+fa::Nfa one_letter_extension(const fa::Dfa& dfa) {
+  // Two phases: before and after the inserted letter.
+  const std::size_t n = dfa.state_count();
+  fa::Nfa out(2 * n, dfa.alphabet());
+  out.set_initial(static_cast<fa::State>(dfa.initial()));
+  for (fa::State s = 0; s < n; ++s) {
+    if (dfa.is_accepting(s)) {
+      out.set_accepting(static_cast<fa::State>(n + s));
+    }
+    for (char c : dfa.alphabet()) {
+      const auto t = static_cast<fa::State>(dfa.transition(s, c));
+      out.add_transition(s, c, t);                     // phase 0
+      out.add_transition(static_cast<fa::State>(n + s), c,
+                         static_cast<fa::State>(n + t));  // phase 1
+      // Insert σ = c here without advancing the DFA.
+      out.add_transition(s, c, static_cast<fa::State>(n + s));
+    }
+  }
+  return out;
+}
+
+bool is_upward_closed(const fa::Dfa& dfa, Word* witness_in,
+                      Word* witness_out) {
+  const fa::Dfa ext = fa::Dfa::determinize(one_letter_extension(dfa));
+  Word bad;
+  if (fa::Dfa::included(ext, dfa, &bad)) return true;
+  // `bad` = xσy with xy ∈ L but bad ∉ L: recover xy by deleting letters.
+  if (witness_out != nullptr) *witness_out = bad;
+  if (witness_in != nullptr) {
+    for (std::size_t i = 0; i < bad.size(); ++i) {
+      Word u = bad.substr(0, i) + bad.substr(i + 1);
+      if (dfa.accepts(u)) {
+        *witness_in = u;
+        break;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace tvg::wqo

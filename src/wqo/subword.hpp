@@ -1,0 +1,70 @@
+// Well-quasi-order machinery on words.
+//
+// The proof of Theorem 2.2 introduces a quasi-order on words based on
+// journey inclusion, shows it is a *well* quasi-order (no infinite
+// antichains) with a Higman-style argument, and concludes regularity of
+// L_wait via Harju–Ilie's characterization (languages upward/downward
+// closed w.r.t. a monotone wqo are regular). This module makes that proof
+// technique executable:
+//   * the (scattered) subword embedding u ≼ v (Higman's order),
+//   * antichain bases / minimal elements,
+//   * empirical Higman witnesses (every long sequence has a dominating
+//     pair),
+//   * upward & downward closure automata (closures of ANY language under
+//     ≼ are regular — the engine behind the Harju–Ilie step).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fa/dfa.hpp"
+#include "fa/nfa.hpp"
+
+namespace tvg::wqo {
+
+using Word = std::string;
+
+/// Higman's subword embedding: u ≼ v iff u is a (scattered) subsequence
+/// of v. O(|u| + |v|).
+[[nodiscard]] bool is_subword(const Word& u, const Word& v);
+
+/// Strict version: u ≼ v and u != v.
+[[nodiscard]] bool is_proper_subword(const Word& u, const Word& v);
+
+/// The ≼-minimal elements of `words` (an antichain; the canonical finite
+/// basis of the upward closure — finiteness is exactly Higman's lemma).
+[[nodiscard]] std::vector<Word> minimal_elements(std::vector<Word> words);
+
+/// First pair (i, j), i < j, with words[i] ≼ words[j], if any. Higman's
+/// lemma guarantees existence for every infinite sequence; tests check
+/// large random sequences always yield one within the first few entries.
+[[nodiscard]] std::optional<std::pair<std::size_t, std::size_t>>
+find_dominating_pair(const std::vector<Word>& words);
+
+/// NFA for the upward closure ↑{basis} = { v : ∃u ∈ basis, u ≼ v } over
+/// `alphabet`. Regular for ANY basis — and by Higman every upward-closed
+/// language has a finite basis, hence is regular (Harju–Ilie's engine).
+[[nodiscard]] fa::Nfa upward_closure(const std::vector<Word>& basis,
+                                     const std::string& alphabet);
+
+/// NFA for the downward closure ↓L(nfa) = { u : ∃v ∈ L, u ≼ v }:
+/// the classic construction adds an ε-shortcut parallel to every
+/// transition (drop any letter).
+[[nodiscard]] fa::Nfa downward_closure(const fa::Nfa& nfa);
+
+/// Checks whether L(dfa) is upward closed under ≼, returning a
+/// counterexample pair (u ∈ L, v ∉ L, u ≼ v) via out-params if not.
+/// Exact: L is upward closed iff L ⊆ ... is verified via automata
+/// (L upward-closed ⇔ L == upward_closure(minimal basis of L) on words
+/// up to the DFA's state count; we use the automata-theoretic test
+/// L ⊇ shuffle-extension, implemented as inclusion L_ext ⊆ L where
+/// L_ext inserts one arbitrary letter).
+[[nodiscard]] bool is_upward_closed(const fa::Dfa& dfa, Word* witness_in,
+                                    Word* witness_out);
+
+/// The one-letter extension language { xσy : xy ∈ L, σ ∈ Σ } as an NFA.
+/// L is upward closed iff ext(L) ⊆ L.
+[[nodiscard]] fa::Nfa one_letter_extension(const fa::Dfa& dfa);
+
+}  // namespace tvg::wqo

@@ -1,0 +1,267 @@
+// Unit tests for temporal reachability and journey optimization —
+// foremost / shortest / fastest under all three waiting policies, and the
+// dominance asymmetry that separates Wait from the others.
+#include <gtest/gtest.h>
+
+#include "tvg/algorithms.hpp"
+#include "tvg/generators.hpp"
+
+namespace tvg {
+namespace {
+
+// The classic store-carry-forward example: u-v exists early, v-w late.
+struct Relay {
+  TimeVaryingGraph g;
+  NodeId u, v, w;
+};
+
+Relay make_relay() {
+  Relay r;
+  r.u = r.g.add_node("u");
+  r.v = r.g.add_node("v");
+  r.w = r.g.add_node("w");
+  r.g.add_edge(r.u, r.v, 'a', Presence::intervals(IntervalSet::single(0, 2)),
+               Latency::constant(1));
+  r.g.add_edge(r.v, r.w, 'b', Presence::intervals(IntervalSet::single(8, 10)),
+               Latency::constant(1));
+  return r;
+}
+
+TEST(Foremost, WaitBridgesTemporalGaps) {
+  const Relay r = make_relay();
+  const ForemostTree t =
+      foremost_arrivals(r.g, r.u, 0, Policy::wait());
+  EXPECT_EQ(t.arrival[r.u], 0);
+  EXPECT_EQ(t.arrival[r.v], 1);
+  EXPECT_EQ(t.arrival[r.w], 9);  // waits at v until 8
+}
+
+TEST(Foremost, NoWaitCannotBridge) {
+  const Relay r = make_relay();
+  const ForemostTree t = foremost_arrivals(
+      r.g, r.u, 0, Policy::no_wait(), SearchLimits::up_to(100));
+  EXPECT_EQ(t.arrival[r.v], 1);
+  EXPECT_EQ(t.arrival[r.w], kTimeInfinity);
+}
+
+TEST(Foremost, BoundedWaitBridgesIffBoundSuffices) {
+  const Relay r = make_relay();
+  // The LATEST arrival at v is 2 (departing uv at 1 — bounded-wait
+  // reachability is non-monotone in arrival time!), so the vw window
+  // [8,10) is reachable iff 2 + d >= 8, i.e. d >= 6.
+  const ForemostTree t5 = foremost_arrivals(
+      r.g, r.u, 0, Policy::bounded_wait(5), SearchLimits::up_to(100));
+  EXPECT_EQ(t5.arrival[r.w], kTimeInfinity);
+  const ForemostTree t6 = foremost_arrivals(
+      r.g, r.u, 0, Policy::bounded_wait(6), SearchLimits::up_to(100));
+  EXPECT_EQ(t6.arrival[r.w], 9);
+}
+
+TEST(Foremost, WitnessJourneysValidate) {
+  const Relay r = make_relay();
+  const ForemostTree t = foremost_arrivals(r.g, r.u, 0, Policy::wait());
+  const auto j = t.journey_to(r.g, r.w);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_TRUE(validate_journey(r.g, *j, Policy::wait()).ok);
+  EXPECT_EQ(j->arrival(r.g), 9);
+  EXPECT_EQ(j->hops(), 2u);
+  EXPECT_EQ(t.journey_to(r.g, r.u)->hops(), 0u);
+}
+
+TEST(Foremost, UnreachableGivesNoJourney) {
+  const Relay r = make_relay();
+  const ForemostTree t = foremost_arrivals(
+      r.g, r.w, 0, Policy::wait(), SearchLimits::up_to(1000));
+  EXPECT_EQ(t.arrival[r.u], kTimeInfinity);
+  EXPECT_EQ(t.journey_to(r.g, r.u), std::nullopt);
+}
+
+TEST(Foremost, LaterArrivalCanWinUnderNoWait) {
+  // The dominance failure that forces configuration search under NoWait:
+  // the direct early arrival at m misses the m->z edge; a slower route
+  // arrives exactly on time.
+  TimeVaryingGraph g;
+  const NodeId s = g.add_node("s");
+  const NodeId m = g.add_node("m");
+  const NodeId z = g.add_node("z");
+  g.add_edge(s, m, 'a', Presence::always(), Latency::constant(1));  // m @1
+  g.add_edge(s, m, 'b', Presence::always(), Latency::constant(5));  // m @5
+  g.add_edge(m, z, 'c', Presence::at_times({5}), Latency::constant(1));
+  const ForemostTree t = foremost_arrivals(
+      g, s, 0, Policy::no_wait(), SearchLimits::up_to(100));
+  EXPECT_EQ(t.arrival[m], 1);  // earliest arrival at m...
+  EXPECT_EQ(t.arrival[z], 6);  // ...but z is reached via the @5 arrival
+  const auto j = t.journey_to(g, z);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_TRUE(validate_journey(g, *j, Policy::no_wait()).ok);
+  EXPECT_EQ(j->word(g), "bc");
+}
+
+TEST(Shortest, PrefersFewerHopsOverEarlierArrival) {
+  TimeVaryingGraph g;
+  const NodeId s = g.add_node();
+  const NodeId a = g.add_node();
+  const NodeId t = g.add_node();
+  // Two-hop fast path and one-hop slow path.
+  g.add_edge(s, a, 'x', Presence::always(), Latency::constant(1));
+  g.add_edge(a, t, 'x', Presence::always(), Latency::constant(1));
+  g.add_edge(s, t, 'y', Presence::always(), Latency::constant(50));
+  const auto j = shortest_journey(g, s, t, 0, Policy::wait());
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->hops(), 1u);
+  EXPECT_EQ(j->word(g), "y");
+}
+
+TEST(Shortest, WorksUnderNoWait) {
+  const Relay r = make_relay();
+  EXPECT_EQ(shortest_journey(r.g, r.u, r.w, 0, Policy::no_wait(),
+                             SearchLimits::up_to(50)),
+            std::nullopt);
+  const auto j = shortest_journey(r.g, r.u, r.w, 0, Policy::wait());
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->hops(), 2u);
+}
+
+TEST(Shortest, SourceEqualsTargetIsEmpty) {
+  const Relay r = make_relay();
+  const auto j = shortest_journey(r.g, r.u, r.u, 3, Policy::wait());
+  ASSERT_TRUE(j.has_value());
+  EXPECT_TRUE(j->empty());
+}
+
+TEST(Fastest, MinimizesDurationNotArrival) {
+  // Departing later is faster: an early slow window and a late fast one.
+  TimeVaryingGraph g;
+  const NodeId s = g.add_node();
+  const NodeId t = g.add_node();
+  g.add_edge(s, t, 'a', Presence::at_times({0}), Latency::constant(20));
+  g.add_edge(s, t, 'b', Presence::at_times({10}), Latency::constant(2));
+  const auto j =
+      fastest_journey(g, s, t, 0, 15, Policy::wait(), SearchLimits::up_to(64));
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->word(g), "b");
+  EXPECT_EQ(j->duration(g), 2);
+  EXPECT_EQ(j->legs.front().departure, 10);
+}
+
+TEST(Fastest, MultiHopDuration) {
+  const Relay r = make_relay();
+  // Departing at 1 (last uv instant) minimizes time spent waiting at v.
+  const auto j = fastest_journey(r.g, r.u, r.w, 0, 20, Policy::wait(),
+                                 SearchLimits::up_to(200));
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->legs.front().departure, 1);
+  EXPECT_EQ(j->duration(r.g), 9 - 1);
+}
+
+TEST(Reachability, SetAndClosureAgree) {
+  const Relay r = make_relay();
+  const auto reach = reachable_set(r.g, r.u, 0, Policy::wait());
+  EXPECT_TRUE(reach[r.u]);
+  EXPECT_TRUE(reach[r.v]);
+  EXPECT_TRUE(reach[r.w]);
+  const auto closure = temporal_closure(r.g, 0, Policy::wait());
+  EXPECT_EQ(closure[r.u][r.w], 9);
+  EXPECT_EQ(closure[r.w][r.u], kTimeInfinity);
+}
+
+TEST(Reachability, TemporallyConnectedNeedsAllPairs) {
+  const Relay r = make_relay();
+  EXPECT_FALSE(temporally_connected(r.g, 0, Policy::wait(),
+                                    SearchLimits::up_to(100)));
+  // Close the cycle: w -> u always available. All journeys start at 0,
+  // so w reaches u at 1, still in time for uv's [0,2) window: connected.
+  TimeVaryingGraph g = r.g;
+  g.add_edge(r.w, r.u, 'c', Presence::always(), Latency::constant(1));
+  EXPECT_TRUE(
+      temporally_connected(g, 0, Policy::wait(), SearchLimits::up_to(100)));
+  // Starting at t=2 instead, the uv window is gone: disconnected.
+  EXPECT_FALSE(
+      temporally_connected(g, 2, Policy::wait(), SearchLimits::up_to(100)));
+  // With recurrent (periodic) edges, connectivity holds.
+  TimeVaryingGraph h;
+  const NodeId a = h.add_node();
+  const NodeId b = h.add_node();
+  const NodeId c = h.add_node();
+  h.add_edge(a, b, 'x', Presence::periodic(4, IntervalSet::from_points({0})),
+             Latency::constant(1));
+  h.add_edge(b, c, 'x', Presence::periodic(4, IntervalSet::from_points({2})),
+             Latency::constant(1));
+  h.add_edge(c, a, 'x', Presence::periodic(4, IntervalSet::from_points({1})),
+             Latency::constant(1));
+  EXPECT_TRUE(temporally_connected(h, 0, Policy::wait(),
+                                   SearchLimits::up_to(1000)));
+  const auto diam = temporal_diameter(h, 0, Policy::wait(),
+                                      SearchLimits::up_to(1000));
+  ASSERT_TRUE(diam.has_value());
+  EXPECT_GT(*diam, 0);
+}
+
+TEST(Reachability, DiameterIsNulloptWhenDisconnected) {
+  const Relay r = make_relay();
+  EXPECT_EQ(temporal_diameter(r.g, 0, Policy::wait(),
+                              SearchLimits::up_to(100)),
+            std::nullopt);
+}
+
+TEST(Reachability, WaitDominatesNoWaitOnRandomGraphs) {
+  // Monotonicity property: anything NoWait reaches, Wait reaches too.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    EdgeMarkovianParams params;
+    params.nodes = 10;
+    params.horizon = 40;
+    params.seed = seed;
+    const TimeVaryingGraph g = make_edge_markovian(params);
+    for (NodeId src = 0; src < 3 && src < g.node_count(); ++src) {
+      const auto nowait = reachable_set(g, src, 0, Policy::no_wait(),
+                                        SearchLimits::up_to(60));
+      const auto wait = reachable_set(g, src, 0, Policy::wait(),
+                                      SearchLimits::up_to(60));
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        EXPECT_LE(nowait[v], wait[v])
+            << "seed=" << seed << " src=" << src << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(Reachability, BoundedWaitIsMonotoneInBound) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    EdgeMarkovianParams params;
+    params.nodes = 8;
+    params.horizon = 30;
+    params.seed = seed;
+    const TimeVaryingGraph g = make_edge_markovian(params);
+    std::size_t prev = 0;
+    for (Time d : {0, 2, 5, 10, 30}) {
+      const auto reach = reachable_set(g, 0, 0, Policy::bounded_wait(d),
+                                       SearchLimits::up_to(50));
+      const auto count = static_cast<std::size_t>(
+          std::count(reach.begin(), reach.end(), true));
+      EXPECT_GE(count, prev) << "seed=" << seed << " d=" << d;
+      prev = count;
+    }
+  }
+}
+
+TEST(SearchLimits, TruncationIsReported) {
+  // A generous always-on clique under BoundedWait explodes configs.
+  TimeVaryingGraph g;
+  g.add_nodes(4);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u != v) {
+        g.add_edge(u, v, 'a', Presence::always(), Latency::constant(1));
+      }
+    }
+  }
+  SearchLimits limits;
+  limits.horizon = 1000;
+  limits.max_configs = 16;
+  const ForemostTree t =
+      foremost_arrivals(g, 0, 0, Policy::bounded_wait(3), limits);
+  EXPECT_TRUE(t.truncated);
+}
+
+}  // namespace
+}  // namespace tvg

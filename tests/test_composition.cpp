@@ -1,0 +1,214 @@
+// Unit tests for TVG structural operations and the text serialization
+// round trip.
+#include <gtest/gtest.h>
+
+#include "tvg/composition.hpp"
+#include "tvg/generators.hpp"
+#include "tvg/serialization.hpp"
+
+namespace tvg {
+namespace {
+
+TimeVaryingGraph sample_graph() {
+  TimeVaryingGraph g;
+  const NodeId u = g.add_node("u");
+  const NodeId v = g.add_node("v");
+  g.add_edge(u, v, 'a', Presence::periodic(4, IntervalSet::from_points({1})),
+             Latency::constant(2), "uv");
+  g.add_edge(v, u, 'b', Presence::intervals(IntervalSet::single(3, 7)),
+             Latency::constant(1), "vu");
+  return g;
+}
+
+TEST(Composition, DisjointUnion) {
+  const TimeVaryingGraph a = sample_graph();
+  const TimeVaryingGraph b = sample_graph();
+  const auto [u, offset] = disjoint_union(a, b);
+  EXPECT_EQ(u.node_count(), 4u);
+  EXPECT_EQ(u.edge_count(), 4u);
+  EXPECT_EQ(offset, 2u);
+  EXPECT_EQ(u.edge(2).from, 2u);  // b's first edge shifted
+  EXPECT_EQ(u.node_name(0), "a.u");
+  EXPECT_EQ(u.node_name(2), "b.u");
+  // Schedules are preserved.
+  EXPECT_TRUE(u.edge(2).present(1));
+  EXPECT_FALSE(u.edge(2).present(2));
+}
+
+TEST(Composition, Relabeled) {
+  const TimeVaryingGraph g = sample_graph();
+  const TimeVaryingGraph r = relabeled(g, {{'a', 'x'}});
+  EXPECT_EQ(r.edge(0).label, 'x');
+  EXPECT_EQ(r.edge(1).label, 'b');  // unchanged
+  EXPECT_EQ(r.alphabet(), "bx");
+}
+
+TEST(Composition, RestrictedToWindow) {
+  const TimeVaryingGraph g = sample_graph();
+  const TimeVaryingGraph w = restricted_to_window(g, 2, 6);
+  // Edge 0 (periodic at 1,5,9,...): only 5 survives in [2,6).
+  EXPECT_FALSE(w.edge(0).present(1));
+  EXPECT_TRUE(w.edge(0).present(5));
+  EXPECT_FALSE(w.edge(0).present(9));
+  // Edge 1 ([3,7)): clipped to [3,6).
+  EXPECT_TRUE(w.edge(1).present(3));
+  EXPECT_TRUE(w.edge(1).present(5));
+  EXPECT_FALSE(w.edge(1).present(6));
+}
+
+TEST(Composition, RestrictedWindowOnPredicate) {
+  TimeVaryingGraph g;
+  g.add_nodes(2);
+  g.add_edge(0, 1, 'a',
+             Presence::predicate([](Time t) { return t % 2 == 0; }, "even"),
+             Latency::constant(1));
+  const TimeVaryingGraph w = restricted_to_window(g, 4, 9);
+  EXPECT_FALSE(w.edge(0).present(2));
+  EXPECT_TRUE(w.edge(0).present(4));
+  EXPECT_TRUE(w.edge(0).present(8));
+  EXPECT_FALSE(w.edge(0).present(9));
+  EXPECT_FALSE(w.edge(0).present(10));
+}
+
+TEST(Composition, TimeShifted) {
+  const TimeVaryingGraph g = sample_graph();
+  const TimeVaryingGraph s = time_shifted(g, 5);
+  for (Time t = 0; t < 40; ++t) {
+    EXPECT_EQ(s.edge(0).present(t + 5), g.edge(0).present(t)) << t;
+    EXPECT_EQ(s.edge(1).present(t + 5), g.edge(1).present(t)) << t;
+  }
+  for (Time t = 0; t < 5; ++t) {
+    EXPECT_FALSE(s.edge(0).present(t));
+    EXPECT_FALSE(s.edge(1).present(t));
+  }
+}
+
+TEST(Composition, TimeShiftRejectsAffineLatency) {
+  TimeVaryingGraph g;
+  g.add_nodes(2);
+  g.add_edge(0, 1, 'a', Presence::always(), Latency::affine(1, 0));
+  EXPECT_THROW((void)time_shifted(g, 3), std::invalid_argument);
+  EXPECT_THROW((void)time_shifted(sample_graph(), -1),
+               std::invalid_argument);
+}
+
+TEST(Composition, EdgeReversed) {
+  const TimeVaryingGraph g = sample_graph();
+  const TimeVaryingGraph r = edge_reversed(g);
+  EXPECT_EQ(r.edge(0).from, g.edge(0).to);
+  EXPECT_EQ(r.edge(0).to, g.edge(0).from);
+  // Double reverse restores adjacency.
+  const TimeVaryingGraph rr = edge_reversed(r);
+  EXPECT_EQ(rr.edge(0).from, g.edge(0).from);
+}
+
+TEST(Serialization, RoundTripSampleGraph) {
+  const TimeVaryingGraph g = sample_graph();
+  const std::string text = to_text(g);
+  const TimeVaryingGraph back = from_text(text);
+  ASSERT_EQ(back.node_count(), g.node_count());
+  ASSERT_EQ(back.edge_count(), g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(back.edge(e).from, g.edge(e).from);
+    EXPECT_EQ(back.edge(e).to, g.edge(e).to);
+    EXPECT_EQ(back.edge(e).label, g.edge(e).label);
+    EXPECT_EQ(back.edge(e).name, g.edge(e).name);
+    for (Time t = 0; t < 30; ++t) {
+      EXPECT_EQ(back.edge(e).present(t), g.edge(e).present(t))
+          << "edge " << e << " t " << t;
+      EXPECT_EQ(back.edge(e).latency(t), g.edge(e).latency(t));
+    }
+  }
+  // Serialization is stable (idempotent round trip).
+  EXPECT_EQ(to_text(back), text);
+}
+
+TEST(Serialization, RoundTripRandomPeriodic) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    RandomPeriodicParams params;
+    params.seed = seed;
+    params.max_latency = 3;
+    const TimeVaryingGraph g = make_random_periodic(params);
+    const TimeVaryingGraph back = from_text(to_text(g));
+    ASSERT_EQ(back.edge_count(), g.edge_count());
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      for (Time t = 0; t < 25; ++t) {
+        ASSERT_EQ(back.edge(e).present(t), g.edge(e).present(t))
+            << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(Serialization, AllSpecFormsParse) {
+  const std::string text = R"(tvg 1
+# a comment line
+node n0
+node n1
+edge n0 n1 a presence=always latency=const:1 name=e_always
+edge n0 n1 b presence=never latency=const:2
+edge n0 n1 c presence=at:{3,5,9} latency=affine:2,1
+edge n0 n1 d presence=intervals:{[0,4),[7,9)} latency=const:0
+edge n0 n1 e presence=periodic:6:{0,[2,4)} latency=const:3
+edge n0 n1 f presence=semi:5:{[1,3)}:4:{2} latency=const:1
+edge n0 n1 g presence=eventually:9 latency=const:1
+)";
+  const TimeVaryingGraph g = from_text(text);
+  EXPECT_EQ(g.edge_count(), 7u);
+  EXPECT_TRUE(g.edge(0).present(123));
+  EXPECT_FALSE(g.edge(1).present(0));
+  EXPECT_TRUE(g.edge(2).present(5));
+  EXPECT_EQ(g.edge(2).latency(4), 9);
+  EXPECT_TRUE(g.edge(3).present(8));
+  EXPECT_TRUE(g.edge(4).present(6));   // residue 0
+  EXPECT_TRUE(g.edge(4).present(9));   // residue 3 in [2,4)
+  EXPECT_FALSE(g.edge(4).present(10)); // residue 4
+  EXPECT_TRUE(g.edge(5).present(1));
+  EXPECT_TRUE(g.edge(5).present(7));   // tail residue (7-5)%4 = 2
+  EXPECT_FALSE(g.edge(6).present(8));
+  EXPECT_TRUE(g.edge(6).present(9));
+  EXPECT_EQ(g.edge(0).name, "e_always");
+}
+
+TEST(Serialization, ErrorsCarryLineNumbers) {
+  auto expect_fail = [](const std::string& text, const char* fragment) {
+    try {
+      (void)from_text(text);
+      FAIL() << "expected parse failure for: " << fragment;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("line"), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_fail("nope", "bad header");
+  expect_fail("tvg 1\nnode a\nnode a\n", "duplicate node");
+  expect_fail("tvg 1\nedge x y a presence=always latency=const:1\n",
+              "unknown node");
+  expect_fail("tvg 1\nnode a\nnode b\nedge a b ab presence=always "
+              "latency=const:1\n",
+              "multi-char label");
+  expect_fail("tvg 1\nnode a\nnode b\nedge a b a presence=wat "
+              "latency=const:1\n",
+              "bad presence");
+  expect_fail("tvg 1\nnode a\nnode b\nedge a b a presence=always\n",
+              "missing latency");
+  // Empty input fails too (without a line number — there is no line).
+  EXPECT_THROW((void)from_text(""), std::invalid_argument);
+}
+
+TEST(Serialization, RefusesRuntimeOnlySchedules) {
+  TimeVaryingGraph g;
+  g.add_nodes(2);
+  g.add_edge(0, 1, 'a',
+             Presence::predicate([](Time) { return true; }, "magic"),
+             Latency::constant(1));
+  EXPECT_THROW((void)to_text(g), std::invalid_argument);
+  TimeVaryingGraph h;
+  h.add_nodes(2);
+  h.add_edge(0, 1, 'a', Presence::always(),
+             Latency::function([](Time t) { return t; }, "id"));
+  EXPECT_THROW((void)to_text(h), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tvg

@@ -1,0 +1,156 @@
+// Unit tests for the DFA substrate: subset construction, minimization,
+// boolean algebra, equivalence with witnesses, census counting.
+#include <gtest/gtest.h>
+
+#include "fa/dfa.hpp"
+#include "fa/regex.hpp"
+
+namespace tvg::fa {
+namespace {
+
+TEST(Dfa, DeterminizeAgreesWithNfa) {
+  const Nfa n = parse_regex("(a|b)*abb");
+  const Dfa d = Dfa::determinize(n);
+  for (const Word& w : {"abb", "aabb", "babb", "ababb", "abab", "", "abba"}) {
+    EXPECT_EQ(d.accepts(w), n.accepts(w)) << w;
+  }
+}
+
+TEST(Dfa, DeterminizeEmptyNfa) {
+  const Dfa d = Dfa::determinize(Nfa::empty_lang("ab"));
+  EXPECT_TRUE(d.empty_language());
+  EXPECT_FALSE(d.accepts(""));
+}
+
+TEST(Dfa, MinimizedIsCanonicallySmall) {
+  // (a|b)*abb has the classic 4-state minimal DFA.
+  const Dfa d = Dfa::determinize(parse_regex("(a|b)*abb"));
+  const Dfa m = d.minimized();
+  EXPECT_EQ(m.state_count(), 4u);
+  for (const Word& w : {"abb", "aabb", "ab", "abbb", ""}) {
+    EXPECT_EQ(m.accepts(w), d.accepts(w)) << w;
+  }
+}
+
+TEST(Dfa, MinimizationIsIdempotent) {
+  const Dfa m = regex_to_min_dfa("a(ba)*|b");
+  EXPECT_EQ(m.minimized().state_count(), m.state_count());
+}
+
+TEST(Dfa, MinimizeAllAcceptingCollapses) {
+  const Dfa d = Dfa::determinize(parse_regex("(a|b)*"));
+  EXPECT_EQ(d.minimized().state_count(), 1u);
+}
+
+TEST(Dfa, ComplementFlipsMembership) {
+  const Dfa d = regex_to_min_dfa("a*b");
+  const Dfa c = d.complemented();
+  for (const Word& w : {"b", "ab", "aab", "", "a", "ba"}) {
+    EXPECT_NE(d.accepts(w), c.accepts(w)) << w;
+  }
+}
+
+TEST(Dfa, ProductIntersection) {
+  const Dfa even_a = regex_to_min_dfa("(b*ab*ab*)*|b*", "ab");
+  const Dfa ends_b = regex_to_min_dfa("(a|b)*b", "ab");
+  const Dfa both = Dfa::product(even_a, ends_b,
+                                Dfa::ProductMode::kIntersection);
+  EXPECT_TRUE(both.accepts("aab"));
+  EXPECT_TRUE(both.accepts("b"));
+  EXPECT_FALSE(both.accepts("ab"));   // odd a's
+  EXPECT_FALSE(both.accepts("aa"));   // doesn't end in b
+}
+
+TEST(Dfa, ProductUnionAndDifference) {
+  const Dfa a = regex_to_min_dfa("aa*", "ab");
+  const Dfa b = regex_to_min_dfa("bb*", "ab");
+  const Dfa u = Dfa::product(a, b, Dfa::ProductMode::kUnion);
+  EXPECT_TRUE(u.accepts("a"));
+  EXPECT_TRUE(u.accepts("bb"));
+  EXPECT_FALSE(u.accepts("ab"));
+  const Dfa diff = Dfa::product(u, b, Dfa::ProductMode::kDifference);
+  EXPECT_TRUE(diff.accepts("a"));
+  EXPECT_FALSE(diff.accepts("b"));
+}
+
+TEST(Dfa, DeMorganHolds) {
+  const Dfa a = regex_to_min_dfa("(ab)*", "ab");
+  const Dfa b = regex_to_min_dfa("a*", "ab");
+  // ¬(A ∪ B) == ¬A ∩ ¬B
+  const Dfa lhs =
+      Dfa::product(a, b, Dfa::ProductMode::kUnion).complemented();
+  const Dfa rhs = Dfa::product(a.complemented(), b.complemented(),
+                               Dfa::ProductMode::kIntersection);
+  EXPECT_TRUE(Dfa::equivalent(lhs, rhs));
+}
+
+TEST(Dfa, EquivalenceWitnessIsShortest) {
+  const Dfa a = regex_to_min_dfa("a*", "a");
+  const Dfa b = regex_to_min_dfa("a?", "a");
+  Word witness;
+  EXPECT_FALSE(Dfa::equivalent(a, b, &witness));
+  EXPECT_EQ(witness, "aa");  // shortest word in the symmetric difference
+}
+
+TEST(Dfa, EquivalenceAcrossDifferentAlphabets) {
+  const Dfa a = regex_to_min_dfa("a*", "a");
+  const Dfa b = regex_to_min_dfa("a*", "ab");
+  // Same language, even though b's alphabet mentions 'b'.
+  EXPECT_TRUE(Dfa::equivalent(a, b));
+}
+
+TEST(Dfa, InclusionWithWitness) {
+  const Dfa small = regex_to_min_dfa("ab", "ab");
+  const Dfa big = regex_to_min_dfa("a(a|b)*", "ab");
+  EXPECT_TRUE(Dfa::included(small, big));
+  Word witness;
+  EXPECT_FALSE(Dfa::included(big, small, &witness));
+  EXPECT_TRUE(big.accepts(witness));
+  EXPECT_FALSE(small.accepts(witness));
+}
+
+TEST(Dfa, ShortestWordAndEmptiness) {
+  EXPECT_EQ(regex_to_min_dfa("aab|b").shortest_word(), "b");
+  const Dfa none = Dfa::product(regex_to_min_dfa("a", "ab"),
+                                regex_to_min_dfa("b", "ab"),
+                                Dfa::ProductMode::kIntersection);
+  EXPECT_TRUE(none.empty_language());
+}
+
+TEST(Dfa, EnumerateMatchesAccepts) {
+  const Dfa d = regex_to_min_dfa("a(ba)*", "ab");
+  const auto words = d.enumerate(5);
+  EXPECT_EQ(words, (std::vector<Word>{"a", "aba", "ababa"}));
+}
+
+TEST(Dfa, CensusCountsWithoutEnumerating) {
+  const Dfa all = regex_to_min_dfa("(a|b)*", "ab");
+  const auto counts = all.census(4);
+  EXPECT_EQ(counts, (std::vector<std::uint64_t>{1, 2, 4, 8, 16}));
+  const Dfa anbn_ish = regex_to_min_dfa("ab|aabb", "ab");
+  const auto c2 = anbn_ish.census(4);
+  EXPECT_EQ(c2[2], 1u);
+  EXPECT_EQ(c2[4], 1u);
+  EXPECT_EQ(c2[3], 0u);
+}
+
+TEST(Dfa, ToNfaRoundTrip) {
+  const Dfa d = regex_to_min_dfa("(ab|ba)*");
+  const Dfa d2 = Dfa::determinize(d.to_nfa()).minimized();
+  EXPECT_TRUE(Dfa::equivalent(d, d2));
+}
+
+TEST(Dfa, RejectsSymbolsOutsideAlphabet) {
+  const Dfa d = regex_to_min_dfa("a*", "a");
+  EXPECT_FALSE(d.accepts("ax"));
+  EXPECT_THROW(d.transition(0, 'x'), std::invalid_argument);
+}
+
+TEST(Dfa, ToDotRenders) {
+  const std::string dot = regex_to_min_dfa("ab").to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("__start"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tvg::fa

@@ -1,0 +1,84 @@
+// Unit tests for the experiment-driver helpers (word sweeps, oracle
+// comparison) — small utilities, but every experiment's correctness rests
+// on them.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/constructions.hpp"
+#include "core/expressivity.hpp"
+#include "tm/machines.hpp"
+
+namespace tvg::core {
+namespace {
+
+TEST(AllWords, CountsAndOrdering) {
+  const auto words = all_words("ab", 3);
+  EXPECT_EQ(words.size(), 1u + 2 + 4 + 8);
+  EXPECT_EQ(words.front(), "");
+  // Length-lexicographic: all length-k words precede length-(k+1) words.
+  for (std::size_t i = 1; i < words.size(); ++i) {
+    EXPECT_LE(words[i - 1].size(), words[i].size());
+  }
+  EXPECT_EQ(words.back().size(), 3u);
+  // No duplicates.
+  const std::set<Word> unique(words.begin(), words.end());
+  EXPECT_EQ(unique.size(), words.size());
+}
+
+TEST(AllWords, UnaryAndEmptyAlphabets) {
+  EXPECT_EQ(all_words("a", 4).size(), 5u);
+  EXPECT_EQ(all_words("abc", 0), std::vector<Word>{""});
+}
+
+TEST(RandomWords, RespectsLengthBoundsAndSeed) {
+  const auto words = random_words("ab", 100, 3, 7, 42);
+  EXPECT_EQ(words.size(), 100u);
+  for (const Word& w : words) {
+    EXPECT_GE(w.size(), 3u);
+    EXPECT_LE(w.size(), 7u);
+    for (char c : w) {
+      EXPECT_TRUE(c == 'a' || c == 'b');
+    }
+  }
+  EXPECT_EQ(words, random_words("ab", 100, 3, 7, 42));
+  EXPECT_NE(words, random_words("ab", 100, 3, 7, 43));
+}
+
+TEST(CompareWithOracle, PerfectAgreementOnFigure1) {
+  const TvgAutomaton a = make_anbn_tvg(2, 3).automaton();
+  const auto cmp = compare_with_oracle(a, Policy::no_wait(), tm::is_anbn,
+                                       all_words("ab", 6));
+  EXPECT_TRUE(cmp.perfect());
+  EXPECT_EQ(cmp.total, 127u);
+  EXPECT_EQ(cmp.agreements, 127u);
+  EXPECT_EQ(cmp.accepted_by_both, 3u);  // ab, aabb, aaabbb
+  EXPECT_TRUE(cmp.mismatches.empty());
+  EXPECT_FALSE(cmp.any_truncated);
+}
+
+TEST(CompareWithOracle, ReportsMismatchesPrecisely) {
+  const TvgAutomaton a = make_anbn_tvg(2, 3).automaton();
+  // Deliberately wrong oracle: claims "ab" is NOT a member.
+  auto wrong = [](const Word& w) { return tm::is_anbn(w) && w != "ab"; };
+  const auto cmp =
+      compare_with_oracle(a, Policy::no_wait(), wrong, all_words("ab", 3));
+  EXPECT_FALSE(cmp.perfect());
+  ASSERT_EQ(cmp.mismatches.size(), 1u);
+  EXPECT_EQ(cmp.mismatches.front(), "ab");
+  EXPECT_EQ(cmp.agreements, cmp.total - 1);
+}
+
+TEST(CompareWithOracle, SurfacesTruncation) {
+  const TvgAutomaton a = make_anbn_tvg(2, 3).automaton();
+  AcceptOptions opt;
+  opt.max_configs = 2;  // everything non-trivial truncates
+  const auto cmp = compare_with_oracle(
+      a, Policy::bounded_wait(2), tm::is_anbn,
+      {Word(6, 'a') + Word(6, 'b')}, opt);
+  EXPECT_TRUE(cmp.any_truncated);
+  EXPECT_FALSE(cmp.perfect());
+}
+
+}  // namespace
+}  // namespace tvg::core

@@ -1,0 +1,190 @@
+// E1 — Figure 1 + Table 1: the deterministic TVG-automaton whose no-wait
+// language is {aⁿbⁿ : n >= 1}, reproduced exactly and checked
+// exhaustively, for several prime pairs and "any"-latency choices.
+#include <gtest/gtest.h>
+
+#include "core/constructions.hpp"
+#include "core/expressivity.hpp"
+#include "tm/machines.hpp"
+#include "tvg/journey.hpp"
+
+namespace tvg::core {
+namespace {
+
+TEST(Figure1, MagicInstantsMatchClosedForm) {
+  // p^i q^(i-1), i > 1 for (p,q) = (2,3): 12, 72, 432, ...
+  EXPECT_FALSE(is_pq_power(1, 2, 3));
+  EXPECT_FALSE(is_pq_power(2, 2, 3));
+  EXPECT_FALSE(is_pq_power(6, 2, 3));
+  EXPECT_TRUE(is_pq_power(12, 2, 3));
+  EXPECT_TRUE(is_pq_power(72, 2, 3));
+  EXPECT_TRUE(is_pq_power(432, 2, 3));
+  EXPECT_FALSE(is_pq_power(433, 2, 3));
+  EXPECT_EQ(next_pq_power(0, 2, 3), 12);
+  EXPECT_EQ(next_pq_power(12, 2, 3), 12);
+  EXPECT_EQ(next_pq_power(13, 2, 3), 72);
+  EXPECT_EQ(next_pq_power(73, 2, 3), 432);
+}
+
+TEST(Figure1, TableOneScheduleIsReproducedVerbatim) {
+  const AnbnConstruction c = make_anbn_tvg(2, 3);
+  const TimeVaryingGraph& g = c.graph;
+  // e0: always present, ζ = (p-1)t.
+  EXPECT_TRUE(g.edge(c.e0).present(1));
+  EXPECT_TRUE(g.edge(c.e0).present(1000));
+  EXPECT_EQ(g.edge(c.e0).latency(5), (2 - 1) * 5);
+  EXPECT_EQ(g.edge(c.e0).arrival(5), 10);  // t -> p·t
+  // e1: present iff t > p, ζ = (q-1)t.
+  EXPECT_FALSE(g.edge(c.e1).present(2));
+  EXPECT_TRUE(g.edge(c.e1).present(3));
+  EXPECT_EQ(g.edge(c.e1).arrival(4), 12);  // t -> q·t
+  // e2: present iff t != p^i q^(i-1).
+  EXPECT_TRUE(g.edge(c.e2).present(11));
+  EXPECT_FALSE(g.edge(c.e2).present(12));
+  EXPECT_TRUE(g.edge(c.e2).present(13));
+  EXPECT_FALSE(g.edge(c.e2).present(72));
+  // e3: present iff t = p.
+  EXPECT_FALSE(g.edge(c.e3).present(1));
+  EXPECT_TRUE(g.edge(c.e3).present(2));
+  EXPECT_FALSE(g.edge(c.e3).present(3));
+  // e4: present iff t = p^i q^(i-1), i > 1.
+  EXPECT_FALSE(g.edge(c.e4).present(2));
+  EXPECT_TRUE(g.edge(c.e4).present(12));
+  EXPECT_TRUE(g.edge(c.e4).present(72));
+  EXPECT_FALSE(g.edge(c.e4).present(71));
+}
+
+TEST(Figure1, ScheduleIsDeterministic) {
+  // The paper calls A(G) deterministic: at most one enabled transition
+  // per (state, symbol) at any instant. Check a prefix of the lifetime.
+  const AnbnConstruction c = make_anbn_tvg(2, 3);
+  EXPECT_EQ(c.graph.first_nondeterministic_instant(0, 2000), std::nullopt);
+}
+
+TEST(Figure1, AcceptsExactlyAnBnExhaustively) {
+  const AnbnConstruction c = make_anbn_tvg(2, 3);
+  const TvgAutomaton a = c.automaton();
+  const auto words = all_words("ab", 12);
+  const OracleComparison cmp =
+      compare_with_oracle(a, Policy::no_wait(), tm::is_anbn, words);
+  EXPECT_TRUE(cmp.perfect()) << "first mismatch: "
+                             << (cmp.mismatches.empty()
+                                     ? "-"
+                                     : cmp.mismatches.front());
+  EXPECT_EQ(cmp.total, words.size());
+}
+
+TEST(Figure1, AcceptsLongMembersUpToEncodingCapacity) {
+  const AnbnConstruction c = make_anbn_tvg(2, 3);
+  const TvgAutomaton a = c.automaton();
+  ASSERT_GE(c.max_n, 20u);
+  for (std::size_t n = 1; n <= std::min<std::size_t>(c.max_n, 22); ++n) {
+    const Word w = Word(n, 'a') + Word(n, 'b');
+    const AcceptResult r = a.accepts(w, Policy::no_wait());
+    EXPECT_TRUE(r.accepted) << "n = " << n;
+    // The witness journey must be a *direct* journey of the graph.
+    ASSERT_TRUE(r.witness.has_value());
+    EXPECT_TRUE(validate_journey(c.graph, *r.witness, Policy::no_wait()).ok);
+    EXPECT_EQ(r.witness->word(c.graph), w);
+  }
+}
+
+TEST(Figure1, RejectsNearMissesAtScale) {
+  const AnbnConstruction c = make_anbn_tvg(2, 3);
+  const TvgAutomaton a = c.automaton();
+  for (std::size_t n = 2; n <= 14; ++n) {
+    EXPECT_FALSE(a.accepts(Word(n, 'a') + Word(n - 1, 'b'),
+                           Policy::no_wait()).accepted);
+    EXPECT_FALSE(a.accepts(Word(n, 'a') + Word(n + 1, 'b'),
+                           Policy::no_wait()).accepted);
+    EXPECT_FALSE(a.accepts(Word(n - 1, 'a') + Word(n, 'b'),
+                           Policy::no_wait()).accepted);
+  }
+}
+
+struct PrimePair {
+  Time p;
+  Time q;
+  Time any_latency;
+};
+
+class Figure1PrimeSweep : public ::testing::TestWithParam<PrimePair> {};
+
+TEST_P(Figure1PrimeSweep, LanguageIsAnBnForAllPrimePairs) {
+  const auto [p, q, any_latency] = GetParam();
+  const AnbnConstruction c = make_anbn_tvg(p, q, any_latency);
+  const TvgAutomaton a = c.automaton();
+  const auto words = all_words("ab", 10);
+  const OracleComparison cmp =
+      compare_with_oracle(a, Policy::no_wait(), tm::is_anbn, words);
+  EXPECT_TRUE(cmp.perfect())
+      << "p=" << p << " q=" << q << " first mismatch: "
+      << (cmp.mismatches.empty() ? "-" : cmp.mismatches.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrimePairs, Figure1PrimeSweep,
+    ::testing::Values(PrimePair{2, 3, 1}, PrimePair{3, 5, 1},
+                      PrimePair{5, 7, 1}, PrimePair{2, 7, 1},
+                      PrimePair{3, 2, 1},   // q < p also works
+                      PrimePair{2, 3, 17},  // Table 1's "any" latency
+                      PrimePair{2, 3, 1000}));
+
+TEST(Figure1, WaitCollapsesTheCounterToARegularLanguage) {
+  // Theorem 2.2 in microcosm: with waiting allowed, the same graph no
+  // longer counts. Every aⁿb^m with m >= 2 becomes feasible (wait at v1
+  // for the next magic instant), "ab" stays, and b's alone reach v2 via
+  // e1/e3 by waiting at v0. The result is the regular b⁺ | ab | a⁺bb⁺.
+  const AnbnConstruction c = make_anbn_tvg(2, 3);
+  const TvgAutomaton a = c.automaton();
+  auto in_collapsed = [](const Word& w) {
+    const auto n = static_cast<std::size_t>(
+        std::find(w.begin(), w.end(), 'b') - w.begin());
+    const std::size_t m = w.size() - n;
+    // Must be aⁿb^m in shape.
+    if (!tm::is_anbn(Word(n, 'a') + Word(n, 'b')) && n > 0) {
+      // (shape check below instead)
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (w[i] != 'a') return false;
+    }
+    for (std::size_t i = n; i < w.size(); ++i) {
+      if (w[i] != 'b') return false;
+    }
+    if (m == 0) return false;
+    if (n == 0) return true;              // b⁺
+    if (n == 1 && m == 1) return true;    // ab
+    return m >= 2;                        // a⁺bb⁺
+  };
+  for (const Word& w : all_words("ab", 9)) {
+    const bool expected = in_collapsed(w);
+    EXPECT_EQ(a.accepts(w, Policy::wait()).accepted, expected)
+        << "word: '" << w << "'";
+  }
+}
+
+TEST(Figure1, WaitWitnessesAreIndirectJourneys) {
+  const AnbnConstruction c = make_anbn_tvg(2, 3);
+  const TvgAutomaton a = c.automaton();
+  const AcceptResult r = a.accepts("aabbb", Policy::wait());
+  ASSERT_TRUE(r.accepted);
+  ASSERT_TRUE(r.witness.has_value());
+  EXPECT_TRUE(validate_journey(c.graph, *r.witness, Policy::wait()).ok);
+  // aabbb is NOT in L_nowait, so the witness must actually wait.
+  EXPECT_FALSE(
+      validate_journey(c.graph, *r.witness, Policy::no_wait()).ok);
+  EXPECT_GT(r.witness->max_wait(c.graph), 0);
+}
+
+TEST(Figure1, MaxNIsHonestAboutOverflow) {
+  const AnbnConstruction c = make_anbn_tvg(2, 3);
+  // deepest instant p^n q^(n-1) = 2·6^(n-1) must fit for n = max_n...
+  Time deepest = 2;
+  for (std::size_t i = 1; i < c.max_n; ++i) deepest = sat_mul(deepest, 6);
+  EXPECT_NE(deepest, kTimeInfinity);
+  // ...and overflow for n = max_n + 1.
+  EXPECT_EQ(sat_mul(deepest, 6), kTimeInfinity);
+}
+
+}  // namespace
+}  // namespace tvg::core

@@ -1,0 +1,138 @@
+// Unit tests for the random TVG workload generators.
+#include <gtest/gtest.h>
+
+#include "tvg/generators.hpp"
+
+namespace tvg {
+namespace {
+
+TEST(EdgeMarkovian, DeterministicPerSeed) {
+  EdgeMarkovianParams params;
+  params.nodes = 12;
+  params.seed = 42;
+  const TimeVaryingGraph a = make_edge_markovian(params);
+  const TimeVaryingGraph b = make_edge_markovian(params);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (EdgeId e = 0; e < a.edge_count(); ++e) {
+    EXPECT_EQ(a.edge(e).from, b.edge(e).from);
+    EXPECT_EQ(a.edge(e).to, b.edge(e).to);
+    for (Time t = 0; t < params.horizon; t += 7) {
+      EXPECT_EQ(a.edge(e).present(t), b.edge(e).present(t));
+    }
+  }
+}
+
+TEST(EdgeMarkovian, SchedulesLiveWithinHorizon) {
+  EdgeMarkovianParams params;
+  params.nodes = 10;
+  params.horizon = 50;
+  params.seed = 7;
+  const TimeVaryingGraph g = make_edge_markovian(params);
+  EXPECT_GT(g.edge_count(), 0u);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_FALSE(g.edge(e).present(params.horizon));
+    EXPECT_FALSE(g.edge(e).present(params.horizon + 100));
+  }
+  EXPECT_TRUE(g.all_semi_periodic());
+  EXPECT_TRUE(g.all_constant_latency());
+}
+
+TEST(EdgeMarkovian, UndirectedSharesSchedules) {
+  EdgeMarkovianParams params;
+  params.nodes = 8;
+  params.seed = 3;
+  params.directed = false;
+  const TimeVaryingGraph g = make_edge_markovian(params);
+  ASSERT_EQ(g.edge_count() % 2, 0u);
+  for (EdgeId e = 0; e + 1 < g.edge_count(); e += 2) {
+    EXPECT_EQ(g.edge(e).from, g.edge(e + 1).to);
+    EXPECT_EQ(g.edge(e).to, g.edge(e + 1).from);
+    for (Time t = 0; t < params.horizon; t += 5) {
+      EXPECT_EQ(g.edge(e).present(t), g.edge(e + 1).present(t));
+    }
+  }
+}
+
+TEST(EdgeMarkovian, DensityRespondsToParameters) {
+  EdgeMarkovianParams sparse;
+  sparse.nodes = 14;
+  sparse.initial_on = 0.01;
+  sparse.p_birth = 0.01;
+  sparse.p_death = 0.5;
+  sparse.seed = 9;
+  EdgeMarkovianParams dense = sparse;
+  dense.initial_on = 0.9;
+  dense.p_birth = 0.5;
+  dense.p_death = 0.01;
+  Time sparse_measure = 0;
+  Time dense_measure = 0;
+  const TimeVaryingGraph gs = make_edge_markovian(sparse);
+  const TimeVaryingGraph gd = make_edge_markovian(dense);
+  for (EdgeId e = 0; e < gs.edge_count(); ++e) {
+    for (Time t = 0; t < sparse.horizon; ++t) {
+      sparse_measure += gs.edge(e).present(t) ? 1 : 0;
+    }
+  }
+  for (EdgeId e = 0; e < gd.edge_count(); ++e) {
+    for (Time t = 0; t < dense.horizon; ++t) {
+      dense_measure += gd.edge(e).present(t) ? 1 : 0;
+    }
+  }
+  EXPECT_GT(dense_measure, sparse_measure * 2);
+}
+
+TEST(RandomPeriodic, StaysInTheDecidableFragment) {
+  RandomPeriodicParams params;
+  params.nodes = 6;
+  params.edges = 20;
+  params.period = 6;
+  params.seed = 5;
+  const TimeVaryingGraph g = make_random_periodic(params);
+  EXPECT_EQ(g.edge_count(), 20u);
+  EXPECT_TRUE(g.all_semi_periodic());
+  EXPECT_TRUE(g.all_constant_latency());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(g.edge(e).presence.period(), params.period);
+    // Patterns repeat with the period.
+    for (Time t = 0; t < 3 * params.period; ++t) {
+      EXPECT_EQ(g.edge(e).present(t), g.edge(e).present(t + params.period));
+    }
+  }
+}
+
+TEST(RandomPeriodic, EveryEdgeIsAlive) {
+  RandomPeriodicParams params;
+  params.density = 0.01;  // would often round to empty without the fix
+  params.edges = 30;
+  params.seed = 11;
+  const TimeVaryingGraph g = make_random_periodic(params);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_TRUE(g.edge(e).presence.next_present(0).has_value());
+  }
+}
+
+TEST(RandomScheduled, WindowsWithinHorizon) {
+  RandomScheduledParams params;
+  params.nodes = 6;
+  params.edges = 15;
+  params.horizon = 40;
+  params.seed = 2;
+  const TimeVaryingGraph g = make_random_scheduled(params);
+  EXPECT_EQ(g.edge_count(), 15u);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_FALSE(g.edge(e).present(params.horizon + 1));
+  }
+}
+
+TEST(RandomScheduled, AlphabetRespected) {
+  RandomScheduledParams params;
+  params.alphabet = "xyz";
+  params.seed = 4;
+  const TimeVaryingGraph g = make_random_scheduled(params);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_NE(params.alphabet.find(g.edge(e).label), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace tvg

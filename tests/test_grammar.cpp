@@ -1,0 +1,78 @@
+// Unit tests for the CFG/CYK classifier used by the expressivity matrix.
+#include <gtest/gtest.h>
+
+#include "fa/grammar.hpp"
+#include "tm/machines.hpp"
+
+namespace tvg::fa {
+namespace {
+
+TEST(Grammar, AnBnMatchesOracle) {
+  const CnfGrammar g = CnfGrammar::anbn();
+  for (int n = 1; n <= 8; ++n) {
+    EXPECT_TRUE(g.accepts(std::string(n, 'a') + std::string(n, 'b'))) << n;
+  }
+  EXPECT_FALSE(g.accepts(""));
+  EXPECT_FALSE(g.accepts("a"));
+  EXPECT_FALSE(g.accepts("b"));
+  EXPECT_FALSE(g.accepts("ba"));
+  EXPECT_FALSE(g.accepts("aab"));
+  EXPECT_FALSE(g.accepts("abb"));
+  EXPECT_FALSE(g.accepts("abab"));
+}
+
+TEST(Grammar, AnBnAgreesWithTmOracleExhaustively) {
+  const CnfGrammar g = CnfGrammar::anbn();
+  // Exhaustive over {a,b}^{<=10}.
+  std::vector<std::string> frontier{""};
+  for (int len = 0; len <= 10; ++len) {
+    for (const std::string& w : frontier) {
+      EXPECT_EQ(g.accepts(w), tm::is_anbn(w)) << "'" << w << "'";
+    }
+    std::vector<std::string> next;
+    for (const std::string& w : frontier) {
+      next.push_back(w + 'a');
+      next.push_back(w + 'b');
+    }
+    frontier = std::move(next);
+  }
+}
+
+TEST(Grammar, EvenPalindromes) {
+  const CnfGrammar g = CnfGrammar::even_palindromes();
+  EXPECT_TRUE(g.accepts(""));
+  EXPECT_TRUE(g.accepts("aa"));
+  EXPECT_TRUE(g.accepts("bb"));
+  EXPECT_TRUE(g.accepts("abba"));
+  EXPECT_TRUE(g.accepts("baab"));
+  EXPECT_TRUE(g.accepts("aabbaa"));
+  EXPECT_FALSE(g.accepts("ab"));
+  EXPECT_FALSE(g.accepts("aba"));   // odd length
+  EXPECT_FALSE(g.accepts("abab"));
+}
+
+TEST(Grammar, Dyck1AgreesWithOracle) {
+  const CnfGrammar g = CnfGrammar::dyck1();
+  std::vector<std::string> frontier{""};
+  for (int len = 0; len <= 10; ++len) {
+    for (const std::string& w : frontier) {
+      EXPECT_EQ(g.accepts(w), tm::is_dyck(w)) << "'" << w << "'";
+    }
+    std::vector<std::string> next;
+    for (const std::string& w : frontier) {
+      next.push_back(w + 'a');
+      next.push_back(w + 'b');
+    }
+    frontier = std::move(next);
+  }
+}
+
+TEST(Grammar, EpsilonFlag) {
+  CnfGrammar g = CnfGrammar::anbn();
+  EXPECT_FALSE(g.accepts(""));
+  g.set_accepts_epsilon(true);
+  EXPECT_TRUE(g.accepts(""));
+}
+
+}  // namespace
+}  // namespace tvg::fa

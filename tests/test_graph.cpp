@@ -1,0 +1,143 @@
+// Unit tests for the time-varying graph container and its snapshots.
+#include <gtest/gtest.h>
+
+#include "tvg/dot.hpp"
+#include "tvg/graph.hpp"
+
+namespace tvg {
+namespace {
+
+TimeVaryingGraph make_triangle() {
+  TimeVaryingGraph g;
+  const NodeId u = g.add_node("u");
+  const NodeId v = g.add_node("v");
+  const NodeId w = g.add_node("w");
+  g.add_edge(u, v, 'a', Presence::intervals(IntervalSet::single(0, 5)),
+             Latency::constant(1), "uv");
+  g.add_edge(v, w, 'b', Presence::intervals(IntervalSet::single(3, 8)),
+             Latency::constant(2), "vw");
+  g.add_edge(w, u, 'c', Presence::always(), Latency::constant(1), "wu");
+  return g;
+}
+
+TEST(Graph, NodesAndNames) {
+  TimeVaryingGraph g;
+  const NodeId a = g.add_node("alpha");
+  const NodeId b = g.add_node();
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.node_name(a), "alpha");
+  EXPECT_EQ(g.node_name(b), "v1");
+  EXPECT_EQ(g.find_node("alpha"), a);
+  EXPECT_EQ(g.find_node("nope"), std::nullopt);
+  const NodeId first = g.add_nodes(3);
+  EXPECT_EQ(first, 2u);
+  EXPECT_EQ(g.node_count(), 5u);
+}
+
+TEST(Graph, EdgesAndAdjacency) {
+  const TimeVaryingGraph g = make_triangle();
+  EXPECT_EQ(g.edge_count(), 3u);
+  ASSERT_EQ(g.out_edges(0).size(), 1u);
+  EXPECT_EQ(g.edge(g.out_edges(0)[0]).to, 1u);
+  ASSERT_EQ(g.in_edges(0).size(), 1u);
+  EXPECT_EQ(g.edge(g.in_edges(0)[0]).from, 2u);
+  EXPECT_EQ(g.out_edges_labeled(0, 'a').size(), 1u);
+  EXPECT_TRUE(g.out_edges_labeled(0, 'b').empty());
+}
+
+TEST(Graph, AlphabetIsSortedUnique) {
+  const TimeVaryingGraph g = make_triangle();
+  EXPECT_EQ(g.alphabet(), "abc");
+}
+
+TEST(Graph, SnapshotReflectsPresence) {
+  const TimeVaryingGraph g = make_triangle();
+  EXPECT_EQ(g.snapshot(0).size(), 2u);  // uv and wu
+  EXPECT_EQ(g.snapshot(4).size(), 3u);  // all
+  EXPECT_EQ(g.snapshot(6).size(), 2u);  // vw and wu
+  EXPECT_EQ(g.snapshot(100).size(), 1u);  // wu only
+}
+
+TEST(Graph, FragmentPredicates) {
+  TimeVaryingGraph g = make_triangle();
+  EXPECT_TRUE(g.all_semi_periodic());
+  EXPECT_TRUE(g.all_constant_latency());
+  g.add_edge(0, 1, 'd',
+             Presence::predicate([](Time t) { return t == 3; }, "pt"),
+             Latency::constant(1));
+  EXPECT_FALSE(g.all_semi_periodic());
+  TimeVaryingGraph h = make_triangle();
+  h.add_edge(0, 1, 'd', Presence::always(), Latency::affine(1, 0));
+  EXPECT_FALSE(h.all_constant_latency());
+}
+
+TEST(Graph, DeterminismCheckFindsCollisions) {
+  TimeVaryingGraph g;
+  const NodeId u = g.add_node();
+  const NodeId v = g.add_node();
+  g.add_edge(u, v, 'a', Presence::intervals(IntervalSet::single(0, 10)),
+             Latency::constant(1));
+  EXPECT_EQ(g.first_nondeterministic_instant(0, 20), std::nullopt);
+  // A second 'a' edge overlapping at t in [5,10) breaks determinism.
+  g.add_edge(u, u, 'a', Presence::intervals(IntervalSet::single(5, 15)),
+             Latency::constant(1));
+  const auto clash = g.first_nondeterministic_instant(0, 20);
+  ASSERT_TRUE(clash.has_value());
+  EXPECT_EQ(clash->first, 5);
+  EXPECT_EQ(clash->second, u);
+  // Different labels never clash.
+  TimeVaryingGraph h;
+  const NodeId x = h.add_node();
+  h.add_edge(x, x, 'a', Presence::always(), Latency::constant(1));
+  h.add_edge(x, x, 'b', Presence::always(), Latency::constant(1));
+  EXPECT_EQ(h.first_nondeterministic_instant(0, 10), std::nullopt);
+}
+
+TEST(Graph, AddEdgeValidatesNodeIds) {
+  TimeVaryingGraph g;
+  g.add_node();
+  EXPECT_THROW(
+      g.add_edge(0, 5, 'a', Presence::always(), Latency::constant(1)),
+      std::out_of_range);
+  EXPECT_THROW(
+      g.add_edge(5, 0, 'a', Presence::always(), Latency::constant(1)),
+      std::out_of_range);
+}
+
+TEST(Graph, StaticEdgeConvenience) {
+  TimeVaryingGraph g;
+  g.add_nodes(2);
+  const EdgeId e = g.add_static_edge(0, 1, 'x', 7);
+  EXPECT_TRUE(g.edge(e).present(0));
+  EXPECT_TRUE(g.edge(e).present(1'000'000));
+  EXPECT_EQ(g.edge(e).arrival(10), 17);
+}
+
+TEST(Graph, ToStringListsEdges) {
+  const TimeVaryingGraph g = make_triangle();
+  const std::string s = g.to_string();
+  EXPECT_NE(s.find("u -a-> v"), std::string::npos);
+  EXPECT_NE(s.find("3 nodes"), std::string::npos);
+}
+
+TEST(Dot, ExportContainsStructure) {
+  const TimeVaryingGraph g = make_triangle();
+  DotOptions opt;
+  opt.highlight_node = "w";
+  opt.start_node = "u";
+  const std::string dot = to_dot(g, opt);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"u\" -> \"v\""), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("__start ->"), std::string::npos);
+}
+
+TEST(Dot, SchedulesCanBeHidden) {
+  const TimeVaryingGraph g = make_triangle();
+  DotOptions opt;
+  opt.show_schedules = false;
+  EXPECT_EQ(to_dot(g, opt).find("ρ"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tvg

@@ -1,0 +1,198 @@
+// Integration tests: properties that hold ACROSS modules — the
+// configuration search, the NFA pipeline, journey validation,
+// serialization, and the structural operations must all tell one
+// consistent story.
+#include <gtest/gtest.h>
+
+#include "core/constructions.hpp"
+#include "core/expressivity.hpp"
+#include "core/journey_queries.hpp"
+#include "core/periodic_nfa.hpp"
+#include "fa/regex.hpp"
+#include "tm/machines.hpp"
+#include "tvg/composition.hpp"
+#include "tvg/generators.hpp"
+#include "tvg/serialization.hpp"
+
+namespace tvg::core {
+namespace {
+
+TvgAutomaton random_periodic_automaton(std::uint64_t seed,
+                                       std::size_t nodes = 5) {
+  RandomPeriodicParams gen;
+  gen.nodes = nodes;
+  gen.edges = nodes * 2 + 3;
+  gen.period = 5;
+  gen.max_latency = 2;
+  gen.seed = seed;
+  TimeVaryingGraph g = make_random_periodic(gen);
+  TvgAutomaton a(std::move(g), 0);
+  a.set_initial(0);
+  a.set_accepting(static_cast<NodeId>(nodes - 1));
+  return a;
+}
+
+TEST(Integration, EnumerationAgreesWithNfaEnumeration) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const TvgAutomaton a = random_periodic_automaton(seed);
+    for (const Policy policy :
+         {Policy::no_wait(), Policy::wait(), Policy::bounded_wait(2)}) {
+      AcceptOptions opt;
+      opt.horizon = 300;
+      const auto search_lang = a.enumerate_language(4, policy, opt);
+      const auto nfa_lang =
+          semi_periodic_to_nfa(a, policy).enumerate(4);
+      EXPECT_EQ(search_lang, nfa_lang)
+          << "seed=" << seed << " policy=" << policy.to_string();
+    }
+  }
+}
+
+TEST(Integration, CensusAgreesWithDfaCensus) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const TvgAutomaton a = random_periodic_automaton(seed);
+    AcceptOptions opt;
+    opt.horizon = 300;
+    const auto census = language_census(a, Policy::wait(), 4, opt);
+    const fa::Dfa dfa =
+        fa::Dfa::determinize(semi_periodic_to_nfa(a, Policy::wait()));
+    const auto dfa_census = dfa.census(4);
+    for (std::size_t len = 0; len <= 4; ++len) {
+      EXPECT_EQ(census[len], dfa_census[len])
+          << "seed=" << seed << " len=" << len;
+    }
+  }
+}
+
+TEST(Integration, WitnessesAlwaysValidateOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const TvgAutomaton a = random_periodic_automaton(seed);
+    AcceptOptions opt;
+    opt.horizon = 300;
+    for (const Policy policy :
+         {Policy::no_wait(), Policy::wait(), Policy::bounded_wait(3)}) {
+      for (const Word& w : all_words("ab", 4)) {
+        const AcceptResult r = a.accepts(w, policy, opt);
+        if (!r.accepted) continue;
+        ASSERT_TRUE(r.witness.has_value());
+        const auto v = validate_journey(a.graph(), *r.witness, policy);
+        EXPECT_TRUE(v.ok) << "seed=" << seed << " '" << w << "' under "
+                          << policy.to_string() << ": " << v.reason;
+        EXPECT_EQ(r.witness->word(a.graph()), w);
+        EXPECT_TRUE(a.accepting().contains(r.witness->end_node(a.graph())));
+      }
+    }
+  }
+}
+
+TEST(Integration, SerializationPreservesLanguages) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const TvgAutomaton a = random_periodic_automaton(seed);
+    TimeVaryingGraph reloaded = from_text(to_text(a.graph()));
+    TvgAutomaton b(std::move(reloaded), a.start_time());
+    for (NodeId v : a.initial()) b.set_initial(v);
+    for (NodeId v : a.accepting()) b.set_accepting(v);
+    const fa::Dfa da =
+        fa::Dfa::determinize(semi_periodic_to_nfa(a, Policy::wait()))
+            .minimized();
+    const fa::Dfa db =
+        fa::Dfa::determinize(semi_periodic_to_nfa(b, Policy::wait()))
+            .minimized();
+    EXPECT_TRUE(fa::Dfa::equivalent(da, db)) << "seed=" << seed;
+  }
+}
+
+TEST(Integration, TimeShiftPreservesLanguageFromShiftedStart) {
+  // L(A(G), start t0) == L(A(shift(G, δ)), start t0 + δ): temporal
+  // invariance of acceptance under rigid schedule translation.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const TvgAutomaton a = random_periodic_automaton(seed);
+    const Time delta = 7;
+    TvgAutomaton shifted(time_shifted(a.graph(), delta),
+                         a.start_time() + delta);
+    for (NodeId v : a.initial()) shifted.set_initial(v);
+    for (NodeId v : a.accepting()) shifted.set_accepting(v);
+    AcceptOptions opt;
+    opt.horizon = 400;
+    for (const Word& w : all_words("ab", 4)) {
+      EXPECT_EQ(a.accepts(w, Policy::no_wait(), opt).accepted,
+                shifted.accepts(w, Policy::no_wait(), opt).accepted)
+          << "seed=" << seed << " '" << w << "'";
+      EXPECT_EQ(a.accepts(w, Policy::wait(), opt).accepted,
+                shifted.accepts(w, Policy::wait(), opt).accepted)
+          << "seed=" << seed << " '" << w << "'";
+    }
+  }
+}
+
+TEST(Integration, RelabelingCommutesWithAcceptance) {
+  const TvgAutomaton fig1 = make_anbn_tvg(2, 3).automaton();
+  TvgAutomaton swapped(relabeled(fig1.graph(), {{'a', 'x'}, {'b', 'y'}}),
+                       fig1.start_time());
+  for (NodeId v : fig1.initial()) swapped.set_initial(v);
+  for (NodeId v : fig1.accepting()) swapped.set_accepting(v);
+  for (const Word& w : all_words("ab", 8)) {
+    Word mapped = w;
+    for (char& c : mapped) c = c == 'a' ? 'x' : 'y';
+    EXPECT_EQ(fig1.accepts(w, Policy::no_wait()).accepted,
+              swapped.accepts(mapped, Policy::no_wait()).accepted)
+        << w;
+  }
+}
+
+TEST(Integration, DisjointUnionIsLanguageUnionForDisjointAlphabets) {
+  // Initial/accepting sets carried to both components: the union graph
+  // accepts the union of the two languages when alphabets are disjoint.
+  const fa::Dfa d1 = fa::regex_to_min_dfa("ab", "ab");
+  const fa::Dfa d2 = fa::regex_to_min_dfa("xy", "xy");
+  const TvgAutomaton a1 = regular_to_tvg(d1);
+  const TvgAutomaton a2 = regular_to_tvg(d2);
+  const auto [g, offset] = disjoint_union(a1.graph(), a2.graph());
+  TvgAutomaton u(g, 0);
+  for (NodeId v : a1.initial()) u.set_initial(v);
+  for (NodeId v : a1.accepting()) u.set_accepting(v);
+  for (NodeId v : a2.initial()) u.set_initial(v + offset);
+  for (NodeId v : a2.accepting()) u.set_accepting(v + offset);
+  EXPECT_TRUE(u.accepts("ab", Policy::wait()).accepted);
+  EXPECT_TRUE(u.accepts("xy", Policy::wait()).accepted);
+  EXPECT_FALSE(u.accepts("ax", Policy::wait()).accepted);
+  EXPECT_FALSE(u.accepts("a", Policy::wait()).accepted);
+}
+
+TEST(Integration, TmBackedAndOracleBackedConstructionsCoincide) {
+  const ComputableConstruction via_tm = computable_to_tvg(
+      tm::Decider::from_machine(tm::make_anbn_machine(), "anbn", "ab"));
+  const ComputableConstruction via_fn = computable_to_tvg(
+      tm::Decider::from_function(tm::is_anbn, "anbn", "ab"));
+  const TvgAutomaton a = via_tm.automaton();
+  const TvgAutomaton b = via_fn.automaton();
+  for (const Word& w : all_words("ab", 7)) {
+    EXPECT_EQ(a.accepts(w, Policy::no_wait()).accepted,
+              b.accepts(w, Policy::no_wait()).accepted)
+        << w;
+  }
+}
+
+TEST(Integration, ConstrainedQueryAgreesWithPlainAcceptance) {
+  // find_constrained_journey with the singleton regex {w} must succeed
+  // exactly when accepts(w) does.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const TvgAutomaton a = random_periodic_automaton(seed);
+    AcceptOptions opt;
+    opt.horizon = 300;
+    for (const Word& w : all_words("ab", 3)) {
+      if (w.empty()) continue;
+      const fa::Dfa only_w = fa::Dfa::determinize(
+          fa::Nfa::word_lang(w, "ab"));
+      const bool via_query =
+          find_constrained_journey(a, only_w, Policy::wait(), w.size(), opt)
+              .has_value();
+      const bool via_accepts = a.accepts(w, Policy::wait(), opt).accepted;
+      EXPECT_EQ(via_query, via_accepts) << "seed=" << seed << " '" << w
+                                        << "'";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tvg::core

@@ -1,0 +1,168 @@
+// Unit tests for journeys: the direct / indirect / d-bounded feasibility
+// trichotomy that the whole paper is about.
+#include <gtest/gtest.h>
+
+#include "tvg/journey.hpp"
+
+namespace tvg {
+namespace {
+
+// Line graph u -a-> v -b-> w with controllable schedules.
+struct Line {
+  TimeVaryingGraph g;
+  NodeId u, v, w;
+  EdgeId uv, vw;
+};
+
+Line make_line(Presence p_uv, Presence p_vw, Time lat_uv = 2,
+               Time lat_vw = 3) {
+  Line l;
+  l.u = l.g.add_node("u");
+  l.v = l.g.add_node("v");
+  l.w = l.g.add_node("w");
+  l.uv = l.g.add_edge(l.u, l.v, 'a', std::move(p_uv),
+                      Latency::constant(lat_uv));
+  l.vw = l.g.add_edge(l.v, l.w, 'b', std::move(p_vw),
+                      Latency::constant(lat_vw));
+  return l;
+}
+
+TEST(Journey, EmptyJourneyIsTrivialAndValid) {
+  const Line l = make_line(Presence::always(), Presence::always());
+  const Journey j{l.u, 5, {}};
+  EXPECT_TRUE(j.empty());
+  EXPECT_EQ(j.hops(), 0u);
+  EXPECT_EQ(j.arrival(l.g), 5);
+  EXPECT_EQ(j.duration(l.g), 0);
+  EXPECT_EQ(j.end_node(l.g), l.u);
+  EXPECT_EQ(j.word(l.g), "");
+  EXPECT_TRUE(validate_journey(l.g, j, Policy::no_wait()).ok);
+}
+
+TEST(Journey, DirectJourneyValidUnderAllPolicies) {
+  const Line l = make_line(Presence::always(), Presence::always());
+  // Depart u at 0, arrive v at 2, depart immediately, arrive w at 5.
+  const Journey j{l.u, 0, {{l.uv, 0}, {l.vw, 2}}};
+  EXPECT_TRUE(validate_journey(l.g, j, Policy::no_wait()).ok);
+  EXPECT_TRUE(validate_journey(l.g, j, Policy::bounded_wait(0)).ok);
+  EXPECT_TRUE(validate_journey(l.g, j, Policy::wait()).ok);
+  EXPECT_EQ(j.arrival(l.g), 5);
+  EXPECT_EQ(j.duration(l.g), 5);
+  EXPECT_EQ(j.word(l.g), "ab");
+  EXPECT_EQ(j.max_wait(l.g), 0);
+}
+
+TEST(Journey, IndirectJourneyRejectedByNoWait) {
+  const Line l = make_line(Presence::always(), Presence::always());
+  // Wait 4 units at v before the second leg.
+  const Journey j{l.u, 0, {{l.uv, 0}, {l.vw, 6}}};
+  const auto nowait = validate_journey(l.g, j, Policy::no_wait());
+  EXPECT_FALSE(nowait.ok);
+  EXPECT_NE(nowait.reason.find("waits 4"), std::string::npos);
+  EXPECT_FALSE(validate_journey(l.g, j, Policy::bounded_wait(3)).ok);
+  EXPECT_TRUE(validate_journey(l.g, j, Policy::bounded_wait(4)).ok);
+  EXPECT_TRUE(validate_journey(l.g, j, Policy::wait()).ok);
+  EXPECT_EQ(j.max_wait(l.g), 4);
+  EXPECT_EQ(j.wait_before(l.g, 1), 4);
+}
+
+TEST(Journey, InitialWaitCountsAgainstThePolicy) {
+  const Line l = make_line(Presence::always(), Presence::always());
+  const Journey j{l.u, 0, {{l.uv, 3}, {l.vw, 5}}};
+  EXPECT_FALSE(validate_journey(l.g, j, Policy::no_wait()).ok);
+  EXPECT_FALSE(validate_journey(l.g, j, Policy::bounded_wait(2)).ok);
+  EXPECT_TRUE(validate_journey(l.g, j, Policy::bounded_wait(3)).ok);
+  EXPECT_TRUE(validate_journey(l.g, j, Policy::wait()).ok);
+}
+
+TEST(Journey, AbsentEdgeInvalidatesUnderEveryPolicy) {
+  const Line l =
+      make_line(Presence::intervals(IntervalSet::single(0, 2)),
+                Presence::always());
+  const Journey j{l.u, 3, {{l.uv, 3}, {l.vw, 5}}};
+  const auto r = validate_journey(l.g, j, Policy::wait());
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.reason.find("absent"), std::string::npos);
+}
+
+TEST(Journey, TimeTravelRejected) {
+  const Line l = make_line(Presence::always(), Presence::always());
+  // Second leg departs before the first arrives (2).
+  const Journey j{l.u, 0, {{l.uv, 0}, {l.vw, 1}}};
+  const auto r = validate_journey(l.g, j, Policy::wait());
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.reason.find("time travel"), std::string::npos);
+}
+
+TEST(Journey, DisconnectedLegsRejected) {
+  const Line l = make_line(Presence::always(), Presence::always());
+  // vw does not start at u.
+  const Journey j{l.u, 0, {{l.vw, 0}}};
+  EXPECT_FALSE(validate_journey(l.g, j, Policy::wait()).ok);
+}
+
+TEST(Journey, BadIdsRejectedGracefully) {
+  const Line l = make_line(Presence::always(), Presence::always());
+  EXPECT_FALSE(
+      validate_journey(l.g, Journey{99, 0, {}}, Policy::wait()).ok);
+  EXPECT_FALSE(validate_journey(l.g, Journey{l.u, 0, {{1234, 0}}},
+                                Policy::wait())
+                   .ok);
+}
+
+TEST(Journey, WaitingEnablesOtherwiseInfeasibleConnections) {
+  // The paper's store-carry-forward motivation in two edges: uv exists
+  // only early, vw only late. No direct journey u->w exists, but an
+  // indirect one does.
+  const Line l = make_line(Presence::intervals(IntervalSet::single(0, 1)),
+                           Presence::intervals(IntervalSet::single(9, 10)));
+  const Journey indirect{l.u, 0, {{l.uv, 0}, {l.vw, 9}}};
+  EXPECT_TRUE(validate_journey(l.g, indirect, Policy::wait()).ok);
+  EXPECT_FALSE(validate_journey(l.g, indirect, Policy::no_wait()).ok);
+  EXPECT_FALSE(validate_journey(l.g, indirect, Policy::bounded_wait(6)).ok);
+  EXPECT_TRUE(validate_journey(l.g, indirect, Policy::bounded_wait(7)).ok);
+}
+
+TEST(Journey, AffineLatencyArrivals) {
+  TimeVaryingGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const EdgeId e = g.add_edge(a, b, 'x', Presence::always(),
+                              Latency::affine(1, 0));  // t -> 2t
+  const Journey j{a, 3, {{e, 3}}};
+  EXPECT_TRUE(validate_journey(g, j, Policy::no_wait()).ok);
+  EXPECT_EQ(j.arrival(g), 6);
+  EXPECT_EQ(j.duration(g), 3);
+}
+
+TEST(Journey, ToStringShowsRoute) {
+  const Line l = make_line(Presence::always(), Presence::always());
+  const Journey j{l.u, 0, {{l.uv, 0}, {l.vw, 2}}};
+  const std::string s = j.to_string(l.g);
+  EXPECT_NE(s.find("u @0"), std::string::npos);
+  EXPECT_NE(s.find("-a["), std::string::npos);
+  EXPECT_NE(s.find("w"), std::string::npos);
+}
+
+TEST(Policy, MaxDepartureWindows) {
+  EXPECT_EQ(Policy::no_wait().max_departure(10), 10);
+  EXPECT_EQ(Policy::bounded_wait(5).max_departure(10), 15);
+  EXPECT_EQ(Policy::wait().max_departure(10), kTimeInfinity);
+  EXPECT_EQ(Policy::bounded_wait(-3).bound, 0);  // clamped
+}
+
+TEST(Policy, AllowsWaiting) {
+  EXPECT_FALSE(Policy::no_wait().allows_waiting());
+  EXPECT_FALSE(Policy::bounded_wait(0).allows_waiting());
+  EXPECT_TRUE(Policy::bounded_wait(1).allows_waiting());
+  EXPECT_TRUE(Policy::wait().allows_waiting());
+}
+
+TEST(Policy, ToString) {
+  EXPECT_EQ(Policy::no_wait().to_string(), "nowait");
+  EXPECT_EQ(Policy::wait().to_string(), "wait");
+  EXPECT_EQ(Policy::bounded_wait(7).to_string(), "wait[7]");
+}
+
+}  // namespace
+}  // namespace tvg

@@ -1,0 +1,123 @@
+// Unit tests for regex-constrained journey queries and language censuses.
+#include <gtest/gtest.h>
+
+#include "core/constructions.hpp"
+#include "core/journey_queries.hpp"
+#include "fa/regex.hpp"
+#include "tm/machines.hpp"
+
+namespace tvg::core {
+namespace {
+
+TvgAutomaton relay_automaton() {
+  TimeVaryingGraph g;
+  const NodeId u = g.add_node("u");
+  const NodeId v = g.add_node("v");
+  const NodeId w = g.add_node("w");
+  g.add_edge(u, v, 'a', Presence::intervals(IntervalSet::single(0, 2)),
+             Latency::constant(1));
+  g.add_edge(v, w, 'b', Presence::intervals(IntervalSet::single(8, 10)),
+             Latency::constant(1));
+  g.add_edge(u, w, 'c', Presence::at_times({5}), Latency::constant(1));
+  TvgAutomaton a(std::move(g), 0);
+  a.set_initial(u);
+  a.set_accepting(w);
+  return a;
+}
+
+TEST(ConstrainedJourney, FindsAWitnessMatchingTheRegex) {
+  const TvgAutomaton a = relay_automaton();
+  const fa::Dfa any_ab = fa::regex_to_min_dfa("ab", "abc");
+  const auto hit = find_constrained_journey(a, any_ab, Policy::wait(), 4);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->word, "ab");
+  EXPECT_TRUE(validate_journey(a.graph(), hit->journey, Policy::wait()).ok);
+  EXPECT_TRUE(any_ab.accepts(hit->word));
+}
+
+TEST(ConstrainedJourney, PolicySelectsDifferentWitnesses) {
+  const TvgAutomaton a = relay_automaton();
+  // Any word: under NoWait only the 'c' edge (from a t=5 start? no —
+  // start is 0, c needs t=5): nothing is feasible directly...
+  const fa::Dfa anything = fa::regex_to_min_dfa("(a|b|c)+", "abc");
+  EXPECT_EQ(find_constrained_journey(a, anything, Policy::no_wait(), 4),
+            std::nullopt);
+  // ...but waiting 5 at u reaches w via 'c'.
+  const auto wait_hit =
+      find_constrained_journey(a, anything, Policy::wait(), 4);
+  ASSERT_TRUE(wait_hit.has_value());
+  EXPECT_EQ(wait_hit->word, "c");  // shortest witness preferred
+  // Bounded wait 5 suffices for 'c' but not for "ab".
+  const fa::Dfa only_ab = fa::regex_to_min_dfa("ab", "abc");
+  EXPECT_EQ(
+      find_constrained_journey(a, only_ab, Policy::bounded_wait(5), 4),
+      std::nullopt);
+  const auto c_hit = find_constrained_journey(a, anything,
+                                              Policy::bounded_wait(5), 4);
+  ASSERT_TRUE(c_hit.has_value());
+  EXPECT_EQ(c_hit->word, "c");
+}
+
+TEST(ConstrainedJourney, ConstraintActuallyConstrains) {
+  const TvgAutomaton a = relay_automaton();
+  const fa::Dfa no_c = fa::regex_to_min_dfa("(a|b)+", "abc");
+  const auto hit = find_constrained_journey(a, no_c, Policy::wait(), 4);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->word, "ab");  // 'c' alone is excluded by the regex
+}
+
+TEST(ConstrainedJourney, RespectsMaxLen) {
+  const TvgAutomaton a = relay_automaton();
+  const fa::Dfa two_plus = fa::regex_to_min_dfa("(a|b|c)(a|b|c)+", "abc");
+  EXPECT_EQ(find_constrained_journey(a, two_plus, Policy::wait(), 1),
+            std::nullopt);
+  EXPECT_TRUE(
+      find_constrained_journey(a, two_plus, Policy::wait(), 2).has_value());
+}
+
+TEST(ConstrainedJourney, OnFigure1FindsTheCounterWords) {
+  const TvgAutomaton fig1 = make_anbn_tvg(2, 3).automaton();
+  // "exactly 3 a's then 3 b's" — feasible without waiting.
+  const fa::Dfa aaabbb = fa::regex_to_min_dfa("aaabbb", "ab");
+  const auto hit =
+      find_constrained_journey(fig1, aaabbb, Policy::no_wait(), 6);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->word, "aaabbb");
+  EXPECT_TRUE(
+      validate_journey(fig1.graph(), hit->journey, Policy::no_wait()).ok);
+  // "4 a's then 3 b's" — infeasible without waiting, feasible with.
+  const fa::Dfa a4b3 = fa::regex_to_min_dfa("aaaabbb", "ab");
+  EXPECT_EQ(find_constrained_journey(fig1, a4b3, Policy::no_wait(), 7),
+            std::nullopt);
+  EXPECT_TRUE(
+      find_constrained_journey(fig1, a4b3, Policy::wait(), 7).has_value());
+}
+
+TEST(Census, CountsDivergeExactlyWhereTheGapBites) {
+  const TvgAutomaton fig1 = make_anbn_tvg(2, 3).automaton();
+  const auto nowait = language_census(fig1, Policy::no_wait(), 6);
+  const auto wait = language_census(fig1, Policy::wait(), 6);
+  // L_nowait = {a^n b^n}: one word at each even length >= 2.
+  EXPECT_EQ(nowait, (std::vector<std::size_t>{0, 0, 1, 0, 1, 0, 1}));
+  // L_wait = b+|ab|a+bb+: 1,2,2,3,... per length.
+  EXPECT_EQ(wait[1], 1u);   // b
+  EXPECT_EQ(wait[2], 2u);   // bb, ab
+  EXPECT_EQ(wait[3], 2u);   // bbb, abb
+  EXPECT_EQ(wait[4], 3u);   // bbbb, abbb, aabb
+  for (std::size_t len = 1; len <= 6; ++len) {
+    EXPECT_GE(wait[len], nowait[len]) << len;
+  }
+}
+
+TEST(Census, EmptyLanguageIsAllZero) {
+  TimeVaryingGraph g;
+  g.add_nodes(2);
+  TvgAutomaton a(std::move(g), 0);
+  a.set_initial(0);
+  a.set_accepting(1);
+  const auto census = language_census(a, Policy::wait(), 4);
+  EXPECT_EQ(census, (std::vector<std::size_t>(5, 0)));
+}
+
+}  // namespace
+}  // namespace tvg::core

@@ -1,0 +1,108 @@
+// Unit tests for closure operations on TVG languages (union on all
+// graphs, concatenation on the static fragment).
+#include <gtest/gtest.h>
+
+#include "core/constructions.hpp"
+#include "core/expressivity.hpp"
+#include "core/language_ops.hpp"
+#include "fa/regex.hpp"
+#include "tm/machines.hpp"
+
+namespace tvg::core {
+namespace {
+
+TEST(LanguageOps, UnionOfRegularEmbeddings) {
+  const TvgAutomaton a = regular_to_tvg(fa::regex_to_min_dfa("ab", "ab"));
+  const TvgAutomaton b = regular_to_tvg(fa::regex_to_min_dfa("ba", "ab"));
+  const TvgAutomaton u = tvg_union(a, b);
+  for (const Word& w : all_words("ab", 4)) {
+    const bool expected = w == "ab" || w == "ba";
+    EXPECT_EQ(u.accepts(w, Policy::wait()).accepted, expected) << w;
+    EXPECT_EQ(u.accepts(w, Policy::no_wait()).accepted, expected) << w;
+  }
+}
+
+TEST(LanguageOps, UnionOfTimedGraphs) {
+  // Union works on ARBITRARY schedules: Figure 1 ∪ Theorem 2.1(palindromes)
+  // recognizes exactly the set union under NoWait — but the two components
+  // must share the start time, so rebase Figure 1's clock.
+  const AnbnConstruction fig1 = make_anbn_tvg(2, 3);
+  const ComputableConstruction pal = computable_to_tvg(
+      tm::Decider::from_function(tm::is_palindrome, "pal", "ab"));
+  ASSERT_EQ(fig1.start_time, pal.start_time);  // both read from t = 1
+  const TvgAutomaton u = tvg_union(fig1.automaton(), pal.automaton());
+  for (const Word& w : all_words("ab", 7)) {
+    const bool expected = tm::is_anbn(w) || tm::is_palindrome(w);
+    EXPECT_EQ(u.accepts(w, Policy::no_wait()).accepted, expected)
+        << "'" << w << "'";
+  }
+}
+
+TEST(LanguageOps, UnionRequiresMatchingStartTimes) {
+  TvgAutomaton a(TimeVaryingGraph{}, 0);
+  TvgAutomaton b(TimeVaryingGraph{}, 1);
+  EXPECT_THROW((void)tvg_union(a, b), std::invalid_argument);
+}
+
+TEST(LanguageOps, StaticFragmentDetection) {
+  EXPECT_TRUE(is_static_fragment(
+      regular_to_tvg(fa::regex_to_min_dfa("a*", "ab"))));
+  EXPECT_FALSE(is_static_fragment(make_anbn_tvg(2, 3).automaton()));
+  TimeVaryingGraph g;
+  g.add_nodes(2);
+  g.add_edge(0, 1, 'a', Presence::periodic(2, IntervalSet::single(0, 1)),
+             Latency::constant(1));
+  TvgAutomaton periodic(std::move(g), 0);
+  EXPECT_FALSE(is_static_fragment(periodic));
+}
+
+TEST(LanguageOps, ConcatOnStaticFragment) {
+  const TvgAutomaton a =
+      regular_to_tvg(fa::regex_to_min_dfa("a+", "ab"));
+  const TvgAutomaton b =
+      regular_to_tvg(fa::regex_to_min_dfa("b+", "ab"));
+  const TvgAutomaton ab = tvg_concat(a, b);
+  const fa::Dfa expected = fa::regex_to_min_dfa("a+b+", "ab");
+  for (const Word& w : all_words("ab", 6)) {
+    EXPECT_EQ(ab.accepts(w, Policy::wait()).accepted, expected.accepts(w))
+        << "'" << w << "'";
+  }
+}
+
+TEST(LanguageOps, ConcatHandlesEpsilonOnBothSides) {
+  const TvgAutomaton maybe_a =
+      regular_to_tvg(fa::regex_to_min_dfa("a?", "ab"));
+  const TvgAutomaton maybe_b =
+      regular_to_tvg(fa::regex_to_min_dfa("b?", "ab"));
+  const TvgAutomaton cat = tvg_concat(maybe_a, maybe_b);
+  const fa::Dfa expected = fa::regex_to_min_dfa("a?b?", "ab");
+  for (const Word& w : all_words("ab", 4)) {
+    EXPECT_EQ(cat.accepts(w, Policy::wait()).accepted, expected.accepts(w))
+        << "'" << w << "'";
+  }
+}
+
+TEST(LanguageOps, ConcatChainsAssociatively) {
+  const TvgAutomaton a = regular_to_tvg(fa::regex_to_min_dfa("a", "abc"));
+  const TvgAutomaton b = regular_to_tvg(fa::regex_to_min_dfa("b", "abc"));
+  const TvgAutomaton c = regular_to_tvg(fa::regex_to_min_dfa("c", "abc"));
+  const TvgAutomaton left = tvg_concat(tvg_concat(a, b), c);
+  const TvgAutomaton right = tvg_concat(a, tvg_concat(b, c));
+  for (const Word& w : all_words("abc", 4)) {
+    EXPECT_EQ(left.accepts(w, Policy::wait()).accepted,
+              right.accepts(w, Policy::wait()).accepted)
+        << "'" << w << "'";
+    EXPECT_EQ(left.accepts(w, Policy::wait()).accepted, w == "abc") << w;
+  }
+}
+
+TEST(LanguageOps, ConcatRefusesTimedSchedules) {
+  const TvgAutomaton fig1 = make_anbn_tvg(2, 3).automaton();
+  const TvgAutomaton stat =
+      regular_to_tvg(fa::regex_to_min_dfa("a", "ab"));
+  EXPECT_THROW((void)tvg_concat(fig1, stat), std::domain_error);
+  EXPECT_THROW((void)tvg_concat(stat, fig1), std::domain_error);
+}
+
+}  // namespace
+}  // namespace tvg::core

@@ -1,0 +1,108 @@
+// Unit tests for latency functions and their Theorem 2.3 dilation law.
+#include <gtest/gtest.h>
+
+#include "tvg/latency.hpp"
+
+namespace tvg {
+namespace {
+
+TEST(Latency, Constant) {
+  const Latency l = Latency::constant(5);
+  EXPECT_TRUE(l.is_constant());
+  EXPECT_TRUE(l.is_affine());
+  EXPECT_EQ(l.constant_value(), 5);
+  EXPECT_EQ(l(0), 5);
+  EXPECT_EQ(l(100), 5);
+  EXPECT_EQ(l.arrival(7), 12);
+}
+
+TEST(Latency, AffineIsTableOnesEngine) {
+  // Table 1's ζ(e0, t) = (p-1)·t with p = 2: crossing at t lands at 2t.
+  const Latency l = Latency::affine(1, 0);
+  EXPECT_FALSE(l.is_constant());
+  EXPECT_TRUE(l.is_affine());
+  EXPECT_EQ(l.constant_value(), std::nullopt);
+  EXPECT_EQ(l(5), 5);
+  EXPECT_EQ(l.arrival(5), 10);
+  const auto [a, b] = *l.affine_coefficients();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 0);
+}
+
+TEST(Latency, AffineWithOffset) {
+  const Latency l = Latency::affine(2, 3);
+  EXPECT_EQ(l(0), 3);
+  EXPECT_EQ(l(4), 11);
+  EXPECT_EQ(l.arrival(4), 15);
+}
+
+TEST(Latency, CustomFunction) {
+  const Latency l = Latency::function(
+      [](Time t) { return t % 3; }, "t mod 3");
+  EXPECT_FALSE(l.is_affine());
+  EXPECT_EQ(l(4), 1);
+  EXPECT_EQ(l(6), 0);
+  EXPECT_EQ(l.affine_coefficients(), std::nullopt);
+}
+
+TEST(Latency, NegativeFunctionValuesClampToZero) {
+  const Latency l = Latency::function([](Time) { return Time{-7}; }, "neg");
+  EXPECT_EQ(l(3), 0);
+}
+
+TEST(Latency, EvaluationSaturates) {
+  const Latency l = Latency::affine(kTimeInfinity / 2, kTimeInfinity / 2);
+  EXPECT_EQ(l(3), kTimeInfinity);
+  EXPECT_EQ(l.arrival(3), kTimeInfinity);
+}
+
+TEST(Latency, DilationLawConstant) {
+  // dilate(e) crossed at s·t must arrive at s·(t + ζ(t)).
+  const Latency l = Latency::constant(4);
+  const Latency d = l.dilated(3);
+  for (Time t = 0; t < 20; ++t) {
+    EXPECT_EQ(d.arrival(3 * t), 3 * l.arrival(t)) << "t=" << t;
+  }
+}
+
+TEST(Latency, DilationLawAffine) {
+  const Latency l = Latency::affine(2, 5);
+  const Latency d = l.dilated(4);
+  for (Time t = 0; t < 20; ++t) {
+    EXPECT_EQ(d.arrival(4 * t), 4 * l.arrival(t)) << "t=" << t;
+  }
+}
+
+TEST(Latency, DilationLawFunction) {
+  const Latency l = Latency::function(
+      [](Time t) { return (t * t) % 11; }, "sq mod 11");
+  const Latency d = l.dilated(5);
+  for (Time t = 0; t < 20; ++t) {
+    EXPECT_EQ(d.arrival(5 * t), 5 * l.arrival(t)) << "t=" << t;
+  }
+}
+
+TEST(Latency, DilationByOneIsIdentity) {
+  const Latency l = Latency::affine(3, 1);
+  const Latency d = l.dilated(1);
+  for (Time t = 0; t < 10; ++t) EXPECT_EQ(d(t), l(t));
+}
+
+TEST(Latency, InvalidArgumentsThrow) {
+  EXPECT_THROW(Latency::constant(-1), std::invalid_argument);
+  EXPECT_THROW(Latency::affine(-1, 0), std::invalid_argument);
+  EXPECT_THROW(Latency::affine(0, -1), std::invalid_argument);
+  EXPECT_THROW(Latency::function(nullptr), std::invalid_argument);
+  EXPECT_THROW(Latency::constant(1).dilated(0), std::invalid_argument);
+}
+
+TEST(Latency, ToString) {
+  EXPECT_EQ(Latency::constant(7).to_string(), "7");
+  EXPECT_EQ(Latency::affine(2, 0).to_string(), "2t");
+  EXPECT_EQ(Latency::affine(2, 3).to_string(), "2t+3");
+  EXPECT_EQ(Latency::function([](Time t) { return t; }, "id").to_string(),
+            "id");
+}
+
+}  // namespace
+}  // namespace tvg

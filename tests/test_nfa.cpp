@@ -1,0 +1,161 @@
+// Unit tests for the NFA substrate: Thompson algebra, simulation,
+// emptiness, enumeration, trimming, reversal.
+#include <gtest/gtest.h>
+
+#include "fa/nfa.hpp"
+
+namespace tvg::fa {
+namespace {
+
+TEST(Nfa, LiteralAndWordLang) {
+  const Nfa a = Nfa::literal('x', "xy");
+  EXPECT_TRUE(a.accepts("x"));
+  EXPECT_FALSE(a.accepts("y"));
+  EXPECT_FALSE(a.accepts(""));
+  EXPECT_FALSE(a.accepts("xx"));
+  const Nfa w = Nfa::word_lang("xyx", "xy");
+  EXPECT_TRUE(w.accepts("xyx"));
+  EXPECT_FALSE(w.accepts("xy"));
+  EXPECT_FALSE(w.accepts("xyxy"));
+}
+
+TEST(Nfa, EpsilonLangAndEmptyLang) {
+  const Nfa eps = Nfa::epsilon_lang("ab");
+  EXPECT_TRUE(eps.accepts(""));
+  EXPECT_FALSE(eps.accepts("a"));
+  const Nfa none = Nfa::empty_lang("ab");
+  EXPECT_FALSE(none.accepts(""));
+  EXPECT_TRUE(none.empty_language());
+  EXPECT_FALSE(eps.empty_language());
+}
+
+TEST(Nfa, UnionConcatStar) {
+  const Nfa a = Nfa::literal('a', "ab");
+  const Nfa b = Nfa::literal('b', "ab");
+  const Nfa u = Nfa::union_of(a, b);
+  EXPECT_TRUE(u.accepts("a"));
+  EXPECT_TRUE(u.accepts("b"));
+  EXPECT_FALSE(u.accepts("ab"));
+  const Nfa c = Nfa::concat(a, b);
+  EXPECT_TRUE(c.accepts("ab"));
+  EXPECT_FALSE(c.accepts("a"));
+  EXPECT_FALSE(c.accepts("ba"));
+  const Nfa s = Nfa::star(c);
+  EXPECT_TRUE(s.accepts(""));
+  EXPECT_TRUE(s.accepts("ab"));
+  EXPECT_TRUE(s.accepts("abab"));
+  EXPECT_FALSE(s.accepts("aba"));
+}
+
+TEST(Nfa, PlusAndOptional) {
+  const Nfa a = Nfa::literal('a', "a");
+  EXPECT_FALSE(Nfa::plus(a).accepts(""));
+  EXPECT_TRUE(Nfa::plus(a).accepts("a"));
+  EXPECT_TRUE(Nfa::plus(a).accepts("aaa"));
+  EXPECT_TRUE(Nfa::optional(a).accepts(""));
+  EXPECT_TRUE(Nfa::optional(a).accepts("a"));
+  EXPECT_FALSE(Nfa::optional(a).accepts("aa"));
+}
+
+TEST(Nfa, EpsilonClosureChains) {
+  Nfa n(4, "a");
+  n.add_epsilon(0, 1);
+  n.add_epsilon(1, 2);
+  n.add_transition(2, 'a', 3);
+  n.set_initial(0);
+  n.set_accepting(3);
+  EXPECT_TRUE(n.accepts("a"));
+  std::set<State> s{0};
+  n.epsilon_close(s);
+  EXPECT_EQ(s, (std::set<State>{0, 1, 2}));
+}
+
+TEST(Nfa, EpsilonCycleTerminates) {
+  Nfa n(2, "a");
+  n.add_epsilon(0, 1);
+  n.add_epsilon(1, 0);
+  n.set_initial(0);
+  n.set_accepting(1);
+  EXPECT_TRUE(n.accepts(""));
+}
+
+TEST(Nfa, ShortestWord) {
+  const Nfa c = Nfa::concat(Nfa::literal('a', "ab"),
+                            Nfa::star(Nfa::literal('b', "ab")));
+  EXPECT_EQ(c.shortest_word(), "a");
+  EXPECT_EQ(Nfa::empty_lang("ab").shortest_word(), std::nullopt);
+  EXPECT_EQ(Nfa::epsilon_lang("ab").shortest_word(), Word{});
+}
+
+TEST(Nfa, ShortestWordThroughEpsilonOnlyPath) {
+  Nfa n(3, "a");
+  n.add_epsilon(0, 1);
+  n.add_epsilon(1, 2);
+  n.set_initial(0);
+  n.set_accepting(2);
+  EXPECT_EQ(n.shortest_word(), Word{});
+}
+
+TEST(Nfa, EnumerateLengthLexOrder) {
+  const Nfa s = Nfa::star(Nfa::literal('a', "ab"));
+  const auto words = s.enumerate(3);
+  EXPECT_EQ(words, (std::vector<Word>{"", "a", "aa", "aaa"}));
+  const Nfa u =
+      Nfa::union_of(Nfa::literal('a', "ab"), Nfa::literal('b', "ab"));
+  EXPECT_EQ(u.enumerate(2), (std::vector<Word>{"a", "b"}));
+}
+
+TEST(Nfa, EnumerateRespectsCap) {
+  const Nfa s = Nfa::star(
+      Nfa::union_of(Nfa::literal('a', "ab"), Nfa::literal('b', "ab")));
+  EXPECT_EQ(s.enumerate(10, 5).size(), 5u);
+}
+
+TEST(Nfa, TrimmedRemovesUselessStates) {
+  Nfa n(5, "a");
+  n.add_transition(0, 'a', 1);
+  n.add_transition(1, 'a', 2);
+  n.add_transition(3, 'a', 1);  // unreachable from initial
+  n.add_transition(1, 'a', 4);  // 4 cannot reach accepting
+  n.set_initial(0);
+  n.set_accepting(2);
+  const Nfa t = n.trimmed();
+  EXPECT_EQ(t.state_count(), 3u);
+  EXPECT_TRUE(t.accepts("aa"));
+  EXPECT_FALSE(t.accepts("a"));
+}
+
+TEST(Nfa, ReversedAcceptsMirror) {
+  const Nfa ab = Nfa::word_lang("ab", "ab");
+  const Nfa ba = ab.reversed();
+  EXPECT_TRUE(ba.accepts("ba"));
+  EXPECT_FALSE(ba.accepts("ab"));
+}
+
+TEST(Nfa, AlphabetWidening) {
+  Nfa n = Nfa::literal('a', "a");
+  EXPECT_EQ(n.alphabet(), "a");
+  n.widen_alphabet("cb");
+  EXPECT_EQ(n.alphabet(), "abc");
+  n.add_state();
+  n.add_transition(0, 'z', 1);  // unseen symbols widen automatically
+  EXPECT_EQ(n.alphabet(), "abcz");
+}
+
+TEST(Nfa, InvalidStatesThrow) {
+  Nfa n(1, "a");
+  EXPECT_THROW(n.add_transition(0, 'a', 5), std::out_of_range);
+  EXPECT_THROW(n.add_epsilon(5, 0), std::out_of_range);
+  EXPECT_THROW(n.set_initial(9), std::out_of_range);
+  EXPECT_THROW(n.set_accepting(9), std::out_of_range);
+}
+
+TEST(Nfa, ToDotMentionsStates) {
+  const Nfa a = Nfa::literal('a', "a");
+  const std::string dot = a.to_dot();
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"a\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tvg::fa

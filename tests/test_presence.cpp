@@ -1,0 +1,218 @@
+// Unit tests for presence functions: every schedule family, next_present
+// exactness, and Theorem 2.3 dilation.
+#include <gtest/gtest.h>
+
+#include "tvg/presence.hpp"
+
+namespace tvg {
+namespace {
+
+TEST(Presence, Always) {
+  const Presence p = Presence::always();
+  EXPECT_TRUE(p.is_always());
+  EXPECT_FALSE(p.is_never());
+  EXPECT_TRUE(p.is_semi_periodic());
+  EXPECT_TRUE(p.present(0));
+  EXPECT_TRUE(p.present(1'000'000'000));
+  EXPECT_FALSE(p.present(-1));  // before the lifetime
+  EXPECT_EQ(p.next_present(42), 42);
+  EXPECT_EQ(p.next_present(-5), 0);
+}
+
+TEST(Presence, Never) {
+  const Presence p = Presence::never();
+  EXPECT_TRUE(p.is_never());
+  EXPECT_FALSE(p.present(7));
+  EXPECT_EQ(p.next_present(0), std::nullopt);
+}
+
+TEST(Presence, Intervals) {
+  const Presence p = Presence::intervals(IntervalSet({{3, 5}, {9, 10}}));
+  EXPECT_FALSE(p.present(2));
+  EXPECT_TRUE(p.present(3));
+  EXPECT_TRUE(p.present(4));
+  EXPECT_FALSE(p.present(5));
+  EXPECT_TRUE(p.present(9));
+  EXPECT_FALSE(p.present(10));
+  EXPECT_FALSE(p.present(1'000'000));
+  EXPECT_EQ(p.next_present(0), 3);
+  EXPECT_EQ(p.next_present(5), 9);
+  EXPECT_EQ(p.next_present(10), std::nullopt);
+}
+
+TEST(Presence, AtTimes) {
+  const Presence p = Presence::at_times({2, 7, 7, 5});
+  EXPECT_TRUE(p.present(2));
+  EXPECT_TRUE(p.present(5));
+  EXPECT_TRUE(p.present(7));
+  EXPECT_FALSE(p.present(3));
+  EXPECT_EQ(p.next_present(3), 5);
+  EXPECT_EQ(p.next_present(8), std::nullopt);
+}
+
+TEST(Presence, Periodic) {
+  // Present on residues {0, 3} of period 5.
+  const Presence p = Presence::periodic(5, IntervalSet::from_points({0, 3}));
+  for (Time k = 0; k < 4; ++k) {
+    EXPECT_TRUE(p.present(5 * k));
+    EXPECT_TRUE(p.present(5 * k + 3));
+    EXPECT_FALSE(p.present(5 * k + 1));
+    EXPECT_FALSE(p.present(5 * k + 2));
+    EXPECT_FALSE(p.present(5 * k + 4));
+  }
+  EXPECT_EQ(p.next_present(1), 3);
+  EXPECT_EQ(p.next_present(4), 5);   // wraps to next period
+  EXPECT_EQ(p.next_present(13), 13);  // 13 ≡ 3 (mod 5) is present
+  EXPECT_EQ(p.next_present(14), 15);
+}
+
+TEST(Presence, PeriodicEmptyPatternIsNever) {
+  const Presence p = Presence::periodic(4, IntervalSet{});
+  EXPECT_TRUE(p.is_never());
+  EXPECT_EQ(p.next_present(0), std::nullopt);
+}
+
+TEST(Presence, SemiPeriodicInitialThenPattern) {
+  // Present at {1, 2} during [0, 4), then on residue 0 of period 3.
+  const Presence p = Presence::semi_periodic(
+      4, IntervalSet::single(1, 3), 3, IntervalSet::from_points({0}));
+  EXPECT_FALSE(p.present(0));
+  EXPECT_TRUE(p.present(1));
+  EXPECT_TRUE(p.present(2));
+  EXPECT_FALSE(p.present(3));
+  EXPECT_TRUE(p.present(4));   // (4-4)%3 == 0
+  EXPECT_FALSE(p.present(5));
+  EXPECT_TRUE(p.present(7));
+  EXPECT_TRUE(p.present(10));
+  EXPECT_EQ(p.next_present(0), 1);
+  EXPECT_EQ(p.next_present(3), 4);
+  EXPECT_EQ(p.next_present(5), 7);
+}
+
+TEST(Presence, EventuallyAlways) {
+  const Presence p = Presence::eventually_always(6);  // Table 1's "t > 5"
+  EXPECT_FALSE(p.present(5));
+  EXPECT_TRUE(p.present(6));
+  EXPECT_TRUE(p.present(1'000'000));
+  EXPECT_EQ(p.next_present(2), 6);
+  EXPECT_EQ(p.next_present(9), 9);
+  EXPECT_FALSE(Presence::eventually_always(0).present(-1));
+  EXPECT_TRUE(Presence::eventually_always(0).is_always());
+}
+
+TEST(Presence, PredicateWithScan) {
+  const Presence p = Presence::predicate(
+      [](Time t) { return t % 7 == 3; }, "t%7==3", /*scan_limit=*/100);
+  EXPECT_TRUE(p.present(3));
+  EXPECT_TRUE(p.present(10));
+  EXPECT_FALSE(p.present(4));
+  EXPECT_FALSE(p.is_semi_periodic());
+  EXPECT_EQ(p.next_present(4), 10);
+  EXPECT_EQ(p.next_present(10), 10);
+}
+
+TEST(Presence, PredicateScanLimitReportsNeverBeyond) {
+  const Presence p = Presence::predicate(
+      [](Time t) { return t == 1000; }, "t==1000", /*scan_limit=*/10);
+  EXPECT_EQ(p.next_present(0), std::nullopt);  // scan too short — honest cap
+  EXPECT_EQ(p.next_present(995), 1000);
+}
+
+TEST(Presence, PredicateWithNextIsExact) {
+  const Presence p = Presence::predicate_with_next(
+      [](Time t) { return t % 100 == 0 && t > 0; },
+      [](Time from) -> std::optional<Time> {
+        if (from <= 100) return 100;
+        return ((from + 99) / 100) * 100;
+      },
+      "centuries");
+  EXPECT_EQ(p.next_present(1), 100);
+  EXPECT_EQ(p.next_present(101), 200);
+  EXPECT_TRUE(p.present(300));
+}
+
+TEST(Presence, DilationSemiPeriodic) {
+  const Presence p = Presence::periodic(3, IntervalSet::from_points({1}));
+  const Presence d = p.dilated(4);
+  // Present originally at 1, 4, 7, ... -> dilated at 4, 16, 28, ...
+  for (Time t = 0; t < 60; ++t) {
+    const bool expected = t % 4 == 0 && p.present(t / 4);
+    EXPECT_EQ(d.present(t), expected) << "t=" << t;
+  }
+  EXPECT_EQ(d.next_present(0), 4);
+  EXPECT_EQ(d.next_present(5), 16);
+}
+
+TEST(Presence, DilationAlwaysKeepsOnlyMultiples) {
+  const Presence d = Presence::always().dilated(3);
+  EXPECT_TRUE(d.present(0));
+  EXPECT_FALSE(d.present(1));
+  EXPECT_FALSE(d.present(2));
+  EXPECT_TRUE(d.present(3));
+  EXPECT_EQ(d.next_present(1), 3);
+}
+
+TEST(Presence, DilationByOneIsIdentity) {
+  const Presence p = Presence::at_times({2, 9});
+  const Presence d = p.dilated(1);
+  for (Time t = 0; t < 12; ++t) EXPECT_EQ(d.present(t), p.present(t));
+}
+
+TEST(Presence, DilationPredicate) {
+  const Presence p = Presence::predicate(
+      [](Time t) { return t % 2 == 1; }, "odd", 64);
+  const Presence d = p.dilated(3);
+  // Present at 3·t for odd t: 3, 9, 15...
+  EXPECT_TRUE(d.present(3));
+  EXPECT_FALSE(d.present(6));
+  EXPECT_TRUE(d.present(9));
+  EXPECT_FALSE(d.present(4));
+  EXPECT_EQ(d.next_present(4), 9);
+}
+
+TEST(Presence, DilationPredicateWithNextStaysExact) {
+  const Presence p = Presence::predicate_with_next(
+      [](Time t) { return t == 5; },
+      [](Time from) -> std::optional<Time> {
+        if (from <= 5) return 5;
+        return std::nullopt;
+      },
+      "only5");
+  const Presence d = p.dilated(7);
+  EXPECT_TRUE(d.present(35));
+  EXPECT_FALSE(d.present(36));
+  EXPECT_EQ(d.next_present(0), 35);
+  EXPECT_EQ(d.next_present(36), std::nullopt);
+}
+
+TEST(Presence, SemiPeriodicAccessors) {
+  const Presence p = Presence::semi_periodic(
+      4, IntervalSet::single(1, 3), 3, IntervalSet::from_points({0}));
+  EXPECT_EQ(p.initial_length(), 4);
+  EXPECT_EQ(p.period(), 3);
+  EXPECT_TRUE(p.initial().contains(1));
+  EXPECT_TRUE(p.pattern().contains(0));
+}
+
+TEST(Presence, InvalidArgumentsThrow) {
+  EXPECT_THROW(Presence::periodic(0, IntervalSet{}), std::invalid_argument);
+  EXPECT_THROW(Presence::semi_periodic(-1, IntervalSet{}, 2, IntervalSet{}),
+               std::invalid_argument);
+  EXPECT_THROW(Presence::predicate(nullptr), std::invalid_argument);
+  EXPECT_THROW(Presence::always().dilated(0), std::invalid_argument);
+}
+
+TEST(Presence, ToStringIsInformative) {
+  EXPECT_EQ(Presence::always().to_string(), "always");
+  EXPECT_EQ(Presence::never().to_string(), "never");
+  EXPECT_NE(Presence::periodic(3, IntervalSet::from_points({0}))
+                .to_string()
+                .find("P=3"),
+            std::string::npos);
+  EXPECT_EQ(Presence::predicate([](Time) { return true; }, "myname")
+                .to_string(),
+            "myname");
+}
+
+}  // namespace
+}  // namespace tvg

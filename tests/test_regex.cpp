@@ -1,0 +1,93 @@
+// Unit tests for the regex front-end.
+#include <gtest/gtest.h>
+
+#include "fa/regex.hpp"
+
+namespace tvg::fa {
+namespace {
+
+TEST(Regex, Literals) {
+  EXPECT_TRUE(regex_match("abc", "abc"));
+  EXPECT_FALSE(regex_match("abc", "ab"));
+  EXPECT_FALSE(regex_match("abc", "abcd"));
+}
+
+TEST(Regex, EmptyPatternIsEpsilon) {
+  EXPECT_TRUE(regex_match("", ""));
+  EXPECT_FALSE(regex_match("", "a"));
+}
+
+TEST(Regex, Alternation) {
+  EXPECT_TRUE(regex_match("cat|dog", "cat"));
+  EXPECT_TRUE(regex_match("cat|dog", "dog"));
+  EXPECT_FALSE(regex_match("cat|dog", "cot"));
+  EXPECT_TRUE(regex_match("a|b|c", "c"));
+}
+
+TEST(Regex, Repetitions) {
+  EXPECT_TRUE(regex_match("ab*", "a"));
+  EXPECT_TRUE(regex_match("ab*", "abbb"));
+  EXPECT_FALSE(regex_match("ab+", "a"));
+  EXPECT_TRUE(regex_match("ab+", "abb"));
+  EXPECT_TRUE(regex_match("ab?", "a"));
+  EXPECT_TRUE(regex_match("ab?", "ab"));
+  EXPECT_FALSE(regex_match("ab?", "abb"));
+}
+
+TEST(Regex, GroupingAndNesting) {
+  EXPECT_TRUE(regex_match("(ab)*", ""));
+  EXPECT_TRUE(regex_match("(ab)*", "abab"));
+  EXPECT_FALSE(regex_match("(ab)*", "aba"));
+  EXPECT_TRUE(regex_match("((a|b)c)+", "acbc"));
+  EXPECT_TRUE(regex_match("(a(b|c)*d)?", "abccbd"));
+  EXPECT_TRUE(regex_match("(a(b|c)*d)?", ""));
+}
+
+TEST(Regex, DoubleStarParses) {
+  EXPECT_TRUE(regex_match("a**", "aaa"));
+  EXPECT_TRUE(regex_match("(a*)*", ""));
+}
+
+TEST(Regex, DotMatchesAlphabet) {
+  EXPECT_TRUE(regex_match(".", "a", "ab"));
+  EXPECT_TRUE(regex_match(".", "b", "ab"));
+  EXPECT_FALSE(regex_match(".", "c", "ab"));
+  EXPECT_TRUE(regex_match(".*abb", "bbabb", "ab"));
+}
+
+TEST(Regex, Escapes) {
+  EXPECT_TRUE(regex_match("\\*", "*"));
+  EXPECT_TRUE(regex_match("a\\|b", "a|b"));
+  EXPECT_FALSE(regex_match("a\\|b", "a"));
+  EXPECT_TRUE(regex_match("\\(\\)", "()"));
+}
+
+TEST(Regex, TheWaitCollapseLanguage) {
+  // b⁺ | ab | a⁺bb⁺ — the language Figure 1 collapses to under Wait.
+  const std::string pattern = "b+|ab|a+bb+";
+  EXPECT_TRUE(regex_match(pattern, "b"));
+  EXPECT_TRUE(regex_match(pattern, "bbb"));
+  EXPECT_TRUE(regex_match(pattern, "ab"));
+  EXPECT_TRUE(regex_match(pattern, "abb"));
+  EXPECT_TRUE(regex_match(pattern, "aaabbbb"));
+  EXPECT_FALSE(regex_match(pattern, "aab"));
+  EXPECT_FALSE(regex_match(pattern, "a"));
+  EXPECT_FALSE(regex_match(pattern, "ba"));
+}
+
+TEST(Regex, SyntaxErrorsThrow) {
+  EXPECT_THROW(parse_regex("("), std::invalid_argument);
+  EXPECT_THROW(parse_regex("a)"), std::invalid_argument);
+  EXPECT_THROW(parse_regex("*a"), std::invalid_argument);
+  EXPECT_THROW(parse_regex("a\\"), std::invalid_argument);
+  EXPECT_THROW(parse_regex("a(b"), std::invalid_argument);
+}
+
+TEST(Regex, MinDfaPipeline) {
+  const Dfa d = regex_to_min_dfa("(a|b)*abb");
+  EXPECT_EQ(d.state_count(), 4u);
+  EXPECT_TRUE(d.accepts("abb"));
+}
+
+}  // namespace
+}  // namespace tvg::fa

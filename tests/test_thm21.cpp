@@ -1,0 +1,176 @@
+// E2 — Theorem 2.1: L_nowait contains all computable languages.
+// The construction is exercised with C++ oracles AND with real Turing
+// machines running inside the presence function, across the standard
+// language suite — including languages far outside context-free.
+#include <gtest/gtest.h>
+
+#include "core/constructions.hpp"
+#include "core/expressivity.hpp"
+#include "tm/machines.hpp"
+
+namespace tvg::core {
+namespace {
+
+TEST(Encoding, RoundTripsAllShortWords) {
+  for (const std::string alphabet : {"ab", "abc", "a", "xyzw"}) {
+    for (const Word& w : all_words(alphabet, 5)) {
+      const Time t = encode_word(w, alphabet);
+      EXPECT_EQ(decode_time(t, alphabet), w) << "'" << w << "'";
+    }
+  }
+}
+
+TEST(Encoding, IsInjectiveOnShortWords) {
+  std::set<Time> seen;
+  for (const Word& w : all_words("ab", 8)) {
+    EXPECT_TRUE(seen.insert(encode_word(w, "ab")).second) << w;
+  }
+}
+
+TEST(Encoding, EpsilonIsOne) {
+  EXPECT_EQ(encode_word("", "ab"), 1);
+  EXPECT_EQ(decode_time(1, "ab"), Word{});
+}
+
+TEST(Encoding, RejectsGarbageTimes) {
+  EXPECT_EQ(decode_time(0, "ab"), std::nullopt);
+  EXPECT_EQ(decode_time(-5, "ab"), std::nullopt);
+  // 3 = 0·K + ... for K = 3: digits contain a zero -> not an encoding.
+  EXPECT_EQ(decode_time(3, "ab"), std::nullopt);
+  EXPECT_EQ(decode_time(9, "ab"), std::nullopt);  // 9 = 1,0,0 in base 3
+}
+
+TEST(Encoding, RejectsForeignSymbolsAndOverflow) {
+  EXPECT_THROW((void)encode_word("az", "ab"), std::invalid_argument);
+  EXPECT_THROW((void)encode_word(Word(64, 'a'), "ab"), std::overflow_error);
+}
+
+TEST(Thm21, ConstructionShape) {
+  const ComputableConstruction c = computable_to_tvg(
+      tm::Decider::from_function(tm::is_anbn, "anbn", "ab"));
+  EXPECT_EQ(c.K, 3);
+  // One self-loop and one accepting edge per symbol.
+  EXPECT_EQ(c.graph.edge_count(), 4u);
+  EXPECT_GE(c.max_word_length, 35u);  // base-3 capacity of int64
+  EXPECT_FALSE(c.eps_acc.has_value());  // ε not in anbn
+}
+
+TEST(Thm21, EpsilonHandling) {
+  const ComputableConstruction with_eps = computable_to_tvg(
+      tm::Decider::from_function(tm::has_even_a, "even_a", "ab"));
+  ASSERT_TRUE(with_eps.eps_acc.has_value());  // ε has zero a's
+  const TvgAutomaton a = with_eps.automaton();
+  EXPECT_TRUE(a.accepts("", Policy::no_wait()).accepted);
+  const ComputableConstruction without = computable_to_tvg(
+      tm::Decider::from_function(tm::is_anbn, "anbn", "ab"));
+  EXPECT_FALSE(without.automaton().accepts("", Policy::no_wait()).accepted);
+}
+
+struct SuiteCase {
+  const char* name;
+  const char* alphabet;
+  bool (*oracle)(const std::string&);
+  int max_len;
+};
+
+class Thm21Suite : public ::testing::TestWithParam<SuiteCase> {};
+
+TEST_P(Thm21Suite, NoWaitLanguageEqualsOracleExhaustively) {
+  const auto& param = GetParam();
+  const ComputableConstruction c = computable_to_tvg(
+      tm::Decider::from_function(param.oracle, param.name, param.alphabet));
+  const TvgAutomaton a = c.automaton();
+  const auto words =
+      all_words(param.alphabet, static_cast<std::size_t>(param.max_len));
+  const OracleComparison cmp =
+      compare_with_oracle(a, Policy::no_wait(), param.oracle, words);
+  EXPECT_TRUE(cmp.perfect())
+      << param.name << ": " << cmp.mismatches.size() << " mismatches, first: "
+      << (cmp.mismatches.empty() ? "-" : cmp.mismatches.front());
+  EXPECT_GT(cmp.accepted_by_both, 0u) << "vacuous test for " << param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StandardLanguages, Thm21Suite,
+    ::testing::Values(
+        SuiteCase{"anbn", "ab", tm::is_anbn, 10},
+        SuiteCase{"anbncn", "abc", tm::is_anbncn, 7},
+        SuiteCase{"palindrome", "ab", tm::is_palindrome, 9},
+        SuiteCase{"even_a", "ab", tm::has_even_a, 8},
+        SuiteCase{"dyck1", "ab", tm::is_dyck, 9},
+        SuiteCase{"ww", "ab", tm::is_ww, 8},
+        SuiteCase{"unary_prime", "a", tm::is_unary_prime, 30}),
+    [](const ::testing::TestParamInfo<SuiteCase>& info) {
+      return info.param.name;
+    });
+
+TEST(Thm21, TuringMachineInsideThePresenceFunction) {
+  // The honest version: the schedule literally runs a DTM to decide
+  // whether the accepting edge exists. Computable => expressible.
+  const ComputableConstruction c = computable_to_tvg(
+      tm::Decider::from_machine(tm::make_anbncn_machine(), "anbncn-tm",
+                                "abc"));
+  const TvgAutomaton a = c.automaton();
+  const OracleComparison cmp = compare_with_oracle(
+      a, Policy::no_wait(), tm::is_anbncn, all_words("abc", 6));
+  EXPECT_TRUE(cmp.perfect());
+  EXPECT_TRUE(a.accepts("aabbcc", Policy::no_wait()).accepted);
+  EXPECT_FALSE(a.accepts("aabbc", Policy::no_wait()).accepted);
+}
+
+TEST(Thm21, WitnessJourneyTimesAreTheEncodings) {
+  // The construction's defining invariant: after reading w (staying on
+  // the hub), the configuration time IS encode(w).
+  const ComputableConstruction c = computable_to_tvg(
+      tm::Decider::from_function(tm::is_anbn, "anbn", "ab"));
+  const TvgAutomaton a = c.automaton();
+  const AcceptResult r = a.accepts("aabb", Policy::no_wait());
+  ASSERT_TRUE(r.accepted);
+  ASSERT_TRUE(r.witness.has_value());
+  const Journey& j = *r.witness;
+  EXPECT_TRUE(validate_journey(c.graph, j, Policy::no_wait()).ok);
+  // Departure of leg i equals the encoding of the first i symbols.
+  for (std::size_t i = 0; i < j.legs.size(); ++i) {
+    EXPECT_EQ(j.legs[i].departure, encode_word(Word("aabb").substr(0, i),
+                                               c.alphabet))
+        << "leg " << i;
+  }
+  EXPECT_EQ(j.arrival(c.graph), encode_word("aabb", c.alphabet));
+}
+
+TEST(Thm21, LongWordsUpToEncodingCapacity) {
+  const ComputableConstruction c = computable_to_tvg(
+      tm::Decider::from_function(tm::is_unary_prime, "primes", "a"));
+  const TvgAutomaton a = c.automaton();
+  // Unary over {a}: K = 2, capacity ~62 symbols.
+  ASSERT_GE(c.max_word_length, 60u);
+  EXPECT_TRUE(a.accepts(Word(61, 'a'), Policy::no_wait()).accepted);
+  EXPECT_FALSE(a.accepts(Word(60, 'a'), Policy::no_wait()).accepted);
+  EXPECT_TRUE(a.accepts(Word(59, 'a'), Policy::no_wait()).accepted);
+}
+
+TEST(Thm21, WaitDestroysTheEncoding) {
+  // Under Wait the same graph accepts much more than L: the time-as-word
+  // invariant breaks (one can idle at the hub). Expressivity collapse in
+  // action: check L_wait ⊋ L on a non-member.
+  const ComputableConstruction c = computable_to_tvg(
+      tm::Decider::from_function(tm::is_anbn, "anbn", "ab"));
+  const TvgAutomaton a = c.automaton();
+  AcceptOptions opt;
+  opt.departures_per_edge = 4;
+  // "ab" in L. "aab" not in L_nowait — but reachable with waiting? The
+  // accepting edge for 'b' is present at t with decode(3t+2) ∈ L; after
+  // reading "aa" directly, t = enc("aa") = 13; waiting to t' = 16 makes
+  // 3·16+2 = 50 = enc("aab")? decode(50): 50 = 1,2,1,2 base 3 -> "abab"?
+  // Rather than hand-pick, scan: some word outside L must be accepted.
+  const auto lang = a.enumerate_language(4, Policy::wait(), opt, 1000);
+  bool found_extra = false;
+  for (const Word& w : lang) {
+    if (!tm::is_anbn(w)) found_extra = true;
+  }
+  EXPECT_TRUE(found_extra)
+      << "Wait should break the counting construction";
+}
+
+}  // namespace
+}  // namespace tvg::core

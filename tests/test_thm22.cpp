@@ -1,0 +1,227 @@
+// E3/E4 — Theorem 2.2: L_wait is exactly the regular languages.
+//  ⊇: regular_to_tvg embeds any DFA into a TVG (checked by equivalence).
+//  ⊆ (effective): semi_periodic_to_nfa compiles TVGs to NFAs that agree
+//     with the configuration search exactly — so L_wait of every graph in
+//     the fragment is machine-verifiably regular.
+#include <gtest/gtest.h>
+
+#include "core/constructions.hpp"
+#include "core/expressivity.hpp"
+#include "core/periodic_nfa.hpp"
+#include "fa/regex.hpp"
+#include "tvg/generators.hpp"
+
+namespace tvg::core {
+namespace {
+
+// ----------------------------------------------------------------------
+// ⊇ direction: regular ⊆ L_wait.
+// ----------------------------------------------------------------------
+
+class RegularToTvg : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RegularToTvg, WaitAndNoWaitLanguagesEqualTheRegex) {
+  const std::string pattern = GetParam();
+  const fa::Dfa dfa = fa::regex_to_min_dfa(pattern, "ab");
+  const TvgAutomaton a = regular_to_tvg(dfa);
+  for (const Word& w : all_words("ab", 7)) {
+    const bool expected = dfa.accepts(w);
+    EXPECT_EQ(a.accepts(w, Policy::wait()).accepted, expected)
+        << pattern << " / '" << w << "' (wait)";
+    EXPECT_EQ(a.accepts(w, Policy::no_wait()).accepted, expected)
+        << pattern << " / '" << w << "' (nowait)";
+    EXPECT_EQ(a.accepts(w, Policy::bounded_wait(3)).accepted, expected)
+        << pattern << " / '" << w << "' (wait[3])";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regexes, RegularToTvg,
+    ::testing::Values("a+b+", "(ab)*", "(a|b)*abb", "b+|ab|a+bb+",
+                      "(b*ab*ab*)*|b*", "", "a?b?a?"));
+
+TEST(RegularToTvg, RoundTripThroughThePipeline) {
+  // regex -> DFA -> TVG -> (semi-periodic pipeline) -> NFA -> min DFA
+  // must land back on the same language. Full-circle Theorem 2.2.
+  for (const std::string pattern :
+       {"a+b+", "(ab)*", "(a|b)*abb", "b+|ab|a+bb+"}) {
+    const fa::Dfa original = fa::regex_to_min_dfa(pattern, "ab");
+    const TvgAutomaton a = regular_to_tvg(original);
+    ASSERT_TRUE(in_semi_periodic_fragment(a));
+    for (const Policy policy :
+         {Policy::no_wait(), Policy::wait(), Policy::bounded_wait(2)}) {
+      const fa::Nfa nfa = semi_periodic_to_nfa(a, policy);
+      const fa::Dfa back = fa::Dfa::determinize(nfa).minimized();
+      Word counterexample;
+      EXPECT_TRUE(fa::Dfa::equivalent(original, back, &counterexample))
+          << pattern << " under " << policy.to_string()
+          << ", differs on: '" << counterexample << "'";
+      EXPECT_EQ(back.state_count(), original.state_count());
+    }
+  }
+}
+
+// ----------------------------------------------------------------------
+// ⊆ direction, effective on the fragment: the NFA pipeline is EXACT.
+// ----------------------------------------------------------------------
+
+struct FragmentCase {
+  std::uint64_t seed;
+  Time period;
+  std::size_t nodes;
+  std::size_t edges;
+};
+
+class PipelineVsSearch : public ::testing::TestWithParam<FragmentCase> {};
+
+TEST_P(PipelineVsSearch, NfaAgreesWithConfigurationSearch) {
+  const auto& param = GetParam();
+  RandomPeriodicParams gen;
+  gen.nodes = param.nodes;
+  gen.edges = param.edges;
+  gen.period = param.period;
+  gen.max_latency = 2;
+  gen.seed = param.seed;
+  TimeVaryingGraph g = make_random_periodic(gen);
+  TvgAutomaton a(std::move(g), 0);
+  a.set_initial(0);
+  a.set_accepting(param.nodes - 1);
+  ASSERT_TRUE(in_semi_periodic_fragment(a));
+
+  AcceptOptions opt;
+  opt.horizon = 400;  // generous: periods are tiny
+  for (const Policy policy : {Policy::no_wait(), Policy::wait(),
+                              Policy::bounded_wait(1),
+                              Policy::bounded_wait(3)}) {
+    const fa::Nfa nfa = semi_periodic_to_nfa(a, policy);
+    for (const Word& w : all_words("ab", 5)) {
+      EXPECT_EQ(nfa.accepts(w), a.accepts(w, policy, opt).accepted)
+          << "seed=" << param.seed << " policy=" << policy.to_string()
+          << " w='" << w << "'";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPeriodic, PipelineVsSearch,
+    ::testing::Values(FragmentCase{1, 4, 4, 10}, FragmentCase{2, 6, 5, 12},
+                      FragmentCase{3, 3, 3, 8}, FragmentCase{4, 8, 4, 9},
+                      FragmentCase{5, 5, 6, 14}, FragmentCase{6, 2, 4, 12},
+                      FragmentCase{7, 12, 3, 7}, FragmentCase{8, 7, 5, 10}));
+
+TEST(Pipeline, HandlesSemiPeriodicInitialSegments) {
+  // Mixed schedule: a one-shot early edge plus a periodic edge.
+  TimeVaryingGraph g;
+  const NodeId u = g.add_node();
+  const NodeId v = g.add_node();
+  const NodeId w = g.add_node();
+  g.add_edge(u, v, 'a', Presence::intervals(IntervalSet::single(0, 3)),
+             Latency::constant(1));
+  g.add_edge(v, w, 'b', Presence::periodic(4, IntervalSet::from_points({2})),
+             Latency::constant(1));
+  TvgAutomaton a(std::move(g), 0);
+  a.set_initial(u);
+  a.set_accepting(w);
+  AcceptOptions opt;
+  opt.horizon = 100;
+  for (const Policy policy : {Policy::no_wait(), Policy::wait(),
+                              Policy::bounded_wait(2)}) {
+    const fa::Nfa nfa = semi_periodic_to_nfa(a, policy);
+    for (const Word& word : all_words("ab", 4)) {
+      EXPECT_EQ(nfa.accepts(word), a.accepts(word, policy, opt).accepted)
+          << policy.to_string() << " '" << word << "'";
+    }
+  }
+  // Concretely: under NoWait reading starts exactly at t=0, arriving v at
+  // 1 where the b-edge (residue 2 of period 4) is absent — rejected;
+  // waiting one unit (or two) makes it feasible.
+  EXPECT_FALSE(semi_periodic_to_nfa(a, Policy::no_wait()).accepts("ab"));
+  EXPECT_TRUE(semi_periodic_to_nfa(a, Policy::bounded_wait(1)).accepts("ab"));
+  EXPECT_TRUE(semi_periodic_to_nfa(a, Policy::wait()).accepts("ab"));
+}
+
+TEST(Pipeline, WaitLanguagesOfPeriodicGraphsAreSmallDfas) {
+  // The regularity claim, quantitatively: minimal DFAs of L_wait stay
+  // small (bounded by node*period structure), never tracking counters.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    RandomPeriodicParams gen;
+    gen.nodes = 5;
+    gen.edges = 12;
+    gen.period = 6;
+    gen.seed = seed;
+    TimeVaryingGraph g = make_random_periodic(gen);
+    TvgAutomaton a(std::move(g), 0);
+    a.set_initial(0);
+    a.set_accepting(4);
+    const fa::Dfa min_dfa =
+        fa::Dfa::determinize(semi_periodic_to_nfa(a, Policy::wait()))
+            .minimized();
+    // |V| = 5: under Wait the reachable residue structure collapses —
+    // tiny automata (the +1 is the dead state).
+    EXPECT_LE(min_dfa.state_count(), 5u * 6u + 1u) << "seed=" << seed;
+  }
+}
+
+TEST(Pipeline, WaitCollapsesResiduesBelowTheSubsetBound) {
+  // Under Wait on a purely periodic graph, transitions out of (v, r) do
+  // not depend on the residue r at all, so the minimal DFA is bounded by
+  // the subset structure over NODES alone — at most 2^|V| + 1 states,
+  // INDEPENDENT of the period. (NoWait automata, by contrast, genuinely
+  // track residues.) "Waiting forgets time", quantitatively.
+  for (std::uint64_t seed = 20; seed <= 26; ++seed) {
+    RandomPeriodicParams gen;
+    gen.nodes = 4;
+    gen.edges = 10;
+    gen.period = 5;
+    gen.seed = seed;
+    TimeVaryingGraph g = make_random_periodic(gen);
+    TvgAutomaton a(std::move(g), 0);
+    a.set_initial(0);
+    a.set_accepting(3);
+    const fa::Dfa min_dfa =
+        fa::Dfa::determinize(semi_periodic_to_nfa(a, Policy::wait()))
+            .minimized();
+    EXPECT_LE(min_dfa.state_count(), (1u << 4) + 1u) << "seed=" << seed;
+  }
+}
+
+TEST(Pipeline, RejectsGraphsOutsideTheFragment) {
+  const AnbnConstruction fig1 = make_anbn_tvg(2, 3);
+  const TvgAutomaton a = fig1.automaton();
+  EXPECT_FALSE(in_semi_periodic_fragment(a));
+  EXPECT_THROW(semi_periodic_to_nfa(a, Policy::wait()), std::domain_error);
+}
+
+TEST(Pipeline, RejectsOversizedStateSpaces) {
+  TimeVaryingGraph g;
+  const NodeId u = g.add_node();
+  const NodeId v = g.add_node();
+  g.add_edge(u, v, 'a', Presence::periodic(997, IntervalSet::from_points({0})),
+             Latency::constant(1));
+  g.add_edge(v, u, 'a', Presence::periodic(991, IntervalSet::from_points({0})),
+             Latency::constant(1));
+  TvgAutomaton a(std::move(g), 0);
+  a.set_initial(u);
+  a.set_accepting(v);
+  PeriodicNfaOptions opt;
+  opt.max_states = 1000;  // lcm(997, 991) blows through this
+  EXPECT_THROW(semi_periodic_to_nfa(a, Policy::wait(), opt),
+               std::domain_error);
+}
+
+TEST(Pipeline, Figure1WaitCollapseCrossCheckedBySampling) {
+  // Figure 1 itself lies outside the fragment (affine latencies,
+  // predicate presences) — that is exactly WHY it can count under
+  // NoWait. Its Wait-language is nevertheless regular; cross-check the
+  // configuration search against the closed form b⁺|ab|a⁺bb⁺ up to
+  // length 9 (also covered in test_figure1; here via the regex engine).
+  const TvgAutomaton a = make_anbn_tvg(2, 3).automaton();
+  const fa::Dfa collapsed = fa::regex_to_min_dfa("b+|ab|a+bb+", "ab");
+  for (const Word& w : all_words("ab", 9)) {
+    EXPECT_EQ(a.accepts(w, Policy::wait()).accepted, collapsed.accepts(w))
+        << "'" << w << "'";
+  }
+}
+
+}  // namespace
+}  // namespace tvg::core

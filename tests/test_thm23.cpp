@@ -1,0 +1,224 @@
+// E5 — Theorem 2.3: L_wait[d] = L_nowait. The dilation construction
+// neutralizes d-bounded waiting; on the semi-periodic fragment the
+// equality L_wait[d](dilate(G, d+1)) = L_nowait(G) is checked EXACTLY
+// (minimal-DFA equivalence), and on Figure 1 by exhaustive sampling.
+#include <gtest/gtest.h>
+
+#include "core/constructions.hpp"
+#include "core/expressivity.hpp"
+#include "core/periodic_nfa.hpp"
+#include "tvg/generators.hpp"
+
+namespace tvg::core {
+namespace {
+
+TEST(Dilation, GraphStructureIsPreserved) {
+  RandomPeriodicParams gen;
+  gen.nodes = 4;
+  gen.edges = 8;
+  gen.seed = 1;
+  const TimeVaryingGraph g = make_random_periodic(gen);
+  const TimeVaryingGraph d = dilate(g, 3);
+  ASSERT_EQ(d.node_count(), g.node_count());
+  ASSERT_EQ(d.edge_count(), g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(d.edge(e).from, g.edge(e).from);
+    EXPECT_EQ(d.edge(e).to, g.edge(e).to);
+    EXPECT_EQ(d.edge(e).label, g.edge(e).label);
+  }
+}
+
+TEST(Dilation, ScheduleCorrespondence) {
+  RandomPeriodicParams gen;
+  gen.nodes = 4;
+  gen.edges = 8;
+  gen.max_latency = 3;
+  gen.seed = 2;
+  const TimeVaryingGraph g = make_random_periodic(gen);
+  for (const Time s : {2, 3, 5}) {
+    const TimeVaryingGraph d = dilate(g, s);
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      for (Time t = 0; t < 40; ++t) {
+        // Present at s·t iff originally present at t; absent elsewhere.
+        EXPECT_EQ(d.edge(e).present(s * t), g.edge(e).present(t));
+        if (t % s != 0) {
+          EXPECT_FALSE(d.edge(e).present(t));
+        }
+      }
+      for (Time t = 0; t < 40; ++t) {
+        if (g.edge(e).present(t)) {
+          EXPECT_EQ(d.edge(e).arrival(s * t), s * g.edge(e).arrival(t));
+        }
+      }
+    }
+  }
+}
+
+TEST(Dilation, FactorOneIsIdentityOnLanguages) {
+  const TvgAutomaton a = make_anbn_tvg(2, 3).automaton();
+  const TvgAutomaton d = dilate(a, 1);
+  for (const Word& w : all_words("ab", 6)) {
+    EXPECT_EQ(a.accepts(w, Policy::no_wait()).accepted,
+              d.accepts(w, Policy::no_wait()).accepted)
+        << w;
+  }
+}
+
+TEST(Dilation, PreservesNoWaitLanguageExactlyOnTheFragment) {
+  // L_nowait(dilate(G, s)) == L_nowait(G), via minimal DFAs.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RandomPeriodicParams gen;
+    gen.nodes = 4;
+    gen.edges = 10;
+    gen.period = 4;
+    gen.max_latency = 2;
+    gen.seed = seed;
+    TimeVaryingGraph g = make_random_periodic(gen);
+    TvgAutomaton a(std::move(g), 0);
+    a.set_initial(0);
+    a.set_accepting(3);
+    const fa::Dfa original =
+        fa::Dfa::determinize(semi_periodic_to_nfa(a, Policy::no_wait()))
+            .minimized();
+    for (const Time s : {2, 3, 5}) {
+      const TvgAutomaton d = dilate(a, s);
+      const fa::Dfa dilated =
+          fa::Dfa::determinize(semi_periodic_to_nfa(d, Policy::no_wait()))
+              .minimized();
+      Word counterexample;
+      EXPECT_TRUE(fa::Dfa::equivalent(original, dilated, &counterexample))
+          << "seed=" << seed << " s=" << s << " differs on '"
+          << counterexample << "'";
+    }
+  }
+}
+
+TEST(Thm23, BoundedWaitOnDilatedGraphEqualsNoWaitExactly) {
+  // The theorem's engine, machine-checked: for every seed and every d,
+  //   L_wait[d](dilate(G, d+1)) == L_nowait(dilate(G, d+1))
+  //                             == L_nowait(G).
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RandomPeriodicParams gen;
+    gen.nodes = 4;
+    gen.edges = 10;
+    gen.period = 4;
+    gen.max_latency = 2;
+    gen.seed = seed;
+    TimeVaryingGraph g = make_random_periodic(gen);
+    TvgAutomaton a(std::move(g), 0);
+    a.set_initial(0);
+    a.set_accepting(3);
+    const fa::Dfa nowait_orig =
+        fa::Dfa::determinize(semi_periodic_to_nfa(a, Policy::no_wait()))
+            .minimized();
+    for (const Time d : {1, 2, 4, 7}) {
+      const TvgAutomaton dil = dilate(a, d + 1);
+      const fa::Dfa bounded =
+          fa::Dfa::determinize(
+              semi_periodic_to_nfa(dil, Policy::bounded_wait(d)))
+              .minimized();
+      Word counterexample;
+      EXPECT_TRUE(fa::Dfa::equivalent(nowait_orig, bounded, &counterexample))
+          << "seed=" << seed << " d=" << d << " differs on '"
+          << counterexample << "'";
+    }
+  }
+}
+
+TEST(Thm23, WaitingStrictlyShorterThanTheDilationGapIsUseless) {
+  // Even d' < d (not just d' = d) is neutralized by dilate(G, d+1).
+  RandomPeriodicParams gen;
+  gen.nodes = 5;
+  gen.edges = 12;
+  gen.period = 3;
+  gen.seed = 99;
+  TimeVaryingGraph g = make_random_periodic(gen);
+  TvgAutomaton a(std::move(g), 0);
+  a.set_initial(0);
+  a.set_accepting(4);
+  const TvgAutomaton dil = dilate(a, 8);
+  const fa::Dfa nowait =
+      fa::Dfa::determinize(semi_periodic_to_nfa(dil, Policy::no_wait()))
+          .minimized();
+  for (const Time d : {1, 2, 3, 7}) {
+    const fa::Dfa bounded =
+        fa::Dfa::determinize(
+            semi_periodic_to_nfa(dil, Policy::bounded_wait(d)))
+            .minimized();
+    EXPECT_TRUE(fa::Dfa::equivalent(nowait, bounded)) << "d=" << d;
+  }
+}
+
+TEST(Thm23, WaitingEqualToTheGapBreaksTheConstruction) {
+  // Sanity check that the dilation factor must exceed d: with d = s the
+  // next event IS reachable, so bounded waiting can genuinely add words.
+  // (On some seeds the language happens to coincide; use a crafted relay
+  // where waiting provably helps.)
+  TimeVaryingGraph g;
+  const NodeId u = g.add_node();
+  const NodeId v = g.add_node();
+  const NodeId w = g.add_node();
+  g.add_edge(u, v, 'a', Presence::at_times({0}), Latency::constant(1));
+  g.add_edge(v, w, 'b', Presence::at_times({2}), Latency::constant(1));
+  TvgAutomaton a(std::move(g), 0);
+  a.set_initial(u);
+  a.set_accepting(w);
+  // Direct journeys: a arrives v at 1, b departs at 2 — needs wait 1.
+  EXPECT_FALSE(a.accepts("ab", Policy::no_wait()).accepted);
+  EXPECT_TRUE(a.accepts("ab", Policy::bounded_wait(1)).accepted);
+  const TvgAutomaton dil = dilate(a, 2);  // events at 0, 4; gap = 2
+  // d = 1 < s = 2: still useless.
+  EXPECT_FALSE(dil.accepts("ab", Policy::bounded_wait(1)).accepted);
+  // d = 2 = s: the dilated wait (2·1 = 2) is reachable again.
+  EXPECT_TRUE(dil.accepts("ab", Policy::bounded_wait(2)).accepted);
+}
+
+TEST(Thm23, DilationOnFigure1BySampling) {
+  // Figure 1 is outside the fragment; check the dilation equalities on
+  // exhaustive words. dilate by s = d+1 and compare word by word:
+  //   L_wait[d](dilate(G, d+1)) == L_nowait(G).
+  const TvgAutomaton a = make_anbn_tvg(2, 3).automaton();
+  for (const Time d : {1, 3}) {
+    const TvgAutomaton dil = dilate(a, d + 1);
+    for (const Word& w : all_words("ab", 8)) {
+      EXPECT_EQ(dil.accepts(w, Policy::bounded_wait(d)).accepted,
+                a.accepts(w, Policy::no_wait()).accepted)
+          << "d=" << d << " w='" << w << "'";
+    }
+  }
+}
+
+TEST(Thm23, NoWaitIsAlwaysContainedInBoundedWait) {
+  // The trivial inclusion of the theorem's equality, on random scheduled
+  // graphs (no dilation): L_nowait ⊆ L_wait[d] for every d.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    RandomScheduledParams gen;
+    gen.nodes = 5;
+    gen.edges = 14;
+    gen.horizon = 24;
+    gen.seed = seed;
+    TimeVaryingGraph g = make_random_scheduled(gen);
+    TvgAutomaton a(std::move(g), 0);
+    a.set_initial(0);
+    a.set_accepting(2);
+    AcceptOptions opt;
+    opt.horizon = 60;
+    for (const Word& w : all_words("ab", 4)) {
+      if (a.accepts(w, Policy::no_wait(), opt).accepted) {
+        for (const Time d : {0, 1, 5}) {
+          EXPECT_TRUE(a.accepts(w, Policy::bounded_wait(d), opt).accepted)
+              << "seed=" << seed << " d=" << d << " w='" << w << "'";
+        }
+      }
+    }
+  }
+}
+
+TEST(Dilation, InvalidFactorThrows) {
+  const TvgAutomaton a = make_anbn_tvg(2, 3).automaton();
+  EXPECT_THROW(dilate(a, 0), std::invalid_argument);
+  EXPECT_THROW(dilate(a.graph(), -2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tvg::core

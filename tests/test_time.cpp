@@ -1,0 +1,186 @@
+// Unit tests for discrete time, saturating arithmetic, and interval sets.
+#include <gtest/gtest.h>
+
+#include "tvg/time.hpp"
+
+namespace tvg {
+namespace {
+
+TEST(SatArithmetic, AddSaturatesAtInfinity) {
+  EXPECT_EQ(sat_add(1, 2), 3);
+  EXPECT_EQ(sat_add(kTimeInfinity, 1), kTimeInfinity);
+  EXPECT_EQ(sat_add(1, kTimeInfinity), kTimeInfinity);
+  EXPECT_EQ(sat_add(kTimeInfinity - 1, 1), kTimeInfinity);
+  EXPECT_EQ(sat_add(kTimeInfinity - 1, 2), kTimeInfinity);
+}
+
+TEST(SatArithmetic, MulSaturates) {
+  EXPECT_EQ(sat_mul(6, 7), 42);
+  EXPECT_EQ(sat_mul(0, kTimeInfinity), 0);
+  EXPECT_EQ(sat_mul(kTimeInfinity, 2), kTimeInfinity);
+  EXPECT_EQ(sat_mul(kTimeInfinity / 2 + 1, 2), kTimeInfinity);
+}
+
+TEST(SatArithmetic, MulOverflowPredicateAgrees) {
+  EXPECT_FALSE(mul_overflows(3, 5));
+  EXPECT_FALSE(mul_overflows(0, kTimeInfinity));
+  EXPECT_TRUE(mul_overflows(kTimeInfinity, 2));
+  EXPECT_TRUE(mul_overflows(kTimeInfinity / 2 + 1, 2));
+  EXPECT_FALSE(mul_overflows(kTimeInfinity / 2, 2));
+}
+
+TEST(TimeInterval, BasicPredicates) {
+  const TimeInterval iv{3, 7};
+  EXPECT_FALSE(iv.empty());
+  EXPECT_EQ(iv.length(), 4);
+  EXPECT_FALSE(iv.contains(2));
+  EXPECT_TRUE(iv.contains(3));
+  EXPECT_TRUE(iv.contains(6));
+  EXPECT_FALSE(iv.contains(7));
+  EXPECT_TRUE(TimeInterval({5, 5}).empty());
+  EXPECT_TRUE(TimeInterval({5, 4}).empty());
+}
+
+TEST(TimeInterval, OverlapAndMerge) {
+  EXPECT_TRUE(TimeInterval({0, 5}).overlaps({4, 9}));
+  EXPECT_FALSE(TimeInterval({0, 5}).overlaps({5, 9}));  // half-open
+  EXPECT_TRUE(TimeInterval({0, 5}).mergeable({5, 9}));  // touching merges
+  EXPECT_FALSE(TimeInterval({0, 5}).mergeable({6, 9}));
+}
+
+TEST(IntervalSet, NormalizesOverlapsAndTouching) {
+  const IntervalSet s({{5, 8}, {0, 3}, {3, 5}, {10, 12}});
+  EXPECT_EQ(s.interval_count(), 2u);  // [0,8) and [10,12)
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(8));
+  EXPECT_FALSE(s.contains(9));
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_EQ(s.measure(), 10);
+}
+
+TEST(IntervalSet, DropsEmptyIntervals) {
+  const IntervalSet s({{4, 4}, {9, 2}});
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.measure(), 0);
+}
+
+TEST(IntervalSet, FromPoints) {
+  const IntervalSet s = IntervalSet::from_points({5, 1, 3, 2});
+  EXPECT_EQ(s.interval_count(), 2u);  // [1,4) and [5,6)
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_TRUE(s.contains(5));
+}
+
+TEST(IntervalSet, NextIn) {
+  const IntervalSet s({{2, 4}, {8, 10}});
+  EXPECT_EQ(s.next_in(0), 2);
+  EXPECT_EQ(s.next_in(2), 2);
+  EXPECT_EQ(s.next_in(3), 3);
+  EXPECT_EQ(s.next_in(4), 8);
+  EXPECT_EQ(s.next_in(9), 9);
+  EXPECT_EQ(s.next_in(10), std::nullopt);
+}
+
+TEST(IntervalSet, PrevIn) {
+  const IntervalSet s({{2, 4}, {8, 10}});
+  EXPECT_EQ(s.prev_in(2), std::nullopt);
+  EXPECT_EQ(s.prev_in(3), 2);
+  EXPECT_EQ(s.prev_in(5), 3);
+  EXPECT_EQ(s.prev_in(8), 3);
+  EXPECT_EQ(s.prev_in(100), 9);
+}
+
+TEST(IntervalSet, MinMax) {
+  const IntervalSet s({{2, 4}, {8, 10}});
+  EXPECT_EQ(s.min(), 2);
+  EXPECT_EQ(s.max(), 9);
+  EXPECT_EQ(IntervalSet{}.min(), std::nullopt);
+  EXPECT_EQ(IntervalSet{}.max(), std::nullopt);
+}
+
+TEST(IntervalSet, UniteIntersect) {
+  const IntervalSet a({{0, 5}, {10, 15}});
+  const IntervalSet b({{3, 12}});
+  const IntervalSet u = a.unite(b);
+  EXPECT_EQ(u.interval_count(), 1u);
+  EXPECT_TRUE(u.contains(7));
+  const IntervalSet i = a.intersect(b);
+  EXPECT_EQ(i.interval_count(), 2u);  // [3,5) and [10,12)
+  EXPECT_TRUE(i.contains(3));
+  EXPECT_FALSE(i.contains(5));
+  EXPECT_TRUE(i.contains(11));
+  EXPECT_FALSE(i.contains(12));
+}
+
+TEST(IntervalSet, IntersectEmptyCases) {
+  const IntervalSet a({{0, 5}});
+  EXPECT_TRUE(a.intersect(IntervalSet{}).empty());
+  EXPECT_TRUE(a.intersect(IntervalSet::single(5, 9)).empty());
+}
+
+TEST(IntervalSet, ComplementWithin) {
+  const IntervalSet a({{2, 4}, {6, 8}});
+  const IntervalSet c = a.complement(0, 10);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(4));
+  EXPECT_TRUE(c.contains(5));
+  EXPECT_FALSE(c.contains(7));
+  EXPECT_TRUE(c.contains(9));
+  EXPECT_EQ(c.measure(), 6);
+  // Complement is an involution within the window.
+  EXPECT_EQ(c.complement(0, 10), a);
+}
+
+TEST(IntervalSet, ComplementOfEmptyIsWindow) {
+  const IntervalSet c = IntervalSet{}.complement(3, 7);
+  EXPECT_EQ(c, IntervalSet::single(3, 7));
+}
+
+TEST(IntervalSet, ShiftClip) {
+  const IntervalSet a({{2, 4}});
+  EXPECT_TRUE(a.shifted(3).contains(5));
+  EXPECT_FALSE(a.shifted(3).contains(4));
+  EXPECT_EQ(a.clipped(3, 10), IntervalSet::single(3, 4));
+}
+
+TEST(IntervalSet, DilatedPointsKeepsOnlyMultiples) {
+  const IntervalSet a({{1, 4}});  // {1,2,3}
+  const IntervalSet d = a.dilated_points(5);
+  EXPECT_TRUE(d.contains(5));
+  EXPECT_TRUE(d.contains(10));
+  EXPECT_TRUE(d.contains(15));
+  EXPECT_FALSE(d.contains(6));
+  EXPECT_FALSE(d.contains(1));
+  EXPECT_EQ(d.measure(), 3);
+  EXPECT_EQ(a.dilated_points(1), a);
+}
+
+TEST(IntervalSet, PointsInWindow) {
+  const IntervalSet a({{2, 4}, {8, 10}});
+  const auto pts = a.points_in(3, 9);
+  EXPECT_EQ(pts, (std::vector<Time>{3, 8}));
+}
+
+TEST(IntervalSet, InsertPointMergesNeighbours) {
+  IntervalSet s;
+  s.insert_point(4);
+  s.insert_point(6);
+  EXPECT_EQ(s.interval_count(), 2u);
+  s.insert_point(5);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.measure(), 3);
+}
+
+TEST(IntervalSet, ToStringReadable) {
+  IntervalSet s({{2, 3}, {5, 9}});
+  EXPECT_EQ(s.to_string(), "{2, [5,9)}");
+}
+
+}  // namespace
+}  // namespace tvg

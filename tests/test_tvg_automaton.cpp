@@ -1,0 +1,226 @@
+// Unit tests for the TVG-automaton acceptance machinery itself:
+// configuration search, witnesses, nondeterminism, truncation, the
+// inclusion lattice L_nowait ⊆ L_wait[d] ⊆ L_wait, and enumeration.
+#include <gtest/gtest.h>
+
+#include "core/expressivity.hpp"
+#include "core/tvg_automaton.hpp"
+#include "tvg/generators.hpp"
+
+namespace tvg::core {
+namespace {
+
+// A two-edge relay: u -a-> v (presence [0,2)), v -b-> w (presence [8,10)).
+TvgAutomaton make_relay_automaton() {
+  TimeVaryingGraph g;
+  const NodeId u = g.add_node("u");
+  const NodeId v = g.add_node("v");
+  const NodeId w = g.add_node("w");
+  g.add_edge(u, v, 'a', Presence::intervals(IntervalSet::single(0, 2)),
+             Latency::constant(1));
+  g.add_edge(v, w, 'b', Presence::intervals(IntervalSet::single(8, 10)),
+             Latency::constant(1));
+  TvgAutomaton a(std::move(g), 0);
+  a.set_initial(u);
+  a.set_accepting(w);
+  return a;
+}
+
+TEST(TvgAutomaton, PolicyTrichotomyOnTheRelay) {
+  const TvgAutomaton a = make_relay_automaton();
+  EXPECT_FALSE(a.accepts("ab", Policy::no_wait()).accepted);
+  // Latest arrival at v is 2 (depart uv at 1), so d >= 6 bridges the gap
+  // to the [8,10) window — bounded-wait feasibility is decided by the
+  // best-timed journey, not the foremost one.
+  EXPECT_FALSE(a.accepts("ab", Policy::bounded_wait(5)).accepted);
+  EXPECT_TRUE(a.accepts("ab", Policy::bounded_wait(6)).accepted);
+  EXPECT_TRUE(a.accepts("ab", Policy::wait()).accepted);
+  EXPECT_FALSE(a.accepts("a", Policy::wait()).accepted);
+  EXPECT_FALSE(a.accepts("b", Policy::wait()).accepted);
+  EXPECT_FALSE(a.accepts("", Policy::wait()).accepted);
+}
+
+TEST(TvgAutomaton, EmptyWordNeedsAcceptingInitial) {
+  TimeVaryingGraph g;
+  const NodeId u = g.add_node();
+  TvgAutomaton a(std::move(g), 0);
+  a.set_initial(u);
+  EXPECT_FALSE(a.accepts("", Policy::no_wait()).accepted);
+  a.set_accepting(u);
+  EXPECT_TRUE(a.accepts("", Policy::no_wait()).accepted);
+  EXPECT_TRUE(a.accepts("", Policy::wait()).accepted);
+  EXPECT_FALSE(a.accepts("a", Policy::wait()).accepted);
+}
+
+TEST(TvgAutomaton, WitnessesValidateUnderTheirPolicy) {
+  const TvgAutomaton a = make_relay_automaton();
+  for (const Policy policy : {Policy::wait(), Policy::bounded_wait(7)}) {
+    const AcceptResult r = a.accepts("ab", policy);
+    ASSERT_TRUE(r.accepted) << policy.to_string();
+    ASSERT_TRUE(r.witness.has_value());
+    EXPECT_TRUE(validate_journey(a.graph(), *r.witness, policy).ok);
+    EXPECT_EQ(r.witness->word(a.graph()), "ab");
+    EXPECT_EQ(r.witness->start_time, a.start_time());
+  }
+}
+
+TEST(TvgAutomaton, NondeterministicChoiceIsAngelic) {
+  // Two 'a' edges: one leads to a trap, one to acceptance; the automaton
+  // must find the good one.
+  TimeVaryingGraph g;
+  const NodeId s = g.add_node();
+  const NodeId trap = g.add_node();
+  const NodeId good = g.add_node();
+  g.add_edge(s, trap, 'a', Presence::always(), Latency::constant(1));
+  g.add_edge(s, good, 'a', Presence::always(), Latency::constant(1));
+  TvgAutomaton a(std::move(g), 0);
+  a.set_initial(s);
+  a.set_accepting(good);
+  EXPECT_TRUE(a.accepts("a", Policy::no_wait()).accepted);
+}
+
+TEST(TvgAutomaton, MultipleInitialStates) {
+  TimeVaryingGraph g;
+  const NodeId s1 = g.add_node();
+  const NodeId s2 = g.add_node();
+  const NodeId f = g.add_node();
+  g.add_edge(s2, f, 'a', Presence::always(), Latency::constant(1));
+  TvgAutomaton a(std::move(g), 0);
+  a.set_initial(s1);
+  a.set_accepting(f);
+  EXPECT_FALSE(a.accepts("a", Policy::no_wait()).accepted);
+  a.set_initial(s2);
+  EXPECT_TRUE(a.accepts("a", Policy::no_wait()).accepted);
+  a.set_initial(s2, false);
+  EXPECT_FALSE(a.accepts("a", Policy::no_wait()).accepted);
+}
+
+TEST(TvgAutomaton, StartTimeMatters) {
+  TimeVaryingGraph g;
+  const NodeId u = g.add_node();
+  const NodeId v = g.add_node();
+  g.add_edge(u, v, 'a', Presence::at_times({5}), Latency::constant(1));
+  TvgAutomaton a(std::move(g), 0);
+  a.set_initial(u);
+  a.set_accepting(v);
+  EXPECT_FALSE(a.accepts("a", Policy::no_wait()).accepted);
+  a.set_start_time(5);
+  EXPECT_TRUE(a.accepts("a", Policy::no_wait()).accepted);
+  a.set_start_time(6);
+  EXPECT_FALSE(a.accepts("a", Policy::no_wait()).accepted);
+  EXPECT_FALSE(a.accepts("a", Policy::wait()).accepted);  // 5 is gone
+}
+
+TEST(TvgAutomaton, HorizonCutsOffDeepSearches) {
+  const TvgAutomaton a = make_relay_automaton();
+  AcceptOptions opt;
+  opt.horizon = 7;  // vw presence (at 8) is beyond the horizon
+  EXPECT_FALSE(a.accepts("ab", Policy::wait(), opt).accepted);
+  opt.horizon = 9;
+  EXPECT_TRUE(a.accepts("ab", Policy::wait(), opt).accepted);
+}
+
+TEST(TvgAutomaton, TruncationFlagOnTinyBudget) {
+  TimeVaryingGraph g;
+  g.add_nodes(3);
+  for (NodeId u = 0; u < 3; ++u) {
+    for (NodeId v = 0; v < 3; ++v) {
+      g.add_edge(u, v, 'a', Presence::always(), Latency::constant(1));
+    }
+  }
+  TvgAutomaton a(std::move(g), 0);
+  a.set_initial(0);
+  a.set_accepting(2);
+  AcceptOptions opt;
+  opt.max_configs = 2;
+  const AcceptResult r = a.accepts("aaaa", Policy::bounded_wait(5), opt);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_FALSE(r.accepted);
+  // One expansion round may overshoot the cap, but only boundedly so.
+  EXPECT_LE(r.configs_explored, 64u);
+}
+
+TEST(TvgAutomaton, BoundedWaitZeroEqualsNoWaitOnSamples) {
+  const TvgAutomaton a = make_relay_automaton();
+  for (const Word& w : all_words("ab", 5)) {
+    EXPECT_EQ(a.accepts(w, Policy::no_wait()).accepted,
+              a.accepts(w, Policy::bounded_wait(0)).accepted)
+        << w;
+  }
+}
+
+TEST(TvgAutomaton, InclusionLatticeOnRandomGraphs) {
+  // L_nowait ⊆ L_wait[d] ⊆ L_wait[d'] ⊆ L_wait for d <= d', on random
+  // scheduled TVGs: the core monotonicity the paper's regimes rely on.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomScheduledParams params;
+    params.nodes = 5;
+    params.edges = 12;
+    params.horizon = 30;
+    params.seed = seed;
+    TimeVaryingGraph g = make_random_scheduled(params);
+    TvgAutomaton a(std::move(g), 0);
+    a.set_initial(0);
+    a.set_accepting(1);
+    a.set_accepting(2);
+    AcceptOptions opt;
+    opt.horizon = 80;
+    for (const Word& w : all_words("ab", 4)) {
+      const bool nowait = a.accepts(w, Policy::no_wait(), opt).accepted;
+      const bool d2 = a.accepts(w, Policy::bounded_wait(2), opt).accepted;
+      const bool d6 = a.accepts(w, Policy::bounded_wait(6), opt).accepted;
+      const bool wait = a.accepts(w, Policy::wait(), opt).accepted;
+      EXPECT_LE(nowait, d2) << "seed=" << seed << " w='" << w << "'";
+      EXPECT_LE(d2, d6) << "seed=" << seed << " w='" << w << "'";
+      EXPECT_LE(d6, wait) << "seed=" << seed << " w='" << w << "'";
+    }
+  }
+}
+
+TEST(TvgAutomaton, EnumerateLanguageMatchesPointQueries) {
+  const TvgAutomaton a = make_relay_automaton();
+  const auto lang = a.enumerate_language(3, Policy::wait());
+  EXPECT_EQ(lang, std::vector<Word>{"ab"});
+  EXPECT_TRUE(a.enumerate_language(3, Policy::no_wait()).empty());
+}
+
+TEST(TvgAutomaton, EnumerateHonorsExplicitAlphabet) {
+  const TvgAutomaton a = make_relay_automaton();
+  const auto lang = a.enumerate_language(2, Policy::wait(), {}, 100, "abz");
+  EXPECT_EQ(lang, std::vector<Word>{"ab"});
+}
+
+TEST(TvgAutomaton, SelfLoopCountingWithAffineLatency) {
+  // Single node, self loop with ζ(t) = t (doubling): times 1,2,4,8...
+  // An accepting edge present only at t = 8 recognizes exactly aaab.
+  TimeVaryingGraph g;
+  const NodeId s = g.add_node();
+  const NodeId f = g.add_node();
+  g.add_edge(s, s, 'a', Presence::always(), Latency::affine(1, 0));
+  g.add_edge(s, f, 'b', Presence::at_times({8}), Latency::constant(1));
+  TvgAutomaton a(std::move(g), 1);
+  a.set_initial(s);
+  a.set_accepting(f);
+  EXPECT_TRUE(a.accepts("aaab", Policy::no_wait()).accepted);
+  EXPECT_FALSE(a.accepts("aab", Policy::no_wait()).accepted);
+  EXPECT_FALSE(a.accepts("aaaab", Policy::no_wait()).accepted);
+  EXPECT_FALSE(a.accepts("b", Policy::no_wait()).accepted);
+  // With waiting, shorter a-prefixes can wait for t = 8... but waiting
+  // at s does not change the time of the NEXT a-crossing under Wait
+  // (crossing later arrives later); aab: after aa, t = 4, wait to 8 ✓.
+  EXPECT_TRUE(a.accepts("aab", Policy::wait()).accepted);
+  EXPECT_TRUE(a.accepts("ab", Policy::wait()).accepted);
+  EXPECT_TRUE(a.accepts("b", Policy::wait()).accepted);
+  EXPECT_FALSE(a.accepts("aaaab", Policy::wait()).accepted);  // t > 8 already
+}
+
+TEST(TvgAutomaton, GuardsBadNodeIds) {
+  TimeVaryingGraph g;
+  g.add_node();
+  TvgAutomaton a(std::move(g), 0);
+  EXPECT_THROW(a.set_initial(4), std::out_of_range);
+  EXPECT_THROW(a.set_accepting(4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tvg::core
