@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <queue>
 #include <stdexcept>
-#include <unordered_set>
+
+#include "tvg/visited.hpp"
 
 namespace tvg::core {
 namespace {
@@ -16,16 +17,6 @@ struct Config {
   EdgeId via;
   Time dep;
 };
-
-[[nodiscard]] std::uint64_t config_key(NodeId v, Time t,
-                                       std::uint32_t pos) noexcept {
-  std::uint64_t h = static_cast<std::uint64_t>(t);
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdULL;
-  h ^= static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
-  h ^= static_cast<std::uint64_t>(pos) * 0xc2b2ae3d27d4eb4fULL;
-  return h;
-}
 
 }  // namespace
 
@@ -56,7 +47,12 @@ AcceptResult TvgAutomaton::accepts(const Word& word, Policy policy,
                                    const AcceptOptions& options) const {
   AcceptResult result;
   std::vector<Config> configs;
-  std::unordered_set<std::uint64_t> visited;
+  // Exact (node, time) admission per word position: horizon clamp,
+  // infinity-sentinel rejection, and dedup that compares the full
+  // configuration triple, never a hash of it (the same named, tested
+  // component as the journey search engine — see visited.hpp).
+  std::vector<ConfigAdmission> admission(word.size() + 1,
+                                         ConfigAdmission(options.horizon));
   std::queue<std::int64_t> queue;
 
   auto make_witness = [&](std::int64_t idx) {
@@ -76,10 +72,7 @@ AcceptResult TvgAutomaton::accepts(const Word& word, Policy policy,
   };
 
   auto push = [&](Config c) -> std::optional<std::int64_t> {
-    if (c.time == kTimeInfinity || c.time > options.horizon)
-      return std::nullopt;
-    if (!visited.insert(config_key(c.node, c.time, c.pos)).second)
-      return std::nullopt;
+    if (!admission[c.pos].admit(c.node, c.time)) return std::nullopt;
     configs.push_back(c);
     const auto idx = static_cast<std::int64_t>(configs.size()) - 1;
     if (c.pos == word.size() && accepting_.contains(c.node)) return idx;
@@ -124,15 +117,17 @@ AcceptResult TvgAutomaton::accepts(const Word& word, Policy policy,
           break;
         }
         case WaitingPolicy::kBoundedWait: {
+          // A next_present result of kTimeInfinity is the "no such time"
+          // sentinel, never a departure (see the for_each_departure
+          // contract note in tvg/algorithms.cpp).
           const Time last =
               std::min(policy.max_departure(cur.time), options.horizon);
           Time cursor = cur.time;
           while (cursor <= last && !hit) {
             auto dep = e.presence.next_present(cursor);
-            if (!dep || *dep > last) break;
+            if (!dep || *dep == kTimeInfinity || *dep > last) break;
             try_departure(e, eid, *dep);
-            if (*dep == kTimeInfinity) break;
-            cursor = *dep + 1;
+            cursor = *dep + 1;  // safe: *dep < kTimeInfinity
           }
           break;
         }
@@ -141,7 +136,7 @@ AcceptResult TvgAutomaton::accepts(const Word& word, Policy policy,
             // Arrival is monotone in departure: the earliest admissible
             // departure dominates (see header comment).
             if (auto dep = e.presence.next_present(cur.time);
-                dep && *dep <= options.horizon) {
+                dep && *dep != kTimeInfinity && *dep <= options.horizon) {
               try_departure(e, eid, *dep);
             }
           } else {
@@ -149,10 +144,10 @@ AcceptResult TvgAutomaton::accepts(const Word& word, Policy policy,
             for (std::size_t k = 0;
                  k < options.departures_per_edge && !hit; ++k) {
               auto dep = e.presence.next_present(cursor);
-              if (!dep || *dep > options.horizon) break;
+              if (!dep || *dep == kTimeInfinity || *dep > options.horizon)
+                break;
               try_departure(e, eid, *dep);
-              if (*dep == kTimeInfinity) break;
-              cursor = *dep + 1;
+              cursor = *dep + 1;  // safe: *dep < kTimeInfinity
             }
           }
           break;

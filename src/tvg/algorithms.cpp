@@ -1,32 +1,34 @@
 #include "tvg/algorithms.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
-#include <unordered_set>
+#include <set>
+
+#include "tvg/visited.hpp"
 
 namespace tvg {
 namespace {
 
 using ConfigRec = ForemostTree::ConfigRec;
 
-/// 64-bit key for a (node, time) configuration (time fits in 40+ bits for
-/// every horizon we explore; mix to avoid collisions anyway).
-[[nodiscard]] std::uint64_t config_key(NodeId v, Time t) noexcept {
-  std::uint64_t h = static_cast<std::uint64_t>(t);
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdULL;
-  h ^= static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
-  return h;
-}
-
 /// Enumerates admissible departure times for edge `e` when ready at `t`
 /// under `policy`, bounded by `horizon`, invoking `fn(dep)` for each.
+/// `fn` returns false to stop the enumeration early (searches use this
+/// when their config budget runs out: an unbounded departure window over
+/// an infinite schedule offers unboundedly many departures).
+///
+/// `Presence::next_present` contract note: its result is a real instant
+/// with ρ(t) = 1; kTimeInfinity is reserved as the "no such time"
+/// sentinel throughout time.hpp, so a next_present result equal to
+/// kTimeInfinity (possible via a user-supplied predicate_with_next
+/// accelerator) is treated as absence and never reaches `fn`.
 template <typename Fn>
 void for_each_departure(const Edge& e, Time t, Policy policy, Time horizon,
                         Fn&& fn) {
   switch (policy.kind) {
     case WaitingPolicy::kNoWait: {
-      if (t <= horizon && e.present(t)) fn(t);
+      if (t != kTimeInfinity && t <= horizon && e.present(t)) fn(t);
       return;
     }
     case WaitingPolicy::kWait: {
@@ -35,20 +37,25 @@ void for_each_departure(const Edge& e, Time t, Policy policy, Time horizon,
       // latency, but NOT for general latencies. We still enumerate just
       // the earliest here; general-latency exactness is the business of
       // the TvgAutomaton search (core/), which enumerates all departures.
-      if (auto dep = e.presence.next_present(t); dep && *dep <= horizon) {
+      if (auto dep = e.presence.next_present(t);
+          dep && *dep != kTimeInfinity && *dep <= horizon) {
         fn(*dep);
       }
       return;
     }
     case WaitingPolicy::kBoundedWait: {
+      // Departure window [t, last]: the policy's waiting bound clamped to
+      // the horizon. `last` may be kTimeInfinity (unbounded wait within an
+      // infinite horizon); termination then rests on the schedule running
+      // out of events or `fn` cutting the enumeration off.
       const Time last = std::min(policy.max_departure(t), horizon);
       Time cursor = t;
       while (cursor <= last) {
         auto dep = e.presence.next_present(cursor);
-        if (!dep || *dep > last) return;
-        fn(*dep);
-        if (*dep == kTimeInfinity) return;
-        cursor = *dep + 1;
+        if (!dep || *dep == kTimeInfinity || *dep > last) return;
+        if (!fn(*dep)) return;
+        if (*dep == last) return;
+        cursor = *dep + 1;  // safe: *dep < kTimeInfinity
       }
       return;
     }
@@ -77,7 +84,7 @@ SearchOutput dijkstra_wait(const TimeVaryingGraph& g,
   std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
 
   for (ConfigRec& c : initial) {
-    if (c.time > limits.horizon) continue;
+    if (c.time == kTimeInfinity || c.time > limits.horizon) continue;
     if (c.time < out.arrival[c.node]) {
       out.configs.push_back(c);
       const auto idx = static_cast<std::int64_t>(out.configs.size()) - 1;
@@ -100,7 +107,7 @@ SearchOutput dijkstra_wait(const TimeVaryingGraph& g,
       const Edge& e = g.edge(eid);
       for_each_departure(e, t, Policy::wait(), limits.horizon, [&](Time dep) {
         const Time arr = e.arrival(dep);
-        if (arr == kTimeInfinity || arr > limits.horizon) return;
+        if (arr == kTimeInfinity || arr > limits.horizon) return true;
         if (arr < out.arrival[e.to]) {
           out.configs.push_back(ConfigRec{e.to, arr, idx, eid, dep});
           const auto nidx = static_cast<std::int64_t>(out.configs.size()) - 1;
@@ -108,6 +115,7 @@ SearchOutput dijkstra_wait(const TimeVaryingGraph& g,
           out.best[e.to] = nidx;
           pq.emplace(arr, nidx);
         }
+        return true;
       });
     }
   }
@@ -126,12 +134,41 @@ SearchOutput config_bfs(const TimeVaryingGraph& g,
   out.arrival.assign(n, kTimeInfinity);
   out.best.assign(n, -1);
 
-  std::unordered_set<std::uint64_t> visited;
+  // Exact (node, time) dedup — membership compares the full pair, never a
+  // hash of it, so a collision can no longer drop a reachable config (the
+  // visited policy lives in visited.hpp, where it is unit-tested).
+  ConfigAdmission admission(limits.horizon);
   std::queue<std::int64_t> queue;
 
-  auto push = [&](ConfigRec c) -> bool {
-    if (c.time > limits.horizon || c.time == kTimeInfinity) return false;
-    if (!visited.insert(config_key(c.node, c.time)).second) return false;
+  // Watchdog for departure enumeration. The config budget alone cannot
+  // bound an unbounded departure window whose candidates are all
+  // *rejected* (infinite arrival, beyond-horizon, duplicate): those never
+  // grow out.configs, and such a window is enumerated within a SINGLE
+  // config expansion. So the watchdog counts steps per expansion —
+  // resetting on every pop and every admission — and only trips when one
+  // expansion enumerates a budget-dwarfing number of fruitless
+  // departures. Exhaustive duplicate-heavy searches (long queue tails
+  // re-enumerating already-visited configs across many expansions) never
+  // trip it; a single finite window larger than the step budget with
+  // every departure rejected is conservatively reported as truncated.
+  std::size_t expansion_steps = 0;
+  constexpr std::size_t kStepsPerConfig = 16;
+  const std::size_t max_expansion_steps = std::max<std::size_t>(
+      std::size_t{1} << 16,
+      limits.max_configs <
+              std::numeric_limits<std::size_t>::max() / kStepsPerConfig
+          ? limits.max_configs * kStepsPerConfig
+          : std::numeric_limits<std::size_t>::max());
+
+  // Returns false once a budget is exhausted; that stops the departure
+  // enumeration feeding it (see for_each_departure).
+  auto push = [&](const ConfigRec& c) -> bool {
+    if (out.configs.size() >= limits.max_configs) {
+      out.truncated = true;
+      return false;
+    }
+    if (!admission.admit(c.node, c.time)) return true;
+    expansion_steps = 0;
     out.configs.push_back(c);
     const auto idx = static_cast<std::int64_t>(out.configs.size()) - 1;
     if (c.time < out.arrival[c.node]) {
@@ -143,24 +180,28 @@ SearchOutput config_bfs(const TimeVaryingGraph& g,
     return true;
   };
 
-  for (const ConfigRec& c : initial) push(c);
+  for (const ConfigRec& c : initial) {
+    if (!push(c)) break;
+  }
 
-  while (!queue.empty()) {
-    if (out.configs.size() >= limits.max_configs) {
-      out.truncated = true;
-      break;
-    }
+  while (!queue.empty() && !out.truncated) {
     const std::int64_t idx = queue.front();
     queue.pop();
     if (goal && out.first_goal >= 0) break;  // min-hop goal reached
     const ConfigRec cur = out.configs[static_cast<std::size_t>(idx)];
+    expansion_steps = 0;
     for (EdgeId eid : g.out_edges(cur.node)) {
       const Edge& e = g.edge(eid);
       for_each_departure(e, cur.time, policy, limits.horizon, [&](Time dep) {
+        if (++expansion_steps > max_expansion_steps) {
+          out.truncated = true;
+          return false;
+        }
         const Time arr = e.arrival(dep);
-        if (arr == kTimeInfinity || arr > limits.horizon) return;
-        push(ConfigRec{e.to, arr, idx, eid, dep});
+        if (arr == kTimeInfinity || arr > limits.horizon) return true;
+        return push(ConfigRec{e.to, arr, idx, eid, dep});
       });
+      if (out.truncated) break;
     }
   }
   return out;
@@ -261,7 +302,7 @@ std::optional<Journey> shortest_journey(const TimeVaryingGraph& g,
                              [&](Time dep) {
                                const Time a = e.arrival(dep);
                                if (a == kTimeInfinity || a > limits.horizon)
-                                 return;
+                                 return true;
                                if (a < next[e.to]) {
                                  next[e.to] = a;
                                  parents.push_back(ConfigRec{
@@ -270,6 +311,7 @@ std::optional<Journey> shortest_journey(const TimeVaryingGraph& g,
                                                       parents.size()) -
                                                   1;
                                }
+                               return true;
                              });
         }
       }
@@ -293,34 +335,47 @@ std::optional<Journey> shortest_journey(const TimeVaryingGraph& g,
   return journey_from_config(out.configs, out.first_goal, source, start_time);
 }
 
-std::optional<Journey> fastest_journey(const TimeVaryingGraph& g,
-                                       NodeId source, NodeId target,
-                                       Time depart_lo, Time depart_hi,
-                                       Policy policy, SearchLimits limits) {
-  if (source == target) return Journey{source, depart_lo, {}};
-  // Candidate first departures: presence events of source out-edges.
-  std::vector<Time> candidates;
-  constexpr std::size_t kMaxCandidates = 4096;
+FastestJourneyResult fastest_journey_checked(const TimeVaryingGraph& g,
+                                             NodeId source, NodeId target,
+                                             Time depart_lo, Time depart_hi,
+                                             Policy policy,
+                                             SearchLimits limits) {
+  FastestJourneyResult result;
+  if (source == target) {
+    result.journey = Journey{source, depart_lo, {}};
+    return result;
+  }
+  // Candidate first departures: presence events of source out-edges,
+  // deduplicated across edges so shared schedules don't charge the budget
+  // twice for one instant.
+  std::set<Time> candidates;
   for (EdgeId eid : g.out_edges(source)) {
+    if (result.truncated) break;  // no further edge can add a candidate
     const Edge& e = g.edge(eid);
     Time cursor = depart_lo;
-    while (cursor <= depart_hi && candidates.size() < kMaxCandidates) {
+    while (cursor <= depart_hi) {
       auto dep = e.presence.next_present(cursor);
-      if (!dep || *dep > depart_hi) break;
-      candidates.push_back(*dep);
-      if (*dep == kTimeInfinity) break;
-      cursor = *dep + 1;
+      if (!dep || *dep == kTimeInfinity || *dep > depart_hi) break;
+      if (!candidates.contains(*dep)) {
+        if (candidates.size() >= limits.max_fastest_candidates) {
+          // A further distinct presence event exists but the enumeration
+          // budget is spent: the optimum may depart at an unexplored
+          // candidate.
+          result.truncated = true;
+          break;
+        }
+        candidates.insert(*dep);
+      }
+      cursor = *dep + 1;  // safe: *dep < kTimeInfinity
     }
   }
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
 
   std::optional<Journey> best;
   Time best_duration = kTimeInfinity;
   for (Time s : candidates) {
     std::vector<ConfigRec> roots{ConfigRec{source, s, -1, kInvalidEdge, 0}};
     SearchOutput out = run_search(g, std::move(roots), policy, limits);
+    if (out.truncated) result.truncated = true;
     if (out.best[target] < 0) continue;
     Journey j = journey_from_config(out.configs, out.best[target], source, s);
     if (j.legs.empty()) continue;
@@ -334,7 +389,17 @@ std::optional<Journey> fastest_journey(const TimeVaryingGraph& g,
       best = std::move(j);
     }
   }
-  return best;
+  result.journey = std::move(best);
+  return result;
+}
+
+std::optional<Journey> fastest_journey(const TimeVaryingGraph& g,
+                                       NodeId source, NodeId target,
+                                       Time depart_lo, Time depart_hi,
+                                       Policy policy, SearchLimits limits) {
+  return fastest_journey_checked(g, source, target, depart_lo, depart_hi,
+                                 policy, limits)
+      .journey;
 }
 
 std::vector<bool> reachable_set(const TimeVaryingGraph& g, NodeId source,

@@ -33,9 +33,14 @@ namespace tvg {
 struct SearchLimits {
   Time horizon{kTimeInfinity};       // ignore departures/arrivals beyond
   std::size_t max_configs{1 << 20};  // cap on explored (node,time) configs
+  /// Cap on candidate first departures scanned by fastest_journey; hitting
+  /// it is reported via FastestJourneyResult::truncated.
+  std::size_t max_fastest_candidates{4096};
 
   [[nodiscard]] static SearchLimits up_to(Time horizon) {
-    return SearchLimits{horizon, 1 << 20};
+    SearchLimits limits;
+    limits.horizon = horizon;
+    return limits;
   }
 };
 
@@ -90,6 +95,21 @@ struct ForemostTree {
 /// first departures (presence events of source out-edges) and minimizes
 /// arrival − departure.
 [[nodiscard]] std::optional<Journey> fastest_journey(
+    const TimeVaryingGraph& g, NodeId source, NodeId target, Time depart_lo,
+    Time depart_hi, Policy policy, SearchLimits limits = {});
+
+/// fastest_journey with truncation reporting (mirrors
+/// ForemostTree::truncated): `journey` may be non-optimal — or absent
+/// despite the target being reachable — only when `truncated` is true.
+struct FastestJourneyResult {
+  std::optional<Journey> journey;
+  /// True if the candidate-departure enumeration hit
+  /// SearchLimits::max_fastest_candidates, or any per-candidate search hit
+  /// SearchLimits::max_configs.
+  bool truncated{false};
+};
+
+[[nodiscard]] FastestJourneyResult fastest_journey_checked(
     const TimeVaryingGraph& g, NodeId source, NodeId target, Time depart_lo,
     Time depart_hi, Policy policy, SearchLimits limits = {});
 

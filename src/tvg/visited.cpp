@@ -1,0 +1,28 @@
+#include "tvg/visited.hpp"
+
+namespace tvg {
+
+bool ConfigVisitedSet::insert(NodeId v, Time t) {
+  bool fresh;
+  if (packable(v, t)) {
+    fresh = packed_.insert(pack(v, t)).second;
+  } else {
+    fresh = overflow_[v].insert(t).second;
+  }
+  if (fresh) ++size_;
+  return fresh;
+}
+
+bool ConfigVisitedSet::contains(NodeId v, Time t) const {
+  if (packable(v, t)) return packed_.contains(pack(v, t));
+  const auto it = overflow_.find(v);
+  return it != overflow_.end() && it->second.contains(t);
+}
+
+void ConfigVisitedSet::clear() {
+  packed_.clear();
+  overflow_.clear();
+  size_ = 0;
+}
+
+}  // namespace tvg

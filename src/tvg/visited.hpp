@@ -1,0 +1,94 @@
+// Exact visited-state bookkeeping for configuration searches.
+//
+// NoWait / BoundedWait reachability must track the full set of explored
+// (node, time) configurations (see algorithms.hpp: the dominance argument
+// that lets Wait keep only per-node bests fails there). The seed engine
+// deduplicated configurations by inserting a 64-bit *hash* of (node, time)
+// into a set — a collision silently dropped a reachable configuration and
+// could return wrong journeys or reachability. This component restores
+// exact membership:
+//
+//  * Fast path: node and time in range are packed injectively into one
+//    64-bit key (node in the high 24 bits, time in the low 40 — every
+//    horizon our constructions explore fits; see the dilation bound notes
+//    in time.hpp).
+//  * Exact fallback: out-of-range pairs go to a per-node time set, so
+//    membership stays exact for any NodeId/Time whatsoever — never a
+//    hash-only answer.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tvg/graph.hpp"
+#include "tvg/time.hpp"
+
+namespace tvg {
+
+/// Exact set of (node, time) configurations. Insertions are O(1) expected;
+/// equality is on the full pair, never on a hash of it.
+class ConfigVisitedSet {
+ public:
+  static constexpr int kPackedTimeBits = 40;
+  static constexpr int kPackedNodeBits = 64 - kPackedTimeBits;
+  static constexpr Time kMaxPackedTime = (Time{1} << kPackedTimeBits) - 1;
+  static constexpr NodeId kMaxPackedNode =
+      static_cast<NodeId>((std::uint64_t{1} << kPackedNodeBits) - 1);
+
+  /// True iff (v, t) fits the injective packed representation.
+  [[nodiscard]] static constexpr bool packable(NodeId v, Time t) noexcept {
+    return v <= kMaxPackedNode && t >= 0 && t <= kMaxPackedTime;
+  }
+
+  /// Injective on the packable domain: distinct pairs, distinct keys.
+  /// Precondition: packable(v, t).
+  [[nodiscard]] static constexpr std::uint64_t pack(NodeId v,
+                                                    Time t) noexcept {
+    return (static_cast<std::uint64_t>(v) << kPackedTimeBits) |
+           static_cast<std::uint64_t>(t);
+  }
+
+  /// Inserts (v, t); returns true iff it was not already present.
+  bool insert(NodeId v, Time t);
+
+  [[nodiscard]] bool contains(NodeId v, Time t) const;
+
+  /// Number of distinct configurations inserted.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void clear();
+
+ private:
+  std::unordered_set<std::uint64_t> packed_;
+  std::unordered_map<NodeId, std::unordered_set<Time>> overflow_;
+  std::size_t size_{0};
+};
+
+/// Admission control for a configuration search: a config enters the
+/// frontier iff it is inside the horizon, not the infinity sentinel, and
+/// not already visited. This is the (previously inline) visited policy of
+/// the journey search engine, named so it can be unit-tested.
+class ConfigAdmission {
+ public:
+  explicit ConfigAdmission(Time horizon) : horizon_(horizon) {}
+
+  /// True iff (v, t) is admissible and was not yet visited; marks it
+  /// visited. Rejections never mark anything.
+  bool admit(NodeId v, Time t) {
+    if (t == kTimeInfinity || t > horizon_) return false;
+    return visited_.insert(v, t);
+  }
+
+  [[nodiscard]] const ConfigVisitedSet& visited() const noexcept {
+    return visited_;
+  }
+  [[nodiscard]] Time horizon() const noexcept { return horizon_; }
+
+ private:
+  Time horizon_;
+  ConfigVisitedSet visited_;
+};
+
+}  // namespace tvg

@@ -263,5 +263,168 @@ TEST(SearchLimits, TruncationIsReported) {
   EXPECT_TRUE(t.truncated);
 }
 
+TEST(Fastest, ReportsCandidateTruncation) {
+  // Shrinking latency makes the last departure the unique optimum, so a
+  // truncated candidate scan returns a non-optimal journey — which must
+  // be flagged instead of silent.
+  TimeVaryingGraph g;
+  const NodeId s = g.add_node();
+  const NodeId t = g.add_node();
+  g.add_edge(s, t, 'a', Presence::intervals(IntervalSet::single(0, 100)),
+             Latency::function([](Time dep) { return 100 - dep; },
+                               "shrinking"));
+  SearchLimits limits;
+  limits.horizon = 300;
+  limits.max_fastest_candidates = 8;
+  const FastestJourneyResult truncated =
+      fastest_journey_checked(g, s, t, 0, 99, Policy::wait(), limits);
+  EXPECT_TRUE(truncated.truncated);
+  ASSERT_TRUE(truncated.journey.has_value());
+  EXPECT_GT(truncated.journey->duration(g), 1);
+
+  SearchLimits full = limits;
+  full.max_fastest_candidates = 4096;
+  const FastestJourneyResult exact =
+      fastest_journey_checked(g, s, t, 0, 99, Policy::wait(), full);
+  EXPECT_FALSE(exact.truncated);
+  ASSERT_TRUE(exact.journey.has_value());
+  EXPECT_EQ(exact.journey->legs.front().departure, 99);
+  EXPECT_EQ(exact.journey->duration(g), 1);
+  // The unchecked wrapper returns the same journey.
+  EXPECT_EQ(fastest_journey(g, s, t, 0, 99, Policy::wait(), full),
+            exact.journey);
+}
+
+TEST(BoundedWait, HorizonClampsDepartureWindow) {
+  // The waiting bound would allow departing at 6, but the search horizon
+  // clips the window first (max_departure(t) vs horizon clamping).
+  TimeVaryingGraph g;
+  const NodeId u = g.add_node();
+  const NodeId v = g.add_node();
+  g.add_edge(u, v, 'a', Presence::eventually_always(6), Latency::constant(1));
+  const ForemostTree clipped = foremost_arrivals(
+      g, u, 0, Policy::bounded_wait(10), SearchLimits::up_to(5));
+  EXPECT_EQ(clipped.arrival[v], kTimeInfinity);
+  const ForemostTree open = foremost_arrivals(
+      g, u, 0, Policy::bounded_wait(10), SearchLimits::up_to(7));
+  EXPECT_EQ(open.arrival[v], 7);
+}
+
+TEST(BoundedWait, InfiniteHorizonEnumeratesFiniteSchedules) {
+  // horizon == kTimeInfinity leaves the window [t, t + bound]; the
+  // enumeration must terminate once the schedule runs out of events.
+  TimeVaryingGraph g;
+  const NodeId u = g.add_node();
+  const NodeId v = g.add_node();
+  g.add_edge(u, v, 'a', Presence::at_times({40}), Latency::constant(2));
+  const ForemostTree t = foremost_arrivals(g, u, 0, Policy::bounded_wait(50));
+  EXPECT_EQ(t.arrival[v], 42);
+  EXPECT_FALSE(t.truncated);
+  const ForemostTree miss =
+      foremost_arrivals(g, u, 0, Policy::bounded_wait(30));
+  EXPECT_EQ(miss.arrival[v], kTimeInfinity);
+}
+
+TEST(BoundedWait, InfiniteWindowOverInfiniteScheduleHitsBudgetNotLivelock) {
+  // Wait + non-constant latency + infinite horizon falls back to a
+  // bounded-wait enumeration whose departure window is unbounded; with an
+  // always-present edge there are infinitely many admissible departures.
+  // The config budget must cut the enumeration off (reported as
+  // truncation) rather than enumerating forever.
+  TimeVaryingGraph g;
+  const NodeId u = g.add_node();
+  const NodeId v = g.add_node();
+  g.add_edge(u, v, 'a', Presence::always(),
+             Latency::function([](Time t) { return t % 2 == 0 ? 2 : 1; },
+                               "parity"));
+  SearchLimits limits;  // horizon stays kTimeInfinity
+  limits.max_configs = 64;
+  const ForemostTree t = foremost_arrivals(g, u, 0, Policy::wait(), limits);
+  EXPECT_TRUE(t.truncated);
+  EXPECT_EQ(t.arrival[v], 2);
+}
+
+TEST(BoundedWait, AllRejectedArrivalsStillTerminateViaStepBudget) {
+  // Worst case for budget-bounded enumeration: an unbounded departure
+  // window over an always-present edge whose every arrival is filtered
+  // (infinite latency), so the config budget alone never binds. The
+  // step budget must end the search and report truncation.
+  TimeVaryingGraph g;
+  const NodeId u = g.add_node();
+  const NodeId v = g.add_node();
+  g.add_edge(u, v, 'a', Presence::always(),
+             Latency::function([](Time) { return kTimeInfinity; }, "stuck"));
+  SearchLimits limits;  // horizon stays kTimeInfinity
+  limits.max_configs = 64;
+  const ForemostTree t = foremost_arrivals(g, u, 0, Policy::wait(), limits);
+  EXPECT_TRUE(t.truncated);
+  EXPECT_EQ(t.arrival[v], kTimeInfinity);
+}
+
+TEST(BoundedWait, DuplicateHeavyFiniteSearchIsNotSpuriouslyTruncated) {
+  // With the waiting bound spanning the whole horizon, every config
+  // re-enumerates the full window of ~2000 departures, nearly all
+  // duplicates — and once the visited set saturates, the remaining queue
+  // tail admits nothing at all (~8M fruitless steps total). The
+  // enumeration watchdog must only trip on a single never-ending
+  // expansion, not on this exhaustive finite search.
+  TimeVaryingGraph g;
+  const NodeId u = g.add_node();
+  const NodeId v = g.add_node();
+  g.add_edge(u, v, 'a', Presence::always(), Latency::constant(1));
+  g.add_edge(v, u, 'a', Presence::always(), Latency::constant(1));
+  SearchLimits limits;
+  limits.horizon = 2000;
+  limits.max_configs = 8192;  // 4000 configs actually explored
+  const ForemostTree t =
+      foremost_arrivals(g, u, 0, Policy::bounded_wait(2000), limits);
+  EXPECT_FALSE(t.truncated);
+  EXPECT_EQ(t.arrival[v], 1);
+  EXPECT_EQ(t.configs.size(), 4000u);
+}
+
+TEST(Fastest, SharedSchedulesDoNotChargeCandidateBudgetTwice) {
+  // Two parallel out-edges with the same 10-instant schedule: only 10
+  // distinct candidates exist, so a budget of 15 must not be reported
+  // as truncated even though the raw per-edge enumeration sees 20.
+  TimeVaryingGraph g;
+  const NodeId s = g.add_node();
+  const NodeId t = g.add_node();
+  const Presence window = Presence::intervals(IntervalSet::single(0, 10));
+  g.add_edge(s, t, 'a', window, Latency::constant(5));
+  g.add_edge(s, t, 'b', window, Latency::constant(3));
+  SearchLimits limits;
+  limits.horizon = 50;
+  limits.max_fastest_candidates = 15;
+  const FastestJourneyResult res =
+      fastest_journey_checked(g, s, t, 0, 20, Policy::wait(), limits);
+  EXPECT_FALSE(res.truncated);
+  ASSERT_TRUE(res.journey.has_value());
+  EXPECT_EQ(res.journey->duration(g), 3);
+  EXPECT_EQ(res.journey->word(g), "b");
+}
+
+TEST(BoundedWait, InfinitySentinelFromNextPresentIsAbsence) {
+  // A user-supplied next_present accelerator may (wrongly but plausibly)
+  // signal "never again" with kTimeInfinity itself rather than nullopt;
+  // the engine must read that as absence, never as a departure at the end
+  // of time.
+  TimeVaryingGraph g;
+  const NodeId u = g.add_node();
+  const NodeId v = g.add_node();
+  g.add_edge(u, v, 'a',
+             Presence::predicate_with_next(
+                 [](Time t) { return t == 3; },
+                 [](Time t) -> std::optional<Time> {
+                   if (t <= 3) return 3;
+                   return kTimeInfinity;  // sentinel instead of nullopt
+                 }),
+             Latency::constant(1));
+  const ForemostTree t =
+      foremost_arrivals(g, u, 0, Policy::bounded_wait(kTimeInfinity));
+  EXPECT_EQ(t.arrival[v], 4);
+  EXPECT_FALSE(t.truncated);
+}
+
 }  // namespace
 }  // namespace tvg
