@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_report.hpp"
 #include "core/constructions.hpp"
 #include "tm/machines.hpp"
 
@@ -113,9 +114,12 @@ BENCHMARK(BM_ScalingThm21NoWait)->DenseRange(2, 18, 4);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Timing loops run first: the reproduction table's allocator churn
+  // would otherwise distort the per-iteration numbers (see
+  // bench_report.hpp). Results are mirrored to BENCH_acceptance.json.
+  const int rc = tvg::benchsupport::run_benchmarks_with_json(argc, argv,
+                                                             "BENCH_acceptance.json");
+  if (rc != 0) return rc;
   print_reproduction();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
   return 0;
 }

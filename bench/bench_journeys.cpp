@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench_report.hpp"
 #include "tvg/algorithms.hpp"
 #include "tvg/generators.hpp"
 
@@ -75,6 +76,24 @@ void BM_ForemostWait(benchmark::State& state) {
 }
 BENCHMARK(BM_ForemostWait)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
+// The workspace-reusing scan API: same search, but the config arena,
+// visited set, and queue persist across calls (the multi-source closure
+// path). The delta against BM_ForemostWait is the per-call allocation +
+// result-extraction cost.
+void BM_ForemostWaitWorkspace(benchmark::State& state) {
+  const TimeVaryingGraph g =
+      make_workload(static_cast<std::size_t>(state.range(0)), 1);
+  SearchLimits limits;
+  limits.horizon = 120;
+  SearchWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        foremost_scan(g, 0, 0, Policy::wait(), limits, ws).arrival.size());
+  }
+  state.counters["nodes"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ForemostWaitWorkspace)->Arg(64)->Arg(128);
+
 void BM_ForemostNoWait(benchmark::State& state) {
   const TimeVaryingGraph g =
       make_workload(static_cast<std::size_t>(state.range(0)), 1);
@@ -141,9 +160,12 @@ BENCHMARK(BM_TemporalCloseness);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Timing loops run first: the reproduction table's allocator churn
+  // would otherwise distort the per-iteration numbers (see
+  // bench_report.hpp). Results are mirrored to BENCH_journeys.json.
+  const int rc = tvg::benchsupport::run_benchmarks_with_json(argc, argv,
+                                                             "BENCH_journeys.json");
+  if (rc != 0) return rc;
   print_reproduction();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
   return 0;
 }

@@ -1,0 +1,76 @@
+// Shared bench harness: console timings plus a machine-readable JSON
+// mirror of every registered benchmark.
+//
+// run_benchmarks_with_json(argc, argv, "BENCH_foo.json") initializes
+// Google Benchmark and runs the registered benchmarks with the normal
+// console output, additionally writing the results to the given file in
+// Google Benchmark's standard JSON schema (a "context" object plus a
+// "benchmarks" array with real_time / cpu_time per entry). The wiring
+// simply injects --benchmark_out=<path> --benchmark_out_format=json
+// ahead of Initialize, so the library's own JSON reporter does the
+// writing. Resolution order for the output path:
+//
+//   1. TVG_BENCH_JSON environment variable ("" disables the mirror),
+//   2. an explicit --benchmark_out flag from the caller (wins; we add
+//      nothing),
+//   3. the provided default (nullptr disables), relative to the working
+//      directory.
+//
+// Run from the repo root, the defaults regenerate the per-run halves of
+// the committed BENCH_*.json baselines (see scripts/merge_bench_json.py
+// for the before/after merge format).
+//
+// IMPORTANT harness note: call this BEFORE printing any reproduction
+// table that allocates. The experiment tables churn the allocator enough
+// to visibly distort per-iteration timings measured afterwards (we saw
+// 5-10x inflation on small benchmarks), so every bench in this repo runs
+// its timing loops first and prints its tables afterwards.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tvg::benchsupport {
+
+inline bool flag_present(int argc, char** argv, const char* prefix) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) return true;
+  }
+  return false;
+}
+
+/// Runs the registered benchmarks. Returns a process exit code: 0 on
+/// success, nonzero when arguments were rejected (so a typo'd flag fails
+/// the run loudly instead of silently producing zero timings — scripts
+/// regenerating the BENCH_*.json baselines depend on that).
+inline int run_benchmarks_with_json(int argc, char** argv,
+                                    const char* default_json_path) {
+  std::string json_path =
+      default_json_path == nullptr ? "" : default_json_path;
+  if (const char* env = std::getenv("TVG_BENCH_JSON")) json_path = env;
+  if (flag_present(argc, argv, "--benchmark_out=")) json_path.clear();
+
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!json_path.empty()) {
+    out_flag = "--benchmark_out=" + json_path;
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace tvg::benchsupport

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Merge two Google-Benchmark JSON runs into a committed BENCH_*.json.
+
+Usage:
+    scripts/merge_bench_json.py BEFORE.json AFTER.json OUT.json \
+        [--bench NAME] [--note TEXT]
+
+BEFORE.json / AFTER.json are plain Google-Benchmark JSON documents (what
+the bench binaries emit via bench_report.hpp, TVG_BENCH_JSON=..., or
+--benchmark_out=...). The merged document keeps both runs verbatim under
+"runs" and adds a "speedup" map (before_real_time / after_real_time, so
+values > 1 mean the 'after' build is faster) over the benchmark names the
+two runs share. Aggregate entries (mean/median/stddev rows emitted with
+--benchmark_repetitions) are skipped.
+
+Workflow for a perf PR:
+    # on the pre-PR commit
+    TVG_BENCH_JSON=/tmp/before.json ./build/bench_journeys
+    # on the PR commit
+    TVG_BENCH_JSON=/tmp/after.json ./build/bench_journeys
+    scripts/merge_bench_json.py /tmp/before.json /tmp/after.json \
+        BENCH_journeys.json --bench bench_journeys
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_run(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "benchmarks" not in doc:
+        sys.exit(f"{path}: not a Google-Benchmark JSON document "
+                 "(missing 'benchmarks')")
+    return doc
+
+
+def timings(doc):
+    out = {}
+    for b in doc["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b["real_time"]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("before")
+    ap.add_argument("after")
+    ap.add_argument("out")
+    ap.add_argument("--bench", default="", help="bench executable name")
+    ap.add_argument("--note", default="", help="free-form provenance note")
+    args = ap.parse_args()
+
+    before = load_run(args.before)
+    after = load_run(args.after)
+    t_before = timings(before)
+    t_after = timings(after)
+
+    speedup = {}
+    for name in t_after:
+        if name in t_before and t_after[name] > 0:
+            speedup[name] = round(t_before[name] / t_after[name], 3)
+
+    merged = {
+        "bench": args.bench,
+        "generated_by": "scripts/merge_bench_json.py",
+        "note": args.note,
+        "speedup": speedup,
+        "runs": {"pre_pr": before, "post_pr": after},
+    }
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=1)
+        f.write("\n")
+
+    width = max((len(n) for n in speedup), default=0)
+    for name in sorted(speedup):
+        print(f"{name:<{width}}  {t_before[name]:>12.0f} ns -> "
+              f"{t_after[name]:>12.0f} ns   x{speedup[name]}")
+
+
+if __name__ == "__main__":
+    main()

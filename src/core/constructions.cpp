@@ -238,7 +238,7 @@ TimeVaryingGraph dilate(const TimeVaryingGraph& g, Time s) {
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     const Edge& ed = g.edge(e);
     out.add_edge(ed.from, ed.to, ed.label, ed.presence.dilated(s),
-                 ed.latency.dilated(s), ed.name);
+                 ed.latency.dilated(s), g.edge_name(e));
   }
   return out;
 }

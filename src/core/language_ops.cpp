@@ -58,7 +58,7 @@ TvgAutomaton tvg_concat(const TvgAutomaton& a, const TvgAutomaton& b) {
       for (EdgeId eid : b.graph().out_edges(i)) {
         const Edge& e = b.graph().edge(eid);
         graph.add_edge(f, e.to + offset, e.label, e.presence, e.latency,
-                       "splice." + e.name);
+                       "splice." + b.graph().edge_name(eid));
       }
     }
   }

@@ -1,9 +1,9 @@
 #include "core/tvg_automaton.hpp"
 
 #include <algorithm>
-#include <queue>
 #include <stdexcept>
 
+#include "tvg/schedule_index.hpp"
 #include "tvg/visited.hpp"
 
 namespace tvg::core {
@@ -46,6 +46,10 @@ void TvgAutomaton::set_accepting(NodeId v, bool accepting) {
 AcceptResult TvgAutomaton::accepts(const Word& word, Policy policy,
                                    const AcceptOptions& options) const {
   AcceptResult result;
+  // Schedule queries run on the graph's compiled index (built once per
+  // graph, cached); the per-node out-edges are filtered through the
+  // label-bucketed CSR so only symbol-matching edges are touched.
+  const ScheduleIndex& sx = graph_.schedule_index();
   std::vector<Config> configs;
   // Exact (node, time) admission per word position: horizon clamp,
   // infinity-sentinel rejection, and dedup that compares the full
@@ -53,7 +57,6 @@ AcceptResult TvgAutomaton::accepts(const Word& word, Policy policy,
   // component as the journey search engine — see visited.hpp).
   std::vector<ConfigAdmission> admission(word.size() + 1,
                                          ConfigAdmission(options.horizon));
-  std::queue<std::int64_t> queue;
 
   auto make_witness = [&](std::int64_t idx) {
     std::vector<JourneyLeg> legs;
@@ -71,12 +74,13 @@ AcceptResult TvgAutomaton::accepts(const Word& word, Policy policy,
     return Journey{start, start_time_, std::move(legs)};
   };
 
+  // Every admitted config is appended to `configs` exactly once and in
+  // FIFO order, so the frontier queue is just a scan index over it.
   auto push = [&](Config c) -> std::optional<std::int64_t> {
     if (!admission[c.pos].admit(c.node, c.time)) return std::nullopt;
     configs.push_back(c);
     const auto idx = static_cast<std::int64_t>(configs.size()) - 1;
     if (c.pos == word.size() && accepting_.contains(c.node)) return idx;
-    queue.push(idx);
     return std::nullopt;
   };
 
@@ -89,31 +93,28 @@ AcceptResult TvgAutomaton::accepts(const Word& word, Policy policy,
     }
   }
 
-  while (!queue.empty()) {
+  for (std::size_t next = 0; next < configs.size(); ++next) {
     if (configs.size() >= options.max_configs) {
       result.truncated = true;
       break;
     }
-    const std::int64_t idx = queue.front();
-    queue.pop();
-    const Config cur = configs[static_cast<std::size_t>(idx)];
+    const auto idx = static_cast<std::int64_t>(next);
+    const Config cur = configs[next];
     if (cur.pos >= word.size()) continue;
     const Symbol symbol = word[cur.pos];
 
     std::optional<std::int64_t> hit;
-    auto try_departure = [&](const Edge& e, EdgeId eid, Time dep) {
+    auto try_departure = [&](EdgeId eid, Time dep) {
       if (hit) return;
-      const Time arr = e.arrival(dep);
-      hit = push(Config{e.to, arr, cur.pos + 1, idx, eid, dep});
+      const Time arr = sx.arrival(eid, dep);
+      hit = push(Config{sx.record(eid).to, arr, cur.pos + 1, idx, eid, dep});
     };
 
-    for (EdgeId eid : graph_.out_edges(cur.node)) {
+    for (EdgeId eid : graph_.out_edges_labeled(cur.node, symbol)) {
       if (hit) break;
-      const Edge& e = graph_.edge(eid);
-      if (e.label != symbol) continue;
       switch (policy.kind) {
         case WaitingPolicy::kNoWait: {
-          if (e.present(cur.time)) try_departure(e, eid, cur.time);
+          if (sx.present(eid, cur.time)) try_departure(eid, cur.time);
           break;
         }
         case WaitingPolicy::kBoundedWait: {
@@ -122,32 +123,33 @@ AcceptResult TvgAutomaton::accepts(const Word& word, Policy policy,
           // contract note in tvg/algorithms.cpp).
           const Time last =
               std::min(policy.max_departure(cur.time), options.horizon);
-          Time cursor = cur.time;
-          while (cursor <= last && !hit) {
-            auto dep = e.presence.next_present(cursor);
-            if (!dep || *dep == kTimeInfinity || *dep > last) break;
-            try_departure(e, eid, *dep);
-            cursor = *dep + 1;  // safe: *dep < kTimeInfinity
+          ScheduleIndex::EventCursor cursor;
+          Time at = cur.time;
+          while (at <= last && !hit) {
+            const Time dep = sx.next_present(eid, at, cursor);
+            if (dep == kTimeInfinity || dep > last) break;
+            try_departure(eid, dep);
+            at = dep + 1;  // safe: dep < kTimeInfinity
           }
           break;
         }
         case WaitingPolicy::kWait: {
-          if (e.latency.is_affine()) {
+          if (sx.record(eid).lat_affine) {
             // Arrival is monotone in departure: the earliest admissible
             // departure dominates (see header comment).
-            if (auto dep = e.presence.next_present(cur.time);
-                dep && *dep != kTimeInfinity && *dep <= options.horizon) {
-              try_departure(e, eid, *dep);
+            const Time dep = sx.next_present(eid, cur.time);
+            if (dep != kTimeInfinity && dep <= options.horizon) {
+              try_departure(eid, dep);
             }
           } else {
-            Time cursor = cur.time;
+            ScheduleIndex::EventCursor cursor;
+            Time at = cur.time;
             for (std::size_t k = 0;
                  k < options.departures_per_edge && !hit; ++k) {
-              auto dep = e.presence.next_present(cursor);
-              if (!dep || *dep == kTimeInfinity || *dep > options.horizon)
-                break;
-              try_departure(e, eid, *dep);
-              cursor = *dep + 1;  // safe: *dep < kTimeInfinity
+              const Time dep = sx.next_present(eid, at, cursor);
+              if (dep == kTimeInfinity || dep > options.horizon) break;
+              try_departure(eid, dep);
+              at = dep + 1;  // safe: dep < kTimeInfinity
             }
           }
           break;

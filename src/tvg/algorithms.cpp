@@ -2,33 +2,94 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 #include <set>
 
+#include "tvg/schedule_index.hpp"
 #include "tvg/visited.hpp"
 
 namespace tvg {
-namespace {
 
 using ConfigRec = ForemostTree::ConfigRec;
 
-/// Enumerates admissible departure times for edge `e` when ready at `t`
+namespace detail {
+
+/// The arenas behind SearchWorkspace (see algorithms.hpp). Kernels write
+/// results into configs/best/arrival; admission, the Dijkstra heap, and
+/// the scan cursor persist across runs with their capacity intact.
+struct SearchArenas {
+  std::vector<ConfigRec> configs;
+  std::vector<std::int64_t> best;  // per node
+  std::vector<Time> arrival;       // per node
+  ConfigAdmission admission{kTimeInfinity};
+  std::vector<std::pair<Time, std::int64_t>> heap;  // Dijkstra min-heap
+  /// Calendar queue for bounded-horizon Dijkstra: bucket b holds config
+  /// indices with arrival t_min + b. Always left empty between runs.
+  std::vector<std::vector<std::int64_t>> buckets;
+  bool truncated{false};
+  std::int64_t first_goal{-1};  // first config hitting `goal` (BFS only)
+  bool in_use{false};           // re-entrancy guard for the shared arena
+};
+
+}  // namespace detail
+
+SearchWorkspace::SearchWorkspace()
+    : arenas_(std::make_unique<detail::SearchArenas>()) {}
+SearchWorkspace::~SearchWorkspace() = default;
+SearchWorkspace::SearchWorkspace(SearchWorkspace&&) noexcept = default;
+SearchWorkspace& SearchWorkspace::operator=(SearchWorkspace&&) noexcept =
+    default;
+
+namespace {
+
+using detail::SearchArenas;
+
+/// Leases the per-thread shared arena for API entry points that take no
+/// explicit workspace. If the arena is already leased (a predicate ρ/ζ
+/// re-entered the engine mid-search), falls back to a fresh private one
+/// so nested searches never corrupt the outer run.
+class ArenaLease {
+ public:
+  ArenaLease() {
+    thread_local SearchArenas shared;
+    if (!shared.in_use) {
+      shared.in_use = true;
+      arenas_ = &shared;
+      leased_shared_ = true;
+    } else {
+      fallback_ = std::make_unique<SearchArenas>();
+      arenas_ = fallback_.get();
+    }
+  }
+  ~ArenaLease() {
+    if (leased_shared_) arenas_->in_use = false;
+  }
+  ArenaLease(const ArenaLease&) = delete;
+  ArenaLease& operator=(const ArenaLease&) = delete;
+
+  [[nodiscard]] SearchArenas& operator*() noexcept { return *arenas_; }
+
+ private:
+  SearchArenas* arenas_{nullptr};
+  std::unique_ptr<SearchArenas> fallback_;
+  bool leased_shared_{false};
+};
+
+/// Enumerates admissible departure times for edge `eid` when ready at `t`
 /// under `policy`, bounded by `horizon`, invoking `fn(dep)` for each.
 /// `fn` returns false to stop the enumeration early (searches use this
 /// when their config budget runs out: an unbounded departure window over
 /// an infinite schedule offers unboundedly many departures).
 ///
-/// `Presence::next_present` contract note: its result is a real instant
-/// with ρ(t) = 1; kTimeInfinity is reserved as the "no such time"
-/// sentinel throughout time.hpp, so a next_present result equal to
-/// kTimeInfinity (possible via a user-supplied predicate_with_next
-/// accelerator) is treated as absence and never reaches `fn`.
+/// Schedule queries go through the compiled index, whose kTimeInfinity
+/// result is the "no such time" sentinel (a user-supplied
+/// predicate_with_next accelerator returning the literal kTimeInfinity is
+/// likewise treated as absence and never reaches `fn`).
 template <typename Fn>
-void for_each_departure(const Edge& e, Time t, Policy policy, Time horizon,
-                        Fn&& fn) {
+void for_each_departure(const ScheduleIndex& sx, EdgeId eid, Time t,
+                        Policy policy, Time horizon, Fn&& fn) {
   switch (policy.kind) {
     case WaitingPolicy::kNoWait: {
-      if (t != kTimeInfinity && t <= horizon && e.present(t)) fn(t);
+      if (t != kTimeInfinity && t <= horizon && sx.present(eid, t)) fn(t);
       return;
     }
     case WaitingPolicy::kWait: {
@@ -37,113 +98,187 @@ void for_each_departure(const Edge& e, Time t, Policy policy, Time horizon,
       // latency, but NOT for general latencies. We still enumerate just
       // the earliest here; general-latency exactness is the business of
       // the TvgAutomaton search (core/), which enumerates all departures.
-      if (auto dep = e.presence.next_present(t);
-          dep && *dep != kTimeInfinity && *dep <= horizon) {
-        fn(*dep);
-      }
+      const Time dep = sx.next_present(eid, t);
+      if (dep != kTimeInfinity && dep <= horizon) fn(dep);
       return;
     }
     case WaitingPolicy::kBoundedWait: {
       // Departure window [t, last]: the policy's waiting bound clamped to
       // the horizon. `last` may be kTimeInfinity (unbounded wait within an
       // infinite horizon); termination then rests on the schedule running
-      // out of events or `fn` cutting the enumeration off.
+      // out of events or `fn` cutting the enumeration off. The cursor
+      // makes the walk over the window's presence events amortized-O(1)
+      // per event.
       const Time last = std::min(policy.max_departure(t), horizon);
-      Time cursor = t;
-      while (cursor <= last) {
-        auto dep = e.presence.next_present(cursor);
-        if (!dep || *dep == kTimeInfinity || *dep > last) return;
-        if (!fn(*dep)) return;
-        if (*dep == last) return;
-        cursor = *dep + 1;  // safe: *dep < kTimeInfinity
+      ScheduleIndex::EventCursor cursor;
+      Time at = t;
+      while (at <= last) {
+        const Time dep = sx.next_present(eid, at, cursor);
+        if (dep == kTimeInfinity || dep > last) return;
+        if (!fn(dep)) return;
+        if (dep == last) return;
+        at = dep + 1;  // safe: dep < kTimeInfinity
       }
       return;
     }
   }
 }
 
-struct SearchOutput {
-  std::vector<ConfigRec> configs;
-  std::vector<std::int64_t> best;  // per node
-  std::vector<Time> arrival;       // per node
-  bool truncated{false};
-  std::int64_t first_goal{-1};  // first config hitting `goal` (BFS only)
-};
-
 /// Dijkstra over (node, arrival) — exact for the Wait policy, where
-/// earlier arrivals dominate. `initial` are root configs.
-SearchOutput dijkstra_wait(const TimeVaryingGraph& g,
-                           std::vector<ConfigRec> initial,
-                           SearchLimits limits) {
-  SearchOutput out;
+/// earlier arrivals dominate. `initial` are root configs. Results land in
+/// the arenas (configs / best / arrival / truncated).
+///
+/// Two priority-queue backends with identical pop order (by arrival, then
+/// config creation order): a calendar queue of per-instant buckets when
+/// the time window [earliest root, horizon] is small — O(1) push/pop, no
+/// comparison churn — and a binary heap otherwise.
+constexpr Time kMaxBucketWindow = 1 << 14;
+
+void dijkstra_wait(const TimeVaryingGraph& g, const ScheduleIndex& sx,
+                   std::span<const ConfigRec> initial, SearchLimits limits,
+                   SearchArenas& a) {
   const std::size_t n = g.node_count();
-  out.arrival.assign(n, kTimeInfinity);
-  out.best.assign(n, -1);
+  a.arrival.assign(n, kTimeInfinity);
+  a.best.assign(n, -1);
+  a.configs.clear();
+  a.heap.clear();
+  a.truncated = false;
+  a.first_goal = -1;
 
-  using Item = std::pair<Time, std::int64_t>;  // (arrival, config index)
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-
-  for (ConfigRec& c : initial) {
-    if (c.time == kTimeInfinity || c.time > limits.horizon) continue;
-    if (c.time < out.arrival[c.node]) {
-      out.configs.push_back(c);
-      const auto idx = static_cast<std::int64_t>(out.configs.size()) - 1;
-      out.arrival[c.node] = c.time;
-      out.best[c.node] = idx;
-      pq.emplace(c.time, idx);
-    }
-  }
-
-  while (!pq.empty()) {
-    const auto [t, idx] = pq.top();
-    pq.pop();
-    const NodeId v = out.configs[static_cast<std::size_t>(idx)].node;
-    if (t != out.arrival[v]) continue;  // stale entry
-    if (out.configs.size() >= limits.max_configs) {
-      out.truncated = true;
-      break;
+  // Expands config idx (arrival t at node v); returns false on budget
+  // exhaustion. `push_item(arr, nidx)` enqueues a fresh improving config.
+  auto expand = [&](Time t, std::int64_t idx, auto&& push_item) -> bool {
+    const NodeId v = a.configs[static_cast<std::size_t>(idx)].node;
+    if (t != a.arrival[v]) return true;  // stale entry
+    if (a.configs.size() >= limits.max_configs) {
+      a.truncated = true;
+      return false;
     }
     for (EdgeId eid : g.out_edges(v)) {
-      const Edge& e = g.edge(eid);
-      for_each_departure(e, t, Policy::wait(), limits.horizon, [&](Time dep) {
-        const Time arr = e.arrival(dep);
+      for_each_departure(sx, eid, t, Policy::wait(), limits.horizon,
+                         [&](Time dep) {
+        const Time arr = sx.arrival(eid, dep);
         if (arr == kTimeInfinity || arr > limits.horizon) return true;
-        if (arr < out.arrival[e.to]) {
-          out.configs.push_back(ConfigRec{e.to, arr, idx, eid, dep});
-          const auto nidx = static_cast<std::int64_t>(out.configs.size()) - 1;
-          out.arrival[e.to] = arr;
-          out.best[e.to] = nidx;
-          pq.emplace(arr, nidx);
+        const NodeId to = sx.record(eid).to;
+        if (arr < a.arrival[to]) {
+          a.configs.push_back(ConfigRec{to, arr, idx, eid, dep});
+          const auto nidx = static_cast<std::int64_t>(a.configs.size()) - 1;
+          a.arrival[to] = arr;
+          a.best[to] = nidx;
+          push_item(arr, nidx);
         }
         return true;
       });
     }
+    return true;
+  };
+
+  // Shared root admission, parameterized over the queue backend so both
+  // backends seed (and therefore pop) identically.
+  auto seed_roots = [&](auto&& push_item) {
+    for (const ConfigRec& c : initial) {
+      if (c.time == kTimeInfinity || c.time > limits.horizon) continue;
+      if (c.time < a.arrival[c.node]) {
+        a.configs.push_back(c);
+        const auto idx = static_cast<std::int64_t>(a.configs.size()) - 1;
+        a.arrival[c.node] = c.time;
+        a.best[c.node] = idx;
+        push_item(c.time, idx);
+      }
+    }
+  };
+
+  Time t_min = kTimeInfinity;
+  for (const ConfigRec& c : initial) {
+    if (c.time == kTimeInfinity || c.time > limits.horizon) continue;
+    t_min = std::min(t_min, c.time);
   }
-  return out;
+  if (t_min == kTimeInfinity) return;  // no admissible root
+
+  const bool bucketable = limits.horizon != kTimeInfinity &&
+                          limits.horizon - t_min < kMaxBucketWindow;
+  if (bucketable) {
+    const auto window =
+        static_cast<std::size_t>(limits.horizon - t_min) + 1;
+    if (a.buckets.size() < window) a.buckets.resize(window);
+    // The arena invariant is "buckets always empty between runs". The
+    // drain loop clears each bucket as it passes, so the normal and
+    // budget-exhausted exits cost nothing extra — but an exception from
+    // a user-supplied ρ/ζ (a throwing Presence::predicate, say) would
+    // otherwise unwind mid-drain and leave stale config indices behind
+    // for the next search on this thread. This guard restores the
+    // invariant on every exit path.
+    struct DrainGuard {
+      std::vector<std::vector<std::int64_t>>* buckets;
+      std::size_t pos{0};
+      std::size_t end;
+      ~DrainGuard() {
+        for (std::size_t b = pos; b < end; ++b) (*buckets)[b].clear();
+      }
+    } guard{&a.buckets, 0, window};
+    auto bucket_push = [&](Time t, std::int64_t idx) {
+      a.buckets[static_cast<std::size_t>(t - t_min)].push_back(idx);
+    };
+    seed_roots(bucket_push);
+    for (std::size_t b = 0; b < window; ++b) {
+      auto& bucket = a.buckets[b];
+      guard.pos = b;
+      // Index loop: a zero-latency relaxation may append to the bucket
+      // being drained.
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        if (!expand(t_min + static_cast<Time>(b), bucket[i], bucket_push)) {
+          return;  // budget exhausted; the guard empties the queue
+        }
+      }
+      bucket.clear();
+    }
+    guard.pos = window;
+    return;
+  }
+
+  using Item = std::pair<Time, std::int64_t>;  // (arrival, config index)
+  const auto heap_greater = [](const Item& x, const Item& y) {
+    return x > y;  // min-heap; ties pop in config creation order
+  };
+  auto heap_push = [&](Time t, std::int64_t idx) {
+    a.heap.emplace_back(t, idx);
+    std::push_heap(a.heap.begin(), a.heap.end(), heap_greater);
+  };
+  seed_roots(heap_push);
+
+  while (!a.heap.empty()) {
+    const auto [t, idx] = a.heap.front();
+    std::pop_heap(a.heap.begin(), a.heap.end(), heap_greater);
+    a.heap.pop_back();
+    if (!expand(t, idx, heap_push)) break;
+  }
 }
 
 /// Hop-ordered BFS over all (node, time) configurations — required for
 /// NoWait / BoundedWait where early arrivals do not dominate. If
 /// `goal` is set, records the first config reaching it (min hops).
-SearchOutput config_bfs(const TimeVaryingGraph& g,
-                        std::vector<ConfigRec> initial, Policy policy,
-                        SearchLimits limits,
-                        std::optional<NodeId> goal = std::nullopt) {
-  SearchOutput out;
+/// Every admitted config is appended to a.configs exactly once and in
+/// FIFO order, so the frontier queue is just a scan index over a.configs.
+void config_bfs(const TimeVaryingGraph& g, const ScheduleIndex& sx,
+                std::span<const ConfigRec> initial, Policy policy,
+                SearchLimits limits, SearchArenas& a,
+                std::optional<NodeId> goal = std::nullopt) {
   const std::size_t n = g.node_count();
-  out.arrival.assign(n, kTimeInfinity);
-  out.best.assign(n, -1);
+  a.arrival.assign(n, kTimeInfinity);
+  a.best.assign(n, -1);
+  a.configs.clear();
+  a.truncated = false;
+  a.first_goal = -1;
 
   // Exact (node, time) dedup — membership compares the full pair, never a
   // hash of it, so a collision can no longer drop a reachable config (the
   // visited policy lives in visited.hpp, where it is unit-tested).
-  ConfigAdmission admission(limits.horizon);
-  std::queue<std::int64_t> queue;
+  a.admission.reset(limits.horizon);
 
   // Watchdog for departure enumeration. The config budget alone cannot
   // bound an unbounded departure window whose candidates are all
   // *rejected* (infinite arrival, beyond-horizon, duplicate): those never
-  // grow out.configs, and such a window is enumerated within a SINGLE
+  // grow a.configs, and such a window is enumerated within a SINGLE
   // config expansion. So the watchdog counts steps per expansion —
   // resetting on every pop and every admission — and only trips when one
   // expansion enumerates a budget-dwarfing number of fruitless
@@ -163,20 +298,19 @@ SearchOutput config_bfs(const TimeVaryingGraph& g,
   // Returns false once a budget is exhausted; that stops the departure
   // enumeration feeding it (see for_each_departure).
   auto push = [&](const ConfigRec& c) -> bool {
-    if (out.configs.size() >= limits.max_configs) {
-      out.truncated = true;
+    if (a.configs.size() >= limits.max_configs) {
+      a.truncated = true;
       return false;
     }
-    if (!admission.admit(c.node, c.time)) return true;
+    if (!a.admission.admit(c.node, c.time)) return true;
     expansion_steps = 0;
-    out.configs.push_back(c);
-    const auto idx = static_cast<std::int64_t>(out.configs.size()) - 1;
-    if (c.time < out.arrival[c.node]) {
-      out.arrival[c.node] = c.time;
-      out.best[c.node] = idx;
+    a.configs.push_back(c);
+    const auto idx = static_cast<std::int64_t>(a.configs.size()) - 1;
+    if (c.time < a.arrival[c.node]) {
+      a.arrival[c.node] = c.time;
+      a.best[c.node] = idx;
     }
-    if (goal && c.node == *goal && out.first_goal < 0) out.first_goal = idx;
-    queue.push(idx);
+    if (goal && c.node == *goal && a.first_goal < 0) a.first_goal = idx;
     return true;
   };
 
@@ -184,37 +318,37 @@ SearchOutput config_bfs(const TimeVaryingGraph& g,
     if (!push(c)) break;
   }
 
-  while (!queue.empty() && !out.truncated) {
-    const std::int64_t idx = queue.front();
-    queue.pop();
-    if (goal && out.first_goal >= 0) break;  // min-hop goal reached
-    const ConfigRec cur = out.configs[static_cast<std::size_t>(idx)];
+  for (std::size_t next = 0; next < a.configs.size() && !a.truncated;
+       ++next) {
+    if (goal && a.first_goal >= 0) break;  // min-hop goal reached
+    const ConfigRec cur = a.configs[next];
+    const auto idx = static_cast<std::int64_t>(next);
     expansion_steps = 0;
     for (EdgeId eid : g.out_edges(cur.node)) {
-      const Edge& e = g.edge(eid);
-      for_each_departure(e, cur.time, policy, limits.horizon, [&](Time dep) {
+      for_each_departure(sx, eid, cur.time, policy, limits.horizon,
+                         [&](Time dep) {
         if (++expansion_steps > max_expansion_steps) {
-          out.truncated = true;
+          a.truncated = true;
           return false;
         }
-        const Time arr = e.arrival(dep);
+        const Time arr = sx.arrival(eid, dep);
         if (arr == kTimeInfinity || arr > limits.horizon) return true;
-        return push(ConfigRec{e.to, arr, idx, eid, dep});
+        return push(ConfigRec{sx.record(eid).to, arr, idx, eid, dep});
       });
-      if (out.truncated) break;
+      if (a.truncated) break;
     }
   }
-  return out;
 }
 
-SearchOutput run_search(const TimeVaryingGraph& g,
-                        std::vector<ConfigRec> initial, Policy policy,
-                        SearchLimits limits,
-                        std::optional<NodeId> goal = std::nullopt) {
-  if (policy.kind == WaitingPolicy::kWait && g.all_constant_latency()) {
+void run_search(const TimeVaryingGraph& g, std::span<const ConfigRec> initial,
+                Policy policy, SearchLimits limits, SearchArenas& a,
+                std::optional<NodeId> goal = std::nullopt) {
+  const ScheduleIndex& sx = g.schedule_index();
+  if (policy.kind == WaitingPolicy::kWait && sx.all_latency_constant()) {
     // Dominance argument requires that departing later never arrives
     // earlier, which constant latencies guarantee.
-    return dijkstra_wait(g, std::move(initial), limits);
+    dijkstra_wait(g, sx, initial, limits, a);
+    return;
   }
   if (policy.kind == WaitingPolicy::kWait) {
     // General latencies under Wait: fall back to bounded enumeration by
@@ -222,9 +356,10 @@ SearchOutput run_search(const TimeVaryingGraph& g,
     Policy capped = Policy::bounded_wait(limits.horizon == kTimeInfinity
                                              ? kTimeInfinity
                                              : limits.horizon);
-    return config_bfs(g, std::move(initial), capped, limits, goal);
+    config_bfs(g, sx, initial, capped, limits, a, goal);
+    return;
   }
-  return config_bfs(g, std::move(initial), policy, limits, goal);
+  config_bfs(g, sx, initial, policy, limits, a, goal);
 }
 
 Journey journey_from_config(const std::vector<ConfigRec>& configs,
@@ -237,6 +372,24 @@ Journey journey_from_config(const std::vector<ConfigRec>& configs,
   }
   std::reverse(legs.begin(), legs.end());
   return Journey{source, start_time, std::move(legs)};
+}
+
+ForemostTree foremost_arrivals_in(const TimeVaryingGraph& g, NodeId source,
+                                  Time start_time, Policy policy,
+                                  SearchLimits limits, SearchArenas& a) {
+  const ConfigRec root{source, start_time, -1, kInvalidEdge, 0};
+  run_search(g, {&root, 1}, policy, limits, a);
+  ForemostTree tree;
+  tree.source = source;
+  tree.start_time = start_time;
+  tree.truncated = a.truncated;
+  tree.arrival = std::move(a.arrival);
+  tree.configs = std::move(a.configs);
+  tree.best_config = std::move(a.best);
+  a.arrival.clear();  // moved-from: restore to a definite empty state
+  a.configs.clear();
+  a.best.clear();
+  return tree;
 }
 
 }  // namespace
@@ -253,17 +406,24 @@ std::optional<Journey> ForemostTree::journey_to(const TimeVaryingGraph& g,
 ForemostTree foremost_arrivals(const TimeVaryingGraph& g, NodeId source,
                                Time start_time, Policy policy,
                                SearchLimits limits) {
-  std::vector<ConfigRec> initial{
-      ConfigRec{source, start_time, -1, kInvalidEdge, 0}};
-  SearchOutput out = run_search(g, std::move(initial), policy, limits);
-  ForemostTree tree;
-  tree.source = source;
-  tree.start_time = start_time;
-  tree.arrival = std::move(out.arrival);
-  tree.truncated = out.truncated;
-  tree.configs = std::move(out.configs);
-  tree.best_config = std::move(out.best);
-  return tree;
+  ArenaLease lease;
+  return foremost_arrivals_in(g, source, start_time, policy, limits, *lease);
+}
+
+ForemostTree foremost_arrivals(const TimeVaryingGraph& g, NodeId source,
+                               Time start_time, Policy policy,
+                               SearchLimits limits, SearchWorkspace& ws) {
+  return foremost_arrivals_in(g, source, start_time, policy, limits,
+                              ws.arenas());
+}
+
+ForemostScan foremost_scan(const TimeVaryingGraph& g, NodeId source,
+                           Time start_time, Policy policy,
+                           SearchLimits limits, SearchWorkspace& ws) {
+  SearchArenas& a = ws.arenas();
+  const ConfigRec root{source, start_time, -1, kInvalidEdge, 0};
+  run_search(g, {&root, 1}, policy, limits, a);
+  return ForemostScan{std::span<const Time>(a.arrival), a.truncated};
 }
 
 std::optional<Journey> foremost_journey(const TimeVaryingGraph& g,
@@ -279,12 +439,12 @@ std::optional<Journey> shortest_journey(const TimeVaryingGraph& g,
                                         Time start_time, Policy policy,
                                         SearchLimits limits) {
   if (source == target) return Journey{source, start_time, {}};
-  if (policy.kind == WaitingPolicy::kWait && g.all_constant_latency()) {
+  const ScheduleIndex& sx = g.schedule_index();
+  if (policy.kind == WaitingPolicy::kWait && sx.all_latency_constant()) {
     // Hop-layered DP: under Wait a min-hop journey never revisits a node,
     // so |V| - 1 layers suffice; per layer, earlier arrival dominates.
     const std::size_t n = g.node_count();
     std::vector<Time> arr(n, kTimeInfinity);
-    std::vector<std::vector<ConfigRec>> layer_cfg(1);
     std::vector<Time> cur = arr;
     cur[source] = start_time;
     std::vector<ConfigRec> parents;  // flattened witness forest
@@ -297,19 +457,19 @@ std::optional<Journey> shortest_journey(const TimeVaryingGraph& g,
       for (NodeId v = 0; v < n; ++v) {
         if (cur[v] == kTimeInfinity) continue;
         for (EdgeId eid : g.out_edges(v)) {
-          const Edge& e = g.edge(eid);
-          for_each_departure(e, cur[v], Policy::wait(), limits.horizon,
+          for_each_departure(sx, eid, cur[v], Policy::wait(), limits.horizon,
                              [&](Time dep) {
-                               const Time a = e.arrival(dep);
+                               const Time a = sx.arrival(eid, dep);
                                if (a == kTimeInfinity || a > limits.horizon)
                                  return true;
-                               if (a < next[e.to]) {
-                                 next[e.to] = a;
+                               const NodeId to = sx.record(eid).to;
+                               if (a < next[to]) {
+                                 next[to] = a;
                                  parents.push_back(ConfigRec{
-                                     e.to, a, cfg_of[v], eid, dep});
-                                 next_cfg[e.to] = static_cast<std::int64_t>(
-                                                      parents.size()) -
-                                                  1;
+                                     to, a, cfg_of[v], eid, dep});
+                                 next_cfg[to] = static_cast<std::int64_t>(
+                                                    parents.size()) -
+                                                1;
                                }
                                return true;
                              });
@@ -328,11 +488,12 @@ std::optional<Journey> shortest_journey(const TimeVaryingGraph& g,
     }
     return std::nullopt;
   }
-  std::vector<ConfigRec> initial{
-      ConfigRec{source, start_time, -1, kInvalidEdge, 0}};
-  SearchOutput out = run_search(g, std::move(initial), policy, limits, target);
-  if (out.first_goal < 0) return std::nullopt;
-  return journey_from_config(out.configs, out.first_goal, source, start_time);
+  ArenaLease lease;
+  SearchArenas& a = *lease;
+  const ConfigRec root{source, start_time, -1, kInvalidEdge, 0};
+  run_search(g, {&root, 1}, policy, limits, a, target);
+  if (a.first_goal < 0) return std::nullopt;
+  return journey_from_config(a.configs, a.first_goal, source, start_time);
 }
 
 FastestJourneyResult fastest_journey_checked(const TimeVaryingGraph& g,
@@ -345,18 +506,19 @@ FastestJourneyResult fastest_journey_checked(const TimeVaryingGraph& g,
     result.journey = Journey{source, depart_lo, {}};
     return result;
   }
+  const ScheduleIndex& sx = g.schedule_index();
   // Candidate first departures: presence events of source out-edges,
   // deduplicated across edges so shared schedules don't charge the budget
   // twice for one instant.
   std::set<Time> candidates;
   for (EdgeId eid : g.out_edges(source)) {
     if (result.truncated) break;  // no further edge can add a candidate
-    const Edge& e = g.edge(eid);
-    Time cursor = depart_lo;
-    while (cursor <= depart_hi) {
-      auto dep = e.presence.next_present(cursor);
-      if (!dep || *dep == kTimeInfinity || *dep > depart_hi) break;
-      if (!candidates.contains(*dep)) {
+    ScheduleIndex::EventCursor cursor;
+    Time at = depart_lo;
+    while (at <= depart_hi) {
+      const Time dep = sx.next_present(eid, at, cursor);
+      if (dep == kTimeInfinity || dep > depart_hi) break;
+      if (!candidates.contains(dep)) {
         if (candidates.size() >= limits.max_fastest_candidates) {
           // A further distinct presence event exists but the enumeration
           // budget is spent: the optimum may depart at an unexplored
@@ -364,20 +526,22 @@ FastestJourneyResult fastest_journey_checked(const TimeVaryingGraph& g,
           result.truncated = true;
           break;
         }
-        candidates.insert(*dep);
+        candidates.insert(dep);
       }
-      cursor = *dep + 1;  // safe: *dep < kTimeInfinity
+      at = dep + 1;  // safe: dep < kTimeInfinity
     }
   }
 
+  ArenaLease lease;
+  SearchArenas& a = *lease;
   std::optional<Journey> best;
   Time best_duration = kTimeInfinity;
   for (Time s : candidates) {
-    std::vector<ConfigRec> roots{ConfigRec{source, s, -1, kInvalidEdge, 0}};
-    SearchOutput out = run_search(g, std::move(roots), policy, limits);
-    if (out.truncated) result.truncated = true;
-    if (out.best[target] < 0) continue;
-    Journey j = journey_from_config(out.configs, out.best[target], source, s);
+    const ConfigRec root{source, s, -1, kInvalidEdge, 0};
+    run_search(g, {&root, 1}, policy, limits, a);
+    if (a.truncated) result.truncated = true;
+    if (a.best[target] < 0) continue;
+    Journey j = journey_from_config(a.configs, a.best[target], source, s);
     if (j.legs.empty()) continue;
     // If the search waited at the source past s, the same journey is found
     // (with its true duration) under the later candidate equal to its
@@ -405,11 +569,13 @@ std::optional<Journey> fastest_journey(const TimeVaryingGraph& g,
 std::vector<bool> reachable_set(const TimeVaryingGraph& g, NodeId source,
                                 Time start_time, Policy policy,
                                 SearchLimits limits) {
-  const ForemostTree tree =
-      foremost_arrivals(g, source, start_time, policy, limits);
+  ArenaLease lease;
+  SearchArenas& a = *lease;
+  const ConfigRec root{source, start_time, -1, kInvalidEdge, 0};
+  run_search(g, {&root, 1}, policy, limits, a);
   std::vector<bool> reach(g.node_count(), false);
   for (NodeId v = 0; v < g.node_count(); ++v) {
-    reach[v] = tree.arrival[v] != kTimeInfinity;
+    reach[v] = a.arrival[v] != kTimeInfinity;
   }
   return reach;
 }
@@ -417,20 +583,24 @@ std::vector<bool> reachable_set(const TimeVaryingGraph& g, NodeId source,
 std::vector<std::vector<Time>> temporal_closure(const TimeVaryingGraph& g,
                                                 Time start_time, Policy policy,
                                                 SearchLimits limits) {
+  SearchWorkspace ws;
   std::vector<std::vector<Time>> closure;
   closure.reserve(g.node_count());
   for (NodeId u = 0; u < g.node_count(); ++u) {
-    closure.push_back(
-        foremost_arrivals(g, u, start_time, policy, limits).arrival);
+    const ForemostScan scan =
+        foremost_scan(g, u, start_time, policy, limits, ws);
+    closure.emplace_back(scan.arrival.begin(), scan.arrival.end());
   }
   return closure;
 }
 
 bool temporally_connected(const TimeVaryingGraph& g, Time start_time,
                           Policy policy, SearchLimits limits) {
-  const auto closure = temporal_closure(g, start_time, policy, limits);
-  for (const auto& row : closure) {
-    for (Time t : row) {
+  SearchWorkspace ws;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const ForemostScan scan =
+        foremost_scan(g, u, start_time, policy, limits, ws);
+    for (Time t : scan.arrival) {
       if (t == kTimeInfinity) return false;
     }
   }
@@ -440,10 +610,12 @@ bool temporally_connected(const TimeVaryingGraph& g, Time start_time,
 std::optional<Time> temporal_diameter(const TimeVaryingGraph& g,
                                       Time start_time, Policy policy,
                                       SearchLimits limits) {
-  const auto closure = temporal_closure(g, start_time, policy, limits);
+  SearchWorkspace ws;
   Time diameter = 0;
-  for (const auto& row : closure) {
-    for (Time t : row) {
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const ForemostScan scan =
+        foremost_scan(g, u, start_time, policy, limits, ws);
+    for (Time t : scan.arrival) {
       if (t == kTimeInfinity) return std::nullopt;
       diameter = std::max(diameter, t - start_time);
     }

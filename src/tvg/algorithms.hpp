@@ -20,7 +20,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "tvg/graph.hpp"
@@ -28,6 +30,32 @@
 #include "tvg/policy.hpp"
 
 namespace tvg {
+
+namespace detail {
+struct SearchArenas;  // algorithms.cpp
+}
+
+/// Reusable arenas for the search kernels: the config forest, per-node
+/// arrival/witness arrays, the exact visited set, and the priority queue
+/// (calendar buckets or binary heap). One workspace serves any number of
+/// sequential searches; buffers grow to the high-water mark and are
+/// reused, so multi-source sweeps (temporal_closure and friends) stop
+/// paying per-source allocation. Not thread-safe: use one per thread.
+class SearchWorkspace {
+ public:
+  SearchWorkspace();
+  ~SearchWorkspace();
+  SearchWorkspace(SearchWorkspace&&) noexcept;
+  SearchWorkspace& operator=(SearchWorkspace&&) noexcept;
+  SearchWorkspace(const SearchWorkspace&) = delete;
+  SearchWorkspace& operator=(const SearchWorkspace&) = delete;
+
+  /// Kernel-internal arenas; layout is private to algorithms.cpp.
+  [[nodiscard]] detail::SearchArenas& arenas() noexcept { return *arenas_; }
+
+ private:
+  std::unique_ptr<detail::SearchArenas> arenas_;
+};
 
 /// Common knobs for reachability searches.
 struct SearchLimits {
@@ -79,6 +107,29 @@ struct ForemostTree {
                                              NodeId source, Time start_time,
                                              Policy policy,
                                              SearchLimits limits = {});
+
+/// As above, but runs in the caller's workspace. The returned tree takes
+/// ownership of the workspace's result arrays (they are rebuilt on the
+/// next search); the visited set, heap, and cursors stay reusable.
+[[nodiscard]] ForemostTree foremost_arrivals(const TimeVaryingGraph& g,
+                                             NodeId source, Time start_time,
+                                             Policy policy,
+                                             SearchLimits limits,
+                                             SearchWorkspace& ws);
+
+/// Arrival row of a single-source search without extracting the witness
+/// forest — the cheap form multi-source sweeps want.
+struct ForemostScan {
+  /// arrival[v] = earliest arrival at v (kTimeInfinity if unreachable).
+  /// Points into `ws`; valid until the next search that uses `ws`.
+  std::span<const Time> arrival;
+  bool truncated{false};
+};
+
+[[nodiscard]] ForemostScan foremost_scan(const TimeVaryingGraph& g,
+                                         NodeId source, Time start_time,
+                                         Policy policy, SearchLimits limits,
+                                         SearchWorkspace& ws);
 
 /// The foremost journey source -> target, if any.
 [[nodiscard]] std::optional<Journey> foremost_journey(

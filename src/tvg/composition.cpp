@@ -16,12 +16,12 @@ std::pair<TimeVaryingGraph, NodeId> disjoint_union(const TimeVaryingGraph& a,
   }
   for (EdgeId e = 0; e < a.edge_count(); ++e) {
     const Edge& ed = a.edge(e);
-    out.add_edge(ed.from, ed.to, ed.label, ed.presence, ed.latency, ed.name);
+    out.add_edge(ed.from, ed.to, ed.label, ed.presence, ed.latency, a.edge_name(e));
   }
   for (EdgeId e = 0; e < b.edge_count(); ++e) {
     const Edge& ed = b.edge(e);
     out.add_edge(ed.from + offset, ed.to + offset, ed.label, ed.presence,
-                 ed.latency, ed.name);
+                 ed.latency, b.edge_name(e));
   }
   return {std::move(out), offset};
 }
@@ -34,7 +34,8 @@ TimeVaryingGraph relabeled(const TimeVaryingGraph& g,
     const Edge& ed = g.edge(e);
     const auto it = mapping.find(ed.label);
     const Symbol label = it == mapping.end() ? ed.label : it->second;
-    out.add_edge(ed.from, ed.to, label, ed.presence, ed.latency, ed.name);
+    out.add_edge(ed.from, ed.to, label, ed.presence, ed.latency,
+                 g.edge_name(e));
   }
   return out;
 }
@@ -67,7 +68,7 @@ TimeVaryingGraph restricted_to_window(const TimeVaryingGraph& g, Time lo,
               std::to_string(hi) + ")");
     }
     out.add_edge(ed.from, ed.to, ed.label, std::move(windowed), ed.latency,
-                 ed.name);
+                 g.edge_name(e));
   }
   return out;
 }
@@ -101,7 +102,7 @@ TimeVaryingGraph time_shifted(const TimeVaryingGraph& g, Time delta) {
           ed.presence.to_string() + "+" + std::to_string(delta));
     }
     out.add_edge(ed.from, ed.to, ed.label, std::move(shifted), ed.latency,
-                 ed.name);
+                 g.edge_name(e));
   }
   return out;
 }
@@ -111,7 +112,8 @@ TimeVaryingGraph edge_reversed(const TimeVaryingGraph& g) {
   for (NodeId v = 0; v < g.node_count(); ++v) out.add_node(g.node_name(v));
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     const Edge& ed = g.edge(e);
-    out.add_edge(ed.to, ed.from, ed.label, ed.presence, ed.latency, ed.name);
+    out.add_edge(ed.to, ed.from, ed.label, ed.presence, ed.latency,
+                 g.edge_name(e));
   }
   return out;
 }

@@ -4,9 +4,19 @@
 // labeled over an alphabet Σ (we use printable chars); ρ and ζ are
 // attached per-edge as Presence / Latency values. The lifetime T is
 // implicit ([0, ∞) over discrete time); algorithms take explicit horizons.
+//
+// Storage is split into a build side and a query side. add_node/add_edge
+// append to flat edge/name arrays; the first adjacency query freezes the
+// current topology into CSR form (offset + flat edge-id arrays, plus a
+// label-bucketed copy so out_edges_labeled answers with a span instead of
+// allocating) and the first schedule query compiles the ρ/ζ tables (see
+// schedule_index.hpp). Both caches are invalidated by mutation and
+// rebuilt lazily; the lazy rebuild is NOT thread-safe — freeze the graph
+// (issue one query) before sharing it across threads.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -26,14 +36,17 @@ using Word = std::string;
 inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
 
-/// A labeled temporal edge: (from, to, label) plus its ρ and ζ.
+class ScheduleIndex;  // schedule_index.hpp
+
+/// A labeled temporal edge: (from, to, label) plus its ρ and ζ. The
+/// diagnostic name lives in a side table on the graph (edge_name()) so
+/// these records stay compact in the hot arrays.
 struct Edge {
   NodeId from{kInvalidNode};
   NodeId to{kInvalidNode};
   Symbol label{'?'};
   Presence presence{Presence::always()};
   Latency latency{Latency::constant(1)};
-  std::string name;
 
   /// Can the edge be crossed departing at t?
   [[nodiscard]] bool present(Time t) const { return presence.present(t); }
@@ -66,24 +79,37 @@ class TimeVaryingGraph {
   }
 
   [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_.at(e); }
+  [[nodiscard]] const std::string& edge_name(EdgeId e) const {
+    return edge_names_.at(e);
+  }
   [[nodiscard]] const std::string& node_name(NodeId v) const {
     return node_names_.at(v);
   }
   [[nodiscard]] std::optional<NodeId> find_node(std::string_view name) const;
 
-  /// Ids of edges leaving / entering v.
+  /// Ids of edges leaving / entering v, in insertion order. The spans
+  /// point into the frozen CSR arrays and are invalidated by mutation.
   [[nodiscard]] std::span<const EdgeId> out_edges(NodeId v) const;
   [[nodiscard]] std::span<const EdgeId> in_edges(NodeId v) const;
 
-  /// Out-edges of v carrying the given label.
-  [[nodiscard]] std::vector<EdgeId> out_edges_labeled(NodeId v,
-                                                      Symbol label) const;
+  /// Out-edges of v carrying the given label (label-bucketed CSR: no
+  /// allocation; within a label, insertion order). Invalidated like
+  /// out_edges.
+  [[nodiscard]] std::span<const EdgeId> out_edges_labeled(NodeId v,
+                                                          Symbol label) const;
 
   /// The sorted set of distinct edge labels.
   [[nodiscard]] std::string alphabet() const;
 
   /// Edge ids present at time t (the "snapshot" G_t of the TVG).
   [[nodiscard]] std::vector<EdgeId> snapshot(Time t) const;
+  /// Caller-buffer overload for per-instant sweeps: clears `out` and
+  /// fills it with the snapshot, reusing its capacity.
+  void snapshot(Time t, std::vector<EdgeId>& out) const;
+
+  /// The compiled ρ/ζ query tables for this graph (built lazily on first
+  /// use, cached until the next mutation). See schedule_index.hpp.
+  [[nodiscard]] const ScheduleIndex& schedule_index() const;
 
   /// True iff every ρ is in the decidable semi-periodic fragment.
   [[nodiscard]] bool all_semi_periodic() const;
@@ -99,10 +125,28 @@ class TimeVaryingGraph {
   [[nodiscard]] std::string to_string() const;
 
  private:
+  /// Frozen adjacency: one offsets array per direction plus flat edge-id
+  /// arrays; out_labeled is out_flat with each node's segment stably
+  /// sorted by label (labels mirrored in label_keys for binary search).
+  struct CsrCache {
+    std::vector<std::uint32_t> out_offsets;  // node_count()+1
+    std::vector<std::uint32_t> in_offsets;
+    std::vector<EdgeId> out_flat;
+    std::vector<EdgeId> in_flat;
+    std::vector<EdgeId> out_labeled;
+    std::vector<Symbol> label_keys;  // parallel to out_labeled
+  };
+
+  const CsrCache& csr() const;
+  void invalidate_caches();
+
   std::vector<std::string> node_names_;
   std::vector<Edge> edges_;
-  std::vector<std::vector<EdgeId>> out_;
-  std::vector<std::vector<EdgeId>> in_;
+  std::vector<std::string> edge_names_;
+
+  mutable CsrCache csr_;
+  mutable bool csr_built_{false};
+  mutable std::shared_ptr<const ScheduleIndex> sched_;
 };
 
 }  // namespace tvg

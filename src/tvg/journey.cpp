@@ -94,7 +94,7 @@ JourneyValidation validate_journey(const TimeVaryingGraph& g,
         break;
     }
     if (!e.present(leg.departure)) {
-      return fail("edge " + e.name + " absent at departure t=" +
+      return fail("edge " + g.edge_name(leg.edge) + " absent at departure t=" +
                   std::to_string(leg.departure));
     }
     ready = e.arrival(leg.departure);

@@ -1,6 +1,7 @@
 #include "tvg/metrics.hpp"
 
 #include "tvg/algorithms.hpp"
+#include "tvg/schedule_index.hpp"
 
 namespace tvg {
 
@@ -42,27 +43,37 @@ std::size_t contact_count(const Edge& e, Time horizon) {
 }
 
 Time total_presence(const TimeVaryingGraph& g, Time horizon) {
+  const ScheduleIndex& sx = g.schedule_index();
   Time total = 0;
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     for (Time t = 0; t < horizon; ++t) {
-      if (g.edge(e).present(t)) ++total;
+      if (sx.present(e, t)) ++total;
     }
   }
   return total;
 }
 
-double snapshot_density(const TimeVaryingGraph& g, Time t) {
+double snapshot_density(const TimeVaryingGraph& g, Time t,
+                        std::vector<EdgeId>& buf) {
   const std::size_t n = g.node_count();
   if (n < 2) return 0.0;
-  const auto present = g.snapshot(t);
-  return static_cast<double>(present.size()) /
+  g.snapshot(t, buf);
+  return static_cast<double>(buf.size()) /
          static_cast<double>(n * (n - 1));
+}
+
+double snapshot_density(const TimeVaryingGraph& g, Time t) {
+  std::vector<EdgeId> buf;
+  return snapshot_density(g, t, buf);
 }
 
 double average_density(const TimeVaryingGraph& g, Time horizon) {
   if (horizon <= 0) return 0.0;
   double total = 0.0;
-  for (Time t = 0; t < horizon; ++t) total += snapshot_density(g, t);
+  std::vector<EdgeId> buf;  // reused across instants
+  for (Time t = 0; t < horizon; ++t) {
+    total += snapshot_density(g, t, buf);
+  }
   return total / static_cast<double>(horizon);
 }
 
@@ -71,12 +82,13 @@ std::optional<double> characteristic_temporal_distance(
     Time horizon) {
   double total = 0.0;
   std::size_t pairs = 0;
+  SearchWorkspace ws;  // one set of arenas for the whole n-source sweep
   for (NodeId u = 0; u < g.node_count(); ++u) {
-    const ForemostTree tree = foremost_arrivals(
-        g, u, start_time, policy, SearchLimits::up_to(horizon));
+    const ForemostScan scan = foremost_scan(
+        g, u, start_time, policy, SearchLimits::up_to(horizon), ws);
     for (NodeId v = 0; v < g.node_count(); ++v) {
-      if (u == v || tree.arrival[v] == kTimeInfinity) continue;
-      total += static_cast<double>(tree.arrival[v] - start_time);
+      if (u == v || scan.arrival[v] == kTimeInfinity) continue;
+      total += static_cast<double>(scan.arrival[v] - start_time);
       ++pairs;
     }
   }

@@ -35,6 +35,10 @@ struct SearchLimits;  // from algorithms.hpp
 
 /// Fraction of ordered node pairs with a present edge at instant t.
 [[nodiscard]] double snapshot_density(const TimeVaryingGraph& g, Time t);
+/// As above, reusing `buf` for the snapshot (the zero-allocation form
+/// per-instant sweeps want; `buf` is clobbered).
+[[nodiscard]] double snapshot_density(const TimeVaryingGraph& g, Time t,
+                                      std::vector<EdgeId>& buf);
 
 /// Average snapshot density over [0, horizon).
 [[nodiscard]] double average_density(const TimeVaryingGraph& g, Time horizon);

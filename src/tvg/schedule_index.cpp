@@ -1,0 +1,173 @@
+#include "tvg/schedule_index.hpp"
+
+#include <algorithm>
+
+namespace tvg {
+namespace {
+
+void append_endpoints(const IntervalSet& set, std::vector<Time>& events) {
+  for (const TimeInterval& iv : set.intervals()) {
+    events.push_back(iv.lo);
+    events.push_back(iv.hi);
+  }
+}
+
+/// Appends ceil(len / 64) words with the set's presence bits over
+/// [0, len); bits at or past len stay zero (bits_next relies on that).
+void append_bits(const IntervalSet& set, Time len,
+                 std::vector<std::uint64_t>& bits) {
+  const std::size_t words = static_cast<std::size_t>((len + 63) / 64);
+  const std::size_t base = bits.size();
+  bits.resize(base + words, 0);
+  for (const TimeInterval& iv : set.intervals()) {
+    const Time lo = std::max<Time>(iv.lo, 0);
+    const Time hi = std::min(iv.hi, len);
+    for (Time t = lo; t < hi; ++t) {
+      bits[base + static_cast<std::size_t>(t >> 6)] |=
+          std::uint64_t{1} << (static_cast<std::uint32_t>(t) & 63u);
+    }
+  }
+}
+
+}  // namespace
+
+ScheduleIndex::ScheduleIndex(const TimeVaryingGraph& g) {
+  const std::size_t m = g.edge_count();
+  edges_.reserve(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    const Edge& ed = g.edge(e);
+    CompiledEdge ce;
+    ce.from = ed.from;
+    ce.to = ed.to;
+    ce.label = ed.label;
+    all_latency_constant_ = all_latency_constant_ && ed.latency.is_constant();
+    all_semi_periodic_ =
+        all_semi_periodic_ && ed.presence.is_semi_periodic();
+
+    if (const auto coeff = ed.latency.affine_coefficients()) {
+      ce.lat_affine = true;
+      ce.lat_a = coeff->first;
+      ce.lat_b = coeff->second;
+    } else {
+      ce.lat_affine = false;
+      ce.lat_aux = static_cast<std::uint32_t>(fallback_latency_.size());
+      fallback_latency_.push_back(ed.latency);
+    }
+
+    if (!ed.presence.is_semi_periodic()) {
+      ce.kind = Kind::kPredicate;
+      ce.aux = static_cast<std::uint32_t>(fallback_presence_.size());
+      fallback_presence_.push_back(ed.presence);
+    } else if (ed.presence.is_always()) {
+      ce.kind = Kind::kAlways;
+    } else if (ed.presence.is_never()) {
+      ce.kind = Kind::kNever;
+    } else {
+      ce.kind = Kind::kSemiPeriodic;
+      ce.t0 = ed.presence.initial_length();
+      ce.period = ed.presence.period();
+      const IntervalSet& init = ed.presence.initial();
+      const IntervalSet& pat = ed.presence.pattern();
+      ce.init_bits = ce.t0 <= kMaxBitmaskBits;
+      if (ce.init_bits) {
+        ce.init_lo = static_cast<std::uint32_t>(bits_.size());
+        append_bits(init, ce.t0, bits_);
+        ce.init_hi = static_cast<std::uint32_t>(bits_.size());
+      } else {
+        ce.init_lo = static_cast<std::uint32_t>(events_.size());
+        append_endpoints(init, events_);
+        ce.init_hi = static_cast<std::uint32_t>(events_.size());
+      }
+      ce.pat_bits = ce.period <= kMaxBitmaskBits;
+      if (ce.pat_bits) {
+        ce.pat_lo = static_cast<std::uint32_t>(bits_.size());
+        append_bits(pat, ce.period, bits_);
+        ce.pat_hi = static_cast<std::uint32_t>(bits_.size());
+      } else {
+        ce.pat_lo = static_cast<std::uint32_t>(events_.size());
+        append_endpoints(pat, events_);
+        ce.pat_hi = static_cast<std::uint32_t>(events_.size());
+      }
+      ce.pat_empty = pat.empty();
+      ce.pat_min = pat.min().value_or(0);
+    }
+    edges_.push_back(ce);
+  }
+}
+
+bool ScheduleIndex::present_fallback(const CompiledEdge& ce, Time t) const {
+  return fallback_presence_[ce.aux].present(t);
+}
+
+Time ScheduleIndex::next_present_fallback(const CompiledEdge& ce,
+                                          Time from) const {
+  const auto t = fallback_presence_[ce.aux].next_present(from);
+  return t ? *t : kTimeInfinity;
+}
+
+Time ScheduleIndex::arrival_fallback(const CompiledEdge& ce, Time dep) const {
+  return fallback_latency_[ce.lat_aux].arrival(dep);
+}
+
+Time ScheduleIndex::next_present(EdgeId e, Time from, EventCursor& c) const {
+  from = std::max<Time>(from, 0);
+  const CompiledEdge& ce = edges_[e];
+  if (ce.kind != Kind::kSemiPeriodic) return next_present(e, from);
+  if (ce.init_bits && ce.pat_bits) return next_present(e, from);  // O(1)
+
+  const Time* ev = events_.data();
+  const Time* init_b = ev + ce.init_lo;
+  const std::uint32_t init_n = ce.init_bits ? 0 : ce.init_hi - ce.init_lo;
+  const Time* pat_b = ev + ce.pat_lo;
+  const std::uint32_t pat_n = ce.pat_bits ? 0 : ce.pat_hi - ce.pat_lo;
+
+  if (c.edge != e || c.last_from < 0 || from < c.last_from) {
+    // (Re-)seed by binary search; subsequent ascending queries advance
+    // these positions linearly. Bitmask segments keep no cursor state
+    // (their queries are O(1) word scans).
+    c.edge = e;
+    c.init_pos = from < ce.t0
+                     ? endpoints_at_most(init_b, init_b + init_n, from)
+                     : init_n;
+    const Time tail_from = std::max(from, ce.t0);
+    c.base = ce.t0 + ((tail_from - ce.t0) / ce.period) * ce.period;
+    c.pat_pos =
+        endpoints_at_most(pat_b, pat_b + pat_n, tail_from - c.base);
+  }
+  c.last_from = from;
+
+  if (from < ce.t0) {
+    if (ce.init_bits) {
+      const Time t = bits_next(ce.init_lo, ce.init_hi, from);
+      if (t != kTimeInfinity) return t;
+    } else {
+      while (c.init_pos < init_n && init_b[c.init_pos] <= from) ++c.init_pos;
+      if ((c.init_pos & 1u) != 0) return from;  // inside an initial interval
+      if (c.init_pos < init_n) return init_b[c.init_pos];
+    }
+    from = ce.t0;  // initial segment exhausted; fall through to the tail
+  }
+  if (ce.pat_empty) return kTimeInfinity;
+  if (ce.pat_bits) {
+    const Time r = (from - ce.t0) % ce.period;
+    const Time nr = bits_next(ce.pat_lo, ce.pat_hi, r);
+    if (nr != kTimeInfinity) return from + (nr - r);
+    return sat_add(from, (ce.period - r) + ce.pat_min);
+  }
+  if (from >= sat_add(c.base, ce.period)) {
+    c.base = ce.t0 + ((from - ce.t0) / ce.period) * ce.period;
+    c.pat_pos = 0;
+  }
+  const Time r = from - c.base;
+  while (c.pat_pos < pat_n && pat_b[c.pat_pos] <= r) ++c.pat_pos;
+  if ((c.pat_pos & 1u) != 0) return from;  // inside a pattern interval
+  if (c.pat_pos < pat_n) return from + (pat_b[c.pat_pos] - r);
+  // Wrap into the next period copy (mirrors Presence::next_present,
+  // including its saturation).
+  const Time result = sat_add(from, (ce.period - r) + ce.pat_min);
+  c.base = sat_add(c.base, ce.period);
+  c.pat_pos = 0;
+  return result;
+}
+
+}  // namespace tvg

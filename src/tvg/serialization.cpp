@@ -186,7 +186,7 @@ std::string to_text(const TimeVaryingGraph& g) {
     const Edge& ed = g.edge(e);
     os << "edge " << g.node_name(ed.from) << " " << g.node_name(ed.to) << " "
        << ed.label << " presence=" << presence_spec(ed.presence)
-       << " latency=" << latency_spec(ed.latency) << " name=" << ed.name
+       << " latency=" << latency_spec(ed.latency) << " name=" << g.edge_name(e)
        << "\n";
   }
   return os.str();

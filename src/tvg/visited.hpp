@@ -74,6 +74,14 @@ class ConfigAdmission {
  public:
   explicit ConfigAdmission(Time horizon) : horizon_(horizon) {}
 
+  /// Re-arms for a fresh search: empties the visited set (keeping its
+  /// allocated buckets, so multi-source sweeps stop paying per-source
+  /// rehash/allocation) and installs the new horizon.
+  void reset(Time horizon) {
+    horizon_ = horizon;
+    visited_.clear();
+  }
+
   /// True iff (v, t) is admissible and was not yet visited; marks it
   /// visited. Rejections never mark anything.
   bool admit(NodeId v, Time t) {

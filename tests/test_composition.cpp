@@ -112,7 +112,7 @@ TEST(Serialization, RoundTripSampleGraph) {
     EXPECT_EQ(back.edge(e).from, g.edge(e).from);
     EXPECT_EQ(back.edge(e).to, g.edge(e).to);
     EXPECT_EQ(back.edge(e).label, g.edge(e).label);
-    EXPECT_EQ(back.edge(e).name, g.edge(e).name);
+    EXPECT_EQ(back.edge_name(e), g.edge_name(e));
     for (Time t = 0; t < 30; ++t) {
       EXPECT_EQ(back.edge(e).present(t), g.edge(e).present(t))
           << "edge " << e << " t " << t;
@@ -167,7 +167,7 @@ edge n0 n1 g presence=eventually:9 latency=const:1
   EXPECT_TRUE(g.edge(5).present(7));   // tail residue (7-5)%4 = 2
   EXPECT_FALSE(g.edge(6).present(8));
   EXPECT_TRUE(g.edge(6).present(9));
-  EXPECT_EQ(g.edge(0).name, "e_always");
+  EXPECT_EQ(g.edge_name(0), "e_always");
 }
 
 TEST(Serialization, ErrorsCarryLineNumbers) {

@@ -1,0 +1,298 @@
+// Property tests for the compiled hot path:
+//  * ScheduleIndex::present / next_present agree EXACTLY with the
+//    reference Presence implementation on randomized semi-periodic
+//    schedules (both the bitmask and endpoint-run compilations), over the
+//    initial segment plus the first two periods and beyond;
+//  * the monotone EventCursor agrees with plain next_present on ascending
+//    query ramps and survives descending resets;
+//  * compiled arrivals agree with Edge::arrival on every latency shape;
+//  * the frozen CSR adjacency agrees with a naive per-edge reconstruction
+//    on randomized multigraphs, including after mutation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "tvg/graph.hpp"
+#include "tvg/schedule_index.hpp"
+
+namespace {
+
+using namespace tvg;
+
+IntervalSet random_intervals(std::mt19937_64& rng, Time lo, Time hi,
+                             int max_intervals) {
+  std::uniform_int_distribution<int> count_dist(0, max_intervals);
+  IntervalSet set;
+  if (hi <= lo) return set;
+  std::uniform_int_distribution<Time> point(lo, hi - 1);
+  std::uniform_int_distribution<Time> len(1, std::max<Time>(1, (hi - lo) / 3));
+  const int k = count_dist(rng);
+  for (int i = 0; i < k; ++i) {
+    const Time a = point(rng);
+    set.insert({a, std::min<Time>(hi, a + len(rng))});
+  }
+  return set;
+}
+
+/// The compiled index and the reference Presence must agree on both
+/// queries at every probe instant.
+void expect_agreement(const TimeVaryingGraph& g, Time probe_hi,
+                      const std::string& context) {
+  const ScheduleIndex& sx = g.schedule_index();
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Presence& ref = g.edge(e).presence;
+    for (Time t = -2; t <= probe_hi; ++t) {
+      ASSERT_EQ(sx.present(e, t), ref.present(t))
+          << context << ": present mismatch, edge " << e << " t=" << t
+          << " ρ=" << ref.to_string();
+      const auto expect = ref.next_present(t);
+      ASSERT_EQ(sx.next_present_opt(e, t), expect)
+          << context << ": next_present mismatch, edge " << e << " from=" << t
+          << " ρ=" << ref.to_string();
+    }
+  }
+}
+
+TEST(ScheduleIndex, RandomSemiPeriodicAgreesWithPresence) {
+  std::mt19937_64 rng(20260730);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::uniform_int_distribution<Time> t0_dist(0, 80);
+    std::uniform_int_distribution<Time> per_dist(1, 50);
+    const Time t0 = t0_dist(rng);
+    const Time period = per_dist(rng);
+    TimeVaryingGraph g;
+    g.add_nodes(2);
+    g.add_edge(0, 1, 'a',
+               Presence::semi_periodic(t0, random_intervals(rng, 0, t0, 5),
+                                       period,
+                                       random_intervals(rng, 0, period, 4)),
+               Latency::constant(1));
+    // Initial segment, two full periods, and a tail beyond.
+    expect_agreement(g, t0 + 2 * period + 7,
+                     "trial " + std::to_string(trial));
+  }
+}
+
+TEST(ScheduleIndex, LongSegmentsUseEndpointRunsAndStillAgree) {
+  // t0 and period beyond kMaxBitmaskBits exercise the endpoint-run
+  // compilation (the bitmask cap is a representation switch, never a
+  // semantic one). Probing the whole span is too slow, so spot-probe
+  // around every interval boundary and period seam.
+  std::mt19937_64 rng(7);
+  const Time t0 = ScheduleIndex::kMaxBitmaskBits + 300;
+  const Time period = ScheduleIndex::kMaxBitmaskBits + 101;
+  for (int trial = 0; trial < 10; ++trial) {
+    const IntervalSet init = random_intervals(rng, 0, t0, 6);
+    const IntervalSet pat = random_intervals(rng, 0, period, 5);
+    TimeVaryingGraph g;
+    g.add_nodes(2);
+    g.add_edge(0, 1, 'a', Presence::semi_periodic(t0, init, period, pat),
+               Latency::constant(1));
+    const ScheduleIndex& sx = g.schedule_index();
+    const Presence& ref = g.edge(0).presence;
+    std::vector<Time> probes{0, 1, t0 - 1, t0, t0 + 1, t0 + period - 1,
+                             t0 + period, t0 + 2 * period + 5};
+    for (const TimeInterval& iv : init.intervals()) {
+      probes.insert(probes.end(), {iv.lo - 1, iv.lo, iv.hi - 1, iv.hi});
+    }
+    for (const TimeInterval& iv : pat.intervals()) {
+      for (int copy = 0; copy < 2; ++copy) {
+        const Time base = t0 + copy * period;
+        probes.insert(probes.end(), {base + iv.lo - 1, base + iv.lo,
+                                     base + iv.hi - 1, base + iv.hi});
+      }
+    }
+    for (Time t : probes) {
+      if (t < 0) continue;
+      ASSERT_EQ(sx.present(0, t), ref.present(t)) << "t=" << t;
+      ASSERT_EQ(sx.next_present_opt(0, t), ref.next_present(t)) << "t=" << t;
+    }
+  }
+}
+
+TEST(ScheduleIndex, NamedShapesAgree) {
+  TimeVaryingGraph g;
+  g.add_nodes(2);
+  g.add_edge(0, 1, 'a', Presence::always(), Latency::constant(1));
+  g.add_edge(0, 1, 'b', Presence::never(), Latency::constant(1));
+  g.add_edge(0, 1, 'c', Presence::at_times({3, 5, 11, 12, 40}),
+             Latency::constant(1));
+  g.add_edge(0, 1, 'd', Presence::intervals(IntervalSet{{{2, 9}, {20, 25}}}),
+             Latency::constant(1));
+  g.add_edge(0, 1, 'e', Presence::periodic(6, IntervalSet::single(1, 3)),
+             Latency::constant(1));
+  g.add_edge(0, 1, 'f', Presence::eventually_always(13),
+             Latency::constant(1));
+  expect_agreement(g, 120, "named shapes");
+}
+
+TEST(ScheduleIndex, PredicateFallbackIsExact) {
+  TimeVaryingGraph g;
+  g.add_nodes(2);
+  g.add_edge(0, 1, 'a',
+             Presence::predicate([](Time t) { return t % 7 == 3; },
+                                 "mod7eq3", 64),
+             Latency::constant(1));
+  g.add_edge(
+      0, 1, 'b',
+      Presence::predicate_with_next(
+          [](Time t) { return t >= 10 && t % 2 == 0; },
+          [](Time from) -> std::optional<Time> {
+            Time t = std::max<Time>(from, 10);
+            return t % 2 == 0 ? t : t + 1;
+          },
+          "even_after_10"),
+      Latency::constant(1));
+  expect_agreement(g, 80, "predicates");
+}
+
+TEST(ScheduleIndex, CursorMatchesNextPresentOnAscendingRamps) {
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::uniform_int_distribution<Time> t0_dist(0, 70);
+    std::uniform_int_distribution<Time> per_dist(1, 40);
+    const Time t0 = t0_dist(rng);
+    const Time period = per_dist(rng);
+    TimeVaryingGraph g;
+    g.add_nodes(2);
+    g.add_edge(0, 1, 'a',
+               Presence::semi_periodic(t0, random_intervals(rng, 0, t0, 5),
+                                       period,
+                                       random_intervals(rng, 0, period, 4)),
+               Latency::constant(1));
+    const ScheduleIndex& sx = g.schedule_index();
+    ScheduleIndex::EventCursor cursor;
+    std::uniform_int_distribution<Time> step(0, 5);
+    Time from = 0;
+    const Time hi = t0 + 3 * period + 10;
+    while (from <= hi) {
+      ASSERT_EQ(sx.next_present(0, from, cursor), sx.next_present(0, from))
+          << "trial " << trial << " ascending from=" << from;
+      from += step(rng);
+    }
+    // A descending query must re-seed, not corrupt.
+    std::uniform_int_distribution<Time> anywhere(0, hi);
+    for (int k = 0; k < 30; ++k) {
+      const Time f = anywhere(rng);
+      ASSERT_EQ(sx.next_present(0, f, cursor), sx.next_present(0, f))
+          << "trial " << trial << " random from=" << f;
+    }
+  }
+}
+
+TEST(ScheduleIndex, ArrivalsMatchEdgeArrival) {
+  TimeVaryingGraph g;
+  g.add_nodes(2);
+  g.add_edge(0, 1, 'a', Presence::always(), Latency::constant(3));
+  g.add_edge(0, 1, 'b', Presence::always(), Latency::affine(2, 5));
+  g.add_edge(0, 1, 'c', Presence::always(),
+             Latency::function([](Time t) { return t % 4 + 1; }, "mod4"));
+  const ScheduleIndex& sx = g.schedule_index();
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    for (Time t = 0; t <= 50; ++t) {
+      ASSERT_EQ(sx.arrival(e, t), g.edge(e).arrival(t))
+          << "edge " << e << " t=" << t;
+    }
+  }
+  // Saturation near the top of the time range.
+  ASSERT_EQ(sx.arrival(1, kTimeInfinity - 1),
+            g.edge(1).arrival(kTimeInfinity - 1));
+}
+
+TEST(ScheduleIndex, GraphWideFactsMatch) {
+  TimeVaryingGraph g;
+  g.add_nodes(2);
+  g.add_edge(0, 1, 'a', Presence::always(), Latency::constant(1));
+  EXPECT_TRUE(g.schedule_index().all_latency_constant());
+  EXPECT_TRUE(g.schedule_index().all_semi_periodic());
+  g.add_edge(1, 0, 'b', Presence::always(), Latency::affine(1, 0));
+  EXPECT_FALSE(g.schedule_index().all_latency_constant());
+  g.add_edge(1, 0, 'c', Presence::predicate([](Time) { return true; }),
+             Latency::constant(1));
+  EXPECT_FALSE(g.schedule_index().all_semi_periodic());
+}
+
+// ---------------------------------------------------------------------------
+// CSR adjacency
+// ---------------------------------------------------------------------------
+
+TEST(CsrAdjacency, RandomGraphsMatchNaiveConstruction) {
+  std::mt19937_64 rng(4242);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::uniform_int_distribution<int> n_dist(1, 12);
+    std::uniform_int_distribution<int> m_dist(0, 40);
+    const int n = n_dist(rng);
+    const int m = m_dist(rng);
+    std::uniform_int_distribution<NodeId> node(0, static_cast<NodeId>(n - 1));
+    std::uniform_int_distribution<int> label(0, 2);
+
+    TimeVaryingGraph g;
+    g.add_nodes(static_cast<std::size_t>(n));
+    // Naive adjacency built alongside, in insertion order (the
+    // pre-CSR nested-vector construction).
+    std::vector<std::vector<EdgeId>> out(n);
+    std::vector<std::vector<EdgeId>> in(n);
+    for (int i = 0; i < m; ++i) {
+      const NodeId u = node(rng);
+      const NodeId v = node(rng);
+      const Symbol s = static_cast<Symbol>('a' + label(rng));
+      const EdgeId e =
+          g.add_edge(u, v, s, Presence::always(), Latency::constant(1));
+      out[u].push_back(e);
+      in[v].push_back(e);
+      // Interleave queries with mutation: every query must reflect the
+      // graph as of this instant (the CSR cache rebuilds after adds).
+      if (i % 7 == 3) {
+        const std::span<const EdgeId> oe = g.out_edges(u);
+        ASSERT_EQ(std::vector<EdgeId>(oe.begin(), oe.end()), out[u]);
+      }
+    }
+    for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+      const auto oe = g.out_edges(v);
+      const auto ie = g.in_edges(v);
+      EXPECT_EQ(std::vector<EdgeId>(oe.begin(), oe.end()), out[v])
+          << "trial " << trial << " node " << v;
+      EXPECT_EQ(std::vector<EdgeId>(ie.begin(), ie.end()), in[v])
+          << "trial " << trial << " node " << v;
+      for (Symbol s : {'a', 'b', 'c', 'z'}) {
+        std::vector<EdgeId> expected;
+        for (EdgeId e : out[v]) {
+          if (g.edge(e).label == s) expected.push_back(e);
+        }
+        const auto labeled = g.out_edges_labeled(v, s);
+        EXPECT_EQ(std::vector<EdgeId>(labeled.begin(), labeled.end()),
+                  expected)
+            << "trial " << trial << " node " << v << " label " << s;
+      }
+    }
+  }
+}
+
+TEST(CsrAdjacency, SnapshotBufferOverloadMatches) {
+  TimeVaryingGraph g;
+  g.add_nodes(3);
+  g.add_edge(0, 1, 'a', Presence::at_times({1, 4}), Latency::constant(1));
+  g.add_edge(1, 2, 'b', Presence::intervals(IntervalSet::single(2, 6)),
+             Latency::constant(1));
+  g.add_edge(2, 0, 'c', Presence::always(), Latency::constant(1));
+  std::vector<EdgeId> buf{99, 99, 99};  // stale content must be cleared
+  for (Time t = 0; t <= 8; ++t) {
+    g.snapshot(t, buf);
+    EXPECT_EQ(buf, g.snapshot(t)) << "t=" << t;
+  }
+}
+
+TEST(CsrAdjacency, EdgeNamesLiveInSideTable) {
+  TimeVaryingGraph g;
+  g.add_nodes(2);
+  const EdgeId a =
+      g.add_edge(0, 1, 'a', Presence::always(), Latency::constant(1), "hop");
+  const EdgeId b = g.add_static_edge(1, 0, 'b');
+  EXPECT_EQ(g.edge_name(a), "hop");
+  EXPECT_EQ(g.edge_name(b), "e1");  // auto-generated
+}
+
+}  // namespace
