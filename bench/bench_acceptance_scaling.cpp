@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_report.hpp"
 #include "core/constructions.hpp"
@@ -17,6 +18,20 @@ namespace {
 
 using namespace tvg;
 using namespace tvg::core;
+
+std::vector<Word> words_of_length(const std::string& alphabet,
+                                  std::size_t len) {
+  std::vector<Word> frontier{Word{}};
+  for (std::size_t i = 0; i < len; ++i) {
+    std::vector<Word> next;
+    next.reserve(frontier.size() * alphabet.size());
+    for (const Word& w : frontier) {
+      for (const Symbol c : alphabet) next.push_back(w + c);
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
 
 void print_reproduction() {
   std::printf("=== E7: acceptance cost per waiting policy (configs "
@@ -110,6 +125,42 @@ void BM_ScalingThm21NoWait(benchmark::State& state) {
   state.counters["len"] = static_cast<double>(2 * n);
 }
 BENCHMARK(BM_ScalingThm21NoWait)->DenseRange(2, 18, 4);
+
+// Deciding ALL 2^n words of length n, one accepts() call per word: every
+// word re-explores the configurations its prefix shares with the others.
+void BM_AcceptsPerWord(benchmark::State& state) {
+  const TvgAutomaton a = make_anbn_tvg(2, 3).automaton();
+  const auto words =
+      words_of_length("ab", static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::size_t accepted = 0;
+    for (const Word& w : words) {
+      accepted += a.accepts(w, Policy::no_wait()).accepted ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(accepted);
+  }
+  state.counters["words"] = static_cast<double>(words.size());
+}
+BENCHMARK(BM_AcceptsPerWord)->Arg(6)->Arg(8)->Arg(10);
+
+// The same word set in ONE QueryEngine::accepts batch: the words are
+// compiled into a trie and shared prefixes are explored once. The delta
+// against BM_AcceptsPerWord is the ROADMAP "batched acceptance" win.
+void BM_AcceptsBatched(benchmark::State& state) {
+  const TvgAutomaton a = make_anbn_tvg(2, 3).automaton();
+  const auto words =
+      words_of_length("ab", static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::size_t accepted = 0;
+    for (const AcceptResult& r :
+         a.accepts_batch(words, Policy::no_wait())) {
+      accepted += r.accepted ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(accepted);
+  }
+  state.counters["words"] = static_cast<double>(words.size());
+}
+BENCHMARK(BM_AcceptsBatched)->Arg(6)->Arg(8)->Arg(10);
 
 }  // namespace
 

@@ -9,6 +9,7 @@
 #include "bench_report.hpp"
 #include "tvg/algorithms.hpp"
 #include "tvg/generators.hpp"
+#include "tvg/query_engine.hpp"
 
 namespace {
 
@@ -156,6 +157,38 @@ void BM_TemporalCloseness(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TemporalCloseness);
+
+// Serial all-pairs closure on the 128-node bench graph: the baseline
+// the engine's thread-sharded closure is measured against.
+void BM_ClosureSerial(benchmark::State& state) {
+  const TimeVaryingGraph g =
+      make_workload(static_cast<std::size_t>(state.range(0)), 1, 0.15);
+  SearchLimits limits;
+  limits.horizon = 120;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        temporal_closure(g, 0, Policy::wait(), limits).size());
+  }
+  state.counters["nodes"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ClosureSerial)->Arg(128);
+
+// QueryEngine::closure on the same graph, sharding the 128 source rows
+// across N workers (one pooled workspace per worker; rows merged
+// deterministically). The speedup over BM_ClosureSerial/128 tracks the
+// machine's core count — on a single-core host it stays ~1x.
+void BM_ClosureEngine(benchmark::State& state) {
+  const TimeVaryingGraph g = make_workload(128, 1, 0.15);
+  QueryEngine engine(g);
+  ClosureQuery q;
+  q.limits.horizon = 120;
+  q.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.closure(q).rows.size());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ClosureEngine)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 

@@ -5,11 +5,14 @@
 // forward (waiting at the pier) is what makes delivery possible, and
 // bounded buffering (wait[d]) interpolates between the two worlds.
 //
+// Queries go through tvg::QueryEngine: one engine per frozen timetable,
+// every question (foremost / fastest / closure) a typed request.
+//
 //   $ ./transit_routing
 #include <cstdio>
 
-#include "tvg/algorithms.hpp"
 #include "tvg/graph.hpp"
+#include "tvg/query_engine.hpp"
 
 using namespace tvg;
 
@@ -42,13 +45,19 @@ int main() {
 
   std::printf("Ferry network (times mod 24h):\n%s\n", g.to_string().c_str());
 
+  // One engine over the frozen timetable serves every query below.
+  QueryEngine engine(g);
+  const SearchLimits two_weeks = SearchLimits::up_to(24 * 14);
+
   std::printf("%-22s %-12s %-14s %-14s\n", "departure from Port 05:00",
               "policy", "arrival", "via");
   for (const Policy policy :
        {Policy::no_wait(), Policy::bounded_wait(4), Policy::bounded_wait(12),
         Policy::wait()}) {
-    const auto journey = foremost_journey(g, port, light, 5, policy,
-                                          SearchLimits::up_to(24 * 14));
+    const JourneyResult result = engine.run(
+        JourneyQuery::foremost(port, 5).to(light).under(policy).within(
+            two_weeks));
+    const auto& journey = result.journey;
     if (journey) {
       const Time arr = journey->arrival(g);
       std::printf("%-22s %-12s day %lld, %02lld:00   %s\n", "",
@@ -64,23 +73,27 @@ int main() {
 
   // Fastest journey: it can pay to leave later.
   std::printf("\nFastest Port -> Lighthouse departing any time day 1:\n");
-  const auto fastest = fastest_journey(g, port, light, 0, 24, Policy::wait(),
-                                       SearchLimits::up_to(24 * 14));
-  if (fastest) {
+  const JourneyResult fastest_result = engine.run(
+      JourneyQuery::fastest(port, light, 0, 24).under(Policy::wait()).within(
+          two_weeks));
+  if (fastest_result.journey) {
+    const Journey& fastest = *fastest_result.journey;
     std::printf("  depart %02lld:00, travel %lld h: %s\n",
-                static_cast<long long>(fastest->legs.front().departure % 24),
-                static_cast<long long>(fastest->duration(g)),
-                fastest->to_string(g).c_str());
+                static_cast<long long>(fastest.legs.front().departure % 24),
+                static_cast<long long>(fastest_result.duration),
+                fastest.to_string(g).c_str());
   }
 
-  // Temporal connectivity census: which pairs are reachable at all?
+  // Temporal connectivity census: one batched multi-source closure
+  // (sharded across the engine's thread pool on bigger networks).
   std::printf("\nReachability from each island (start 00:00, wait "
               "allowed):\n");
-  const auto closure = temporal_closure(g, 0, Policy::wait(),
-                                        SearchLimits::up_to(24 * 14));
+  ClosureQuery census;
+  census.limits = two_weeks;
+  const ClosureResult closure = engine.closure(census);
   for (NodeId u = 0; u < g.node_count(); ++u) {
     std::size_t reachable = 0;
-    for (Time t : closure[u]) {
+    for (Time t : closure.rows[u]) {
       if (t != kTimeInfinity) ++reachable;
     }
     std::printf("  %-12s reaches %zu/%zu islands\n", g.node_name(u).c_str(),

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <queue>
-#include <unordered_set>
+
+#include "tvg/departures.hpp"
+#include "tvg/schedule_index.hpp"
+#include "tvg/visited.hpp"
 
 namespace tvg::core {
 namespace {
@@ -17,23 +20,20 @@ struct ProductConfig {
   Time dep;
 };
 
-[[nodiscard]] std::uint64_t key_of(NodeId v, Time t, fa::State q) noexcept {
-  std::uint64_t h = static_cast<std::uint64_t>(t);
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdULL;
-  h ^= static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
-  h ^= static_cast<std::uint64_t>(q) * 0xc2b2ae3d27d4eb4fULL;
-  return h;
-}
-
 }  // namespace
 
 std::optional<ConstrainedJourney> find_constrained_journey(
     const TvgAutomaton& a, const fa::Dfa& constraint, Policy policy,
     std::size_t max_len, const AcceptOptions& options) {
   const TimeVaryingGraph& g = a.graph();
+  // Schedule queries run on the compiled index (the same hot path as the
+  // journey search kernels and the batched acceptance engine); the
+  // (node, time) dedup per DFA state is exact — full-pair membership,
+  // never a hash of it (see visited.hpp).
+  const ScheduleIndex& sx = g.schedule_index();
   std::vector<ProductConfig> configs;
-  std::unordered_set<std::uint64_t> visited;
+  std::vector<ConfigAdmission> admission(constraint.state_count(),
+                                         ConfigAdmission(options.horizon));
   std::queue<std::int64_t> queue;
 
   auto build_result = [&](std::int64_t idx) {
@@ -57,10 +57,7 @@ std::optional<ConstrainedJourney> find_constrained_journey(
   };
 
   auto push = [&](ProductConfig c) -> std::optional<std::int64_t> {
-    if (c.time == kTimeInfinity || c.time > options.horizon)
-      return std::nullopt;
-    if (!visited.insert(key_of(c.node, c.time, c.dfa_state)).second)
-      return std::nullopt;
+    if (!admission[c.dfa_state].admit(c.node, c.time)) return std::nullopt;
     configs.push_back(c);
     const auto idx = static_cast<std::int64_t>(configs.size()) - 1;
     if (a.accepting().contains(c.node) &&
@@ -88,45 +85,21 @@ std::optional<ConstrainedJourney> find_constrained_journey(
     std::optional<std::int64_t> hit;
     for (EdgeId eid : g.out_edges(cur.node)) {
       if (hit) break;
-      const Edge& e = g.edge(eid);
+      const ScheduleIndex::CompiledEdge& e = sx.record(eid);
       if (constraint.alphabet().find(e.label) == std::string::npos) continue;
       const fa::State next_q = constraint.transition(cur.dfa_state, e.label);
-      auto try_departure = [&](Time dep) {
-        if (hit) return;
-        hit = push(ProductConfig{e.to, e.arrival(dep), next_q, cur.len + 1,
-                                 idx, eid, dep});
-      };
-      switch (policy.kind) {
-        case WaitingPolicy::kNoWait:
-          if (e.present(cur.time)) try_departure(cur.time);
-          break;
-        case WaitingPolicy::kBoundedWait: {
-          const Time last =
-              std::min(policy.max_departure(cur.time), options.horizon);
-          Time cursor = cur.time;
-          while (cursor <= last && !hit) {
-            auto dep = e.presence.next_present(cursor);
-            if (!dep || *dep > last) break;
-            try_departure(*dep);
-            if (*dep == kTimeInfinity) break;
-            cursor = *dep + 1;
-          }
-          break;
-        }
-        case WaitingPolicy::kWait: {
-          std::size_t budget =
-              e.latency.is_affine() ? 1 : options.departures_per_edge;
-          Time cursor = cur.time;
-          while (budget-- > 0 && !hit) {
-            auto dep = e.presence.next_present(cursor);
-            if (!dep || *dep > options.horizon) break;
-            try_departure(*dep);
-            if (*dep == kTimeInfinity) break;
-            cursor = *dep + 1;
-          }
-          break;
-        }
-      }
+      // Affine ζ under Wait: the earliest admissible departure dominates
+      // (mirrors the acceptance engine's Wait handling); otherwise a
+      // bounded number of candidates.
+      const std::size_t wait_budget =
+          e.lat_affine ? 1 : options.departures_per_edge;
+      for_each_policy_departure(
+          sx, eid, cur.time, policy, options.horizon, wait_budget,
+          [&](Time dep) {
+            hit = push(ProductConfig{e.to, sx.arrival(eid, dep), next_q,
+                                     cur.len + 1, idx, eid, dep});
+            return !hit;
+          });
     }
     if (hit) return build_result(*hit);
   }
@@ -141,8 +114,11 @@ std::vector<std::size_t> language_census(const TvgAutomaton& a, Policy policy,
   std::vector<std::size_t> census(max_len + 1, 0);
   std::vector<Word> frontier{Word{}};
   for (std::size_t len = 0; len <= max_len; ++len) {
-    for (const Word& w : frontier) {
-      if (a.accepts(w, policy, options).accepted) ++census[len];
+    // One trie-shared batch per length frontier (QueryEngine::accepts
+    // via the automaton): shared prefixes are explored once.
+    const auto outcomes = a.accepts_batch(frontier, policy, options);
+    for (const AcceptResult& r : outcomes) {
+      if (r.accepted) ++census[len];
     }
     if (len == max_len) break;
     std::vector<Word> next;

@@ -1,27 +1,81 @@
 #include "core/tvg_automaton.hpp"
 
-#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
-#include "tvg/schedule_index.hpp"
-#include "tvg/visited.hpp"
+#include "tvg/query_engine.hpp"
 
 namespace tvg::core {
 namespace {
 
-struct Config {
-  NodeId node;
-  Time time;
-  std::uint32_t pos;
-  std::int64_t parent;
-  EdgeId via;
-  Time dep;
-};
+/// Lowers this automaton's acceptance knobs into the engine's request
+/// type (the engine lives below core/ and speaks plain tvg types).
+AcceptSpec make_spec(const std::set<NodeId>& initial,
+                     const std::set<NodeId>& accepting, Time start_time,
+                     Policy policy, const AcceptOptions& options) {
+  AcceptSpec spec;
+  spec.initial.assign(initial.begin(), initial.end());
+  spec.accepting.assign(accepting.begin(), accepting.end());
+  spec.start_time = start_time;
+  spec.policy = policy;
+  spec.horizon = options.horizon;
+  spec.max_configs = options.max_configs;
+  spec.departures_per_edge = options.departures_per_edge;
+  return spec;
+}
+
+AcceptResult to_result(AcceptOutcome&& outcome) {
+  AcceptResult result;
+  result.accepted = outcome.accepted;
+  result.truncated = outcome.truncated;
+  result.configs_explored = outcome.configs_explored;
+  result.witness = std::move(outcome.witness);
+  return result;
+}
 
 }  // namespace
 
 TvgAutomaton::TvgAutomaton(TimeVaryingGraph graph, Time start_time)
     : graph_(std::move(graph)), start_time_(start_time) {}
+
+TvgAutomaton::~TvgAutomaton() = default;
+
+TvgAutomaton::TvgAutomaton(const TvgAutomaton& other)
+    : graph_(other.graph_),
+      start_time_(other.start_time_),
+      initial_(other.initial_),
+      accepting_(other.accepting_) {}
+
+TvgAutomaton& TvgAutomaton::operator=(const TvgAutomaton& other) {
+  if (this != &other) {
+    graph_ = other.graph_;
+    start_time_ = other.start_time_;
+    initial_ = other.initial_;
+    accepting_ = other.accepting_;
+    engine_.reset();
+  }
+  return *this;
+}
+
+TvgAutomaton::TvgAutomaton(TvgAutomaton&& other) noexcept
+    : graph_(std::move(other.graph_)),
+      start_time_(other.start_time_),
+      initial_(std::move(other.initial_)),
+      accepting_(std::move(other.accepting_)) {
+  other.engine_.reset();  // it borrowed the moved-from graph
+}
+
+TvgAutomaton& TvgAutomaton::operator=(TvgAutomaton&& other) noexcept {
+  if (this != &other) {
+    graph_ = std::move(other.graph_);
+    start_time_ = other.start_time_;
+    initial_ = std::move(other.initial_);
+    accepting_ = std::move(other.accepting_);
+    engine_.reset();
+    other.engine_.reset();
+  }
+  return *this;
+}
 
 void TvgAutomaton::set_initial(NodeId v, bool initial) {
   if (v >= graph_.node_count())
@@ -43,128 +97,42 @@ void TvgAutomaton::set_accepting(NodeId v, bool accepting) {
   }
 }
 
+const QueryEngine& TvgAutomaton::engine() const {
+  if (!engine_) engine_ = std::make_unique<QueryEngine>(graph_);
+  return *engine_;
+}
+
 AcceptResult TvgAutomaton::accepts(const Word& word, Policy policy,
                                    const AcceptOptions& options) const {
-  AcceptResult result;
-  // Schedule queries run on the graph's compiled index (built once per
-  // graph, cached); the per-node out-edges are filtered through the
-  // label-bucketed CSR so only symbol-matching edges are touched.
-  const ScheduleIndex& sx = graph_.schedule_index();
-  std::vector<Config> configs;
-  // Exact (node, time) admission per word position: horizon clamp,
-  // infinity-sentinel rejection, and dedup that compares the full
-  // configuration triple, never a hash of it (the same named, tested
-  // component as the journey search engine — see visited.hpp).
-  std::vector<ConfigAdmission> admission(word.size() + 1,
-                                         ConfigAdmission(options.horizon));
+  auto outcomes = engine().accepts(
+      make_spec(initial_, accepting_, start_time_, policy, options),
+      std::span<const Word>(&word, 1));
+  return to_result(std::move(outcomes.front()));
+}
 
-  auto make_witness = [&](std::int64_t idx) {
-    std::vector<JourneyLeg> legs;
-    NodeId start = kInvalidNode;
-    for (std::int64_t i = idx; i >= 0;
-         i = configs[static_cast<std::size_t>(i)].parent) {
-      const Config& c = configs[static_cast<std::size_t>(i)];
-      if (c.via != kInvalidEdge) {
-        legs.push_back(JourneyLeg{c.via, c.dep});
-      } else {
-        start = c.node;
-      }
-    }
-    std::reverse(legs.begin(), legs.end());
-    return Journey{start, start_time_, std::move(legs)};
-  };
-
-  // Every admitted config is appended to `configs` exactly once and in
-  // FIFO order, so the frontier queue is just a scan index over it.
-  auto push = [&](Config c) -> std::optional<std::int64_t> {
-    if (!admission[c.pos].admit(c.node, c.time)) return std::nullopt;
-    configs.push_back(c);
-    const auto idx = static_cast<std::int64_t>(configs.size()) - 1;
-    if (c.pos == word.size() && accepting_.contains(c.node)) return idx;
-    return std::nullopt;
-  };
-
-  for (NodeId v : initial_) {
-    if (auto hit = push(Config{v, start_time_, 0, -1, kInvalidEdge, 0})) {
-      result.accepted = true;
-      result.configs_explored = configs.size();
-      result.witness = make_witness(*hit);
-      return result;
-    }
+std::vector<AcceptResult> TvgAutomaton::accepts_batch(
+    std::span<const Word> words, Policy policy,
+    const AcceptOptions& options) const {
+  const AcceptSpec spec =
+      make_spec(initial_, accepting_, start_time_, policy, options);
+  auto outcomes = engine().accepts(spec, words);
+  std::vector<AcceptResult> results;
+  results.reserve(outcomes.size());
+  for (AcceptOutcome& outcome : outcomes) {
+    results.push_back(to_result(std::move(outcome)));
   }
-
-  for (std::size_t next = 0; next < configs.size(); ++next) {
-    if (configs.size() >= options.max_configs) {
-      result.truncated = true;
-      break;
-    }
-    const auto idx = static_cast<std::int64_t>(next);
-    const Config cur = configs[next];
-    if (cur.pos >= word.size()) continue;
-    const Symbol symbol = word[cur.pos];
-
-    std::optional<std::int64_t> hit;
-    auto try_departure = [&](EdgeId eid, Time dep) {
-      if (hit) return;
-      const Time arr = sx.arrival(eid, dep);
-      hit = push(Config{sx.record(eid).to, arr, cur.pos + 1, idx, eid, dep});
-    };
-
-    for (EdgeId eid : graph_.out_edges_labeled(cur.node, symbol)) {
-      if (hit) break;
-      switch (policy.kind) {
-        case WaitingPolicy::kNoWait: {
-          if (sx.present(eid, cur.time)) try_departure(eid, cur.time);
-          break;
-        }
-        case WaitingPolicy::kBoundedWait: {
-          // A next_present result of kTimeInfinity is the "no such time"
-          // sentinel, never a departure (see the for_each_departure
-          // contract note in tvg/algorithms.cpp).
-          const Time last =
-              std::min(policy.max_departure(cur.time), options.horizon);
-          ScheduleIndex::EventCursor cursor;
-          Time at = cur.time;
-          while (at <= last && !hit) {
-            const Time dep = sx.next_present(eid, at, cursor);
-            if (dep == kTimeInfinity || dep > last) break;
-            try_departure(eid, dep);
-            at = dep + 1;  // safe: dep < kTimeInfinity
-          }
-          break;
-        }
-        case WaitingPolicy::kWait: {
-          if (sx.record(eid).lat_affine) {
-            // Arrival is monotone in departure: the earliest admissible
-            // departure dominates (see header comment).
-            const Time dep = sx.next_present(eid, cur.time);
-            if (dep != kTimeInfinity && dep <= options.horizon) {
-              try_departure(eid, dep);
-            }
-          } else {
-            ScheduleIndex::EventCursor cursor;
-            Time at = cur.time;
-            for (std::size_t k = 0;
-                 k < options.departures_per_edge && !hit; ++k) {
-              const Time dep = sx.next_present(eid, at, cursor);
-              if (dep == kTimeInfinity || dep > options.horizon) break;
-              try_departure(eid, dep);
-              at = dep + 1;  // safe: dep < kTimeInfinity
-            }
-          }
-          break;
-        }
-      }
-    }
-    if (hit) {
-      result.accepted = true;
-      result.witness = make_witness(*hit);
-      break;
-    }
+  // The engine batch shares ONE max_configs budget; per-word accepts()
+  // grants each word its own. To keep the documented word-for-word
+  // agreement, any word the shared budget truncated before acceptance is
+  // re-decided alone with the full per-word budget (the common,
+  // untruncated case pays nothing for this).
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].truncated) continue;
+    auto solo = engine().accepts(
+        spec, std::span<const Word>(&words[i], 1));
+    results[i] = to_result(std::move(solo.front()));
   }
-
-  result.configs_explored = configs.size();
-  return result;
+  return results;
 }
 
 std::vector<Word> TvgAutomaton::enumerate_language(
@@ -172,12 +140,14 @@ std::vector<Word> TvgAutomaton::enumerate_language(
     std::size_t max_words, std::string alphabet) const {
   if (alphabet.empty()) alphabet = graph_.alphabet();
   std::vector<Word> accepted;
-  // Breadth-first over words in length-lexicographic order.
+  // Breadth-first over words in length-lexicographic order; each length
+  // frontier is one trie-shared batch.
   std::vector<Word> frontier{Word{}};
   for (std::size_t len = 0; len <= max_len; ++len) {
-    for (const Word& w : frontier) {
-      if (accepts(w, policy, options).accepted) {
-        accepted.push_back(w);
+    const auto outcomes = accepts_batch(frontier, policy, options);
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      if (outcomes[i].accepted) {
+        accepted.push_back(frontier[i]);
         if (accepted.size() >= max_words) return accepted;
       }
     }

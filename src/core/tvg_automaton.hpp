@@ -20,14 +20,20 @@
 // word length the encoding supports.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "tvg/graph.hpp"
 #include "tvg/journey.hpp"
 #include "tvg/policy.hpp"
+
+namespace tvg {
+class QueryEngine;  // tvg/query_engine.hpp
+}
 
 namespace tvg::core {
 
@@ -58,6 +64,13 @@ struct AcceptResult {
 class TvgAutomaton {
  public:
   explicit TvgAutomaton(TimeVaryingGraph graph, Time start_time = 0);
+  ~TvgAutomaton();
+  // Copies/moves carry the automaton state but never the cached query
+  // engine (it borrows the graph member, whose address changes).
+  TvgAutomaton(const TvgAutomaton& other);
+  TvgAutomaton& operator=(const TvgAutomaton& other);
+  TvgAutomaton(TvgAutomaton&& other) noexcept;
+  TvgAutomaton& operator=(TvgAutomaton&& other) noexcept;
 
   void set_initial(NodeId v, bool initial = true);
   void set_accepting(NodeId v, bool accepting = true);
@@ -74,21 +87,39 @@ class TvgAutomaton {
     return accepting_;
   }
 
-  /// Does A(G) accept `word` under `policy`?
+  /// Does A(G) accept `word` under `policy`? Delegates to the cached
+  /// QueryEngine (a batch of one word).
   [[nodiscard]] AcceptResult accepts(const Word& word, Policy policy,
                                      const AcceptOptions& options = {}) const;
 
+  /// Decides a whole word set in ONE trie-shared configuration search
+  /// over the compiled index (QueryEngine::accepts): words sharing a
+  /// prefix share its exploration. Outcomes are in word order and agree
+  /// word-for-word with accepts(); configs_explored is the shared batch
+  /// total.
+  [[nodiscard]] std::vector<AcceptResult> accepts_batch(
+      std::span<const Word> words, Policy policy,
+      const AcceptOptions& options = {}) const;
+
   /// All accepted words of length <= max_len over the graph's alphabet
-  /// (or `alphabet` if non-empty), capped at max_words.
+  /// (or `alphabet` if non-empty), capped at max_words. Each length
+  /// frontier is decided with one accepts_batch call.
   [[nodiscard]] std::vector<Word> enumerate_language(
       std::size_t max_len, Policy policy, const AcceptOptions& options = {},
       std::size_t max_words = 100000, std::string alphabet = "") const;
+
+  /// The compiled query engine over graph(), built lazily on the first
+  /// acceptance query and cached. Like the graph's own lazy caches, the
+  /// first build is not thread-safe; issue one query before sharing the
+  /// automaton across threads.
+  [[nodiscard]] const QueryEngine& engine() const;
 
  private:
   TimeVaryingGraph graph_;
   Time start_time_{0};
   std::set<NodeId> initial_;
   std::set<NodeId> accepting_;
+  mutable std::unique_ptr<QueryEngine> engine_;  // lazy; see engine()
 };
 
 }  // namespace tvg::core

@@ -4,6 +4,7 @@
 #include <limits>
 #include <set>
 
+#include "tvg/query_engine.hpp"
 #include "tvg/schedule_index.hpp"
 #include "tvg/visited.hpp"
 
@@ -434,10 +435,13 @@ std::optional<Journey> foremost_journey(const TimeVaryingGraph& g,
       .journey_to(g, target);
 }
 
-std::optional<Journey> shortest_journey(const TimeVaryingGraph& g,
-                                        NodeId source, NodeId target,
-                                        Time start_time, Policy policy,
-                                        SearchLimits limits) {
+namespace {
+
+std::optional<Journey> shortest_journey_in(const TimeVaryingGraph& g,
+                                           NodeId source, NodeId target,
+                                           Time start_time, Policy policy,
+                                           SearchLimits limits,
+                                           SearchArenas& arenas) {
   if (source == target) return Journey{source, start_time, {}};
   const ScheduleIndex& sx = g.schedule_index();
   if (policy.kind == WaitingPolicy::kWait && sx.all_latency_constant()) {
@@ -488,19 +492,16 @@ std::optional<Journey> shortest_journey(const TimeVaryingGraph& g,
     }
     return std::nullopt;
   }
-  ArenaLease lease;
-  SearchArenas& a = *lease;
+  SearchArenas& a = arenas;
   const ConfigRec root{source, start_time, -1, kInvalidEdge, 0};
   run_search(g, {&root, 1}, policy, limits, a, target);
   if (a.first_goal < 0) return std::nullopt;
   return journey_from_config(a.configs, a.first_goal, source, start_time);
 }
 
-FastestJourneyResult fastest_journey_checked(const TimeVaryingGraph& g,
-                                             NodeId source, NodeId target,
-                                             Time depart_lo, Time depart_hi,
-                                             Policy policy,
-                                             SearchLimits limits) {
+FastestJourneyResult fastest_journey_checked_in(
+    const TimeVaryingGraph& g, NodeId source, NodeId target, Time depart_lo,
+    Time depart_hi, Policy policy, SearchLimits limits, SearchArenas& arenas) {
   FastestJourneyResult result;
   if (source == target) {
     result.journey = Journey{source, depart_lo, {}};
@@ -532,8 +533,7 @@ FastestJourneyResult fastest_journey_checked(const TimeVaryingGraph& g,
     }
   }
 
-  ArenaLease lease;
-  SearchArenas& a = *lease;
+  SearchArenas& a = arenas;
   std::optional<Journey> best;
   Time best_duration = kTimeInfinity;
   for (Time s : candidates) {
@@ -555,6 +555,46 @@ FastestJourneyResult fastest_journey_checked(const TimeVaryingGraph& g,
   }
   result.journey = std::move(best);
   return result;
+}
+
+}  // namespace
+
+std::optional<Journey> shortest_journey(const TimeVaryingGraph& g,
+                                        NodeId source, NodeId target,
+                                        Time start_time, Policy policy,
+                                        SearchLimits limits) {
+  ArenaLease lease;
+  return shortest_journey_in(g, source, target, start_time, policy, limits,
+                             *lease);
+}
+
+std::optional<Journey> shortest_journey(const TimeVaryingGraph& g,
+                                        NodeId source, NodeId target,
+                                        Time start_time, Policy policy,
+                                        SearchLimits limits,
+                                        SearchWorkspace& ws) {
+  return shortest_journey_in(g, source, target, start_time, policy, limits,
+                             ws.arenas());
+}
+
+FastestJourneyResult fastest_journey_checked(const TimeVaryingGraph& g,
+                                             NodeId source, NodeId target,
+                                             Time depart_lo, Time depart_hi,
+                                             Policy policy,
+                                             SearchLimits limits) {
+  ArenaLease lease;
+  return fastest_journey_checked_in(g, source, target, depart_lo, depart_hi,
+                                    policy, limits, *lease);
+}
+
+FastestJourneyResult fastest_journey_checked(const TimeVaryingGraph& g,
+                                             NodeId source, NodeId target,
+                                             Time depart_lo, Time depart_hi,
+                                             Policy policy,
+                                             SearchLimits limits,
+                                             SearchWorkspace& ws) {
+  return fastest_journey_checked_in(g, source, target, depart_lo, depart_hi,
+                                    policy, limits, ws.arenas());
 }
 
 std::optional<Journey> fastest_journey(const TimeVaryingGraph& g,
@@ -583,24 +623,26 @@ std::vector<bool> reachable_set(const TimeVaryingGraph& g, NodeId source,
 std::vector<std::vector<Time>> temporal_closure(const TimeVaryingGraph& g,
                                                 Time start_time, Policy policy,
                                                 SearchLimits limits) {
-  SearchWorkspace ws;
-  std::vector<std::vector<Time>> closure;
-  closure.reserve(g.node_count());
-  for (NodeId u = 0; u < g.node_count(); ++u) {
-    const ForemostScan scan =
-        foremost_scan(g, u, start_time, policy, limits, ws);
-    closure.emplace_back(scan.arrival.begin(), scan.arrival.end());
-  }
-  return closure;
+  // Thin serial wrapper over the engine: one worker, all sources. The
+  // engine's parallel form produces bit-identical rows (each row is
+  // written only by the worker that ran its source).
+  QueryEngine engine(g, /*default_threads=*/1);
+  ClosureQuery q;
+  q.start_time = start_time;
+  q.policy = policy;
+  q.limits = limits;
+  q.threads = 1;
+  return std::move(engine.closure(q).rows);
 }
 
 bool temporally_connected(const TimeVaryingGraph& g, Time start_time,
                           Policy policy, SearchLimits limits) {
-  SearchWorkspace ws;
+  // Row-at-a-time engine queries so a disconnected source exits early.
+  QueryEngine engine(g, /*default_threads=*/1);
   for (NodeId u = 0; u < g.node_count(); ++u) {
-    const ForemostScan scan =
-        foremost_scan(g, u, start_time, policy, limits, ws);
-    for (Time t : scan.arrival) {
+    const JourneyResult row = engine.run(
+        JourneyQuery::foremost(u, start_time).under(policy).within(limits));
+    for (Time t : row.arrivals) {
       if (t == kTimeInfinity) return false;
     }
   }
@@ -610,12 +652,12 @@ bool temporally_connected(const TimeVaryingGraph& g, Time start_time,
 std::optional<Time> temporal_diameter(const TimeVaryingGraph& g,
                                       Time start_time, Policy policy,
                                       SearchLimits limits) {
-  SearchWorkspace ws;
+  QueryEngine engine(g, /*default_threads=*/1);
   Time diameter = 0;
   for (NodeId u = 0; u < g.node_count(); ++u) {
-    const ForemostScan scan =
-        foremost_scan(g, u, start_time, policy, limits, ws);
-    for (Time t : scan.arrival) {
+    const JourneyResult row = engine.run(
+        JourneyQuery::foremost(u, start_time).under(policy).within(limits));
+    for (Time t : row.arrivals) {
       if (t == kTimeInfinity) return std::nullopt;
       diameter = std::max(diameter, t - start_time);
     }

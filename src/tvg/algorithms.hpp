@@ -17,6 +17,17 @@
 // reach — so reachability must track the full set of (node, time)
 // configurations. That asymmetry is the algorithmic shadow of the paper's
 // expressivity gap, and bench_journeys measures it.
+//
+// Execution model: every search kernel runs over the graph's compiled
+// ScheduleIndex + frozen CSR adjacency (schedule_index.hpp) and writes
+// into a reusable SearchWorkspace — no per-search allocation on the hot
+// path. The single-query free functions below are kept as the convenient
+// one-shot entry points (they lease a per-thread arena); anything issuing
+// MANY queries — batches, multi-source sweeps, acceptance sets — should
+// use tvg::QueryEngine (query_engine.hpp), which owns the compiled state
+// plus a workspace pool and shards batches across threads. The
+// multi-source sweeps at the bottom of this header are thin wrappers over
+// that engine.
 #pragma once
 
 #include <cstdint>
@@ -141,6 +152,11 @@ struct ForemostScan {
     const TimeVaryingGraph& g, NodeId source, NodeId target, Time start_time,
     Policy policy, SearchLimits limits = {});
 
+/// As above, in the caller's workspace (the QueryEngine form).
+[[nodiscard]] std::optional<Journey> shortest_journey(
+    const TimeVaryingGraph& g, NodeId source, NodeId target, Time start_time,
+    Policy policy, SearchLimits limits, SearchWorkspace& ws);
+
 /// Minimum-duration (fastest) journey source -> target whose first edge
 /// departs in [depart_lo, depart_hi], under `policy`. Scans candidate
 /// first departures (presence events of source out-edges) and minimizes
@@ -164,6 +180,11 @@ struct FastestJourneyResult {
     const TimeVaryingGraph& g, NodeId source, NodeId target, Time depart_lo,
     Time depart_hi, Policy policy, SearchLimits limits = {});
 
+/// As above, in the caller's workspace (the QueryEngine form).
+[[nodiscard]] FastestJourneyResult fastest_journey_checked(
+    const TimeVaryingGraph& g, NodeId source, NodeId target, Time depart_lo,
+    Time depart_hi, Policy policy, SearchLimits limits, SearchWorkspace& ws);
+
 /// Nodes reachable from `source` (including itself).
 [[nodiscard]] std::vector<bool> reachable_set(const TimeVaryingGraph& g,
                                               NodeId source, Time start_time,
@@ -171,18 +192,29 @@ struct FastestJourneyResult {
                                               SearchLimits limits = {});
 
 /// All-pairs earliest arrivals: closure[u][v].
+///
+/// @deprecated-style guidance: thin serial wrapper over
+/// QueryEngine::closure() (query_engine.hpp). Construct an engine and
+/// call closure() directly to shard the source rows across threads; the
+/// rows are bit-identical to this function at any thread count.
 [[nodiscard]] std::vector<std::vector<Time>> temporal_closure(
     const TimeVaryingGraph& g, Time start_time, Policy policy,
     SearchLimits limits = {});
 
 /// True iff every ordered pair (u, v) is connected by a feasible journey
 /// starting at `start_time` (the class "temporally connected" of [1]).
+///
+/// @deprecated-style guidance: wrapper over QueryEngine row queries;
+/// prefer the engine when asking more than one question of the graph.
 [[nodiscard]] bool temporally_connected(const TimeVaryingGraph& g,
                                         Time start_time, Policy policy,
                                         SearchLimits limits = {});
 
 /// max over ordered pairs of (foremost arrival − start_time);
 /// nullopt if some pair is unreachable.
+///
+/// @deprecated-style guidance: wrapper over QueryEngine row queries;
+/// prefer the engine when asking more than one question of the graph.
 [[nodiscard]] std::optional<Time> temporal_diameter(const TimeVaryingGraph& g,
                                                     Time start_time,
                                                     Policy policy,

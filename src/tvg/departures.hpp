@@ -1,0 +1,67 @@
+// Shared departure enumeration for the configuration walkers (batched
+// acceptance, constrained journeys, exhaustive enumeration).
+//
+// One policy switch instead of a hand-rolled copy per walker: admissible
+// departures for an edge when ready at t, clamped to the horizon, with
+// the compiled index's kTimeInfinity next_present result treated as the
+// "no such time" sentinel (see the for_each_departure contract note in
+// algorithms.cpp — the search kernels keep their own specialized
+// enumerator there because Wait dominance lets them take only the
+// earliest departure).
+//
+// Under Wait the departure window is unbounded, so the enumeration is
+// capped at `wait_budget` candidates: pass 1 when arrival is monotone in
+// the departure (affine ζ — the earliest departure dominates and the cap
+// is exact), or the caller's departures-per-edge budget otherwise.
+// Latencies are non-negative, so clamping departures to the horizon
+// never hides an in-horizon arrival.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "tvg/policy.hpp"
+#include "tvg/schedule_index.hpp"
+
+namespace tvg {
+
+/// Invokes `fn(dep)` for each admissible departure of `eid` when ready
+/// at `t` under `policy`, in ascending order. `fn` returns false to stop
+/// the enumeration early (goal hit, branch resolved, budget spent).
+template <typename Fn>
+void for_each_policy_departure(const ScheduleIndex& sx, EdgeId eid, Time t,
+                               Policy policy, Time horizon,
+                               std::size_t wait_budget, Fn&& fn) {
+  switch (policy.kind) {
+    case WaitingPolicy::kNoWait: {
+      if (t != kTimeInfinity && t <= horizon && sx.present(eid, t)) fn(t);
+      return;
+    }
+    case WaitingPolicy::kBoundedWait: {
+      const Time last = std::min(policy.max_departure(t), horizon);
+      ScheduleIndex::EventCursor cursor;
+      Time at = t;
+      while (at <= last) {
+        const Time dep = sx.next_present(eid, at, cursor);
+        if (dep == kTimeInfinity || dep > last) return;
+        if (!fn(dep)) return;
+        if (dep == last) return;
+        at = dep + 1;  // safe: dep < kTimeInfinity
+      }
+      return;
+    }
+    case WaitingPolicy::kWait: {
+      ScheduleIndex::EventCursor cursor;
+      Time at = t;
+      for (std::size_t k = 0; k < wait_budget; ++k) {
+        const Time dep = sx.next_present(eid, at, cursor);
+        if (dep == kTimeInfinity || dep > horizon) return;
+        if (!fn(dep)) return;
+        at = dep + 1;  // safe: dep < kTimeInfinity
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace tvg

@@ -2,12 +2,19 @@
 
 #include <queue>
 
+#include "tvg/departures.hpp"
+#include "tvg/schedule_index.hpp"
+
 namespace tvg {
 
 std::vector<Journey> enumerate_journeys(const TimeVaryingGraph& g,
                                         NodeId source, Time start_time,
                                         Policy policy,
                                         const EnumerateOptions& options) {
+  // Schedule queries run on the compiled index; a next_present result of
+  // kTimeInfinity is the "no such time" sentinel (see the
+  // for_each_departure contract note in algorithms.cpp).
+  const ScheduleIndex& sx = g.schedule_index();
   std::vector<Journey> result;
   std::queue<Journey> frontier;
   frontier.push(Journey{source, start_time, {}});
@@ -21,43 +28,20 @@ std::vector<Journey> enumerate_journeys(const TimeVaryingGraph& g,
     const NodeId at = current.end_node(g);
     const Time ready = current.arrival(g);
     for (EdgeId eid : g.out_edges(at)) {
-      const Edge& e = g.edge(eid);
-      auto extend = [&](Time dep) {
-        const Time arr = e.arrival(dep);
-        if (arr == kTimeInfinity || arr > options.horizon) return;
-        Journey next = current;
-        next.legs.push_back(JourneyLeg{eid, dep});
-        frontier.push(std::move(next));
-      };
-      switch (policy.kind) {
-        case WaitingPolicy::kNoWait:
-          if (e.present(ready)) extend(ready);
-          break;
-        case WaitingPolicy::kBoundedWait: {
-          const Time last =
-              std::min(policy.max_departure(ready), options.horizon);
-          Time cursor = ready;
-          while (cursor <= last) {
-            const auto dep = e.presence.next_present(cursor);
-            if (!dep || *dep > last) break;
-            extend(*dep);
-            if (*dep == kTimeInfinity) break;
-            cursor = *dep + 1;
-          }
-          break;
-        }
-        case WaitingPolicy::kWait: {
-          Time cursor = ready;
-          for (std::size_t k = 0; k < options.departures_per_edge; ++k) {
-            const auto dep = e.presence.next_present(cursor);
-            if (!dep || *dep > options.horizon) break;
-            extend(*dep);
-            if (*dep == kTimeInfinity) break;
-            cursor = *dep + 1;
-          }
-          break;
-        }
-      }
+      // Every feasible journey is wanted (not just an optimal one), so
+      // Wait enumerates the full departures_per_edge budget even when ζ
+      // is affine — no earliest-departure shortcut here.
+      for_each_policy_departure(
+          sx, eid, ready, policy, options.horizon,
+          options.departures_per_edge, [&](Time dep) {
+            const Time arr = sx.arrival(eid, dep);
+            if (arr != kTimeInfinity && arr <= options.horizon) {
+              Journey next = current;
+              next.legs.push_back(JourneyLeg{eid, dep});
+              frontier.push(std::move(next));
+            }
+            return true;
+          });
     }
   }
   return result;

@@ -1,6 +1,7 @@
 #include "tvg/metrics.hpp"
 
 #include "tvg/algorithms.hpp"
+#include "tvg/query_engine.hpp"
 #include "tvg/schedule_index.hpp"
 
 namespace tvg {
@@ -8,6 +9,9 @@ namespace tvg {
 std::optional<Time> temporal_eccentricity(const TimeVaryingGraph& g,
                                           NodeId v, Time start_time,
                                           Policy policy, Time horizon) {
+  // Single-source point query: the arena-leasing kernel entry point is
+  // the cheap form here (no engine/workspace setup per call). Batched
+  // callers should take rows from QueryEngine::closure() instead.
   const ForemostTree tree = foremost_arrivals(
       g, v, start_time, policy, SearchLimits::up_to(horizon));
   Time ecc = 0;
@@ -18,17 +22,21 @@ std::optional<Time> temporal_eccentricity(const TimeVaryingGraph& g,
   return ecc;
 }
 
+double temporal_closeness(std::span<const Time> row, NodeId v,
+                          Time start_time) {
+  double closeness = 0.0;
+  for (NodeId u = 0; u < row.size(); ++u) {
+    if (u == v || row[u] == kTimeInfinity) continue;
+    closeness += 1.0 / static_cast<double>(row[u] - start_time + 1);
+  }
+  return closeness;
+}
+
 double temporal_closeness(const TimeVaryingGraph& g, NodeId v,
                           Time start_time, Policy policy, Time horizon) {
   const ForemostTree tree = foremost_arrivals(
       g, v, start_time, policy, SearchLimits::up_to(horizon));
-  double closeness = 0.0;
-  for (NodeId u = 0; u < g.node_count(); ++u) {
-    if (u == v || tree.arrival[u] == kTimeInfinity) continue;
-    closeness += 1.0 /
-                 static_cast<double>(tree.arrival[u] - start_time + 1);
-  }
-  return closeness;
+  return temporal_closeness(tree.arrival, v, start_time);
 }
 
 std::size_t contact_count(const Edge& e, Time horizon) {
@@ -78,22 +86,32 @@ double average_density(const TimeVaryingGraph& g, Time horizon) {
 }
 
 std::optional<double> characteristic_temporal_distance(
-    const TimeVaryingGraph& g, Time start_time, Policy policy,
-    Time horizon) {
+    const std::vector<std::vector<Time>>& rows, Time start_time) {
   double total = 0.0;
   std::size_t pairs = 0;
-  SearchWorkspace ws;  // one set of arenas for the whole n-source sweep
-  for (NodeId u = 0; u < g.node_count(); ++u) {
-    const ForemostScan scan = foremost_scan(
-        g, u, start_time, policy, SearchLimits::up_to(horizon), ws);
-    for (NodeId v = 0; v < g.node_count(); ++v) {
-      if (u == v || scan.arrival[v] == kTimeInfinity) continue;
-      total += static_cast<double>(scan.arrival[v] - start_time);
+  for (NodeId u = 0; u < rows.size(); ++u) {
+    for (NodeId v = 0; v < rows[u].size(); ++v) {
+      if (u == v || rows[u][v] == kTimeInfinity) continue;
+      total += static_cast<double>(rows[u][v] - start_time);
       ++pairs;
     }
   }
   if (pairs == 0) return std::nullopt;
   return total / static_cast<double>(pairs);
+}
+
+std::optional<double> characteristic_temporal_distance(
+    const TimeVaryingGraph& g, Time start_time, Policy policy,
+    Time horizon) {
+  // One engine closure feeds the whole pair sum (the workspace pool
+  // plays the role the explicit SearchWorkspace used to).
+  QueryEngine engine(g, /*default_threads=*/1);
+  ClosureQuery q;
+  q.start_time = start_time;
+  q.policy = policy;
+  q.limits = SearchLimits::up_to(horizon);
+  return characteristic_temporal_distance(engine.closure(q).rows,
+                                          start_time);
 }
 
 }  // namespace tvg

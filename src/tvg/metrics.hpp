@@ -5,6 +5,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "tvg/graph.hpp"
@@ -25,6 +26,12 @@ struct SearchLimits;  // from algorithms.hpp
 [[nodiscard]] double temporal_closeness(const TimeVaryingGraph& g, NodeId v,
                                         Time start_time, Policy policy,
                                         Time horizon = kTimeInfinity);
+
+/// As above, from a precomputed foremost-arrival row for v (one row of
+/// QueryEngine::closure() or ForemostScan::arrival) — the batched form:
+/// one closure feeds every node's closeness without re-searching.
+[[nodiscard]] double temporal_closeness(std::span<const Time> row, NodeId v,
+                                        Time start_time);
 
 /// Number of distinct contacts (maximal presence intervals) of an edge
 /// within [0, horizon).
@@ -48,5 +55,11 @@ struct SearchLimits;  // from algorithms.hpp
 [[nodiscard]] std::optional<double> characteristic_temporal_distance(
     const TimeVaryingGraph& g, Time start_time, Policy policy,
     Time horizon = kTimeInfinity);
+
+/// As above, from precomputed all-source closure rows
+/// (QueryEngine::closure() / temporal_closure output) — rows[u][v] is
+/// the foremost arrival at v from u.
+[[nodiscard]] std::optional<double> characteristic_temporal_distance(
+    const std::vector<std::vector<Time>>& rows, Time start_time);
 
 }  // namespace tvg

@@ -1,0 +1,387 @@
+#include "tvg/query_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "tvg/departures.hpp"
+#include "tvg/schedule_index.hpp"
+#include "tvg/visited.hpp"
+
+namespace tvg {
+
+// ---------------------------------------------------------------------------
+// Construction and the workspace pool
+// ---------------------------------------------------------------------------
+
+QueryEngine::QueryEngine(const TimeVaryingGraph& g, unsigned default_threads)
+    : g_(g), default_threads_(default_threads) {
+  if (default_threads_ == 0) {
+    default_threads_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // Freeze both compiled representations now, while we are certainly
+  // single-threaded: the lazy rebuilds inside TimeVaryingGraph are not
+  // safe to race, and every engine entry point may run on worker threads.
+  (void)g_.schedule_index();
+  if (g_.node_count() > 0) (void)g_.out_edges(0);
+}
+
+QueryEngine::~QueryEngine() = default;
+
+QueryEngine::Lease::~Lease() {
+  if (!ws_) return;
+  const std::scoped_lock lock(engine_.pool_mu_);
+  engine_.pool_.push_back(std::move(ws_));
+}
+
+QueryEngine::Lease QueryEngine::lease() const {
+  {
+    const std::scoped_lock lock(pool_mu_);
+    if (!pool_.empty()) {
+      auto ws = std::move(pool_.back());
+      pool_.pop_back();
+      return Lease(*this, std::move(ws));
+    }
+  }
+  return Lease(*this, std::make_unique<SearchWorkspace>());
+}
+
+template <typename Fn>
+void QueryEngine::parallel_for(std::size_t n, unsigned threads,
+                               Fn&& fn) const {
+  if (threads == 0) threads = default_threads_;
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(n, 1)));
+  if (threads <= 1) {
+    Lease ws = lease();
+    for (std::size_t i = 0; i < n; ++i) fn(i, *ws);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    Lease ws = lease();
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i, *ws);
+      } catch (...) {
+        const std::scoped_lock lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) workers.emplace_back(worker);
+  for (std::thread& t : workers) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+// ---------------------------------------------------------------------------
+// Journey queries
+// ---------------------------------------------------------------------------
+
+JourneyResult QueryEngine::run_on(const JourneyQuery& q,
+                                  SearchWorkspace& ws) const {
+  if (q.source >= g_.node_count()) {
+    throw std::out_of_range("QueryEngine::run: source out of range");
+  }
+  if (q.target && *q.target >= g_.node_count()) {
+    throw std::out_of_range("QueryEngine::run: target out of range");
+  }
+  JourneyResult result;
+  switch (q.objective) {
+    case JourneyObjective::kForemost: {
+      if (q.target) {
+        const ForemostTree tree = foremost_arrivals(
+            g_, q.source, q.start_time, q.policy, q.limits, ws);
+        result.truncated = tree.truncated;
+        result.arrival = tree.arrival[*q.target];
+        result.journey = tree.journey_to(g_, *q.target);
+      } else {
+        const ForemostScan scan = foremost_scan(g_, q.source, q.start_time,
+                                                q.policy, q.limits, ws);
+        result.truncated = scan.truncated;
+        result.arrivals.assign(scan.arrival.begin(), scan.arrival.end());
+      }
+      return result;
+    }
+    case JourneyObjective::kShortest: {
+      if (!q.target) {
+        throw std::invalid_argument(
+            "QueryEngine::run: shortest objective requires a target");
+      }
+      result.journey = shortest_journey(g_, q.source, *q.target,
+                                        q.start_time, q.policy, q.limits, ws);
+      if (result.journey) result.arrival = result.journey->arrival(g_);
+      return result;
+    }
+    case JourneyObjective::kFastest: {
+      if (!q.target) {
+        throw std::invalid_argument(
+            "QueryEngine::run: fastest objective requires a target");
+      }
+      FastestJourneyResult fastest = fastest_journey_checked(
+          g_, q.source, *q.target, q.start_time, q.depart_hi, q.policy,
+          q.limits, ws);
+      result.truncated = fastest.truncated;
+      result.journey = std::move(fastest.journey);
+      if (result.journey) {
+        result.arrival = result.journey->arrival(g_);
+        result.duration = result.journey->duration(g_);
+      }
+      return result;
+    }
+  }
+  return result;
+}
+
+JourneyResult QueryEngine::run(const JourneyQuery& q) const {
+  Lease ws = lease();
+  return run_on(q, *ws);
+}
+
+std::vector<JourneyResult> QueryEngine::run(
+    std::span<const JourneyQuery> queries, unsigned threads) const {
+  std::vector<JourneyResult> results(queries.size());
+  parallel_for(queries.size(), threads, [&](std::size_t i,
+                                            SearchWorkspace& ws) {
+    results[i] = run_on(queries[i], ws);
+  });
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-source closure
+// ---------------------------------------------------------------------------
+
+ClosureResult QueryEngine::closure(const ClosureQuery& q) const {
+  std::vector<NodeId> sources = q.sources;
+  if (sources.empty()) {
+    sources.resize(g_.node_count());
+    for (NodeId v = 0; v < g_.node_count(); ++v) sources[v] = v;
+  }
+  for (const NodeId u : sources) {
+    if (u >= g_.node_count()) {
+      throw std::out_of_range("QueryEngine::closure: source out of range");
+    }
+  }
+  ClosureResult result;
+  result.rows.resize(sources.size());
+  std::vector<char> truncated(sources.size(), 0);
+  // Row i is written only by the worker that ran source i, so the merged
+  // matrix is independent of scheduling: bit-identical at any thread
+  // count to the serial sweep.
+  parallel_for(sources.size(), q.threads, [&](std::size_t i,
+                                              SearchWorkspace& ws) {
+    const ForemostScan scan = foremost_scan(g_, sources[i], q.start_time,
+                                            q.policy, q.limits, ws);
+    result.rows[i].assign(scan.arrival.begin(), scan.arrival.end());
+    truncated[i] = scan.truncated ? 1 : 0;
+  });
+  result.truncated =
+      std::any_of(truncated.begin(), truncated.end(), [](char c) {
+        return c != 0;
+      });
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Batched acceptance: one trie-shaped configuration search for the
+// whole word set.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kTrieRoot = 0;
+constexpr std::uint32_t kNoTrieNode = 0xffffffffu;
+
+/// Word-set trie in two flat arrays (nodes + an intrusive word list):
+/// node 0 is the root (the empty prefix), children hang off
+/// first_child/next_sibling links, and the words ending at a node chain
+/// through word_next. No per-node heap allocation — a batch of one word
+/// costs two vector builds, so the single-word acceptance path stays
+/// close to a hand-rolled search. Each node counts how many words in
+/// its subtree are still unresolved, so the search can prune branches
+/// whose every word already has a verdict.
+struct WordTrie {
+  struct Node {
+    Symbol symbol{'?'};  // edge label from the parent
+    std::uint32_t parent{kTrieRoot};
+    std::uint32_t first_child{kNoTrieNode};
+    std::uint32_t next_sibling{kNoTrieNode};
+    std::int32_t word_head{-1};  // first word ending here (see word_next)
+    std::uint32_t pending{0};    // unresolved words in this subtree
+  };
+  std::vector<Node> nodes;
+  std::vector<std::int32_t> word_next;  // intrusive list over word ids
+
+  explicit WordTrie(std::span<const Word> words)
+      : word_next(words.size(), -1) {
+    std::size_t chars = 0;
+    for (const Word& w : words) chars += w.size();
+    nodes.reserve(chars + 1);  // upper bound: no sharing at all
+    nodes.emplace_back();
+    for (std::uint32_t w = 0; w < words.size(); ++w) {
+      std::uint32_t at = kTrieRoot;
+      for (const Symbol c : words[w]) {
+        std::uint32_t child = nodes[at].first_child;
+        while (child != kNoTrieNode && nodes[child].symbol != c) {
+          child = nodes[child].next_sibling;
+        }
+        if (child == kNoTrieNode) {
+          child = static_cast<std::uint32_t>(nodes.size());
+          Node fresh;
+          fresh.symbol = c;
+          fresh.parent = at;
+          fresh.next_sibling = nodes[at].first_child;
+          nodes.push_back(fresh);
+          nodes[at].first_child = child;
+        }
+        at = child;
+      }
+      word_next[w] = nodes[at].word_head;
+      nodes[at].word_head = static_cast<std::int32_t>(w);
+      for (std::uint32_t up = at;; up = nodes[up].parent) {
+        ++nodes[up].pending;
+        if (up == kTrieRoot) break;
+      }
+    }
+  }
+
+  /// Marks every word ending at `node` resolved, unwinding the pending
+  /// counters up to the root.
+  void resolve(std::uint32_t node) {
+    std::uint32_t count = 0;
+    for (std::int32_t w = nodes[node].word_head; w >= 0; w = word_next[w]) {
+      ++count;
+    }
+    for (std::uint32_t up = node;; up = nodes[up].parent) {
+      nodes[up].pending -= count;
+      if (up == kTrieRoot) break;
+    }
+  }
+};
+
+/// One explored (node, time, trie-position) configuration, with the
+/// parent chain for witness reconstruction.
+struct BatchConfig {
+  NodeId node{kInvalidNode};
+  Time time{0};
+  std::uint32_t trie{kTrieRoot};
+  std::int64_t parent{-1};
+  EdgeId via{kInvalidEdge};
+  Time dep{0};
+};
+
+}  // namespace
+
+std::vector<AcceptOutcome> QueryEngine::accepts(
+    const AcceptSpec& spec, std::span<const Word> words) const {
+  std::vector<AcceptOutcome> outcomes(words.size());
+  for (const NodeId v : spec.initial) {
+    if (v >= g_.node_count()) {
+      throw std::out_of_range("QueryEngine::accepts: initial out of range");
+    }
+  }
+  std::vector<char> accepting(g_.node_count(), 0);
+  for (const NodeId v : spec.accepting) {
+    if (v >= g_.node_count()) {
+      throw std::out_of_range("QueryEngine::accepts: accepting out of range");
+    }
+    accepting[v] = 1;
+  }
+
+  WordTrie trie(words);
+  const ScheduleIndex& sx = g_.schedule_index();
+  std::vector<BatchConfig> configs;
+  // Exact (node, time) admission per trie position — the same dedup the
+  // per-word search keeps per word position, shared across the batch.
+  std::vector<ConfigAdmission> admission(trie.nodes.size(),
+                                         ConfigAdmission(spec.horizon));
+  bool truncated = false;
+
+  auto make_witness = [&](std::int64_t idx) {
+    std::vector<JourneyLeg> legs;
+    NodeId start = kInvalidNode;
+    for (std::int64_t i = idx; i >= 0;
+         i = configs[static_cast<std::size_t>(i)].parent) {
+      const BatchConfig& c = configs[static_cast<std::size_t>(i)];
+      if (c.via != kInvalidEdge) {
+        legs.push_back(JourneyLeg{c.via, c.dep});
+      } else {
+        start = c.node;
+      }
+    }
+    std::reverse(legs.begin(), legs.end());
+    return Journey{start, spec.start_time, std::move(legs)};
+  };
+
+  // Admits a configuration; on an accepting hit resolves every pending
+  // word ending at its trie position.
+  auto push = [&](const BatchConfig& c) {
+    if (!admission[c.trie].admit(c.node, c.time)) return;
+    configs.push_back(c);
+    const auto idx = static_cast<std::int64_t>(configs.size()) - 1;
+    const WordTrie::Node& tn = trie.nodes[c.trie];
+    if (tn.word_head < 0 || accepting[c.node] == 0) return;
+    if (outcomes[static_cast<std::size_t>(tn.word_head)].accepted) {
+      return;  // every word at this node is already resolved
+    }
+    for (std::int32_t w = tn.word_head; w >= 0; w = trie.word_next[w]) {
+      outcomes[static_cast<std::size_t>(w)].accepted = true;
+      outcomes[static_cast<std::size_t>(w)].witness = make_witness(idx);
+    }
+    trie.resolve(c.trie);
+  };
+
+  for (const NodeId v : spec.initial) {
+    if (trie.nodes[kTrieRoot].pending == 0) break;
+    push(BatchConfig{v, spec.start_time, kTrieRoot, -1, kInvalidEdge, 0});
+  }
+
+  for (std::size_t next = 0;
+       next < configs.size() && trie.nodes[kTrieRoot].pending > 0; ++next) {
+    if (configs.size() >= spec.max_configs) {
+      truncated = true;
+      break;
+    }
+    const BatchConfig cur = configs[next];
+    const auto idx = static_cast<std::int64_t>(next);
+    for (std::uint32_t child = trie.nodes[cur.trie].first_child;
+         child != kNoTrieNode; child = trie.nodes[child].next_sibling) {
+      const Symbol symbol = trie.nodes[child].symbol;
+      if (trie.nodes[child].pending == 0) continue;  // branch fully decided
+      for (const EdgeId eid : g_.out_edges_labeled(cur.node, symbol)) {
+        if (trie.nodes[child].pending == 0) break;
+        // Affine ζ under Wait: arrival is monotone in departure, so the
+        // earliest admissible departure dominates (budget 1 is exact).
+        const std::size_t wait_budget = sx.record(eid).lat_affine
+                                            ? 1
+                                            : spec.departures_per_edge;
+        for_each_policy_departure(
+            sx, eid, cur.time, spec.policy, spec.horizon, wait_budget,
+            [&](Time dep) {
+              const Time arr = sx.arrival(eid, dep);
+              push(BatchConfig{sx.record(eid).to, arr, child, idx, eid,
+                               dep});
+              return trie.nodes[child].pending > 0;
+            });
+      }
+    }
+  }
+
+  for (std::size_t w = 0; w < outcomes.size(); ++w) {
+    outcomes[w].configs_explored = configs.size();
+    if (!outcomes[w].accepted) outcomes[w].truncated = truncated;
+  }
+  return outcomes;
+}
+
+}  // namespace tvg

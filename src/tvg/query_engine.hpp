@@ -1,0 +1,258 @@
+// tvg::QueryEngine — the compiled, batched, thread-parallel façade over
+// every journey / reachability / acceptance query in the library.
+//
+// Construct one engine per frozen graph. Construction forces the two
+// compiled representations (the ScheduleIndex ρ/ζ tables and the CSR
+// adjacency) and from then on the engine owns a pool of SearchWorkspaces
+// that its entry points lease, so callers never pay per-query arena
+// allocation and never touch a lazily-built cache concurrently.
+//
+// Entry points are typed request/response pairs:
+//
+//  * run(JourneyQuery)            -> JourneyResult      (one query)
+//  * run(span<JourneyQuery>)      -> vector<JourneyResult>   (batch,
+//    sharded across a thread pool, results in request order)
+//  * closure(ClosureQuery)        -> ClosureResult      (multi-source
+//    foremost rows, one workspace per thread, merged deterministically:
+//    row i is written only by the worker that ran source i, so the rows
+//    are bit-identical to a serial sweep at any thread count)
+//  * accepts(AcceptSpec, span<Word>) -> vector<AcceptOutcome>  (batched
+//    TVG-automaton acceptance: the word set is compiled into a trie and
+//    explored once over (node, time, trie-position) configurations, so
+//    words sharing prefixes share their search frontier)
+//
+// Lifetime and thread-safety guarantees:
+//  * the engine borrows the graph: the TimeVaryingGraph must outlive the
+//    engine and must not be mutated while the engine exists (mutation
+//    invalidates the compiled index the engine holds);
+//  * all entry points are const and safe to call concurrently from any
+//    number of threads — the workspace pool is the only shared mutable
+//    state and it is lock-protected;
+//  * results never alias engine internals (rows and journeys are owned
+//    by the returned value).
+//
+// The pre-engine free functions (foremost_journey, temporal_closure,
+// TvgAutomaton::accepts, ...) remain as thin wrappers over this engine;
+// new code and anything batching more than one query should come here.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "tvg/algorithms.hpp"
+#include "tvg/graph.hpp"
+#include "tvg/journey.hpp"
+#include "tvg/policy.hpp"
+
+namespace tvg {
+
+/// What a JourneyQuery optimizes.
+enum class JourneyObjective : std::uint8_t {
+  kForemost,  // earliest arrival
+  kShortest,  // fewest hops (requires a target)
+  kFastest,   // smallest arrival − departure (requires a target)
+};
+
+/// One journey/reachability request. Build with the named constructors
+/// and chain the fluent setters:
+///
+///   auto q = JourneyQuery::foremost(src, t0).to(dst)
+///                .under(Policy::bounded_wait(4))
+///                .within(SearchLimits::up_to(120));
+struct JourneyQuery {
+  NodeId source{kInvalidNode};
+  /// Absent target + kForemost = whole arrival row (reachability scan).
+  std::optional<NodeId> target;
+  Time start_time{0};
+  /// kFastest only: first departure scanned over [start_time, depart_hi].
+  Time depart_hi{0};
+  Policy policy{Policy::wait()};
+  SearchLimits limits{};
+  JourneyObjective objective{JourneyObjective::kForemost};
+
+  [[nodiscard]] static JourneyQuery foremost(NodeId source,
+                                             Time start_time = 0) {
+    JourneyQuery q;
+    q.source = source;
+    q.start_time = start_time;
+    return q;
+  }
+  [[nodiscard]] static JourneyQuery shortest(NodeId source, NodeId target,
+                                             Time start_time = 0) {
+    JourneyQuery q;
+    q.source = source;
+    q.target = target;
+    q.start_time = start_time;
+    q.objective = JourneyObjective::kShortest;
+    return q;
+  }
+  [[nodiscard]] static JourneyQuery fastest(NodeId source, NodeId target,
+                                            Time depart_lo, Time depart_hi) {
+    JourneyQuery q;
+    q.source = source;
+    q.target = target;
+    q.start_time = depart_lo;
+    q.depart_hi = depart_hi;
+    q.objective = JourneyObjective::kFastest;
+    return q;
+  }
+
+  JourneyQuery& to(NodeId t) {
+    target = t;
+    return *this;
+  }
+  JourneyQuery& under(Policy p) {
+    policy = p;
+    return *this;
+  }
+  JourneyQuery& within(SearchLimits l) {
+    limits = l;
+    return *this;
+  }
+};
+
+/// Response to a JourneyQuery. Which fields are populated depends on the
+/// objective and on whether a target was set (see field comments).
+struct JourneyResult {
+  /// Optimal witness journey to `target` (absent when no target was set,
+  /// or the target is unreachable).
+  std::optional<Journey> journey;
+  /// Foremost objective: earliest arrival at `target` (kTimeInfinity when
+  /// unreachable). Shortest/fastest: the witness journey's arrival.
+  Time arrival{kTimeInfinity};
+  /// kFastest only: the witness journey's duration (arrival − departure).
+  Time duration{kTimeInfinity};
+  /// Untargeted foremost only: the full arrival row (index = NodeId).
+  std::vector<Time> arrivals;
+  /// True when a search/enumeration budget truncated the query: absence
+  /// of a journey is then "not found within budget", not a proof.
+  bool truncated{false};
+};
+
+/// Multi-source foremost-closure request (the all-pairs sweep behind
+/// temporal_closure / temporally_connected / temporal_diameter).
+struct ClosureQuery {
+  /// Sources to scan; empty = every node, in NodeId order.
+  std::vector<NodeId> sources;
+  Time start_time{0};
+  Policy policy{Policy::wait()};
+  SearchLimits limits{};
+  /// Worker threads for the row shard; 0 = the engine's default.
+  unsigned threads{0};
+};
+
+struct ClosureResult {
+  /// rows[i][v] = foremost arrival at v from sources[i] (kTimeInfinity if
+  /// unreachable). Row order matches the request's source order and is
+  /// bit-identical at any thread count.
+  std::vector<std::vector<Time>> rows;
+  /// True if any row's search was truncated by its config budget.
+  bool truncated{false};
+};
+
+/// The automaton side of a batched acceptance query: which nodes start
+/// and accept, when reading starts, and the search knobs (mirrors
+/// core::AcceptOptions; kept as plain tvg types so the engine stays
+/// below the core layer).
+struct AcceptSpec {
+  std::vector<NodeId> initial;
+  std::vector<NodeId> accepting;
+  Time start_time{0};
+  Policy policy{Policy::no_wait()};
+  Time horizon{kTimeInfinity};
+  /// Exploration cap for the WHOLE batch (the shared search is the
+  /// point of batching). Callers needing per-word budget semantics
+  /// re-run truncated words alone — see TvgAutomaton::accepts_batch.
+  std::size_t max_configs{1 << 20};
+  /// Departures enumerated per edge under Wait when ζ is not affine
+  /// (affine ζ needs only the earliest — arrival is monotone there).
+  std::size_t departures_per_edge{16};
+};
+
+/// Per-word outcome of a batched acceptance query.
+struct AcceptOutcome {
+  bool accepted{false};
+  /// True if the shared config budget stopped the batch before this word
+  /// was accepted: `accepted == false` is then "not found within budget".
+  bool truncated{false};
+  /// Configurations explored by the whole batch (shared across words —
+  /// that sharing is the point of batching).
+  std::size_t configs_explored{0};
+  /// A feasible witness journey when accepted.
+  std::optional<Journey> witness;
+};
+
+/// The engine. See the header comment for the API and the guarantees.
+class QueryEngine {
+ public:
+  /// Freezes `g`'s compiled index + CSR adjacency and readies the
+  /// workspace pool. `default_threads` = 0 picks the hardware
+  /// concurrency; batch entry points use it when their query says 0.
+  explicit QueryEngine(const TimeVaryingGraph& g, unsigned default_threads = 0);
+  ~QueryEngine();
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  [[nodiscard]] const TimeVaryingGraph& graph() const noexcept { return g_; }
+  [[nodiscard]] unsigned default_threads() const noexcept {
+    return default_threads_;
+  }
+
+  /// Executes one journey query on a leased workspace.
+  [[nodiscard]] JourneyResult run(const JourneyQuery& q) const;
+
+  /// Executes a batch of independent journey queries, sharded across
+  /// `threads` workers (0 = engine default). Results are in request
+  /// order and identical to running each query alone.
+  [[nodiscard]] std::vector<JourneyResult> run(
+      std::span<const JourneyQuery> queries, unsigned threads = 0) const;
+
+  /// Multi-source foremost closure; see ClosureQuery / ClosureResult.
+  [[nodiscard]] ClosureResult closure(const ClosureQuery& q) const;
+
+  /// Batched TVG-automaton acceptance over the compiled index: the words
+  /// are compiled into a trie and all of them are decided in ONE
+  /// configuration search over (node, time, trie-position), so shared
+  /// prefixes are explored once for the whole batch. Outcomes are in
+  /// word order; duplicate words get identical outcomes.
+  [[nodiscard]] std::vector<AcceptOutcome> accepts(
+      const AcceptSpec& spec, std::span<const Word> words) const;
+
+ private:
+  /// RAII lease of a pooled workspace (returned on destruction).
+  class Lease {
+   public:
+    Lease(const QueryEngine& engine, std::unique_ptr<SearchWorkspace> ws)
+        : engine_(engine), ws_(std::move(ws)) {}
+    ~Lease();
+    Lease(Lease&&) noexcept = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    [[nodiscard]] SearchWorkspace& operator*() noexcept { return *ws_; }
+
+   private:
+    const QueryEngine& engine_;
+    std::unique_ptr<SearchWorkspace> ws_;
+  };
+  [[nodiscard]] Lease lease() const;
+
+  [[nodiscard]] JourneyResult run_on(const JourneyQuery& q,
+                                     SearchWorkspace& ws) const;
+
+  /// Runs fn(index, workspace) for index in [0, n), sharded over
+  /// `threads` workers each holding one leased workspace. Rethrows the
+  /// first worker exception after joining.
+  template <typename Fn>
+  void parallel_for(std::size_t n, unsigned threads, Fn&& fn) const;
+
+  const TimeVaryingGraph& g_;
+  unsigned default_threads_;
+  mutable std::mutex pool_mu_;
+  mutable std::vector<std::unique_ptr<SearchWorkspace>> pool_;
+};
+
+}  // namespace tvg

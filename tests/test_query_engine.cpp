@@ -1,0 +1,315 @@
+// Property tests for tvg::QueryEngine, the batched / thread-parallel
+// query façade:
+//  * closure() at 1, 2, and 8 threads is bit-identical to the serial
+//    temporal_closure on randomized semi-periodic and edge-Markovian
+//    graphs (the determinism guarantee the parallel sharding makes);
+//  * run() agrees with the single-query free functions on every
+//    objective, one at a time and in threaded batches;
+//  * batched accepts() agrees word-for-word with per-word acceptance
+//    across policies on randomized graphs (trie sharing is a pure
+//    optimization, never a semantic change);
+//  * budget truncation and bad-argument guards behave.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/tvg_automaton.hpp"
+#include "tvg/algorithms.hpp"
+#include "tvg/generators.hpp"
+#include "tvg/query_engine.hpp"
+
+namespace {
+
+using namespace tvg;
+
+std::vector<Word> all_words_up_to(const std::string& alphabet,
+                                  std::size_t max_len) {
+  std::vector<Word> words{Word{}};
+  std::vector<Word> frontier{Word{}};
+  for (std::size_t len = 1; len <= max_len; ++len) {
+    std::vector<Word> next;
+    for (const Word& w : frontier) {
+      for (const Symbol c : alphabet) next.push_back(w + c);
+    }
+    words.insert(words.end(), next.begin(), next.end());
+    frontier = std::move(next);
+  }
+  return words;
+}
+
+TEST(QueryEngineClosure, ParallelRowsBitIdenticalToSerialOnPeriodic) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    RandomPeriodicParams params;
+    params.nodes = 14;
+    params.edges = 40;
+    params.period = 12;
+    params.seed = seed;
+    const TimeVaryingGraph g = make_random_periodic(params);
+    for (const Policy policy :
+         {Policy::no_wait(), Policy::bounded_wait(3), Policy::wait()}) {
+      const SearchLimits limits = SearchLimits::up_to(200);
+      const auto serial = temporal_closure(g, 0, policy, limits);
+      QueryEngine engine(g);
+      for (const unsigned threads : {1u, 2u, 8u}) {
+        ClosureQuery q;
+        q.policy = policy;
+        q.limits = limits;
+        q.threads = threads;
+        const ClosureResult result = engine.closure(q);
+        ASSERT_EQ(result.rows, serial)
+            << "seed=" << seed << " policy=" << policy.to_string()
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(QueryEngineClosure, ParallelRowsBitIdenticalToSerialOnMarkovian) {
+  EdgeMarkovianParams params;
+  params.nodes = 48;
+  params.initial_on = 1.0 / 48;
+  params.p_birth = 0.02;
+  params.p_death = 0.5;
+  params.horizon = 64;
+  params.seed = 9;
+  const TimeVaryingGraph g = make_edge_markovian(params);
+  const SearchLimits limits = SearchLimits::up_to(120);
+  const auto serial = temporal_closure(g, 0, Policy::wait(), limits);
+  QueryEngine engine(g);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ClosureQuery q;
+    q.limits = limits;
+    q.threads = threads;
+    EXPECT_EQ(engine.closure(q).rows, serial) << "threads=" << threads;
+  }
+}
+
+TEST(QueryEngineClosure, ExplicitSourceSubsetAndOrder) {
+  RandomPeriodicParams params;
+  params.nodes = 8;
+  params.seed = 3;
+  const TimeVaryingGraph g = make_random_periodic(params);
+  QueryEngine engine(g);
+  ClosureQuery q;
+  q.sources = {5, 1, 5};  // order preserved, duplicates allowed
+  q.limits = SearchLimits::up_to(100);
+  const ClosureResult result = engine.closure(q);
+  ASSERT_EQ(result.rows.size(), 3u);
+  const auto full = temporal_closure(g, 0, Policy::wait(), q.limits);
+  EXPECT_EQ(result.rows[0], full[5]);
+  EXPECT_EQ(result.rows[1], full[1]);
+  EXPECT_EQ(result.rows[2], full[5]);
+}
+
+TEST(QueryEngineRun, AgreesWithFreeFunctionsOnEveryObjective) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    RandomScheduledParams params;
+    params.nodes = 7;
+    params.edges = 18;
+    params.horizon = 40;
+    params.seed = seed;
+    const TimeVaryingGraph g = make_random_scheduled(params);
+    const SearchLimits limits = SearchLimits::up_to(80);
+    QueryEngine engine(g);
+    for (const Policy policy :
+         {Policy::no_wait(), Policy::bounded_wait(4), Policy::wait()}) {
+      for (NodeId target = 1; target < g.node_count(); ++target) {
+        const auto fj =
+            foremost_journey(g, 0, target, 0, policy, limits);
+        const JourneyResult fr = engine.run(
+            JourneyQuery::foremost(0, 0).to(target).under(policy).within(
+                limits));
+        EXPECT_EQ(fr.journey, fj) << "seed=" << seed << " t=" << target;
+
+        const auto sj = shortest_journey(g, 0, target, 0, policy, limits);
+        const JourneyResult sr = engine.run(
+            JourneyQuery::shortest(0, target, 0).under(policy).within(
+                limits));
+        EXPECT_EQ(sr.journey, sj) << "seed=" << seed << " t=" << target;
+
+        const auto qj =
+            fastest_journey(g, 0, target, 0, 30, policy, limits);
+        const JourneyResult qr = engine.run(
+            JourneyQuery::fastest(0, target, 0, 30).under(policy).within(
+                limits));
+        EXPECT_EQ(qr.journey, qj) << "seed=" << seed << " t=" << target;
+      }
+      // Untargeted foremost returns the full arrival row.
+      const ForemostTree tree = foremost_arrivals(g, 0, 0, policy, limits);
+      const JourneyResult row =
+          engine.run(JourneyQuery::foremost(0, 0).under(policy).within(
+              limits));
+      EXPECT_EQ(row.arrivals, tree.arrival);
+      EXPECT_FALSE(row.journey.has_value());
+    }
+  }
+}
+
+TEST(QueryEngineRun, ThreadedBatchMatchesOneAtATime) {
+  RandomPeriodicParams params;
+  params.nodes = 10;
+  params.edges = 30;
+  params.seed = 11;
+  const TimeVaryingGraph g = make_random_periodic(params);
+  const SearchLimits limits = SearchLimits::up_to(150);
+  QueryEngine engine(g);
+  std::vector<JourneyQuery> queries;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    queries.push_back(
+        JourneyQuery::foremost(u, 0).under(Policy::wait()).within(limits));
+    queries.push_back(JourneyQuery::shortest(u, (u + 3) % g.node_count(), 0)
+                          .under(Policy::bounded_wait(5))
+                          .within(limits));
+  }
+  const auto batched = engine.run(queries, /*threads=*/4);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const JourneyResult solo = engine.run(queries[i]);
+    EXPECT_EQ(batched[i].journey, solo.journey) << i;
+    EXPECT_EQ(batched[i].arrivals, solo.arrivals) << i;
+    EXPECT_EQ(batched[i].arrival, solo.arrival) << i;
+  }
+}
+
+TEST(QueryEngineAccepts, BatchAgreesWithPerWordAcrossPolicies) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    RandomScheduledParams params;
+    params.nodes = 5;
+    params.edges = 12;
+    params.horizon = 30;
+    params.seed = seed;
+    TimeVaryingGraph g = make_random_scheduled(params);
+    core::TvgAutomaton a(std::move(g), 0);
+    a.set_initial(0);
+    a.set_accepting(1);
+    a.set_accepting(2);
+    core::AcceptOptions opt;
+    opt.horizon = 80;
+    const auto words = all_words_up_to("ab", 4);
+    for (const Policy policy :
+         {Policy::no_wait(), Policy::bounded_wait(2), Policy::wait()}) {
+      const auto batch = a.accepts_batch(words, policy, opt);
+      ASSERT_EQ(batch.size(), words.size());
+      for (std::size_t i = 0; i < words.size(); ++i) {
+        const auto solo = a.accepts(words[i], policy, opt);
+        EXPECT_EQ(batch[i].accepted, solo.accepted)
+            << "seed=" << seed << " policy=" << policy.to_string()
+            << " w='" << words[i] << "'";
+        if (batch[i].accepted) {
+          ASSERT_TRUE(batch[i].witness.has_value());
+          EXPECT_TRUE(
+              validate_journey(a.graph(), *batch[i].witness, policy).ok)
+              << "w='" << words[i] << "'";
+          EXPECT_EQ(batch[i].witness->word(a.graph()), words[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(QueryEngineAccepts, DuplicateWordsGetIdenticalOutcomes) {
+  TimeVaryingGraph g;
+  const NodeId u = g.add_node();
+  const NodeId v = g.add_node();
+  g.add_edge(u, v, 'a', Presence::always(), Latency::constant(1));
+  QueryEngine engine(g);
+  AcceptSpec spec;
+  spec.initial = {u};
+  spec.accepting = {v};
+  spec.policy = Policy::no_wait();
+  const std::vector<Word> words{"a", "aa", "a"};
+  const auto outcomes = engine.accepts(spec, words);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].accepted);
+  EXPECT_FALSE(outcomes[1].accepted);
+  EXPECT_TRUE(outcomes[2].accepted);
+  EXPECT_EQ(outcomes[0].witness, outcomes[2].witness);
+}
+
+TEST(QueryEngineAccepts, SharedBudgetReportsTruncationPerWord) {
+  TimeVaryingGraph g;
+  g.add_nodes(3);
+  for (NodeId u = 0; u < 3; ++u) {
+    for (NodeId v = 0; v < 3; ++v) {
+      g.add_edge(u, v, 'a', Presence::always(), Latency::constant(1));
+    }
+  }
+  QueryEngine engine(g);
+  AcceptSpec spec;
+  spec.initial = {0};
+  spec.accepting = {2};
+  spec.policy = Policy::bounded_wait(5);
+  spec.max_configs = 2;
+  const std::vector<Word> words{"aaaa", "a"};
+  const auto outcomes = engine.accepts(spec, words);
+  // "a" resolves off the very first expansions; "aaaa" hits the budget.
+  EXPECT_TRUE(outcomes[1].accepted);
+  EXPECT_FALSE(outcomes[1].truncated);
+  EXPECT_FALSE(outcomes[0].accepted);
+  EXPECT_TRUE(outcomes[0].truncated);
+}
+
+TEST(QueryEngineAccepts, BatchTruncationFallsBackToPerWordBudget) {
+  // Two disjoint-prefix words whose combined batch search exceeds a
+  // budget each word fits in alone: the shared-budget batch truncates,
+  // and TvgAutomaton::accepts_batch must still agree with per-word
+  // accepts() by re-deciding the truncated words solo.
+  TimeVaryingGraph g;
+  const NodeId n0 = g.add_node();
+  std::vector<NodeId> chain{n0};
+  for (int i = 0; i < 4; ++i) chain.push_back(g.add_node());
+  for (int i = 0; i < 4; ++i) {
+    g.add_edge(chain[i], chain[i + 1], 'a', Presence::always(),
+               Latency::constant(1));
+    g.add_edge(chain[i], chain[i + 1], 'b', Presence::always(),
+               Latency::constant(1));
+  }
+  core::TvgAutomaton a(std::move(g), 0);
+  a.set_initial(0);
+  a.set_accepting(chain.back());
+  core::AcceptOptions opt;
+  opt.max_configs = 6;  // one word's chain fits; the two-branch batch won't
+  const std::vector<Word> words{"aaaa", "bbbb"};
+  for (const Word& w : words) {
+    ASSERT_TRUE(a.accepts(w, Policy::no_wait(), opt).accepted) << w;
+  }
+  const auto batch = a.accepts_batch(words, Policy::no_wait(), opt);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    EXPECT_TRUE(batch[i].accepted) << words[i];
+    EXPECT_FALSE(batch[i].truncated) << words[i];
+  }
+}
+
+TEST(QueryEngine, GuardsBadArguments) {
+  TimeVaryingGraph g;
+  g.add_nodes(2);
+  g.add_static_edge(0, 1, 'a');
+  QueryEngine engine(g);
+  EXPECT_THROW((void)engine.run(JourneyQuery::foremost(7, 0)),
+               std::out_of_range);
+  EXPECT_THROW((void)engine.run(JourneyQuery::foremost(0, 0).to(9)),
+               std::out_of_range);
+  JourneyQuery shortest_without_target = JourneyQuery::shortest(0, 1, 0);
+  shortest_without_target.target.reset();
+  EXPECT_THROW((void)engine.run(shortest_without_target),
+               std::invalid_argument);
+  ClosureQuery bad_closure;
+  bad_closure.sources = {5};
+  EXPECT_THROW((void)engine.closure(bad_closure), std::out_of_range);
+  AcceptSpec bad_spec;
+  bad_spec.initial = {9};
+  const std::vector<Word> words{"a"};
+  EXPECT_THROW((void)engine.accepts(bad_spec, words), std::out_of_range);
+}
+
+TEST(QueryEngine, EmptyGraphAndEmptyBatches) {
+  TimeVaryingGraph g;
+  QueryEngine engine(g);
+  EXPECT_TRUE(engine.closure(ClosureQuery{}).rows.empty());
+  EXPECT_TRUE(engine.run(std::span<const JourneyQuery>{}).empty());
+  AcceptSpec spec;
+  EXPECT_TRUE(engine.accepts(spec, std::span<const Word>{}).empty());
+}
+
+}  // namespace
