@@ -179,7 +179,10 @@ BENCHMARK(BM_ClosureSerial)->Arg(128);
 // machine's core count — on a single-core host it stays ~1x.
 void BM_ClosureEngine(benchmark::State& state) {
   const TimeVaryingGraph g = make_workload(128, 1, 0.15);
-  QueryEngine engine(g);
+  // Cache off: the closure key excludes the threads knob, so the default
+  // cache would serve every iteration (and every Arg) from the first
+  // run's rows — this bench must keep measuring the sharded closure.
+  QueryEngine engine(g, 0, CacheConfig::disabled());
   ClosureQuery q;
   q.limits.horizon = 120;
   q.threads = static_cast<unsigned>(state.range(0));

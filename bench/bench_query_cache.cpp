@@ -1,0 +1,218 @@
+// Engine-level result cache under a skewed repeated-query workload: the
+// serving regime the ROADMAP's (query → result) cache targets. A pool of
+// K distinct journey queries is replayed in Zipf(1.0) order (rank r is
+// drawn with probability ∝ 1/r — a few hot queries dominate, a long tail
+// stays cold), through one QueryEngine with its cache on or off.
+//
+// The cache knob is env-driven so the SAME benchmark names can be merged
+// into a before/after BENCH_query_cache.json by merge_bench_json.py:
+//
+//   TVG_BENCH_CACHE=0 TVG_BENCH_JSON=/tmp/uncached.json ./bench_query_cache
+//   TVG_BENCH_CACHE=1 TVG_BENCH_JSON=/tmp/cached.json   ./bench_query_cache
+//   scripts/merge_bench_json.py /tmp/uncached.json /tmp/cached.json
+//       BENCH_query_cache.json --bench bench_query_cache
+//       --note "before = cache-disabled engine, after = default CacheConfig"
+//   (one shell line; wrapped here for the comment width)
+//
+// The reproduction table after the timing loops cross-checks the same
+// ratio in-process (both engines, one binary) and prints the hit/miss/
+// eviction counters, so a single run shows the speedup too.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string_view>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "tvg/generators.hpp"
+#include "tvg/query_engine.hpp"
+
+namespace {
+
+using namespace tvg;
+
+constexpr std::size_t kStreamLength = 2048;
+
+bool cache_enabled_from_env() {
+  const char* v = std::getenv("TVG_BENCH_CACHE");
+  return v == nullptr || std::string_view(v) != "0";
+}
+
+TimeVaryingGraph make_workload(std::size_t nodes, std::uint64_t seed) {
+  EdgeMarkovianParams params;
+  params.nodes = nodes;
+  params.initial_on = 1.0 / static_cast<double>(nodes);
+  params.p_birth = 1.0 / (8.0 * static_cast<double>(nodes));
+  params.p_death = 0.6;
+  params.horizon = 64;
+  params.seed = seed;
+  return make_edge_markovian(params);
+}
+
+/// K distinct journey queries mixing all objectives, targeted and
+/// untargeted, across sources / start times / policies.
+std::vector<JourneyQuery> make_query_pool(const TimeVaryingGraph& g,
+                                          std::size_t k) {
+  std::vector<JourneyQuery> pool;
+  pool.reserve(k);
+  std::mt19937_64 rng(7);
+  const SearchLimits limits = SearchLimits::up_to(120);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto src = static_cast<NodeId>(rng() % g.node_count());
+    const auto dst = static_cast<NodeId>(rng() % g.node_count());
+    const Time t0 = static_cast<Time>(rng() % 8);
+    const Policy policy = (i % 3 == 0) ? Policy::wait()
+                          : (i % 3 == 1)
+                              ? Policy::bounded_wait(static_cast<Time>(i % 6))
+                              : Policy::no_wait();
+    JourneyQuery q = (i % 4 == 0) ? JourneyQuery::foremost(src, t0)
+                     : (i % 4 == 1)
+                         ? JourneyQuery::foremost(src, t0).to(dst)
+                     : (i % 4 == 2)
+                         ? JourneyQuery::shortest(src, dst, t0)
+                         : JourneyQuery::fastest(src, dst, t0, t0 + 30);
+    pool.push_back(q.under(policy).within(limits));
+  }
+  return pool;
+}
+
+/// `n` pool indices drawn Zipf(s)-distributed over ranks 1..k.
+std::vector<std::size_t> zipf_order(std::size_t k, std::size_t n, double s,
+                                    std::uint64_t seed) {
+  std::vector<double> cdf(k);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < k; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf[r] = sum;
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uniform(0.0, sum);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = uniform(rng);
+    order[i] = static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (order[i] >= k) order[i] = k - 1;
+  }
+  return order;
+}
+
+/// One pass over the Zipf stream, single queries. The env knob picks the
+/// engine (cache on/off) so the same name benches both configurations.
+void BM_ZipfQueryMix(benchmark::State& state) {
+  const auto distinct = static_cast<std::size_t>(state.range(0));
+  const bool cache_on = cache_enabled_from_env();
+  const TimeVaryingGraph g = make_workload(64, 1);
+  const QueryEngine engine(
+      g, 1, cache_on ? CacheConfig{} : CacheConfig::disabled());
+  const auto pool = make_query_pool(g, distinct);
+  const auto order = zipf_order(distinct, kStreamLength, 1.0, 42);
+  for (const std::size_t i : order) {  // steady-state: warm the cache
+    benchmark::DoNotOptimize(engine.run(pool[i]).arrival);
+  }
+  for (auto _ : state) {
+    for (const std::size_t i : order) {
+      benchmark::DoNotOptimize(engine.run(pool[i]).arrival);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(order.size()));
+  const CacheStats stats = engine.cache_stats();
+  state.counters["distinct"] = static_cast<double>(distinct);
+  state.counters["cache"] = cache_on ? 1 : 0;
+  state.counters["hit_rate"] =
+      stats.hits + stats.misses == 0
+          ? 0.0
+          : static_cast<double>(stats.hits) /
+                static_cast<double>(stats.hits + stats.misses);
+}
+BENCHMARK(BM_ZipfQueryMix)->Arg(64)->Arg(256);
+
+/// Same stream, issued as batches of 256 through run(span) on one
+/// thread: the cached batch path serves hits up front and shards only
+/// the misses.
+void BM_ZipfBatchMix(benchmark::State& state) {
+  const auto distinct = static_cast<std::size_t>(state.range(0));
+  const bool cache_on = cache_enabled_from_env();
+  const TimeVaryingGraph g = make_workload(64, 1);
+  const QueryEngine engine(
+      g, 1, cache_on ? CacheConfig{} : CacheConfig::disabled());
+  const auto pool = make_query_pool(g, distinct);
+  const auto order = zipf_order(distinct, kStreamLength, 1.0, 43);
+  std::vector<JourneyQuery> batch;
+  batch.reserve(256);
+  for (auto _ : state) {
+    for (std::size_t at = 0; at < order.size(); at += 256) {
+      batch.clear();
+      for (std::size_t i = at; i < std::min(at + 256, order.size()); ++i) {
+        batch.push_back(pool[order[i]]);
+      }
+      benchmark::DoNotOptimize(engine.run(batch, /*threads=*/1).size());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(order.size()));
+  state.counters["distinct"] = static_cast<double>(distinct);
+  state.counters["cache"] = cache_on ? 1 : 0;
+}
+BENCHMARK(BM_ZipfBatchMix)->Arg(64)->Arg(256);
+
+void print_reproduction() {
+  std::printf("=== Result cache on a Zipf(1.0) journey-query mix "
+              "(64-node edge-Markovian graph, stream of %zu) ===\n",
+              kStreamLength);
+  std::printf("%-9s %-12s %-12s %-9s %-9s %-7s %-7s %-6s\n", "distinct",
+              "uncached/s", "cached/s", "speedup", "hit_rate", "hits",
+              "misses", "evict");
+  const TimeVaryingGraph g = make_workload(64, 1);
+  for (const std::size_t distinct : {64u, 256u, 1024u}) {
+    const auto pool = make_query_pool(g, distinct);
+    const auto order = zipf_order(distinct, kStreamLength, 1.0, 42);
+    const QueryEngine uncached(g, 1, CacheConfig::disabled());
+    const QueryEngine cached(g, 1, CacheConfig{});
+    auto time_stream = [&](const QueryEngine& engine, int passes) {
+      const auto start = std::chrono::steady_clock::now();
+      for (int p = 0; p < passes; ++p) {
+        for (const std::size_t i : order) {
+          benchmark::DoNotOptimize(engine.run(pool[i]).arrival);
+        }
+      }
+      const auto elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+      return static_cast<double>(passes * order.size()) / elapsed;
+    };
+    const double uncached_rate = time_stream(uncached, 2);
+    (void)time_stream(cached, 1);  // warm
+    const double cached_rate = time_stream(cached, 4);
+    const CacheStats stats = cached.cache_stats();
+    const double hit_rate =
+        static_cast<double>(stats.hits) /
+        static_cast<double>(stats.hits + stats.misses);
+    std::printf("%-9zu %-12.0f %-12.0f %-9.1f %-9.2f %-7llu %-7llu %-6llu\n",
+                distinct, uncached_rate, cached_rate,
+                cached_rate / uncached_rate, hit_rate,
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.evictions));
+  }
+  std::printf("(queries/sec; default CacheConfig: 1024 entries, 8 shards. "
+              "The hit rate is the Zipf head: misses are the cold tail of "
+              "the pool that the %zu-draw stream actually reaches.)\n",
+              kStreamLength);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Timing loops first, tables after (see bench_report.hpp).
+  const int rc = tvg::benchsupport::run_benchmarks_with_json(
+      argc, argv, "BENCH_query_cache.json");
+  if (rc != 0) return rc;
+  print_reproduction();
+  return 0;
+}

@@ -98,7 +98,18 @@ void TvgAutomaton::set_accepting(NodeId v, bool accepting) {
 }
 
 const QueryEngine& TvgAutomaton::engine() const {
-  if (!engine_) engine_ = std::make_unique<QueryEngine>(graph_);
+  // Cache-disabled on purpose: enumerate_language / language_census
+  // stream never-repeating frontier batches through this engine (each
+  // would be cached once and never hit, retaining arbitrarily large
+  // outcome snapshots), and the acceptance benches time repeated
+  // identical accepts() calls — a result cache here would make them
+  // measure hits instead of the search kernel. Callers who want
+  // memoized serving construct a QueryEngine directly (cache on by
+  // default there).
+  if (!engine_) {
+    engine_ = std::make_unique<QueryEngine>(graph_, 0,
+                                            CacheConfig::disabled());
+  }
   return *engine_;
 }
 

@@ -99,6 +99,7 @@ void for_each_departure(const ScheduleIndex& sx, EdgeId eid, Time t,
       // latency, but NOT for general latencies. We still enumerate just
       // the earliest here; general-latency exactness is the business of
       // the TvgAutomaton search (core/), which enumerates all departures.
+      if (t == kTimeInfinity) return;  // sentinel: never ready
       const Time dep = sx.next_present(eid, t);
       if (dep != kTimeInfinity && dep <= horizon) fn(dep);
       return;
@@ -110,10 +111,11 @@ void for_each_departure(const ScheduleIndex& sx, EdgeId eid, Time t,
       // out of events or `fn` cutting the enumeration off. The cursor
       // makes the walk over the window's presence events amortized-O(1)
       // per event.
+      if (t == kTimeInfinity) return;  // sentinel: never ready
       const Time last = std::min(policy.max_departure(t), horizon);
       ScheduleIndex::EventCursor cursor;
       Time at = t;
-      while (at <= last) {
+      while (at <= last && at != kTimeInfinity) {
         const Time dep = sx.next_present(eid, at, cursor);
         if (dep == kTimeInfinity || dep > last) return;
         if (!fn(dep)) return;
@@ -626,7 +628,7 @@ std::vector<std::vector<Time>> temporal_closure(const TimeVaryingGraph& g,
   // Thin serial wrapper over the engine: one worker, all sources. The
   // engine's parallel form produces bit-identical rows (each row is
   // written only by the worker that ran its source).
-  QueryEngine engine(g, /*default_threads=*/1);
+  QueryEngine engine(g, /*default_threads=*/1, CacheConfig::disabled());
   ClosureQuery q;
   q.start_time = start_time;
   q.policy = policy;
@@ -638,7 +640,7 @@ std::vector<std::vector<Time>> temporal_closure(const TimeVaryingGraph& g,
 bool temporally_connected(const TimeVaryingGraph& g, Time start_time,
                           Policy policy, SearchLimits limits) {
   // Row-at-a-time engine queries so a disconnected source exits early.
-  QueryEngine engine(g, /*default_threads=*/1);
+  QueryEngine engine(g, /*default_threads=*/1, CacheConfig::disabled());
   for (NodeId u = 0; u < g.node_count(); ++u) {
     const JourneyResult row = engine.run(
         JourneyQuery::foremost(u, start_time).under(policy).within(limits));
@@ -652,7 +654,7 @@ bool temporally_connected(const TimeVaryingGraph& g, Time start_time,
 std::optional<Time> temporal_diameter(const TimeVaryingGraph& g,
                                       Time start_time, Policy policy,
                                       SearchLimits limits) {
-  QueryEngine engine(g, /*default_threads=*/1);
+  QueryEngine engine(g, /*default_threads=*/1, CacheConfig::disabled());
   Time diameter = 0;
   for (NodeId u = 0; u < g.node_count(); ++u) {
     const JourneyResult row = engine.run(

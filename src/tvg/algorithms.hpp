@@ -31,12 +31,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "tvg/graph.hpp"
+#include "tvg/hashing.hpp"
 #include "tvg/journey.hpp"
 #include "tvg/policy.hpp"
 
@@ -81,6 +83,9 @@ struct SearchLimits {
     limits.horizon = horizon;
     return limits;
   }
+
+  friend constexpr bool operator==(const SearchLimits&,
+                                   const SearchLimits&) = default;
 };
 
 /// Result of a single-source foremost computation, with enough witness
@@ -221,3 +226,17 @@ struct FastestJourneyResult {
                                                     SearchLimits limits = {});
 
 }  // namespace tvg
+
+/// Hashing consistent with SearchLimits::operator== (all three knobs);
+/// feeds the query cache's composite keys.
+template <>
+struct std::hash<tvg::SearchLimits> {
+  [[nodiscard]] std::size_t operator()(
+      const tvg::SearchLimits& l) const noexcept {
+    std::uint64_t h = tvg::hash_mix(tvg::kHashSeed,
+                                    static_cast<std::uint64_t>(l.horizon));
+    h = tvg::hash_mix(h, static_cast<std::uint64_t>(l.max_configs));
+    h = tvg::hash_mix(h, static_cast<std::uint64_t>(l.max_fastest_candidates));
+    return static_cast<std::size_t>(h);
+  }
+};

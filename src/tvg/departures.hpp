@@ -38,10 +38,14 @@ void for_each_policy_departure(const ScheduleIndex& sx, EdgeId eid, Time t,
       return;
     }
     case WaitingPolicy::kBoundedWait: {
+      // An infinite ready time admits no departure: max_departure
+      // saturates to kTimeInfinity there, which would degenerate the
+      // window check and feed the sentinel into next_present.
+      if (t == kTimeInfinity) return;
       const Time last = std::min(policy.max_departure(t), horizon);
       ScheduleIndex::EventCursor cursor;
       Time at = t;
-      while (at <= last) {
+      while (at <= last && at != kTimeInfinity) {
         const Time dep = sx.next_present(eid, at, cursor);
         if (dep == kTimeInfinity || dep > last) return;
         if (!fn(dep)) return;
@@ -51,9 +55,11 @@ void for_each_policy_departure(const ScheduleIndex& sx, EdgeId eid, Time t,
       return;
     }
     case WaitingPolicy::kWait: {
+      if (t == kTimeInfinity) return;  // see the bounded-wait note
       ScheduleIndex::EventCursor cursor;
       Time at = t;
       for (std::size_t k = 0; k < wait_budget; ++k) {
+        if (at == kTimeInfinity) return;
         const Time dep = sx.next_present(eid, at, cursor);
         if (dep == kTimeInfinity || dep > horizon) return;
         if (!fn(dep)) return;

@@ -1,0 +1,30 @@
+// Hashing helpers shared by the query-cache key machinery and the
+// std::hash specializations on the request value types (Policy,
+// SearchLimits, JourneyQuery, ClosureQuery, AcceptSpec).
+//
+// hash_mix is an xor-multiply step followed by the splitmix64 finalizer:
+// cheap, deterministic across platforms (no pointer or locale state),
+// and with enough diffusion that the result cache can derive its shard
+// choice and its bucket index from the same value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tvg {
+
+inline constexpr std::uint64_t kHashSeed = 0xcbf29ce484222325ull;
+
+/// Mixes one 64-bit word into a running hash.
+[[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t h,
+                                               std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace tvg

@@ -105,7 +105,7 @@ std::optional<double> characteristic_temporal_distance(
     Time horizon) {
   // One engine closure feeds the whole pair sum (the workspace pool
   // plays the role the explicit SearchWorkspace used to).
-  QueryEngine engine(g, /*default_threads=*/1);
+  QueryEngine engine(g, /*default_threads=*/1, CacheConfig::disabled());
   ClosureQuery q;
   q.start_time = start_time;
   q.policy = policy;

@@ -84,7 +84,10 @@ std::optional<Time> Presence::next_present(Time from) const {
     }
     if (sp->pat.empty()) return std::nullopt;
     const Time r = (from - sp->t0) % sp->per;
-    if (auto nr = sp->pat.next_in(r)) return from + (*nr - r);
+    // sat_add: for `from` within a period of kTimeInfinity the hit in
+    // this copy can sit past the representable range; saturating keeps
+    // the "no such time" contract instead of overflowing.
+    if (auto nr = sp->pat.next_in(r)) return sat_add(from, *nr - r);
     // Wrap to the first presence of the next period.
     return sat_add(from, (sp->per - r) + *sp->pat.min());
   }

@@ -5,6 +5,8 @@
 #include <exception>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 
 #include "tvg/departures.hpp"
 #include "tvg/schedule_index.hpp"
@@ -16,7 +18,8 @@ namespace tvg {
 // Construction and the workspace pool
 // ---------------------------------------------------------------------------
 
-QueryEngine::QueryEngine(const TimeVaryingGraph& g, unsigned default_threads)
+QueryEngine::QueryEngine(const TimeVaryingGraph& g, unsigned default_threads,
+                         CacheConfig cache)
     : g_(g), default_threads_(default_threads) {
   if (default_threads_ == 0) {
     default_threads_ = std::max(1u, std::thread::hardware_concurrency());
@@ -26,6 +29,10 @@ QueryEngine::QueryEngine(const TimeVaryingGraph& g, unsigned default_threads)
   // safe to race, and every engine entry point may run on worker threads.
   (void)g_.schedule_index();
   if (g_.node_count() > 0) (void)g_.out_edges(0);
+  if (cache.enabled && cache.capacity > 0) {
+    cache_ = std::make_unique<ResultCache>(cache);
+    generation_ = ResultCache::next_generation();
+  }
 }
 
 QueryEngine::~QueryEngine() = default;
@@ -60,18 +67,27 @@ void QueryEngine::parallel_for(std::size_t n, unsigned threads,
     return;
   }
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
   std::mutex err_mu;
   std::exception_ptr first_error;
   auto worker = [&] {
     Lease ws = lease();
     for (;;) {
+      // Checked in the claim loop: once any worker has failed, the batch
+      // outcome is fixed (the first error is rethrown, results are
+      // discarded), so the remaining workers stop claiming indices
+      // instead of draining the whole range.
+      if (abort.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
         fn(i, *ws);
       } catch (...) {
-        const std::scoped_lock lock(err_mu);
-        if (!first_error) first_error = std::current_exception();
+        {
+          const std::scoped_lock lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
         return;
       }
     }
@@ -127,6 +143,11 @@ JourneyResult QueryEngine::run_on(const JourneyQuery& q,
         throw std::invalid_argument(
             "QueryEngine::run: fastest objective requires a target");
       }
+      if (q.depart_hi < q.start_time) {
+        throw std::invalid_argument(
+            "QueryEngine::run: fastest depart_hi precedes start_time "
+            "(empty departure window)");
+      }
       FastestJourneyResult fastest = fastest_journey_checked(
           g_, q.source, *q.target, q.start_time, q.depart_hi, q.policy,
           q.limits, ws);
@@ -143,6 +164,19 @@ JourneyResult QueryEngine::run_on(const JourneyQuery& q,
 }
 
 JourneyResult QueryEngine::run(const JourneyQuery& q) const {
+  // Only results of successful runs are ever inserted, so a cache hit
+  // can never mask the validation throws in run_on: a query that would
+  // throw has no entry to hit.
+  if (cache_) {
+    const QueryKey key = QueryKey::journey(q);
+    if (const auto hit = cache_->find(key, generation_)) {
+      return *static_cast<const JourneyResult*>(hit.get());
+    }
+    Lease ws = lease();
+    const auto owned = std::make_shared<const JourneyResult>(run_on(q, *ws));
+    cache_->insert(key, generation_, owned);
+    return *owned;
+  }
   Lease ws = lease();
   return run_on(q, *ws);
 }
@@ -150,10 +184,46 @@ JourneyResult QueryEngine::run(const JourneyQuery& q) const {
 std::vector<JourneyResult> QueryEngine::run(
     std::span<const JourneyQuery> queries, unsigned threads) const {
   std::vector<JourneyResult> results(queries.size());
-  parallel_for(queries.size(), threads, [&](std::size_t i,
-                                            SearchWorkspace& ws) {
-    results[i] = run_on(queries[i], ws);
+  if (!cache_) {
+    parallel_for(queries.size(), threads, [&](std::size_t i,
+                                              SearchWorkspace& ws) {
+      results[i] = run_on(queries[i], ws);
+    });
+    return results;
+  }
+  // Serve hits up front, dedupe identical misses (a skewed batch can
+  // repeat one query many times — the search runs once per distinct
+  // key), and shard only the distinct misses across the workers (who
+  // insert as they go — the cache is lock-striped and thread-safe).
+  std::vector<QueryKey> keys(queries.size());
+  std::vector<std::size_t> misses;  // first index per distinct missed key
+  std::vector<std::pair<std::size_t, std::size_t>> dups;  // (follower, lead)
+  std::unordered_map<QueryKey, std::size_t> leaders;
+  misses.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    keys[i] = QueryKey::journey(queries[i]);
+    if (const auto hit = cache_->find(keys[i], generation_)) {
+      results[i] = *static_cast<const JourneyResult*>(hit.get());
+      continue;
+    }
+    const auto [it, inserted] = leaders.try_emplace(keys[i], i);
+    if (inserted) {
+      misses.push_back(i);
+    } else {
+      dups.emplace_back(i, it->second);
+    }
+  }
+  parallel_for(misses.size(), threads, [&](std::size_t k,
+                                           SearchWorkspace& ws) {
+    const std::size_t i = misses[k];
+    const auto owned =
+        std::make_shared<const JourneyResult>(run_on(queries[i], ws));
+    cache_->insert(keys[i], generation_, owned);
+    results[i] = *owned;
   });
+  for (const auto& [follower, lead] : dups) {
+    results[follower] = results[lead];
+  }
   return results;
 }
 
@@ -170,6 +240,16 @@ ClosureResult QueryEngine::closure(const ClosureQuery& q) const {
   for (const NodeId u : sources) {
     if (u >= g_.node_count()) {
       throw std::out_of_range("QueryEngine::closure: source out of range");
+    }
+  }
+  // Keyed on the materialized source list (so the implicit "all nodes"
+  // spelling shares an entry with the explicit one) and without the
+  // threads knob (rows are bit-identical at any thread count).
+  QueryKey key;
+  if (cache_) {
+    key = QueryKey::closure(q, sources);
+    if (const auto hit = cache_->find(key, generation_)) {
+      return *static_cast<const ClosureResult*>(hit.get());
     }
   }
   ClosureResult result;
@@ -189,6 +269,12 @@ ClosureResult QueryEngine::closure(const ClosureQuery& q) const {
       std::any_of(truncated.begin(), truncated.end(), [](char c) {
         return c != 0;
       });
+  if (cache_) {
+    const auto owned =
+        std::make_shared<const ClosureResult>(std::move(result));
+    cache_->insert(key, generation_, owned);
+    return *owned;
+  }
   return result;
 }
 
@@ -284,20 +370,32 @@ struct BatchConfig {
 
 std::vector<AcceptOutcome> QueryEngine::accepts(
     const AcceptSpec& spec, std::span<const Word> words) const {
-  std::vector<AcceptOutcome> outcomes(words.size());
   for (const NodeId v : spec.initial) {
     if (v >= g_.node_count()) {
       throw std::out_of_range("QueryEngine::accepts: initial out of range");
     }
   }
-  std::vector<char> accepting(g_.node_count(), 0);
   for (const NodeId v : spec.accepting) {
     if (v >= g_.node_count()) {
       throw std::out_of_range("QueryEngine::accepts: accepting out of range");
     }
-    accepting[v] = 1;
   }
 
+  // Key = spec + exact word sequence (outcomes are positional). Checked
+  // right after validation so a hit pays no search setup (no accepting
+  // bitmap, no trie).
+  QueryKey key;
+  if (cache_) {
+    key = QueryKey::accept(spec, words);
+    if (const auto hit = cache_->find(key, generation_)) {
+      return *static_cast<const std::vector<AcceptOutcome>*>(hit.get());
+    }
+  }
+
+  std::vector<char> accepting(g_.node_count(), 0);
+  for (const NodeId v : spec.accepting) accepting[v] = 1;
+
+  std::vector<AcceptOutcome> outcomes(words.size());
   WordTrie trie(words);
   const ScheduleIndex& sx = g_.schedule_index();
   std::vector<BatchConfig> configs;
@@ -380,6 +478,12 @@ std::vector<AcceptOutcome> QueryEngine::accepts(
   for (std::size_t w = 0; w < outcomes.size(); ++w) {
     outcomes[w].configs_explored = configs.size();
     if (!outcomes[w].accepted) outcomes[w].truncated = truncated;
+  }
+  if (cache_) {
+    const auto owned = std::make_shared<const std::vector<AcceptOutcome>>(
+        std::move(outcomes));
+    cache_->insert(key, generation_, owned);
+    return *owned;
   }
   return outcomes;
 }

@@ -26,16 +26,22 @@
 //    engine and must not be mutated while the engine exists (mutation
 //    invalidates the compiled index the engine holds);
 //  * all entry points are const and safe to call concurrently from any
-//    number of threads — the workspace pool is the only shared mutable
-//    state and it is lock-protected;
+//    number of threads — the workspace pool and the result cache are the
+//    only shared mutable state and both are lock-protected;
 //  * results never alias engine internals (rows and journeys are owned
-//    by the returned value).
+//    by the returned value — including results served from the cache,
+//    which are copied out of the cache's immutable snapshots);
+//  * repeated identical queries are served from a bounded, sharded LRU
+//    result cache (on by default; see CacheConfig / result_cache.hpp) —
+//    semantically invisible because the engine's compiled state is
+//    frozen for its whole lifetime.
 //
 // The pre-engine free functions (foremost_journey, temporal_closure,
 // TvgAutomaton::accepts, ...) remain as thin wrappers over this engine;
 // new code and anything batching more than one query should come here.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -44,8 +50,10 @@
 
 #include "tvg/algorithms.hpp"
 #include "tvg/graph.hpp"
+#include "tvg/hashing.hpp"
 #include "tvg/journey.hpp"
 #include "tvg/policy.hpp"
+#include "tvg/result_cache.hpp"
 
 namespace tvg {
 
@@ -112,6 +120,11 @@ struct JourneyQuery {
     limits = l;
     return *this;
   }
+
+  /// Field-wise equality (with the matching std::hash below): two equal
+  /// queries always produce equal results on one engine, which is what
+  /// lets the engine's result cache treat the query as the key.
+  friend bool operator==(const JourneyQuery&, const JourneyQuery&) = default;
 };
 
 /// Response to a JourneyQuery. Which fields are populated depends on the
@@ -130,6 +143,8 @@ struct JourneyResult {
   /// True when a search/enumeration budget truncated the query: absence
   /// of a journey is then "not found within budget", not a proof.
   bool truncated{false};
+
+  friend bool operator==(const JourneyResult&, const JourneyResult&) = default;
 };
 
 /// Multi-source foremost-closure request (the all-pairs sweep behind
@@ -142,6 +157,10 @@ struct ClosureQuery {
   SearchLimits limits{};
   /// Worker threads for the row shard; 0 = the engine's default.
   unsigned threads{0};
+
+  /// Field-wise equality (includes `threads`; the engine's cache key
+  /// deliberately does NOT — rows are bit-identical at any thread count).
+  friend bool operator==(const ClosureQuery&, const ClosureQuery&) = default;
 };
 
 struct ClosureResult {
@@ -151,6 +170,8 @@ struct ClosureResult {
   std::vector<std::vector<Time>> rows;
   /// True if any row's search was truncated by its config budget.
   bool truncated{false};
+
+  friend bool operator==(const ClosureResult&, const ClosureResult&) = default;
 };
 
 /// The automaton side of a batched acceptance query: which nodes start
@@ -170,6 +191,10 @@ struct AcceptSpec {
   /// Departures enumerated per edge under Wait when ζ is not affine
   /// (affine ζ needs only the earliest — arrival is monotone there).
   std::size_t departures_per_edge{16};
+
+  /// Field-wise equality (with the matching std::hash below); the word
+  /// batch is keyed alongside the spec by the engine's result cache.
+  friend bool operator==(const AcceptSpec&, const AcceptSpec&) = default;
 };
 
 /// Per-word outcome of a batched acceptance query.
@@ -183,6 +208,8 @@ struct AcceptOutcome {
   std::size_t configs_explored{0};
   /// A feasible witness journey when accepted.
   std::optional<Journey> witness;
+
+  friend bool operator==(const AcceptOutcome&, const AcceptOutcome&) = default;
 };
 
 /// The engine. See the header comment for the API and the guarantees.
@@ -191,7 +218,15 @@ class QueryEngine {
   /// Freezes `g`'s compiled index + CSR adjacency and readies the
   /// workspace pool. `default_threads` = 0 picks the hardware
   /// concurrency; batch entry points use it when their query says 0.
-  explicit QueryEngine(const TimeVaryingGraph& g, unsigned default_threads = 0);
+  ///
+  /// `cache` configures the engine-level result cache (see
+  /// result_cache.hpp): on by default and size-bounded, it memoizes
+  /// run/closure/accepts results for repeated identical queries. The
+  /// engine's compiled state is immutable, so a cached hit is always
+  /// equal to a cold run; hits return copies that never alias cache
+  /// internals. Pass CacheConfig::disabled() for one-shot engines.
+  explicit QueryEngine(const TimeVaryingGraph& g, unsigned default_threads = 0,
+                       CacheConfig cache = CacheConfig{});
   ~QueryEngine();
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
@@ -199,6 +234,22 @@ class QueryEngine {
   [[nodiscard]] const TimeVaryingGraph& graph() const noexcept { return g_; }
   [[nodiscard]] unsigned default_threads() const noexcept {
     return default_threads_;
+  }
+
+  /// True when this engine memoizes results (CacheConfig::enabled with a
+  /// nonzero capacity).
+  [[nodiscard]] bool cache_enabled() const noexcept {
+    return cache_ != nullptr;
+  }
+  /// Hit/miss/eviction counters and the live entry count; all zeros when
+  /// the cache is disabled.
+  [[nodiscard]] CacheStats cache_stats() const {
+    return cache_ ? cache_->stats() : CacheStats{};
+  }
+  /// Drops every cached result (counters are kept). Safe concurrently
+  /// with queries.
+  void clear_cache() const {
+    if (cache_) cache_->clear();
   }
 
   /// Executes one journey query on a leased workspace.
@@ -253,6 +304,67 @@ class QueryEngine {
   unsigned default_threads_;
   mutable std::mutex pool_mu_;
   mutable std::vector<std::unique_ptr<SearchWorkspace>> pool_;
+  /// Engine-level result cache (null when disabled) and the generation
+  /// tag stamped into its entries: drawn fresh per engine, so an entry
+  /// can only ever be served by the engine incarnation (and therefore
+  /// the frozen graph) that computed it.
+  std::unique_ptr<ResultCache> cache_;
+  ResultCache::Generation generation_{0};
 };
 
 }  // namespace tvg
+
+// ---------------------------------------------------------------------------
+// Hashing for the query value types, consistent with their field-wise
+// operator== (hash maps, user-side memoization, test cross-checks; the
+// engine's own cache keys flatten through QueryKey, which additionally
+// canonicalizes scheduling-only fields away).
+// ---------------------------------------------------------------------------
+
+template <>
+struct std::hash<tvg::JourneyQuery> {
+  [[nodiscard]] std::size_t operator()(
+      const tvg::JourneyQuery& q) const noexcept {
+    std::uint64_t h = tvg::hash_mix(tvg::kHashSeed,
+                                    static_cast<std::uint64_t>(q.objective));
+    h = tvg::hash_mix(h, q.source);
+    h = tvg::hash_mix(h, q.target.has_value() ? 1 : 0);
+    h = tvg::hash_mix(h, q.target.value_or(0));
+    h = tvg::hash_mix(h, static_cast<std::uint64_t>(q.start_time));
+    h = tvg::hash_mix(h, static_cast<std::uint64_t>(q.depart_hi));
+    h = tvg::hash_mix(h, std::hash<tvg::Policy>{}(q.policy));
+    h = tvg::hash_mix(h, std::hash<tvg::SearchLimits>{}(q.limits));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+template <>
+struct std::hash<tvg::ClosureQuery> {
+  [[nodiscard]] std::size_t operator()(
+      const tvg::ClosureQuery& q) const noexcept {
+    std::uint64_t h = tvg::hash_mix(tvg::kHashSeed, q.sources.size());
+    for (const tvg::NodeId v : q.sources) h = tvg::hash_mix(h, v);
+    h = tvg::hash_mix(h, static_cast<std::uint64_t>(q.start_time));
+    h = tvg::hash_mix(h, std::hash<tvg::Policy>{}(q.policy));
+    h = tvg::hash_mix(h, std::hash<tvg::SearchLimits>{}(q.limits));
+    h = tvg::hash_mix(h, q.threads);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+template <>
+struct std::hash<tvg::AcceptSpec> {
+  [[nodiscard]] std::size_t operator()(
+      const tvg::AcceptSpec& s) const noexcept {
+    std::uint64_t h = tvg::hash_mix(tvg::kHashSeed, s.initial.size());
+    for (const tvg::NodeId v : s.initial) h = tvg::hash_mix(h, v);
+    h = tvg::hash_mix(h, s.accepting.size());
+    for (const tvg::NodeId v : s.accepting) h = tvg::hash_mix(h, v);
+    h = tvg::hash_mix(h, static_cast<std::uint64_t>(s.start_time));
+    h = tvg::hash_mix(h, std::hash<tvg::Policy>{}(s.policy));
+    h = tvg::hash_mix(h, static_cast<std::uint64_t>(s.horizon));
+    h = tvg::hash_mix(h, s.max_configs);
+    h = tvg::hash_mix(h, s.departures_per_edge);
+    return static_cast<std::size_t>(h);
+  }
+};

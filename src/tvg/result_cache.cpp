@@ -1,0 +1,249 @@
+#include "tvg/result_cache.hpp"
+
+#include <atomic>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "tvg/hashing.hpp"
+#include "tvg/query_engine.hpp"
+
+namespace tvg {
+
+// ---------------------------------------------------------------------------
+// QueryKey: canonical flat encodings. Every variable-length field is
+// length-prefixed, so two different requests can never flatten to the
+// same payload; every fixed field is appended unconditionally, so the
+// encoding needs no per-kind disambiguation beyond the leading tag.
+// ---------------------------------------------------------------------------
+
+void QueryKey::append_word(const Word& w) {
+  append(static_cast<std::uint64_t>(w.size()));
+  std::uint64_t packed = 0;
+  unsigned shift = 0;
+  for (const char c : w) {
+    packed |= static_cast<std::uint64_t>(static_cast<unsigned char>(c))
+              << shift;
+    shift += 8;
+    if (shift == 64) {
+      append(packed);
+      packed = 0;
+      shift = 0;
+    }
+  }
+  if (shift != 0) append(packed);
+}
+
+void QueryKey::seal() {
+  std::uint64_t h = kHashSeed;
+  for (const std::uint64_t v : payload_) h = hash_mix(h, v);
+  hash_ = static_cast<std::size_t>(h);
+}
+
+namespace {
+
+/// Policy::bound is only read under kBoundedWait; canonicalizing it to 0
+/// for the other kinds lets hand-built Policy values that differ only in
+/// a stale bound share an entry.
+[[nodiscard]] std::uint64_t canonical_bound(const Policy& p) noexcept {
+  return p.kind == WaitingPolicy::kBoundedWait
+             ? static_cast<std::uint64_t>(p.bound)
+             : 0;
+}
+
+}  // namespace
+
+QueryKey QueryKey::journey(const JourneyQuery& q) {
+  QueryKey k;
+  k.payload_.reserve(13);
+  k.append(static_cast<std::uint64_t>(Kind::kJourney));
+  k.append(static_cast<std::uint64_t>(q.objective));
+  k.append(q.source);
+  k.append(q.target.has_value() ? 1 : 0);
+  k.append(q.target.value_or(0));
+  k.append(static_cast<std::uint64_t>(q.start_time));
+  // depart_hi is semantic only for kFastest; canonicalized away
+  // elsewhere so a stale window bound never splits an entry.
+  k.append(q.objective == JourneyObjective::kFastest
+               ? static_cast<std::uint64_t>(q.depart_hi)
+               : 0);
+  k.append(static_cast<std::uint64_t>(q.policy.kind));
+  k.append(canonical_bound(q.policy));
+  k.append(static_cast<std::uint64_t>(q.limits.horizon));
+  k.append(q.limits.max_configs);
+  k.append(q.limits.max_fastest_candidates);
+  k.seal();
+  return k;
+}
+
+QueryKey QueryKey::closure(const ClosureQuery& q,
+                           std::span<const NodeId> sources) {
+  QueryKey k;
+  k.payload_.reserve(9 + sources.size());
+  k.append(static_cast<std::uint64_t>(Kind::kClosure));
+  k.append(static_cast<std::uint64_t>(q.start_time));
+  k.append(static_cast<std::uint64_t>(q.policy.kind));
+  k.append(canonical_bound(q.policy));
+  k.append(static_cast<std::uint64_t>(q.limits.horizon));
+  k.append(q.limits.max_configs);
+  k.append(q.limits.max_fastest_candidates);
+  // q.threads is scheduling-only (rows are bit-identical at any thread
+  // count) and deliberately left out of the key.
+  k.append(static_cast<std::uint64_t>(sources.size()));
+  for (const NodeId v : sources) k.append(v);
+  k.seal();
+  return k;
+}
+
+QueryKey QueryKey::accept(const AcceptSpec& spec,
+                          std::span<const Word> words) {
+  QueryKey k;
+  std::size_t chars = 0;
+  for (const Word& w : words) chars += w.size() / 8 + 2;
+  k.payload_.reserve(9 + spec.initial.size() + spec.accepting.size() + chars);
+  k.append(static_cast<std::uint64_t>(Kind::kAccept));
+  k.append(static_cast<std::uint64_t>(spec.start_time));
+  k.append(static_cast<std::uint64_t>(spec.policy.kind));
+  k.append(canonical_bound(spec.policy));
+  k.append(static_cast<std::uint64_t>(spec.horizon));
+  k.append(spec.max_configs);
+  k.append(spec.departures_per_edge);
+  k.append(static_cast<std::uint64_t>(spec.initial.size()));
+  for (const NodeId v : spec.initial) k.append(v);
+  k.append(static_cast<std::uint64_t>(spec.accepting.size()));
+  for (const NodeId v : spec.accepting) k.append(v);
+  k.append(static_cast<std::uint64_t>(words.size()));
+  for (const Word& w : words) k.append_word(w);
+  k.seal();
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// The sharded LRU store.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[nodiscard]] std::size_t ceil_pow2(std::size_t v) noexcept {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+[[nodiscard]] std::size_t floor_pow2(std::size_t v) noexcept {
+  while ((v & (v - 1)) != 0) v &= v - 1;
+  return v;
+}
+
+}  // namespace
+
+struct ResultCache::Shard {
+  struct Entry {
+    QueryKey key;
+    Generation generation{0};
+    ValuePtr value;
+  };
+
+  explicit Shard(std::size_t cap) : capacity(cap) {}
+
+  std::mutex mu;
+  std::list<Entry> lru;  // front = most recently used
+  std::unordered_map<QueryKey, std::list<Entry>::iterator> map;
+  std::size_t capacity{1};
+  std::uint64_t hits{0};
+  std::uint64_t misses{0};
+  std::uint64_t evictions{0};
+  std::uint64_t generation_drops{0};
+};
+
+ResultCache::ResultCache(CacheConfig config) {
+  capacity_ = config.enabled ? config.capacity : 0;
+  std::size_t n = ceil_pow2(std::max<std::size_t>(1, config.shards));
+  // Never spread fewer entries than shards: the per-shard capacity floor
+  // of 1 would otherwise let the cache exceed its total budget.
+  if (capacity_ > 0 && n > capacity_) n = floor_pow2(capacity_);
+  const std::size_t per_shard =
+      capacity_ > 0 ? std::max<std::size_t>(1, capacity_ / n) : 0;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(per_shard));
+  }
+}
+
+ResultCache::~ResultCache() = default;
+
+ResultCache::Generation ResultCache::next_generation() noexcept {
+  static std::atomic<Generation> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+ResultCache::Shard& ResultCache::shard_for(const QueryKey& key) noexcept {
+  return *shards_[key.hash() & (shards_.size() - 1)];
+}
+
+ResultCache::ValuePtr ResultCache::find(const QueryKey& key,
+                                        Generation generation) {
+  Shard& s = shard_for(key);
+  const std::scoped_lock lock(s.mu);
+  const auto it = s.map.find(key);
+  if (it == s.map.end()) {
+    ++s.misses;
+    return nullptr;
+  }
+  if (it->second->generation != generation) {
+    s.lru.erase(it->second);
+    s.map.erase(it);
+    ++s.generation_drops;
+    ++s.misses;
+    return nullptr;
+  }
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
+  ++s.hits;
+  return it->second->value;
+}
+
+void ResultCache::insert(const QueryKey& key, Generation generation,
+                         ValuePtr value) {
+  if (key.empty() || value == nullptr) return;
+  Shard& s = shard_for(key);
+  const std::scoped_lock lock(s.mu);
+  if (s.capacity == 0) return;
+  const auto it = s.map.find(key);
+  if (it != s.map.end()) {
+    it->second->generation = generation;
+    it->second->value = std::move(value);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  s.lru.push_front(Shard::Entry{key, generation, std::move(value)});
+  s.map.emplace(key, s.lru.begin());
+  if (s.map.size() > s.capacity) {
+    s.map.erase(s.lru.back().key);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+}
+
+void ResultCache::clear() {
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mu);
+    shard->map.clear();
+    shard->lru.clear();
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mu);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.evictions += shard->evictions;
+    total.generation_drops += shard->generation_drops;
+    total.entries += shard->map.size();
+  }
+  return total;
+}
+
+}  // namespace tvg

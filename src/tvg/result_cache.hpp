@@ -1,0 +1,176 @@
+// tvg::ResultCache — the engine-level (query → result) memoization layer
+// behind QueryEngine's repeated-workload serving.
+//
+// The engine's compiled state is immutable for its whole lifetime, so a
+// query's result is a pure function of the query value; serving a hot,
+// skewed workload (the Zipf-style mixes bench_query_cache measures) can
+// therefore answer repeats from a cache instead of re-running the search
+// kernels. The cache is:
+//
+//  * keyed on a canonical QueryKey: a flat little-endian word encoding of
+//    the request value (journey / closure / acceptance), with vectors
+//    length-prefixed so distinct requests never alias, the closure
+//    source list pre-materialized, and scheduling-only knobs (thread
+//    counts) excluded — two requests that must produce identical results
+//    share one key;
+//  * sharded and lock-striped: the key's hash picks one of N shards, each
+//    an independently locked LRU map, so concurrent hot-key traffic
+//    contends only per shard;
+//  * LRU-bounded: `capacity` entries total (split across shards); an
+//    insert past capacity evicts the shard's least-recently-used entry;
+//  * generation-tagged: every entry carries the Generation of the engine
+//    that produced it, and lookups require an exact match — a rebuilt
+//    engine draws a fresh generation (next_generation()), so an entry
+//    surviving an engine swap (or a future shared cache) can never serve
+//    rows computed against a different frozen graph;
+//  * value-owning: entries hold shared_ptr<const T> snapshots, hits are
+//    copied out by the engine, so cached data never aliases anything a
+//    caller can mutate.
+//
+// Stats (hits / misses / evictions / generation drops / live entries)
+// are aggregated over the shards under their locks — TSan-clean — and
+// exposed through QueryEngine::cache_stats().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "tvg/graph.hpp"
+
+namespace tvg {
+
+struct JourneyQuery;  // query_engine.hpp
+struct ClosureQuery;
+struct AcceptSpec;
+
+/// QueryEngine's caching knob (constructor parameter; default on).
+struct CacheConfig {
+  /// false = the engine keeps no cache at all (every query recomputes).
+  bool enabled{true};
+  /// Maximum cached results, summed over shards (entries, not bytes: a
+  /// closure row block counts as one entry). 0 behaves like disabled.
+  std::size_t capacity{1024};
+  /// Lock stripes; rounded up to a power of two, clamped to >= 1.
+  std::size_t shards{8};
+
+  [[nodiscard]] static CacheConfig disabled() {
+    CacheConfig config;
+    config.enabled = false;
+    return config;
+  }
+};
+
+struct CacheStats {
+  std::uint64_t hits{0};
+  std::uint64_t misses{0};
+  std::uint64_t evictions{0};
+  /// Entries dropped by a generation mismatch (counted as misses too).
+  std::uint64_t generation_drops{0};
+  /// Live entries right now, summed over shards.
+  std::size_t entries{0};
+};
+
+/// Canonical cache key: one query kind tag plus the flattened request
+/// payload. Equality is exact payload equality; the hash is precomputed
+/// at construction (hash_mix over the payload words).
+class QueryKey {
+ public:
+  enum class Kind : std::uint8_t { kJourney = 1, kClosure = 2, kAccept = 3 };
+
+  QueryKey() = default;
+
+  /// Key for QueryEngine::run. Encodes every semantic field of the query
+  /// (objective, source, target, times, policy, limits); fields the
+  /// engine never reads for the query's shape are canonicalized away
+  /// (depart_hi outside kFastest, Policy::bound outside kBoundedWait),
+  /// so stale values from a reused struct never split an entry.
+  [[nodiscard]] static QueryKey journey(const JourneyQuery& q);
+
+  /// Key for QueryEngine::closure. Takes the materialized source list
+  /// (the engine expands "empty = all nodes" before keying, so the
+  /// implicit and explicit spellings share an entry); the query's
+  /// `threads` knob is scheduling-only and deliberately excluded — rows
+  /// are bit-identical at any thread count.
+  [[nodiscard]] static QueryKey closure(const ClosureQuery& q,
+                                        std::span<const NodeId> sources);
+
+  /// Key for QueryEngine::accepts: the spec plus the exact word sequence
+  /// (order and duplicates included — outcomes are positional).
+  [[nodiscard]] static QueryKey accept(const AcceptSpec& spec,
+                                       std::span<const Word> words);
+
+  [[nodiscard]] std::size_t hash() const noexcept { return hash_; }
+  [[nodiscard]] bool empty() const noexcept { return payload_.empty(); }
+
+  friend bool operator==(const QueryKey&, const QueryKey&) = default;
+
+ private:
+  void append(std::uint64_t v) { payload_.push_back(v); }
+  void append_word(const Word& w);
+  void seal();  // computes hash_ from the finished payload
+
+  std::vector<std::uint64_t> payload_;
+  std::size_t hash_{0};
+};
+
+/// The sharded, lock-striped, generation-checked LRU store. Thread-safe;
+/// value payloads are type-erased shared_ptr<const void> snapshots (each
+/// QueryKey kind maps to exactly one result type, so the engine's typed
+/// wrappers recover the static type from the key it built).
+class ResultCache {
+ public:
+  using Generation = std::uint64_t;
+  using ValuePtr = std::shared_ptr<const void>;
+
+  explicit ResultCache(CacheConfig config);
+  ~ResultCache();
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Draws a fresh, process-unique generation tag (monotonic atomic).
+  /// QueryEngine stamps one at construction: entries are only served
+  /// back to the exact engine incarnation that computed them.
+  [[nodiscard]] static Generation next_generation() noexcept;
+
+  /// Returns the cached value for `key` if present AND stamped with
+  /// `generation`; a stale-generation entry is dropped on sight (counted
+  /// in generation_drops) and reported as a miss. A hit refreshes LRU
+  /// recency.
+  [[nodiscard]] ValuePtr find(const QueryKey& key, Generation generation);
+
+  /// Inserts (or refreshes) `key` → `value` under `generation`, evicting
+  /// the shard's LRU tail when over capacity. No-op for an empty key.
+  void insert(const QueryKey& key, Generation generation, ValuePtr value);
+
+  /// Drops every entry (all shards). Stats counters are kept.
+  void clear();
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+ private:
+  struct Shard;
+
+  [[nodiscard]] Shard& shard_for(const QueryKey& key) noexcept;
+
+  std::size_t capacity_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace tvg
+
+/// QueryKey carries its hash precomputed; this lets it key std::unordered
+/// containers directly (the cache shards, the engine's batch dedup map).
+template <>
+struct std::hash<tvg::QueryKey> {
+  [[nodiscard]] std::size_t operator()(const tvg::QueryKey& k) const noexcept {
+    return k.hash();
+  }
+};

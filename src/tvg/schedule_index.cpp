@@ -151,7 +151,9 @@ Time ScheduleIndex::next_present(EdgeId e, Time from, EventCursor& c) const {
   if (ce.pat_bits) {
     const Time r = (from - ce.t0) % ce.period;
     const Time nr = bits_next(ce.pat_lo, ce.pat_hi, r);
-    if (nr != kTimeInfinity) return from + (nr - r);
+    // sat_add in both arms (mirrors Presence::next_present near
+    // kTimeInfinity — a hit past the representable range is "no time").
+    if (nr != kTimeInfinity) return sat_add(from, nr - r);
     return sat_add(from, (ce.period - r) + ce.pat_min);
   }
   if (from >= sat_add(c.base, ce.period)) {
@@ -161,7 +163,7 @@ Time ScheduleIndex::next_present(EdgeId e, Time from, EventCursor& c) const {
   const Time r = from - c.base;
   while (c.pat_pos < pat_n && pat_b[c.pat_pos] <= r) ++c.pat_pos;
   if ((c.pat_pos & 1u) != 0) return from;  // inside a pattern interval
-  if (c.pat_pos < pat_n) return from + (pat_b[c.pat_pos] - r);
+  if (c.pat_pos < pat_n) return sat_add(from, pat_b[c.pat_pos] - r);
   // Wrap into the next period copy (mirrors Presence::next_present,
   // including its saturation).
   const Time result = sat_add(from, (ce.period - r) + ce.pat_min);

@@ -290,7 +290,9 @@ inline Time ScheduleIndex::next_present(EdgeId e, Time from) const {
   if (ce.pat_empty) return kTimeInfinity;
   const Time r = (from - ce.t0) % ce.period;
   const Time nr = seg_next(ce.pat_bits, ce.pat_lo, ce.pat_hi, r);
-  if (nr != kTimeInfinity) return from + (nr - r);
+  // sat_add mirrors Presence::next_present: a hit within a period copy
+  // of kTimeInfinity saturates to the sentinel instead of overflowing.
+  if (nr != kTimeInfinity) return sat_add(from, nr - r);
   // Wrap to the first presence of the next period (mirrors
   // Presence::next_present, including its saturation).
   return sat_add(from, (ce.period - r) + ce.pat_min);

@@ -303,6 +303,70 @@ TEST(QueryEngine, GuardsBadArguments) {
   EXPECT_THROW((void)engine.accepts(bad_spec, words), std::out_of_range);
 }
 
+TEST(QueryEngine, GuardsMalformedQueryShapes) {
+  TimeVaryingGraph g;
+  g.add_nodes(3);
+  g.add_static_edge(0, 1, 'a');
+  g.add_static_edge(1, 2, 'b');
+  QueryEngine engine(g);
+
+  // Shape errors must throw with the field named, not silently return a
+  // default/empty result.
+  JourneyQuery fastest_without_target = JourneyQuery::fastest(0, 2, 0, 10);
+  fastest_without_target.target.reset();
+  EXPECT_THROW((void)engine.run(fastest_without_target),
+               std::invalid_argument);
+
+  const JourneyQuery empty_window = JourneyQuery::fastest(0, 2, /*lo=*/8,
+                                                          /*hi=*/3);
+  try {
+    (void)engine.run(empty_window);
+    FAIL() << "empty fastest window must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("depart_hi"), std::string::npos)
+        << e.what();
+  }
+  // The batch path validates inside the workers and rethrows the same
+  // error.
+  const std::vector<JourneyQuery> batch{JourneyQuery::foremost(0, 0),
+                                        empty_window};
+  EXPECT_THROW((void)engine.run(batch, /*threads=*/2), std::invalid_argument);
+
+  // A well-formed window at the boundary (hi == lo) stays legal.
+  const JourneyResult ok = engine.run(JourneyQuery::fastest(0, 2, 3, 3));
+  EXPECT_FALSE(ok.truncated);
+}
+
+TEST(QueryEngine, ThrowingQueryMidBatchFailsFastAcrossThreads) {
+  RandomPeriodicParams params;
+  params.nodes = 12;
+  params.edges = 30;
+  params.seed = 21;
+  const TimeVaryingGraph g = make_random_periodic(params);
+  for (const bool with_cache : {false, true}) {
+    const QueryEngine engine(
+        g, 0, with_cache ? CacheConfig{} : CacheConfig::disabled());
+    std::vector<JourneyQuery> queries;
+    for (int i = 0; i < 64; ++i) {
+      queries.push_back(JourneyQuery::foremost(
+          static_cast<NodeId>(i % g.node_count()), i % 7));
+    }
+    // A poisoned query mid-batch: workers that see the abort flag stop
+    // claiming instead of draining the remaining range; the first error
+    // is rethrown after the join.
+    queries[32] = JourneyQuery::foremost(999, 0);
+    EXPECT_THROW((void)engine.run(queries, /*threads=*/4), std::out_of_range)
+        << "with_cache=" << with_cache;
+    // The engine stays usable after a poisoned batch.
+    queries[32] = JourneyQuery::foremost(0, 0);
+    const auto results = engine.run(queries, /*threads=*/4);
+    ASSERT_EQ(results.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(results[i].arrivals, engine.run(queries[i]).arrivals) << i;
+    }
+  }
+}
+
 TEST(QueryEngine, EmptyGraphAndEmptyBatches) {
   TimeVaryingGraph g;
   QueryEngine engine(g);

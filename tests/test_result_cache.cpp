@@ -1,0 +1,337 @@
+// Tests for the engine-level result cache (src/tvg/result_cache.hpp)
+// and its QueryEngine wiring:
+//  * a cache hit returns a value equal to a cold run, for every entry
+//    point (journey / closure / acceptance);
+//  * LRU eviction holds the entry count at capacity and counts
+//    evictions;
+//  * hit/miss stats counters are exact on a deterministic sequence;
+//  * closure keys canonicalize (implicit "all sources" = explicit list,
+//    thread count excluded);
+//  * the generation tag keeps a cache from serving entries stamped by a
+//    different engine incarnation;
+//  * concurrent hammering of one hot key is safe (run under TSan/ASan in
+//    CI) and every thread sees the cold-run value;
+//  * property test: a caching engine and a cache-disabled engine agree
+//    result-for-result on randomized query streams with repeats.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "tvg/generators.hpp"
+#include "tvg/query_engine.hpp"
+#include "tvg/result_cache.hpp"
+
+namespace {
+
+using namespace tvg;
+
+TimeVaryingGraph test_graph(std::uint64_t seed) {
+  RandomScheduledParams params;
+  params.nodes = 9;
+  params.edges = 24;
+  params.horizon = 40;
+  params.seed = seed;
+  return make_random_scheduled(params);
+}
+
+TEST(ResultCache, JourneyHitEqualsColdRun) {
+  const TimeVaryingGraph g = test_graph(1);
+  const QueryEngine cached(g);
+  const QueryEngine cold(g, 1, CacheConfig::disabled());
+  ASSERT_TRUE(cached.cache_enabled());
+  ASSERT_FALSE(cold.cache_enabled());
+  for (const JourneyQuery& q :
+       {JourneyQuery::foremost(0, 0).to(4).under(Policy::wait()),
+        JourneyQuery::foremost(1, 2).under(Policy::bounded_wait(3)),
+        JourneyQuery::shortest(0, 5, 0).under(Policy::wait()),
+        JourneyQuery::fastest(0, 3, 0, 20).under(Policy::no_wait())}) {
+    const JourneyResult first = cached.run(q);   // miss
+    const JourneyResult second = cached.run(q);  // hit
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(first, cold.run(q));
+  }
+  const CacheStats stats = cached.cache_stats();
+  EXPECT_EQ(stats.hits, 4u);
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.entries, 4u);
+  EXPECT_EQ(cold.cache_stats().hits + cold.cache_stats().misses, 0u);
+}
+
+TEST(ResultCache, ClosureAndAcceptHitsEqualColdRuns) {
+  const TimeVaryingGraph g = test_graph(2);
+  const QueryEngine cached(g);
+  const QueryEngine cold(g, 1, CacheConfig::disabled());
+
+  ClosureQuery cq;
+  cq.limits = SearchLimits::up_to(100);
+  const ClosureResult closure_first = cached.closure(cq);
+  EXPECT_EQ(closure_first, cached.closure(cq));
+  EXPECT_EQ(closure_first, cold.closure(cq));
+
+  AcceptSpec spec;
+  spec.initial = {0};
+  spec.accepting = {1, 2};
+  spec.policy = Policy::wait();
+  spec.horizon = 60;
+  const std::vector<Word> words{"a", "ab", "ba", "abb"};
+  const auto accept_first = cached.accepts(spec, words);
+  EXPECT_EQ(accept_first, cached.accepts(spec, words));
+  EXPECT_EQ(accept_first, cold.accepts(spec, words));
+
+  const CacheStats stats = cached.cache_stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST(ResultCache, ClosureKeyCanonicalizesSourcesAndIgnoresThreads) {
+  const TimeVaryingGraph g = test_graph(3);
+  const QueryEngine engine(g);
+  ClosureQuery all_implicit;
+  all_implicit.limits = SearchLimits::up_to(100);
+  all_implicit.threads = 1;
+  const ClosureResult first = engine.closure(all_implicit);
+
+  ClosureQuery all_explicit = all_implicit;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    all_explicit.sources.push_back(v);
+  }
+  all_explicit.threads = 2;  // scheduling knob: not part of the key
+  const ClosureResult second = engine.closure(all_explicit);
+  EXPECT_EQ(first, second);
+  const CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedAtCapacity) {
+  const TimeVaryingGraph g = test_graph(4);
+  CacheConfig config;
+  config.capacity = 4;
+  config.shards = 1;  // one stripe so the LRU order is global
+  const QueryEngine engine(g, 1, config);
+  for (NodeId target = 0; target < 8; ++target) {
+    (void)engine.run(JourneyQuery::foremost(0, 0).to(target));
+  }
+  CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.entries, 4u);
+  EXPECT_EQ(stats.evictions, 4u);
+  EXPECT_EQ(stats.misses, 8u);
+  // Targets 4..7 are resident (hits); 0..3 were evicted (misses again).
+  for (NodeId target = 4; target < 8; ++target) {
+    (void)engine.run(JourneyQuery::foremost(0, 0).to(target));
+  }
+  stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 4u);
+  EXPECT_EQ(stats.misses, 8u);
+  for (NodeId target = 0; target < 4; ++target) {
+    (void)engine.run(JourneyQuery::foremost(0, 0).to(target));
+  }
+  stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 4u);
+  EXPECT_EQ(stats.misses, 12u);
+  EXPECT_EQ(stats.entries, 4u);
+}
+
+TEST(ResultCache, ClearDropsEntriesAndKeepsCounters) {
+  const TimeVaryingGraph g = test_graph(5);
+  const QueryEngine engine(g);
+  (void)engine.run(JourneyQuery::foremost(0, 0).to(1));
+  ASSERT_EQ(engine.cache_stats().entries, 1u);
+  engine.clear_cache();
+  CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+  (void)engine.run(JourneyQuery::foremost(0, 0).to(1));
+  EXPECT_EQ(engine.cache_stats().misses, 2u);
+}
+
+TEST(ResultCache, GenerationMismatchDropsEntry) {
+  // Direct store-level check of the staleness guard: an entry stamped by
+  // one generation is never served to another, even for an equal key.
+  const TimeVaryingGraph g = test_graph(6);
+  ResultCache cache(CacheConfig{});
+  const auto gen_a = ResultCache::next_generation();
+  const auto gen_b = ResultCache::next_generation();
+  ASSERT_NE(gen_a, gen_b);
+  const QueryKey key = QueryKey::journey(JourneyQuery::foremost(0, 0).to(1));
+  cache.insert(key, gen_a, std::make_shared<const int>(42));
+  ASSERT_NE(cache.find(key, gen_a), nullptr);
+  EXPECT_EQ(cache.find(key, gen_b), nullptr);  // dropped on sight
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.generation_drops, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(cache.find(key, gen_a), nullptr);  // really gone
+}
+
+TEST(ResultCache, QueryKeyDistinguishesQueriesAndWordOrder) {
+  const auto base = JourneyQuery::foremost(0, 0).to(1);
+  EXPECT_EQ(QueryKey::journey(base), QueryKey::journey(base));
+  auto other = base;
+  other.start_time = 1;
+  EXPECT_FALSE(QueryKey::journey(base) == QueryKey::journey(other));
+  auto shortest = JourneyQuery::shortest(0, 1, 0);
+  EXPECT_FALSE(QueryKey::journey(base) == QueryKey::journey(shortest));
+
+  // Non-semantic fields are canonicalized away: depart_hi is only read
+  // by kFastest, Policy::bound only by kBoundedWait.
+  auto stale_window = base;
+  stale_window.depart_hi = 30;  // e.g. a struct reused from a fastest run
+  EXPECT_EQ(QueryKey::journey(base), QueryKey::journey(stale_window));
+  auto fastest_a = JourneyQuery::fastest(0, 1, 0, 20);
+  auto fastest_b = JourneyQuery::fastest(0, 1, 0, 30);
+  EXPECT_FALSE(QueryKey::journey(fastest_a) == QueryKey::journey(fastest_b));
+  auto stale_bound = base;  // base's policy is the default Policy::wait()
+  stale_bound.policy = Policy{WaitingPolicy::kWait, /*bound=*/7};
+  EXPECT_EQ(QueryKey::journey(base), QueryKey::journey(stale_bound));
+
+  AcceptSpec spec;
+  spec.initial = {0};
+  spec.accepting = {1};
+  const std::vector<Word> ab{"a", "b"};
+  const std::vector<Word> ba{"b", "a"};
+  const std::vector<Word> joined{"ab"};
+  EXPECT_EQ(QueryKey::accept(spec, ab), QueryKey::accept(spec, ab));
+  EXPECT_FALSE(QueryKey::accept(spec, ab) == QueryKey::accept(spec, ba));
+  // Length prefixes keep ["a","b"] distinct from ["ab"].
+  EXPECT_FALSE(QueryKey::accept(spec, ab) == QueryKey::accept(spec, joined));
+}
+
+TEST(ResultCache, StructHashesAreConsistentWithEquality) {
+  const auto q1 = JourneyQuery::fastest(0, 1, 2, 9).under(Policy::wait());
+  auto q2 = q1;
+  EXPECT_EQ(q1, q2);
+  EXPECT_EQ(std::hash<JourneyQuery>{}(q1), std::hash<JourneyQuery>{}(q2));
+  q2.depart_hi = 10;
+  EXPECT_FALSE(q1 == q2);
+
+  const Policy p1 = Policy::bounded_wait(4);
+  EXPECT_EQ(std::hash<Policy>{}(p1), std::hash<Policy>{}(Policy::bounded_wait(4)));
+  EXPECT_NE(std::hash<Policy>{}(Policy::wait()),
+            std::hash<Policy>{}(Policy::no_wait()));
+
+  const SearchLimits l1 = SearchLimits::up_to(100);
+  EXPECT_EQ(l1, SearchLimits::up_to(100));
+  EXPECT_EQ(std::hash<SearchLimits>{}(l1),
+            std::hash<SearchLimits>{}(SearchLimits::up_to(100)));
+
+  AcceptSpec s1;
+  s1.initial = {0, 2};
+  AcceptSpec s2 = s1;
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(std::hash<AcceptSpec>{}(s1), std::hash<AcceptSpec>{}(s2));
+
+  ClosureQuery c1;
+  c1.sources = {3, 1};
+  ClosureQuery c2 = c1;
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(std::hash<ClosureQuery>{}(c1), std::hash<ClosureQuery>{}(c2));
+}
+
+TEST(ResultCache, ConcurrentHotKeyHammeringIsSafeAndConsistent) {
+  const TimeVaryingGraph g = test_graph(7);
+  const QueryEngine engine(g);
+  const QueryEngine cold(g, 1, CacheConfig::disabled());
+  const auto hot = JourneyQuery::foremost(0, 0).under(Policy::wait());
+  const JourneyResult expected = cold.run(hot);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::vector<int> mismatches(kThreads, 0);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (int i = 0; i < kIters; ++i) {
+          // One cold-able side query per thread keeps insert/evict/find
+          // interleavings in play alongside the hot key.
+          if (i % 16 == 0) {
+            (void)engine.run(JourneyQuery::foremost(
+                static_cast<NodeId>(t % 4), i % 8));
+          }
+          if (!(engine.run(hot) == expected)) ++mismatches[t];
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0) << t;
+  const CacheStats stats = engine.cache_stats();
+  EXPECT_GE(stats.hits, static_cast<std::uint64_t>(kThreads * kIters / 2));
+}
+
+TEST(ResultCache, CachingAndUncachedEnginesAgreeOnRandomStreams) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const TimeVaryingGraph g = test_graph(10 + seed);
+    CacheConfig small;
+    small.capacity = 16;  // force evictions mid-stream
+    small.shards = 2;
+    const QueryEngine cached(g, 1, small);
+    const QueryEngine cold(g, 1, CacheConfig::disabled());
+
+    std::mt19937_64 rng(seed * 77);
+    // A pool of 24 distinct queries, sampled with heavy repetition.
+    std::vector<JourneyQuery> pool;
+    for (int i = 0; i < 24; ++i) {
+      const auto src = static_cast<NodeId>(rng() % g.node_count());
+      const auto dst = static_cast<NodeId>(rng() % g.node_count());
+      const Time t0 = static_cast<Time>(rng() % 10);
+      const Policy policy = (i % 3 == 0)   ? Policy::wait()
+                            : (i % 3 == 1) ? Policy::no_wait()
+                                           : Policy::bounded_wait(i % 5);
+      switch (i % 4) {
+        case 0:
+          pool.push_back(JourneyQuery::foremost(src, t0).under(policy));
+          break;
+        case 1:
+          pool.push_back(JourneyQuery::foremost(src, t0).to(dst).under(policy));
+          break;
+        case 2:
+          pool.push_back(JourneyQuery::shortest(src, dst, t0).under(policy));
+          break;
+        default:
+          pool.push_back(
+              JourneyQuery::fastest(src, dst, t0, t0 + 15).under(policy));
+          break;
+      }
+      pool.back().within(SearchLimits::up_to(80));
+    }
+    for (int step = 0; step < 300; ++step) {
+      const JourneyQuery& q = pool[rng() % pool.size()];
+      EXPECT_EQ(cached.run(q), cold.run(q)) << "seed=" << seed
+                                            << " step=" << step;
+    }
+    // Interleave the other entry points through the same small cache.
+    ClosureQuery cq;
+    cq.limits = SearchLimits::up_to(80);
+    EXPECT_EQ(cached.closure(cq), cold.closure(cq));
+    EXPECT_EQ(cached.closure(cq), cold.closure(cq));
+    const CacheStats stats = cached.cache_stats();
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_GT(stats.evictions, 0u);
+  }
+}
+
+TEST(ResultCache, BatchRunServesHitsAndComputesMisses) {
+  const TimeVaryingGraph g = test_graph(20);
+  const QueryEngine engine(g);
+  std::vector<JourneyQuery> queries;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    queries.push_back(JourneyQuery::foremost(0, 0).to(v));
+  }
+  // Warm half the batch through single runs.
+  for (std::size_t i = 0; i < queries.size() / 2; ++i) {
+    (void)engine.run(queries[i]);
+  }
+  const auto warm_misses = engine.cache_stats().misses;
+  const auto batched = engine.run(queries, /*threads=*/2);
+  const CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, warm_misses + queries.size() - queries.size() / 2);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batched[i], engine.run(queries[i])) << i;
+  }
+}
+
+}  // namespace
