@@ -1,8 +1,10 @@
 #include "tvg/algorithms.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <set>
+#include <stdexcept>
 
 #include "tvg/query_engine.hpp"
 #include "tvg/schedule_index.hpp"
@@ -13,6 +15,20 @@ namespace tvg {
 using ConfigRec = ForemostTree::ConfigRec;
 
 namespace detail {
+
+/// One packed frontier packet of the bit-parallel multi-source kernel:
+/// the lanes in `mask` arrive at `node` at the packet's queue time.
+struct MsPacket {
+  NodeId node{kInvalidNode};
+  std::uint64_t mask{0};
+};
+
+/// Heap form of a packet for the unbounded-window backend.
+struct MsHeapItem {
+  Time time{0};
+  NodeId node{kInvalidNode};
+  std::uint64_t mask{0};
+};
 
 /// The arenas behind SearchWorkspace (see algorithms.hpp). Kernels write
 /// results into configs/best/arrival; admission, the Dijkstra heap, and
@@ -29,6 +45,16 @@ struct SearchArenas {
   bool truncated{false};
   std::int64_t first_goal{-1};  // first config hitting `goal` (BFS only)
   bool in_use{false};           // re-entrancy guard for the shared arena
+
+  /// Bit-parallel multi-source kernel state (multi_source_foremost);
+  /// disjoint from the per-source fields above so a packed word that
+  /// aborts can fall back to foremost_scan on the SAME workspace.
+  std::vector<std::uint64_t> ms_seen;      // per node, current-instant lanes
+  std::vector<std::uint64_t> ms_expanded;  // per node, lanes expanded at it
+  std::vector<std::uint64_t> ms_reached;   // per node, lanes with a row entry
+  std::vector<NodeId> ms_touched;          // nodes with nonzero scratch
+  std::vector<std::vector<MsPacket>> ms_buckets;  // calendar backend
+  std::vector<MsHeapItem> ms_heap;                // unbounded backend
 };
 
 }  // namespace detail
@@ -125,6 +151,21 @@ void for_each_departure(const ScheduleIndex& sx, EdgeId eid, Time t,
       return;
     }
   }
+}
+
+/// Per-expansion departure-enumeration budget shared by config_bfs's
+/// watchdog and the packed kernel's abort guard. ONE definition on
+/// purpose: packed_word's fallback-exactness argument (packed completes
+/// cleanly => no serial search could have tripped its watchdog) only
+/// holds while both kernels derive the threshold from the same formula.
+[[nodiscard]] std::size_t watchdog_steps(std::size_t max_configs) noexcept {
+  constexpr std::size_t kStepsPerConfig = 16;
+  return std::max<std::size_t>(
+      std::size_t{1} << 16,
+      max_configs <
+              std::numeric_limits<std::size_t>::max() / kStepsPerConfig
+          ? max_configs * kStepsPerConfig
+          : std::numeric_limits<std::size_t>::max());
 }
 
 /// Dijkstra over (node, arrival) — exact for the Wait policy, where
@@ -290,13 +331,7 @@ void config_bfs(const TimeVaryingGraph& g, const ScheduleIndex& sx,
   // trip it; a single finite window larger than the step budget with
   // every departure rejected is conservatively reported as truncated.
   std::size_t expansion_steps = 0;
-  constexpr std::size_t kStepsPerConfig = 16;
-  const std::size_t max_expansion_steps = std::max<std::size_t>(
-      std::size_t{1} << 16,
-      limits.max_configs <
-              std::numeric_limits<std::size_t>::max() / kStepsPerConfig
-          ? limits.max_configs * kStepsPerConfig
-          : std::numeric_limits<std::size_t>::max());
+  const std::size_t max_expansion_steps = watchdog_steps(limits.max_configs);
 
   // Returns false once a budget is exhausted; that stops the departure
   // enumeration feeding it (see for_each_departure).
@@ -365,6 +400,207 @@ void run_search(const TimeVaryingGraph& g, std::span<const ConfigRec> initial,
   config_bfs(g, sx, initial, policy, limits, a, goal);
 }
 
+// ---------------------------------------------------------------------------
+// Bit-parallel multi-source kernel (multi_source_foremost): one packed
+// word of up to 64 source lanes, propagated together in ascending time
+// order over the compiled index.
+// ---------------------------------------------------------------------------
+
+using detail::MsHeapItem;
+using detail::MsPacket;
+
+/// Runs ONE packed word (lane i = sources[i], i < 64) and fills the
+/// word-relative `rows`. Returns false when a conservative guard fired;
+/// the caller then redoes the word per-source, so the output stays
+/// bit-identical to serial foremost_scan even under truncation.
+///
+/// Exactness: states are processed in ascending time, and every config
+/// edge goes forward in time (latencies are non-negative), so the first
+/// instant a lane appears at a node IS its foremost arrival. In Wait
+/// mode a lane is finalized there (earlier arrivals dominate under
+/// constant latencies — the serial Dijkstra's invariant); in NoWait /
+/// BoundedWait mode the lane keeps propagating through every later
+/// (node, time) state exactly like the serial configuration search,
+/// deduplicated per state by the lane masks.
+///
+/// The guards over-approximate the serial budgets this word replaces:
+///  * BFS modes — distinct (node, time) states admitted reaching
+///    SearchLimits::max_configs (each per-source serial search admits a
+///    subset of these states, so finishing strictly below the cap
+///    proves every serial run would have been untruncated), and any
+///    single expansion enumerating more departures than config_bfs's
+///    per-expansion watchdog tolerates (the serial counter resets on
+///    admissions, so its largest fruitless run is bounded by the
+///    expansion's total enumeration, which both kernels share);
+///  * Wait mode — total packets pushed + 1 reaching max_configs (serial
+///    Dijkstra creates one config per improving push, and every
+///    improving push for lane i maps to a packet containing lane i, so
+///    the packet total bounds every serial config count).
+bool packed_word(const TimeVaryingGraph& g, const ScheduleIndex& sx,
+                 std::span<const NodeId> sources, Time start_time,
+                 Policy policy, SearchLimits limits, SearchArenas& a,
+                 std::span<std::vector<Time>> rows) {
+  const std::size_t n = g.node_count();
+  const bool wait_mode = policy.kind == WaitingPolicy::kWait;
+  a.ms_seen.assign(n, 0);
+  a.ms_expanded.assign(n, 0);
+  a.ms_reached.assign(n, 0);
+  a.ms_touched.clear();
+  a.ms_heap.clear();
+  for (auto& bucket : a.ms_buckets) bucket.clear();  // defensive invariant
+
+  // Mirrors the serial root admission: a start past the horizon (or the
+  // sentinel itself) reaches nothing, including the sources themselves.
+  if (start_time == kTimeInfinity || start_time > limits.horizon) return true;
+
+  const Time t_min = start_time;
+  const bool bucketed = limits.horizon != kTimeInfinity &&
+                        limits.horizon - t_min < kMaxBucketWindow;
+  std::size_t window = 0;
+  if (bucketed) {
+    window = static_cast<std::size_t>(limits.horizon - t_min) + 1;
+    if (a.ms_buckets.size() < window) a.ms_buckets.resize(window);
+  }
+
+  // Same watchdog threshold as config_bfs (see watchdog_steps).
+  const std::size_t max_expansion_steps = watchdog_steps(limits.max_configs);
+
+  bool ok = true;
+  std::size_t admitted = 0;  // distinct (node, time) states (BFS modes)
+  std::size_t pushes = 0;    // packets pushed (Wait-mode config bound)
+  std::size_t queued = 0;    // packets pushed but not yet drained
+
+  const auto heap_later = [](const MsHeapItem& x, const MsHeapItem& y) {
+    return x.time > y.time;  // min-heap on time
+  };
+  auto push_state = [&](NodeId to, Time t, std::uint64_t mask) {
+    if (wait_mode && ++pushes + 1 >= limits.max_configs) {
+      ok = false;
+      return;
+    }
+    ++queued;
+    if (bucketed) {
+      a.ms_buckets[static_cast<std::size_t>(t - t_min)].push_back(
+          MsPacket{to, mask});
+    } else {
+      a.ms_heap.push_back(MsHeapItem{t, to, mask});
+      std::push_heap(a.ms_heap.begin(), a.ms_heap.end(), heap_later);
+    }
+  };
+
+  // Records first sightings of, and expands, the not-yet-expanded lanes
+  // of node v at the instant t currently being drained.
+  auto process = [&](NodeId v, Time t) {
+    std::uint64_t delta = a.ms_seen[v] & ~a.ms_expanded[v];
+    if (wait_mode) delta &= ~a.ms_reached[v];  // finalized lanes stay put
+    if (delta == 0) return;
+    if (!wait_mode && a.ms_expanded[v] == 0) {
+      // First lanes at this (v, t): one state admission.
+      if (++admitted >= limits.max_configs) {
+        ok = false;
+        return;
+      }
+    }
+    a.ms_expanded[v] |= delta;
+    const std::uint64_t fresh = delta & ~a.ms_reached[v];
+    if (fresh != 0) {
+      a.ms_reached[v] |= fresh;
+      for (std::uint64_t f = fresh; f != 0; f &= f - 1) {
+        rows[static_cast<std::size_t>(std::countr_zero(f))][v] = t;
+      }
+    }
+    std::size_t steps = 0;
+    for (const EdgeId eid : g.out_edges(v)) {
+      for_each_departure(sx, eid, t, policy, limits.horizon, [&](Time dep) {
+        if (++steps > max_expansion_steps) {
+          ok = false;
+          return false;
+        }
+        const Time arr = sx.arrival(eid, dep);
+        if (arr == kTimeInfinity || arr > limits.horizon) return true;
+        push_state(sx.record(eid).to, arr, delta);
+        return ok;
+      });
+      if (!ok) return;
+    }
+  };
+
+  // Seed: every lane at its source at t_min (one packet per lane; equal
+  // source nodes merge in the drain's scratch accumulation).
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    push_state(sources[i], t_min, std::uint64_t{1} << i);
+  }
+
+  // Drains one instant: accumulate packet masks into per-node scratch,
+  // expand each touched node's new lanes, repeat until neither step has
+  // work (zero-latency edges may append same-instant packets mid-drain),
+  // then reset the scratch for the next instant.
+  auto drain_instant = [&](Time t, auto&& more_packets) {
+    std::size_t done = 0;
+    while (ok) {
+      bool any = more_packets();
+      if (done < a.ms_touched.size()) {
+        process(a.ms_touched[done++], t);
+        any = true;
+      }
+      if (!any) break;
+    }
+    for (const NodeId v : a.ms_touched) {
+      a.ms_seen[v] = 0;
+      a.ms_expanded[v] = 0;
+    }
+    a.ms_touched.clear();
+  };
+  auto accumulate = [&](NodeId v, std::uint64_t mask) {
+    if ((mask & ~a.ms_seen[v]) == 0) return;
+    a.ms_seen[v] |= mask;
+    a.ms_touched.push_back(v);  // duplicates fine: delta dedups
+  };
+
+  if (bucketed) {
+    // `queued` lets sparse propagation exit without sweeping the whole
+    // calendar window (a NoWait word that reaches nothing drains only
+    // its seed bucket).
+    for (std::size_t b = 0; ok && queued > 0 && b < window; ++b) {
+      auto& bucket = a.ms_buckets[b];
+      std::size_t scan = 0;
+      drain_instant(t_min + static_cast<Time>(b), [&] {
+        const bool any = scan < bucket.size();
+        for (; scan < bucket.size(); ++scan) {
+          accumulate(bucket[scan].node, bucket[scan].mask);
+        }
+        return any;
+      });
+      queued -= bucket.size();  // every packet of this instant is drained
+      bucket.clear();
+    }
+  } else {
+    while (ok && !a.ms_heap.empty()) {
+      const Time t = a.ms_heap.front().time;
+      drain_instant(t, [&] {
+        bool any = false;
+        while (!a.ms_heap.empty() && a.ms_heap.front().time == t) {
+          std::pop_heap(a.ms_heap.begin(), a.ms_heap.end(), heap_later);
+          const MsHeapItem item = a.ms_heap.back();
+          a.ms_heap.pop_back();
+          accumulate(item.node, item.mask);
+          any = true;
+        }
+        return any;
+      });
+    }
+  }
+
+  if (!ok) {
+    // Aborted mid-run: restore the empty-queue invariant for the next
+    // word on this workspace (the scratch arrays are re-assigned per
+    // word, so only the queues need it).
+    for (auto& bucket : a.ms_buckets) bucket.clear();
+    a.ms_heap.clear();
+  }
+  return ok;
+}
+
 Journey journey_from_config(const std::vector<ConfigRec>& configs,
                             std::int64_t idx, NodeId source,
                             Time start_time) {
@@ -427,6 +663,57 @@ ForemostScan foremost_scan(const TimeVaryingGraph& g, NodeId source,
   const ConfigRec root{source, start_time, -1, kInvalidEdge, 0};
   run_search(g, {&root, 1}, policy, limits, a);
   return ForemostScan{std::span<const Time>(a.arrival), a.truncated};
+}
+
+void multi_source_foremost(const TimeVaryingGraph& g,
+                           std::span<const NodeId> sources, Time start_time,
+                           Policy policy, SearchLimits limits,
+                           SearchWorkspace& ws,
+                           std::span<std::vector<Time>> rows,
+                           std::span<char> truncated) {
+  if (rows.size() != sources.size() || truncated.size() != sources.size()) {
+    throw std::invalid_argument(
+        "multi_source_foremost: rows/truncated must have one entry per "
+        "source");
+  }
+  const std::size_t n = g.node_count();
+  for (const NodeId u : sources) {
+    if (u >= n) {
+      throw std::out_of_range("multi_source_foremost: source out of range");
+    }
+  }
+  const ScheduleIndex& sx = g.schedule_index();
+  // Lane-packing eligibility is graph-wide: exact-predicate schedules
+  // may run user code (which could even re-enter a search), and
+  // non-constant latencies break the Wait-mode dominance argument — both
+  // take the per-source serial path below, which is exactly the code the
+  // packed path is measured against.
+  const bool eligible = sx.all_semi_periodic() && sx.all_latency_constant();
+  for (std::size_t base = 0; base < sources.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, sources.size() - base);
+    const auto word_sources = sources.subspan(base, count);
+    const auto word_rows = rows.subspan(base, count);
+    bool packed_ok = false;
+    if (eligible) {
+      for (auto& row : word_rows) row.assign(n, kTimeInfinity);
+      packed_ok = packed_word(g, sx, word_sources, start_time, policy, limits,
+                              ws.arenas(), word_rows);
+      if (packed_ok) {
+        // The guards proved no per-source serial search could have been
+        // truncated (see packed_word), so the serial flags are all false.
+        for (std::size_t i = 0; i < count; ++i) truncated[base + i] = 0;
+      }
+    }
+    if (!packed_ok) {
+      for (std::size_t i = 0; i < count; ++i) {
+        const ForemostScan scan = foremost_scan(g, word_sources[i],
+                                                start_time, policy, limits,
+                                                ws);
+        word_rows[i].assign(scan.arrival.begin(), scan.arrival.end());
+        truncated[base + i] = scan.truncated ? 1 : 0;
+      }
+    }
+  }
 }
 
 std::optional<Journey> foremost_journey(const TimeVaryingGraph& g,
@@ -637,33 +924,84 @@ std::vector<std::vector<Time>> temporal_closure(const TimeVaryingGraph& g,
   return std::move(engine.closure(q).rows);
 }
 
+namespace {
+
+/// Runs the bit-parallel kernel one 64-source word at a time, handing
+/// each word's rows to `scan_rows` and discarding them before the next
+/// word — the all-pairs sweeps below keep the lane-packing speedup at
+/// O(64 · n) memory instead of materializing an n × n matrix, and
+/// `scan_rows` returning false exits early (a disconnected word proves
+/// the whole answer).
+template <typename ScanRows>
+void for_each_closure_word(const TimeVaryingGraph& g, Time start_time,
+                           Policy policy, SearchLimits limits,
+                           ScanRows&& scan_rows) {
+  const std::size_t n = g.node_count();
+  if (n == 0) return;
+  // On lane-packing-ineligible graphs the kernel would just run 64
+  // serial scans per call — chunk by single rows there so the early
+  // exit keeps its old per-source granularity (a disconnect after one
+  // scan must not cost 64).
+  const ScheduleIndex& sx = g.schedule_index();
+  const std::size_t word_size =
+      sx.all_semi_periodic() && sx.all_latency_constant() ? 64 : 1;
+  SearchWorkspace ws;
+  std::vector<NodeId> sources;
+  std::vector<std::vector<Time>> rows;
+  std::vector<char> truncated;
+  for (std::size_t base = 0; base < n; base += word_size) {
+    const std::size_t count = std::min<std::size_t>(word_size, n - base);
+    sources.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      sources[i] = static_cast<NodeId>(base + i);
+    }
+    rows.resize(count);
+    truncated.assign(count, 0);
+    multi_source_foremost(g, sources, start_time, policy, limits, ws, rows,
+                          truncated);
+    if (!scan_rows(std::span<const std::vector<Time>>(rows))) return;
+  }
+}
+
+}  // namespace
+
 bool temporally_connected(const TimeVaryingGraph& g, Time start_time,
                           Policy policy, SearchLimits limits) {
-  // Row-at-a-time engine queries so a disconnected source exits early.
-  QueryEngine engine(g, /*default_threads=*/1, CacheConfig::disabled());
-  for (NodeId u = 0; u < g.node_count(); ++u) {
-    const JourneyResult row = engine.run(
-        JourneyQuery::foremost(u, start_time).under(policy).within(limits));
-    for (Time t : row.arrivals) {
-      if (t == kTimeInfinity) return false;
+  bool connected = true;
+  for_each_closure_word(g, start_time, policy, limits,
+                        [&](std::span<const std::vector<Time>> rows) {
+    for (const std::vector<Time>& row : rows) {
+      for (const Time t : row) {
+        if (t == kTimeInfinity) {
+          connected = false;
+          return false;  // one unreachable pair decides the answer
+        }
+      }
     }
-  }
-  return true;
+    return true;
+  });
+  return connected;
 }
 
 std::optional<Time> temporal_diameter(const TimeVaryingGraph& g,
                                       Time start_time, Policy policy,
                                       SearchLimits limits) {
-  QueryEngine engine(g, /*default_threads=*/1, CacheConfig::disabled());
   Time diameter = 0;
-  for (NodeId u = 0; u < g.node_count(); ++u) {
-    const JourneyResult row = engine.run(
-        JourneyQuery::foremost(u, start_time).under(policy).within(limits));
-    for (Time t : row.arrivals) {
-      if (t == kTimeInfinity) return std::nullopt;
-      diameter = std::max(diameter, t - start_time);
+  bool connected = true;
+  for_each_closure_word(g, start_time, policy, limits,
+                        [&](std::span<const std::vector<Time>> rows) {
+    for (const std::vector<Time>& row : rows) {
+      for (const Time t : row) {
+        if (t == kTimeInfinity) {
+          connected = false;
+          return false;
+        }
+        diameter = std::max(diameter, t - start_time);
+      }
     }
-  }
+    return true;
+  });
+  if (!connected) return std::nullopt;
   return diameter;
 }
 

@@ -147,6 +147,36 @@ struct ForemostScan {
                                          Policy policy, SearchLimits limits,
                                          SearchWorkspace& ws);
 
+/// Bit-parallel multi-source foremost rows: the kernel behind
+/// QueryEngine::closure() and every sweep built on it.
+///
+/// Sources are packed 64 per `uint64_t` lane word; one ascending-time
+/// pass over the compiled ScheduleIndex + CSR propagates all lanes of a
+/// word together with bitwise ORs, so 64 rows cost roughly one walk of
+/// the shared (node, time) structure instead of 64. Two packed modes
+/// mirror the serial kernels exactly:
+///  * Wait + constant latencies — packed Dijkstra: a lane is finalized
+///    at a node the first instant it appears (earlier arrivals dominate);
+///  * NoWait / BoundedWait — packed configuration search: lane masks
+///    accumulate per (node, time) state, since later arrivals enable
+///    departures an early arrival cannot reach.
+///
+/// `rows[i]` / `truncated[i]` receive exactly what
+/// `foremost_scan(g, sources[i], ...)` would produce — bit-identical,
+/// which the packed path guarantees by falling back to per-source serial
+/// scans whenever it cannot: graphs with exact-predicate schedules or
+/// non-constant latencies, and words where a conservative budget guard
+/// shows the serial search could have hit SearchLimits::max_configs or
+/// its departure watchdog. Both spans must have sources.size() entries.
+/// Not thread-safe per workspace; shard distinct WORDS (64-source
+/// groups), not sources, across threads.
+void multi_source_foremost(const TimeVaryingGraph& g,
+                           std::span<const NodeId> sources, Time start_time,
+                           Policy policy, SearchLimits limits,
+                           SearchWorkspace& ws,
+                           std::span<std::vector<Time>> rows,
+                           std::span<char> truncated);
+
 /// The foremost journey source -> target, if any.
 [[nodiscard]] std::optional<Journey> foremost_journey(
     const TimeVaryingGraph& g, NodeId source, NodeId target, Time start_time,

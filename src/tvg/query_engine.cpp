@@ -1,8 +1,6 @@
 #include "tvg/query_engine.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
@@ -13,6 +11,63 @@
 #include "tvg/visited.hpp"
 
 namespace tvg {
+
+namespace {
+
+// Approximate heap footprints of the cached result snapshots — the byte
+// weights behind CacheConfig::max_bytes accounting. Deliberately rough
+// (struct size + owned array payloads): the budget guards against
+// closure-row blowup, not malloc-exact bookkeeping.
+
+[[nodiscard]] std::size_t approx_bytes(const Journey& j) {
+  return sizeof(Journey) + j.legs.size() * sizeof(JourneyLeg);
+}
+
+[[nodiscard]] std::size_t approx_bytes(const JourneyResult& r) {
+  return sizeof(JourneyResult) + r.arrivals.size() * sizeof(Time) +
+         (r.journey ? approx_bytes(*r.journey) : 0);
+}
+
+[[nodiscard]] std::size_t approx_bytes(const ClosureResult& r) {
+  std::size_t total = sizeof(ClosureResult);
+  for (const std::vector<Time>& row : r.rows) {
+    total += sizeof(row) + row.size() * sizeof(Time);
+  }
+  return total;
+}
+
+[[nodiscard]] std::size_t approx_bytes(const std::vector<AcceptOutcome>& v) {
+  std::size_t total = sizeof(v) + v.size() * sizeof(AcceptOutcome);
+  for (const AcceptOutcome& o : v) {
+    if (o.witness) total += approx_bytes(*o.witness);
+  }
+  return total;
+}
+
+/// Witness reconstruction shared by the batched acceptance search and
+/// its single-word fast path: walks a parent-linked config forest back
+/// from `idx`, collecting the crossed legs. Any config type with
+/// node/parent/via/dep fields works (the two searches keep distinct
+/// config layouts, but their witness semantics must never diverge).
+template <typename Config>
+[[nodiscard]] Journey witness_from(const std::vector<Config>& configs,
+                                   std::int64_t idx, Time start_time) {
+  std::vector<JourneyLeg> legs;
+  NodeId start = kInvalidNode;
+  for (std::int64_t i = idx; i >= 0;
+       i = configs[static_cast<std::size_t>(i)].parent) {
+    const Config& c = configs[static_cast<std::size_t>(i)];
+    if (c.via != kInvalidEdge) {
+      legs.push_back(JourneyLeg{c.via, c.dep});
+    } else {
+      start = c.node;
+    }
+  }
+  std::reverse(legs.begin(), legs.end());
+  return Journey{start, start_time, std::move(legs)};
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Construction and the workspace pool
@@ -66,37 +121,18 @@ void QueryEngine::parallel_for(std::size_t n, unsigned threads,
     for (std::size_t i = 0; i < n; ++i) fn(i, *ws);
     return;
   }
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> abort{false};
-  std::mutex err_mu;
-  std::exception_ptr first_error;
-  auto worker = [&] {
-    Lease ws = lease();
-    for (;;) {
-      // Checked in the claim loop: once any worker has failed, the batch
-      // outcome is fixed (the first error is rethrown, results are
-      // discarded), so the remaining workers stop claiming indices
-      // instead of draining the whole range.
-      if (abort.load(std::memory_order_relaxed)) return;
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        fn(i, *ws);
-      } catch (...) {
-        {
-          const std::scoped_lock lock(err_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-        abort.store(true, std::memory_order_relaxed);
-        return;
-      }
-    }
-  };
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) workers.emplace_back(worker);
-  for (std::thread& t : workers) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  // One leased workspace per participant slot, held for the whole batch
+  // (a slot's claim loop reuses it across every index it runs — same
+  // lease discipline as the per-call threads this pool replaced, minus
+  // the thread-creation latency). The pool's abort-flag semantics are
+  // unchanged: the first failing index stops further claiming and its
+  // exception is rethrown here after the batch drains.
+  std::vector<Lease> leases;
+  leases.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) leases.push_back(lease());
+  workers_.parallel_for(n, threads, [&](std::size_t i, unsigned slot) {
+    fn(i, *leases[slot]);
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -174,7 +210,7 @@ JourneyResult QueryEngine::run(const JourneyQuery& q) const {
     }
     Lease ws = lease();
     const auto owned = std::make_shared<const JourneyResult>(run_on(q, *ws));
-    cache_->insert(key, generation_, owned);
+    cache_->insert(key, generation_, owned, approx_bytes(*owned));
     return *owned;
   }
   Lease ws = lease();
@@ -218,7 +254,7 @@ std::vector<JourneyResult> QueryEngine::run(
     const std::size_t i = misses[k];
     const auto owned =
         std::make_shared<const JourneyResult>(run_on(queries[i], ws));
-    cache_->insert(keys[i], generation_, owned);
+    cache_->insert(keys[i], generation_, owned, approx_bytes(*owned));
     results[i] = *owned;
   });
   for (const auto& [follower, lead] : dups) {
@@ -255,15 +291,21 @@ ClosureResult QueryEngine::closure(const ClosureQuery& q) const {
   ClosureResult result;
   result.rows.resize(sources.size());
   std::vector<char> truncated(sources.size(), 0);
-  // Row i is written only by the worker that ran source i, so the merged
-  // matrix is independent of scheduling: bit-identical at any thread
-  // count to the serial sweep.
-  parallel_for(sources.size(), q.threads, [&](std::size_t i,
-                                              SearchWorkspace& ws) {
-    const ForemostScan scan = foremost_scan(g_, sources[i], q.start_time,
-                                            q.policy, q.limits, ws);
-    result.rows[i].assign(scan.arrival.begin(), scan.arrival.end());
-    truncated[i] = scan.truncated ? 1 : 0;
+  // Bit-parallel kernel: sources pack 64 per lane word, and the shard
+  // unit is the WORD-GROUP, not the source — each task runs one packed
+  // word (or its per-source fallback) and writes only its own 64-row
+  // slice, so the merged matrix is independent of scheduling:
+  // bit-identical at any thread count to the serial per-source sweep
+  // (which multi_source_foremost itself guarantees to reproduce).
+  const std::size_t words = (sources.size() + 63) / 64;
+  parallel_for(words, q.threads, [&](std::size_t w, SearchWorkspace& ws) {
+    const std::size_t lo = w * 64;
+    const std::size_t count = std::min<std::size_t>(64, sources.size() - lo);
+    multi_source_foremost(
+        g_, std::span<const NodeId>(sources).subspan(lo, count),
+        q.start_time, q.policy, q.limits, ws,
+        std::span<std::vector<Time>>(result.rows).subspan(lo, count),
+        std::span<char>(truncated).subspan(lo, count));
   });
   result.truncated =
       std::any_of(truncated.begin(), truncated.end(), [](char c) {
@@ -272,7 +314,7 @@ ClosureResult QueryEngine::closure(const ClosureQuery& q) const {
   if (cache_) {
     const auto owned =
         std::make_shared<const ClosureResult>(std::move(result));
-    cache_->insert(key, generation_, owned);
+    cache_->insert(key, generation_, owned, approx_bytes(*owned));
     return *owned;
   }
   return result;
@@ -392,6 +434,21 @@ std::vector<AcceptOutcome> QueryEngine::accepts(
     }
   }
 
+  // Point queries skip the trie machinery entirely (the ROADMAP's
+  // single-word fast path); the chain walk reproduces the batch-of-one
+  // outcome bit for bit.
+  if (words.size() == 1) {
+    std::vector<AcceptOutcome> outcomes;
+    outcomes.push_back(accepts_single(spec, words.front()));
+    if (cache_) {
+      const auto owned = std::make_shared<const std::vector<AcceptOutcome>>(
+          std::move(outcomes));
+      cache_->insert(key, generation_, owned, approx_bytes(*owned));
+      return *owned;
+    }
+    return outcomes;
+  }
+
   std::vector<char> accepting(g_.node_count(), 0);
   for (const NodeId v : spec.accepting) accepting[v] = 1;
 
@@ -404,22 +461,6 @@ std::vector<AcceptOutcome> QueryEngine::accepts(
   std::vector<ConfigAdmission> admission(trie.nodes.size(),
                                          ConfigAdmission(spec.horizon));
   bool truncated = false;
-
-  auto make_witness = [&](std::int64_t idx) {
-    std::vector<JourneyLeg> legs;
-    NodeId start = kInvalidNode;
-    for (std::int64_t i = idx; i >= 0;
-         i = configs[static_cast<std::size_t>(i)].parent) {
-      const BatchConfig& c = configs[static_cast<std::size_t>(i)];
-      if (c.via != kInvalidEdge) {
-        legs.push_back(JourneyLeg{c.via, c.dep});
-      } else {
-        start = c.node;
-      }
-    }
-    std::reverse(legs.begin(), legs.end());
-    return Journey{start, spec.start_time, std::move(legs)};
-  };
 
   // Admits a configuration; on an accepting hit resolves every pending
   // word ending at its trie position.
@@ -434,7 +475,8 @@ std::vector<AcceptOutcome> QueryEngine::accepts(
     }
     for (std::int32_t w = tn.word_head; w >= 0; w = trie.word_next[w]) {
       outcomes[static_cast<std::size_t>(w)].accepted = true;
-      outcomes[static_cast<std::size_t>(w)].witness = make_witness(idx);
+      outcomes[static_cast<std::size_t>(w)].witness =
+          witness_from(configs, idx, spec.start_time);
     }
     trie.resolve(c.trie);
   };
@@ -482,10 +524,84 @@ std::vector<AcceptOutcome> QueryEngine::accepts(
   if (cache_) {
     const auto owned = std::make_shared<const std::vector<AcceptOutcome>>(
         std::move(outcomes));
-    cache_->insert(key, generation_, owned);
+    cache_->insert(key, generation_, owned, approx_bytes(*owned));
     return *owned;
   }
   return outcomes;
+}
+
+AcceptOutcome QueryEngine::accepts_single(const AcceptSpec& spec,
+                                          const Word& word) const {
+  // A one-word trie degenerates to a path (trie node k = the length-k
+  // prefix), so the trie build, the intrusive word list, and the pending
+  // counters all collapse into a position index, and "subtree resolved"
+  // becomes "the word was accepted". Exploration order, admission,
+  // budget checks, and outcome fields mirror the batched search exactly
+  // — a batch of one must be indistinguishable from this walk.
+  std::vector<char> accepting(g_.node_count(), 0);
+  for (const NodeId v : spec.accepting) accepting[v] = 1;
+  const auto length = static_cast<std::uint32_t>(word.size());
+  const ScheduleIndex& sx = g_.schedule_index();
+
+  struct ChainConfig {
+    NodeId node{kInvalidNode};
+    Time time{0};
+    std::uint32_t pos{0};  // word symbols consumed (the trie position)
+    std::int64_t parent{-1};
+    EdgeId via{kInvalidEdge};
+    Time dep{0};
+  };
+  std::vector<ChainConfig> configs;
+  std::vector<ConfigAdmission> admission(length + 1,
+                                         ConfigAdmission(spec.horizon));
+  AcceptOutcome out;
+  bool truncated = false;
+
+  auto push = [&](const ChainConfig& c) {
+    if (!admission[c.pos].admit(c.node, c.time)) return;
+    configs.push_back(c);
+    if (c.pos != length || accepting[c.node] == 0 || out.accepted) return;
+    out.accepted = true;
+    out.witness =
+        witness_from(configs, static_cast<std::int64_t>(configs.size()) - 1,
+                     spec.start_time);
+  };
+
+  for (const NodeId v : spec.initial) {
+    if (out.accepted) break;
+    push(ChainConfig{v, spec.start_time, 0, -1, kInvalidEdge, 0});
+  }
+
+  for (std::size_t next = 0; next < configs.size() && !out.accepted;
+       ++next) {
+    if (configs.size() >= spec.max_configs) {
+      truncated = true;
+      break;
+    }
+    const ChainConfig cur = configs[next];
+    if (cur.pos == length) continue;  // leaf: nothing left to read
+    const auto idx = static_cast<std::int64_t>(next);
+    const Symbol symbol = word[cur.pos];
+    for (const EdgeId eid : g_.out_edges_labeled(cur.node, symbol)) {
+      if (out.accepted) break;
+      // Affine ζ under Wait: arrival is monotone in departure, so the
+      // earliest admissible departure dominates (budget 1 is exact).
+      const std::size_t wait_budget =
+          sx.record(eid).lat_affine ? 1 : spec.departures_per_edge;
+      for_each_policy_departure(
+          sx, eid, cur.time, spec.policy, spec.horizon, wait_budget,
+          [&](Time dep) {
+            const Time arr = sx.arrival(eid, dep);
+            push(ChainConfig{sx.record(eid).to, arr,
+                             cur.pos + 1, idx, eid, dep});
+            return !out.accepted;
+          });
+    }
+  }
+
+  out.configs_explored = configs.size();
+  if (!out.accepted) out.truncated = truncated;
+  return out;
 }
 
 }  // namespace tvg

@@ -54,6 +54,7 @@
 #include "tvg/journey.hpp"
 #include "tvg/policy.hpp"
 #include "tvg/result_cache.hpp"
+#include "tvg/worker_pool.hpp"
 
 namespace tvg {
 
@@ -236,6 +237,14 @@ class QueryEngine {
     return default_threads_;
   }
 
+  /// Worker threads the engine's persistent pool has spawned so far
+  /// (monotone; 0 until the first multi-threaded batch). Consecutive
+  /// batches REUSE these workers — the count growing between two equal
+  /// batches would mean the pool regressed to per-call spawning.
+  [[nodiscard]] std::size_t worker_threads_spawned() const noexcept {
+    return workers_.threads_spawned();
+  }
+
   /// True when this engine memoizes results (CacheConfig::enabled with a
   /// nonzero capacity).
   [[nodiscard]] bool cache_enabled() const noexcept {
@@ -294,9 +303,17 @@ class QueryEngine {
   [[nodiscard]] JourneyResult run_on(const JourneyQuery& q,
                                      SearchWorkspace& ws) const;
 
+  /// Batch-of-one acceptance fast path: a chain-specialized walk that
+  /// skips the trie build and the pending-subtree bookkeeping. Outcome
+  /// fields (accepted, truncated, configs_explored, witness) match the
+  /// batched search on the same single word exactly.
+  [[nodiscard]] AcceptOutcome accepts_single(const AcceptSpec& spec,
+                                             const Word& word) const;
+
   /// Runs fn(index, workspace) for index in [0, n), sharded over
-  /// `threads` workers each holding one leased workspace. Rethrows the
-  /// first worker exception after joining.
+  /// `threads` participants of the persistent worker pool, each holding
+  /// one leased workspace for the whole batch. Rethrows the first
+  /// worker exception after the batch drains.
   template <typename Fn>
   void parallel_for(std::size_t n, unsigned threads, Fn&& fn) const;
 
@@ -304,6 +321,10 @@ class QueryEngine {
   unsigned default_threads_;
   mutable std::mutex pool_mu_;
   mutable std::vector<std::unique_ptr<SearchWorkspace>> pool_;
+  /// Persistent workers behind every batch entry point: lazily started
+  /// on the first multi-threaded batch, reused across calls (batches no
+  /// longer pay per-query thread creation), joined in ~QueryEngine.
+  mutable WorkerPool workers_;
   /// Engine-level result cache (null when disabled) and the generation
   /// tag stamped into its entries: drawn fresh per engine, so an entry
   /// can only ever be served by the engine incarnation (and therefore

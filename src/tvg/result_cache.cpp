@@ -143,18 +143,31 @@ struct ResultCache::Shard {
     QueryKey key;
     Generation generation{0};
     ValuePtr value;
+    std::size_t bytes{0};
   };
 
-  explicit Shard(std::size_t cap) : capacity(cap) {}
+  Shard(std::size_t cap, std::size_t byte_cap)
+      : capacity(cap), max_bytes(byte_cap) {}
 
   std::mutex mu;
   std::list<Entry> lru;  // front = most recently used
   std::unordered_map<QueryKey, std::list<Entry>::iterator> map;
   std::size_t capacity{1};
+  std::size_t max_bytes{0};  // 0 = count-based accounting only
+  std::size_t bytes{0};      // tracked only when max_bytes > 0
   std::uint64_t hits{0};
   std::uint64_t misses{0};
   std::uint64_t evictions{0};
   std::uint64_t generation_drops{0};
+  std::uint64_t oversized_rejects{0};
+
+  /// Removes the LRU tail (caller holds mu and guarantees non-empty).
+  void evict_tail() {
+    bytes -= lru.back().bytes;
+    map.erase(lru.back().key);
+    lru.pop_back();
+    ++evictions;
+  }
 };
 
 ResultCache::ResultCache(CacheConfig config) {
@@ -165,9 +178,13 @@ ResultCache::ResultCache(CacheConfig config) {
   if (capacity_ > 0 && n > capacity_) n = floor_pow2(capacity_);
   const std::size_t per_shard =
       capacity_ > 0 ? std::max<std::size_t>(1, capacity_ / n) : 0;
+  const std::size_t per_shard_bytes =
+      capacity_ > 0 && config.max_bytes > 0
+          ? std::max<std::size_t>(1, config.max_bytes / n)
+          : 0;
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    shards_.push_back(std::make_unique<Shard>(per_shard));
+    shards_.push_back(std::make_unique<Shard>(per_shard, per_shard_bytes));
   }
 }
 
@@ -192,6 +209,7 @@ ResultCache::ValuePtr ResultCache::find(const QueryKey& key,
     return nullptr;
   }
   if (it->second->generation != generation) {
+    s.bytes -= it->second->bytes;
     s.lru.erase(it->second);
     s.map.erase(it);
     ++s.generation_drops;
@@ -204,24 +222,37 @@ ResultCache::ValuePtr ResultCache::find(const QueryKey& key,
 }
 
 void ResultCache::insert(const QueryKey& key, Generation generation,
-                         ValuePtr value) {
+                         ValuePtr value, std::size_t bytes) {
   if (key.empty() || value == nullptr) return;
   Shard& s = shard_for(key);
   const std::scoped_lock lock(s.mu);
   if (s.capacity == 0) return;
+  if (s.max_bytes == 0) bytes = 0;  // count-based: don't track weights
+  if (s.max_bytes > 0 && bytes > s.max_bytes) {
+    // One value larger than the shard's whole byte budget: caching it
+    // would evict everything else and still leave the shard over budget.
+    // Reject instead (a stale same-key entry, if any, is left to the
+    // generation check at find time).
+    ++s.oversized_rejects;
+    return;
+  }
   const auto it = s.map.find(key);
   if (it != s.map.end()) {
+    s.bytes += bytes - it->second->bytes;
+    it->second->bytes = bytes;
     it->second->generation = generation;
     it->second->value = std::move(value);
     s.lru.splice(s.lru.begin(), s.lru, it->second);
-    return;
+  } else {
+    s.lru.push_front(Shard::Entry{key, generation, std::move(value), bytes});
+    s.map.emplace(key, s.lru.begin());
+    s.bytes += bytes;
   }
-  s.lru.push_front(Shard::Entry{key, generation, std::move(value)});
-  s.map.emplace(key, s.lru.begin());
-  if (s.map.size() > s.capacity) {
-    s.map.erase(s.lru.back().key);
-    s.lru.pop_back();
-    ++s.evictions;
+  // The fresh entry alone fits the byte budget (checked above), so both
+  // loops stop before evicting it.
+  while (s.map.size() > s.capacity ||
+         (s.max_bytes > 0 && s.bytes > s.max_bytes)) {
+    s.evict_tail();
   }
 }
 
@@ -230,6 +261,7 @@ void ResultCache::clear() {
     const std::scoped_lock lock(shard->mu);
     shard->map.clear();
     shard->lru.clear();
+    shard->bytes = 0;
   }
 }
 
@@ -241,7 +273,9 @@ CacheStats ResultCache::stats() const {
     total.misses += shard->misses;
     total.evictions += shard->evictions;
     total.generation_drops += shard->generation_drops;
+    total.oversized_rejects += shard->oversized_rejects;
     total.entries += shard->map.size();
+    total.bytes += shard->bytes;
   }
   return total;
 }

@@ -54,6 +54,15 @@ struct CacheConfig {
   /// Maximum cached results, summed over shards (entries, not bytes: a
   /// closure row block counts as one entry). 0 behaves like disabled.
   std::size_t capacity{1024};
+  /// Byte budget across shards, 0 = unlimited (count-based accounting
+  /// only — the default). When set, every insert carries the value's
+  /// approximate heap footprint: the LRU tail is evicted until the
+  /// shard fits its share of the budget again, and a single result
+  /// larger than that share is rejected outright instead of wiping the
+  /// shard. This is the knob for closure-heavy workloads whose rows
+  /// (sources × nodes × 8 bytes each) would blow memory long before
+  /// `capacity` entries exist.
+  std::size_t max_bytes{0};
   /// Lock stripes; rounded up to a power of two, clamped to >= 1.
   std::size_t shards{8};
 
@@ -70,8 +79,14 @@ struct CacheStats {
   std::uint64_t evictions{0};
   /// Entries dropped by a generation mismatch (counted as misses too).
   std::uint64_t generation_drops{0};
+  /// Inserts rejected because one value exceeded a shard's whole byte
+  /// budget (only possible when CacheConfig::max_bytes is set).
+  std::uint64_t oversized_rejects{0};
   /// Live entries right now, summed over shards.
   std::size_t entries{0};
+  /// Approximate bytes held right now (0 unless max_bytes accounting is
+  /// on — without a budget the per-insert weights are not tracked).
+  std::size_t bytes{0};
 };
 
 /// Canonical cache key: one query kind tag plus the flattened request
@@ -143,8 +158,14 @@ class ResultCache {
   [[nodiscard]] ValuePtr find(const QueryKey& key, Generation generation);
 
   /// Inserts (or refreshes) `key` → `value` under `generation`, evicting
-  /// the shard's LRU tail when over capacity. No-op for an empty key.
-  void insert(const QueryKey& key, Generation generation, ValuePtr value);
+  /// the shard's LRU tail while over the entry capacity or (when
+  /// CacheConfig::max_bytes is set) over the shard's byte budget.
+  /// `bytes` is the value's approximate heap footprint — only read by
+  /// the byte accounting; QueryEngine computes it per result type. An
+  /// insert whose `bytes` alone exceed the shard budget is rejected
+  /// (counted in oversized_rejects). No-op for an empty key.
+  void insert(const QueryKey& key, Generation generation, ValuePtr value,
+              std::size_t bytes = 1);
 
   /// Drops every entry (all shards). Stats counters are kept.
   void clear();

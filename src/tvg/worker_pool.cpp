@@ -1,0 +1,171 @@
+#include "tvg/worker_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace tvg {
+
+/// One submitted batch. The submitter and every worker that joins share
+/// it through a shared_ptr, so a worker arriving after the submitter
+/// already returned still touches live memory (it then finds the claim
+/// counter exhausted and leaves without ever dereferencing `fn`).
+struct WorkerPool::Batch {
+  std::size_t n{0};
+  const Task* fn{nullptr};      // owned by the submitter's frame
+  unsigned max_slots{1};        // parallelism cap (submitter included)
+  std::atomic<std::size_t> next{0};   // claim counter over [0, n)
+  std::atomic<unsigned> slots{0};     // next participant slot to hand out
+  std::atomic<bool> abort{false};     // set by the first failing task
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::size_t in_flight{0};           // participants inside run_claims
+  std::exception_ptr first_error;     // both guarded by done_mu
+
+  /// True once no further index will ever be claimed from this batch.
+  [[nodiscard]] bool exhausted() const {
+    return abort.load(std::memory_order_relaxed) ||
+           next.load(std::memory_order_relaxed) >= n;
+  }
+};
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::scoped_lock lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::size_t WorkerPool::threads_spawned() const {
+  const std::scoped_lock lock(mu_);
+  return workers_.size();
+}
+
+void WorkerPool::run_claims(Batch& b, unsigned slot) {
+  for (;;) {
+    // Once any participant has failed, the batch outcome is fixed (the
+    // first error is rethrown by the submitter), so the rest stop
+    // claiming instead of draining the range — same abort semantics as
+    // the per-call-thread code this pool replaced.
+    if (b.abort.load(std::memory_order_relaxed)) break;
+    const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= b.n) break;
+    try {
+      (*b.fn)(i, slot);
+    } catch (...) {
+      {
+        const std::scoped_lock lock(b.done_mu);
+        if (!b.first_error) b.first_error = std::current_exception();
+      }
+      b.abort.store(true, std::memory_order_relaxed);
+      break;
+    }
+  }
+  const std::scoped_lock lock(b.done_mu);
+  --b.in_flight;
+  if (b.in_flight == 0) b.done_cv.notify_all();
+}
+
+void WorkerPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Scans the queue for a batch with a free participant slot, dropping
+  // drained batches it walks past (the submitter also removes its own;
+  // whoever comes second finds it gone).
+  auto joinable = [&]() -> std::shared_ptr<Batch> {
+    for (std::size_t i = 0; i < queue_.size();) {
+      if (queue_[i]->exhausted()) {
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      if (queue_[i]->slots.load(std::memory_order_relaxed) <
+          queue_[i]->max_slots) {
+        return queue_[i];
+      }
+      ++i;  // fully subscribed; its participants will finish it
+    }
+    return nullptr;
+  };
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    work_cv_.wait(lock,
+                  [&] { return stop_ || (batch = joinable()) != nullptr; });
+    if (stop_) return;
+    const unsigned slot = batch->slots.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= batch->max_slots) continue;  // lost the race; rescan
+    {
+      const std::scoped_lock done_lock(batch->done_mu);
+      ++batch->in_flight;
+    }
+    lock.unlock();
+    run_claims(*batch, slot);
+    batch.reset();
+    lock.lock();
+  }
+}
+
+void WorkerPool::parallel_for(std::size_t n, unsigned parallelism,
+                              const Task& fn) {
+  if (n == 0) return;
+  if (parallelism <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  const auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+  batch->max_slots = parallelism;
+  {
+    const std::scoped_lock lock(mu_);
+    // The submitter participates, so W-way parallelism needs W − 1 pool
+    // workers; grow (monotonically) only when a call wants more than
+    // every previous one did, and never past the clamp documented in
+    // the header — the pool outlives the batch, so a transient wide
+    // request must not become a permanent thread-stack leak.
+    const std::size_t cap = std::max<std::size_t>(
+        2 * std::thread::hardware_concurrency(), 8);
+    const std::size_t want = std::min<std::size_t>(parallelism - 1, cap);
+    while (workers_.size() < want) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+    queue_.push_back(batch);
+  }
+  work_cv_.notify_all();
+  const unsigned slot = batch->slots.fetch_add(1, std::memory_order_relaxed);
+  if (slot < batch->max_slots) {
+    {
+      const std::scoped_lock done_lock(batch->done_mu);
+      ++batch->in_flight;
+    }
+    run_claims(*batch, slot);
+  }
+  {
+    std::unique_lock<std::mutex> done_lock(batch->done_mu);
+    // in_flight == 0 alone is not completion: a worker that joined but
+    // has not yet entered run_claims is invisible to it. Requiring the
+    // claim counter exhausted (or the abort flag) as well makes late
+    // joiners harmless — they can no longer claim an index, so they
+    // never touch `fn` after this wait returns.
+    batch->done_cv.wait(done_lock, [&] {
+      return batch->in_flight == 0 && batch->exhausted();
+    });
+  }
+  {
+    const std::scoped_lock lock(mu_);
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (queue_[i] == batch) {
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  std::exception_ptr err;
+  {
+    const std::scoped_lock done_lock(batch->done_mu);
+    err = batch->first_error;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace tvg

@@ -1,0 +1,98 @@
+// tvg::WorkerPool — the persistent thread pool behind QueryEngine's
+// batch sharding.
+//
+// Before this component, every parallel batch (journey batches,
+// multi-source closures) spawned and joined fresh std::threads per call,
+// so a hot serving loop paid thread-creation latency on every query.
+// The pool keeps workers alive across calls:
+//
+//  * lazily started — constructing the pool spawns nothing; the first
+//    parallel_for that wants W-way parallelism grows the pool to W − 1
+//    workers (the calling thread always participates as the W-th), and
+//    the pool only ever grows to the largest parallelism requested;
+//  * condition-variable task queue — parallel_for enqueues one claim-
+//    counter batch; idle workers wake, join the batch (up to its
+//    parallelism cap), and claim indices from a shared atomic counter,
+//    so load-imbalanced index ranges self-balance;
+//  * abort-flag error semantics, identical to the per-call-thread code
+//    it replaces: the first exception aborts further claiming (in-flight
+//    indices finish), and parallel_for rethrows it after the batch
+//    drains;
+//  * concurrent batches are fine — entry points submitting from several
+//    threads share the worker set; a nested parallel_for issued from
+//    inside a task also completes, because the submitting thread always
+//    claims indices itself (progress never depends on a free worker);
+//  * clean join in the destructor — workers exit when the pool is
+//    destroyed; destruction must not race live parallel_for calls (the
+//    owner's lifetime rules cover this: QueryEngine is destroyed only
+//    after its entry points returned).
+//
+// This is also the substrate the async/streaming serving item on the
+// ROADMAP needs: a submission queue with completion signalling already
+// exists here; futures are a thin layer on top.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tvg {
+
+class WorkerPool {
+ public:
+  /// Task body: fn(index, slot). `index` is the claimed work item in
+  /// [0, n); `slot` identifies the participating worker within this
+  /// batch, densely numbered from 0 and strictly less than the
+  /// parallelism passed to parallel_for — callers use it to index
+  /// per-worker state (QueryEngine hands each slot one leased
+  /// workspace).
+  using Task = std::function<void(std::size_t index, unsigned slot)>;
+
+  WorkerPool() = default;
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs fn(i, slot) for every i in [0, n), on up to `parallelism`
+  /// participants (this thread included — it always claims work, so the
+  /// call makes progress even with zero pool workers free). Blocks until
+  /// every claimed index finished; if any task threw, further claiming
+  /// stops and the FIRST exception is rethrown here after the batch
+  /// drains. Thread-safe: concurrent calls share the worker set.
+  ///
+  /// Pool growth is clamped at max(2 × hardware_concurrency, 8) workers:
+  /// a request wider than that still completes (with fewer participants
+  /// and the same results — batch sharding is scheduling-only), but one
+  /// absurdly wide call can no longer pin hundreds of idle OS threads
+  /// for the pool's whole lifetime.
+  void parallel_for(std::size_t n, unsigned parallelism, const Task& fn);
+
+  /// Workers ever spawned (monotone). The pool never shrinks while
+  /// alive, so this equals the live worker count; exposed so tests can
+  /// assert that consecutive batches REUSE workers instead of spawning.
+  [[nodiscard]] std::size_t threads_spawned() const;
+
+ private:
+  /// One claim-counter batch; shared by the submitter and every worker
+  /// that joins it.
+  struct Batch;
+
+  void worker_loop();
+  /// Runs the claim loop of `batch` as participant `slot`; returns with
+  /// the participant count already decremented (and the submitter
+  /// signalled when it hits zero).
+  static void run_claims(Batch& batch, unsigned slot);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Batch>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_{false};
+};
+
+}  // namespace tvg

@@ -367,6 +367,81 @@ TEST(QueryEngine, ThrowingQueryMidBatchFailsFastAcrossThreads) {
   }
 }
 
+TEST(QueryEngine, WorkerPoolReusedAcrossBatches) {
+  RandomPeriodicParams params;
+  params.nodes = 10;
+  params.edges = 30;
+  params.seed = 17;
+  const TimeVaryingGraph g = make_random_periodic(params);
+  const QueryEngine engine(g, 0, CacheConfig::disabled());
+  EXPECT_EQ(engine.worker_threads_spawned(), 0u);  // lazily started
+  std::vector<JourneyQuery> queries;
+  for (int i = 0; i < 48; ++i) {
+    queries.push_back(JourneyQuery::foremost(
+        static_cast<NodeId>(i % g.node_count()), i % 5));
+  }
+  (void)engine.run(queries, /*threads=*/4);
+  const std::size_t spawned = engine.worker_threads_spawned();
+  // 4-way parallelism = the caller + at most 3 pool workers.
+  EXPECT_GE(spawned, 1u);
+  EXPECT_LE(spawned, 3u);
+  // Consecutive batches — and the closure path, which shares the pool —
+  // REUSE the workers: any growth here would mean the engine regressed
+  // to per-call thread spawning.
+  for (int round = 0; round < 3; ++round) {
+    (void)engine.run(queries, /*threads=*/4);
+    ClosureQuery q;
+    q.limits = SearchLimits::up_to(100);
+    q.threads = 4;
+    (void)engine.closure(q);
+    EXPECT_EQ(engine.worker_threads_spawned(), spawned) << round;
+  }
+  // A wider batch may grow the pool once, monotonically, and later
+  // narrow batches never shrink or respawn it.
+  (void)engine.run(queries, /*threads=*/6);
+  const std::size_t wider = engine.worker_threads_spawned();
+  EXPECT_LE(wider, 5u);
+  (void)engine.run(queries, /*threads=*/4);
+  EXPECT_EQ(engine.worker_threads_spawned(), wider);
+}
+
+TEST(QueryEngine, SingleWordFastPathMatchesBatchOfTwoDuplicates) {
+  // accepts() routes a batch of one through the chain-specialized fast
+  // path; a batch of two identical words takes the trie path. Both must
+  // agree on every outcome field (the duplicate pair explores the same
+  // chain the fast path walks).
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    RandomScheduledParams params;
+    params.nodes = 6;
+    params.edges = 15;
+    params.horizon = 30;
+    params.seed = seed;
+    const TimeVaryingGraph g = make_random_scheduled(params);
+    QueryEngine engine(g, 0, CacheConfig::disabled());
+    AcceptSpec spec;
+    spec.initial = {0};
+    spec.accepting = {1, 2};
+    spec.horizon = 80;
+    for (const Policy policy :
+         {Policy::no_wait(), Policy::bounded_wait(2), Policy::wait()}) {
+      spec.policy = policy;
+      for (const Word& word : {Word{}, Word{"a"}, Word{"ab"}, Word{"abab"},
+                               Word{"bbaa"}}) {
+        const auto solo =
+            engine.accepts(spec, std::span<const Word>(&word, 1));
+        const std::vector<Word> pair{word, word};
+        const auto dup = engine.accepts(spec, pair);
+        ASSERT_EQ(solo.size(), 1u);
+        EXPECT_EQ(solo[0].accepted, dup[0].accepted)
+            << "seed=" << seed << " w='" << word << "'";
+        EXPECT_EQ(solo[0].truncated, dup[0].truncated);
+        EXPECT_EQ(solo[0].witness, dup[0].witness);
+        EXPECT_EQ(solo[0].configs_explored, dup[0].configs_explored);
+      }
+    }
+  }
+}
+
 TEST(QueryEngine, EmptyGraphAndEmptyBatches) {
   TimeVaryingGraph g;
   QueryEngine engine(g);

@@ -135,6 +135,85 @@ TEST(ResultCache, EvictsLeastRecentlyUsedAtCapacity) {
   EXPECT_EQ(stats.entries, 4u);
 }
 
+TEST(ResultCache, ByteBudgetEvictsLruTail) {
+  // Store-level check of the byte-weighted accounting: with a budget of
+  // 100 bytes on one shard, 30-byte entries fit three at a time and a
+  // fourth insert evicts the least recently used.
+  CacheConfig config;
+  config.capacity = 64;  // entry count never binds in this test
+  config.max_bytes = 100;
+  config.shards = 1;
+  ResultCache cache(config);
+  const auto generation = ResultCache::next_generation();
+  auto key_for = [](NodeId target) {
+    return QueryKey::journey(JourneyQuery::foremost(0, 0).to(target));
+  };
+  auto value = std::make_shared<const int>(7);
+  for (NodeId target = 0; target < 3; ++target) {
+    cache.insert(key_for(target), generation, value, 30);
+  }
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.bytes, 90u);
+  EXPECT_EQ(stats.evictions, 0u);
+  cache.insert(key_for(3), generation, value, 30);  // 120 > 100: evict one
+  stats = cache.stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.bytes, 90u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(cache.find(key_for(0), generation), nullptr);  // the LRU tail
+  EXPECT_NE(cache.find(key_for(3), generation), nullptr);
+  // A single value over the whole shard budget is rejected outright —
+  // caching it would wipe the shard and still not fit.
+  cache.insert(key_for(4), generation, value, 101);
+  stats = cache.stats();
+  EXPECT_EQ(stats.oversized_rejects, 1u);
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(cache.find(key_for(4), generation), nullptr);
+  // A refresh that grows an entry re-balances the budget.
+  cache.insert(key_for(3), generation, value, 80);  // 80 + 2*30 > 100
+  stats = cache.stats();
+  EXPECT_LE(stats.bytes, 100u);
+  EXPECT_NE(cache.find(key_for(3), generation), nullptr);
+}
+
+TEST(ResultCache, ByteBudgetBoundsClosureHeavyEngines) {
+  // Engine-level: distinct closure queries produce multi-row snapshots
+  // far heavier than one journey entry; a byte budget keeps the resident
+  // set bounded where the default count-based accounting would happily
+  // hold `capacity` of them.
+  const TimeVaryingGraph g = test_graph(6);
+  const std::size_t row_block =
+      g.node_count() * g.node_count() * sizeof(Time);
+  CacheConfig config;
+  config.capacity = 1024;
+  config.max_bytes = 4 * row_block;  // room for a few closures, not 64
+  config.shards = 1;
+  const QueryEngine engine(g, 1, config);
+  for (Time t0 = 0; t0 < 64; ++t0) {
+    ClosureQuery q;
+    q.start_time = t0;
+    q.limits = SearchLimits::up_to(200);
+    (void)engine.closure(q);
+  }
+  const CacheStats stats = engine.cache_stats();
+  EXPECT_LE(stats.bytes, config.max_bytes);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.entries, 0u);
+  EXPECT_LT(stats.entries, 64u);
+  // Count-based default (max_bytes = 0): all 64 closures stay resident
+  // and no byte accounting is reported.
+  const QueryEngine unbounded(g, 1, CacheConfig{});
+  for (Time t0 = 0; t0 < 64; ++t0) {
+    ClosureQuery q;
+    q.start_time = t0;
+    q.limits = SearchLimits::up_to(200);
+    (void)unbounded.closure(q);
+  }
+  EXPECT_EQ(unbounded.cache_stats().entries, 64u);
+  EXPECT_EQ(unbounded.cache_stats().bytes, 0u);
+}
+
 TEST(ResultCache, ClearDropsEntriesAndKeepsCounters) {
   const TimeVaryingGraph g = test_graph(5);
   const QueryEngine engine(g);
