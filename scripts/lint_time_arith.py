@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Repo-specific lint: raw +/- on tvg::Time expressions.
+
+tvg::Time is a signed 64-bit integer whose maximum (kTimeInfinity) is a
+live sentinel that flows through every kernel. Raw `+` / `-` on values
+that can be kTimeInfinity (or near it) is signed-overflow UB — exactly
+the bug class PR 4 fixed by hand in three separate sites after UBSan
+caught it. The fix is the saturating helpers in src/tvg/time.hpp
+(sat_add / sat_sub / sat_mul); this lint keeps raw arithmetic from
+creeping back in.
+
+What it does (heuristic, file-local — no compiler needed):
+
+ 1. collects the identifiers a file declares with type Time (locals,
+    parameters, members, constants: `Time dep`, `const Time arr = ...`)
+    plus the always-Time names (kTimeInfinity, start_time, ...);
+ 2. strips comments / string literals, then flags every binary `+`, `-`,
+    `+=`, `-=` whose left or right operand is one of those identifiers;
+ 3. skips sites the author has audited and marked with a
+    `// time-arith: <why it cannot overflow>` comment on the same or the
+    preceding line, and files on the built-in allowlist (time.hpp /
+    time.cpp implement the saturating ops themselves).
+
+Exit status: 0 when every finding is suppressed-by-audit, 1 otherwise —
+CI runs it as a merge gate, so a new raw-arithmetic site must either be
+converted to sat_add/sat_sub or carry a written justification.
+
+Usage:
+  scripts/lint_time_arith.py              # lint src/ under the repo root
+  scripts/lint_time_arith.py FILE...      # lint specific files
+  scripts/lint_time_arith.py --stats      # also print per-file counts
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Files that implement the saturating arithmetic layer itself: raw ops
+# here are the point (overflow guards must compare and subtract raw).
+ALLOWLIST = {
+    "src/tvg/time.hpp",
+    "src/tvg/time.cpp",
+}
+
+# Identifiers that are Time-typed everywhere in this codebase, whether or
+# not the current file declares them (API vocabulary, not locals).
+ALWAYS_TIME = {
+    "kTimeInfinity",
+    "start_time",
+    "depart_hi",
+    "horizon",
+}
+
+SUPPRESS_MARK = "time-arith:"
+
+DECL_RE = re.compile(
+    r"\bTime\s+(?:&\s*)?([A-Za-z_]\w*)\b(?!\s*\()"  # `Time x` but not `Time f(`
+)
+# `for (Time t = ...; ...)` and struct members `Time lo{0};` are caught by
+# DECL_RE too. Casts `static_cast<Time>(x)` bind a Time value to the whole
+# cast expression, not an identifier — conservatively out of scope.
+
+IDENT = r"[A-Za-z_]\w*"
+# candidate binary op:  <ident or ident.member chain>  (+|-|+=|-=)  <operand>
+BINOP_RE = re.compile(
+    rf"(?P<lhs>(?:{IDENT}(?:\s*(?:\.|->)\s*{IDENT})*))"
+    rf"\s*(?P<op>\+=|-=|\+|-)\s*"
+    rf"(?P<rhs>(?:{IDENT}(?:\s*(?:\.|->)\s*{IDENT})*|\d+)?)"
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving newlines and
+    column positions (replaced with spaces)."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i + 1 < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif c in "\"'":
+            quote = c
+            out[i] = " "
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                    if i < n and text[i] != "\n":
+                        out[i] = " "
+                    i += 1
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def last_ident(chain: str) -> str:
+    """`ws.arrival` -> `arrival`; `b->n` -> `n`; `dep` -> `dep`."""
+    return re.split(r"\s*(?:\.|->)\s*", chain)[-1]
+
+
+def lint_file(path: pathlib.Path, rel: str) -> list[tuple[str, int, str]]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.splitlines()
+    code = strip_comments_and_strings(raw)
+    code_lines = code.splitlines()
+
+    time_idents = set(ALWAYS_TIME)
+    for m in DECL_RE.finditer(code):
+        time_idents.add(m.group(1))
+
+    findings: list[tuple[str, int, str]] = []
+    for lineno, line in enumerate(code_lines, start=1):
+        orig = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+        prev = raw_lines[lineno - 2] if lineno - 2 >= 0 else ""
+        if SUPPRESS_MARK in orig or SUPPRESS_MARK in prev:
+            continue
+        for m in BINOP_RE.finditer(line):
+            lhs, op, rhs = m.group("lhs"), m.group("op"), m.group("rhs") or ""
+            lhs_id, rhs_id = last_ident(lhs), last_ident(rhs) if rhs else ""
+            if lhs_id not in time_idents and rhs_id not in time_idents:
+                continue
+            # `a - b` where the next char begins `->` was split wrong: the
+            # regex already refuses that (rhs would start with `>`), but a
+            # template `vector<Time>-ish` context can't appear either.
+            # Unary minus never matches (lhs requires an identifier).
+            end = m.end("op")
+            after = line[end:end + 1]
+            if op == "-" and after == ">":
+                continue  # `->` member access
+            if op in ("+", "-") and after == op:
+                continue  # `++` / `--`
+            snippet = orig.strip()
+            findings.append((rel, lineno, f"`{m.group(0).strip()}` in: {snippet}"))
+            break  # one finding per line keeps the report readable
+    return findings
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", help="files to lint (default: src/)")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: the script's parent's parent)")
+    ap.add_argument("--stats", action="store_true",
+                    help="print per-file finding counts")
+    args = ap.parse_args()
+
+    root = pathlib.Path(args.root) if args.root else \
+        pathlib.Path(__file__).resolve().parent.parent
+    if args.paths:
+        files = []
+        for p in args.paths:
+            path = pathlib.Path(p).resolve()
+            if path.is_dir():
+                files += sorted(path.rglob("*.hpp")) + \
+                    sorted(path.rglob("*.cpp"))
+            else:
+                files.append(path)
+    else:
+        files = sorted((root / "src").rglob("*.hpp")) + \
+            sorted((root / "src").rglob("*.cpp"))
+
+    all_findings: list[tuple[str, int, str]] = []
+    per_file: dict[str, int] = {}
+    for f in files:
+        try:
+            rel = str(f.relative_to(root))
+        except ValueError:
+            rel = str(f)
+        if rel in ALLOWLIST:
+            continue
+        findings = lint_file(f, rel)
+        if findings:
+            per_file[rel] = len(findings)
+            all_findings.extend(findings)
+
+    for rel, lineno, msg in all_findings:
+        print(f"{rel}:{lineno}: raw Time arithmetic {msg}")
+    if args.stats and per_file:
+        print("\nper-file totals:")
+        for rel, count in sorted(per_file.items(), key=lambda kv: -kv[1]):
+            print(f"  {count:4d}  {rel}")
+    if all_findings:
+        print(f"\n{len(all_findings)} raw Time-arithmetic site(s). "
+              f"Convert to sat_add/sat_sub (src/tvg/time.hpp) or, if the "
+              f"operands provably cannot overflow, annotate the line (or "
+              f"the line above) with `// {SUPPRESS_MARK} <reason>`.")
+        return 1
+    print("lint_time_arith: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

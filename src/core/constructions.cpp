@@ -50,10 +50,13 @@ AnbnConstruction make_anbn_tvg(Time p, Time q, Time any_latency) {
 
   // e0 : v0 -a-> v0, always present, ζ = (p-1)t  (crossing at t lands p·t).
   c.e0 = c.graph.add_edge(c.v0, c.v0, 'a', Presence::always(),
+                          // time-arith: p is a small validated prime
                           Latency::affine(p - 1, 0), "e0");
 
   // e1 : v0 -b-> v1, present iff t > p, ζ = (q-1)t.
+  // time-arith: p, q are small validated primes (>= 2)
   c.e1 = c.graph.add_edge(c.v0, c.v1, 'b', Presence::eventually_always(p + 1),
+                          // time-arith: q is a small validated prime
                           Latency::affine(q - 1, 0), "e1");
 
   // e2 : v1 -b-> v1, present iff t != p^i q^(i-1) (i>1), ζ = (q-1)t.
@@ -64,10 +67,12 @@ AnbnConstruction make_anbn_tvg(Time p, Time q, Time any_latency) {
           [p, q](Time from) -> std::optional<Time> {
             if (from < 0) from = 0;
             // Magic instants are isolated (never adjacent), so either
-            // `from` itself or `from + 1` is non-magic.
-            return is_pq_power(from, p, q) ? from + 1 : from;
+            // `from` itself or `from + 1` is non-magic. sat_add: probes
+            // can land on the very last representable instant.
+            return is_pq_power(from, p, q) ? sat_add(from, 1) : from;
           },
           "t != p^i*q^(i-1)"),
+      // time-arith: p, q are small validated primes (>= 2)
       Latency::affine(q - 1, 0), "e2");
 
   // e3 : v0 -b-> v2, present iff t = p, ζ = any.
@@ -115,7 +120,7 @@ Time encode_word(const Word& w, const std::string& alphabet) {
     if (mul_overflows(t, K) || sat_add(sat_mul(t, K), digit) == kTimeInfinity) {
       throw std::overflow_error("encode_word: word too long for Time");
     }
-    t = t * K + digit;
+    t = t * K + digit;  // time-arith: overflow rejected just above
   }
   return t;
 }
@@ -127,6 +132,7 @@ std::optional<Word> decode_time(Time t, const std::string& alphabet) {
   while (t > 1) {
     const Time digit = t % K;
     if (digit == 0) return std::nullopt;
+    // time-arith: digit in [1, K)
     reversed.push_back(alphabet[static_cast<std::size_t>(digit - 1)]);
     t /= K;
   }
@@ -161,6 +167,7 @@ ComputableConstruction computable_to_tvg(tm::Decider language) {
     // Self-loop: departing the hub at time t arrives at K·t + digit, i.e.
     // at the encoding of (word-so-far)·σ. ζ(t) = (K-1)·t + digit.
     c.graph.add_edge(c.hub, c.hub, sym, Presence::always(),
+                     // time-arith: K = |alphabet| + 1 >= 2
                      Latency::affine(c.K - 1, digit),
                      std::string("loop_") + sym);
     // Accepting edge: present at departure time t exactly when the word
@@ -179,6 +186,7 @@ ComputableConstruction computable_to_tvg(tm::Decider language) {
                      Presence::predicate(present,
                                          std::string("L-gate(") + sym + ")",
                                          /*scan_limit=*/1 << 12),
+                     // time-arith: K = |alphabet| + 1 >= 2
                      Latency::affine(c.K - 1, digit),
                      std::string("accept_") + sym);
   }
@@ -192,9 +200,10 @@ ComputableConstruction computable_to_tvg(tm::Decider language) {
   // same K-ary magnitude growth, so measure with the largest digit).
   std::size_t len = 0;
   Time t = 1;
+  // time-arith: K >= 2; the loop body is overflow-guarded by the condition
   while (!mul_overflows(t, c.K) &&
-         sat_add(sat_mul(t, c.K), c.K - 1) != kTimeInfinity) {
-    t = t * c.K + (c.K - 1);
+         sat_add(sat_mul(t, c.K), c.K - 1) != kTimeInfinity) {  // time-arith: K >= 2
+    t = t * c.K + (c.K - 1);  // time-arith: guarded by the loop condition
     ++len;
   }
   c.max_word_length = len;

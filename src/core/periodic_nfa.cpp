@@ -42,7 +42,9 @@ fa::Nfa semi_periodic_to_nfa(const TvgAutomaton& a, Policy policy,
   // The start configuration must live in the unrolled prefix when it is
   // below t_abs; otherwise it folds into the tail like everything else.
   const Time start = std::max<Time>(a.start_time(), 0);
-  const Time slots = t_abs + period;
+  // sat_add: an extreme initial_length plus the lcm can wrap before the
+  // cap check below ever sees it; saturation trips that check instead.
+  const Time slots = sat_add(t_abs, period);
   const std::size_t node_count = g.node_count();
   if (static_cast<Time>(node_count) != 0 &&
       slots > cap / static_cast<Time>(node_count)) {
@@ -50,9 +52,11 @@ fa::Nfa semi_periodic_to_nfa(const TvgAutomaton& a, Policy policy,
   }
 
   auto slot_of_time = [&](Time t) -> Time {
+    // time-arith: t >= t_abs in the fold branch; result < slots <= cap
     return t < t_abs ? t : t_abs + (t - t_abs) % period;
   };
   auto state_of = [&](NodeId v, Time slot) -> fa::State {
+    // time-arith: v * slots + slot < node_count * slots <= cap (checked)
     return static_cast<fa::State>(static_cast<Time>(v) * slots + slot);
   };
   // Presence of an edge "at a slot": exact for absolute slots; for tail
@@ -83,8 +87,11 @@ fa::Nfa semi_periodic_to_nfa(const TvgAutomaton& a, Policy policy,
           if (!present_at_slot(e, dep_slot)) return;
           // dep_slot is a representative instant; the arrival slot is
           // exact for absolute departures and residue-exact for tail ones.
-          nfa.add_transition(from, e.label,
-                             state_of(e.to, slot_of_time(dep_slot + c)));
+          // sat_add: an extreme constant latency would wrap; a saturated
+          // arrival is past every representable instant, so no edge.
+          const Time arr = sat_add(dep_slot, c);
+          if (arr == kTimeInfinity) return;
+          nfa.add_transition(from, e.label, state_of(e.to, slot_of_time(arr)));
         };
         switch (policy.kind) {
           case WaitingPolicy::kNoWait: {
@@ -96,9 +103,11 @@ fa::Nfa semi_periodic_to_nfa(const TvgAutomaton& a, Policy policy,
               // Absolute: wait to any later absolute instant...
               for (Time dep = slot; dep < t_abs; ++dep) connect(dep);
               // ...or to any tail residue (each recurs forever).
+              // time-arith: r < period, so t_abs + r < slots <= cap
               for (Time r = 0; r < period; ++r) connect(t_abs + r);
             } else {
               // Tail: any residue is reachable from any tail instant.
+              // time-arith: r < period, so t_abs + r < slots <= cap
               for (Time r = 0; r < period; ++r) connect(t_abs + r);
             }
             break;
@@ -107,14 +116,17 @@ fa::Nfa semi_periodic_to_nfa(const TvgAutomaton& a, Policy policy,
             if (slot < t_abs) {
               // Concrete instant: the window [slot, slot + d] is exact.
               const Time last = sat_add(slot, policy.bound);
+              // time-arith: slot < t_abs here, so t_abs >= 1
               for (Time dep = slot; dep <= std::min(last, t_abs - 1); ++dep) {
                 connect(dep);
               }
               if (last >= t_abs) {
                 // Tail part of the window: offsets beyond a full period
                 // add no new residues.
+                // time-arith: last >= t_abs (guarded); period >= 1
                 const Time max_off = std::min(last - t_abs, period - 1);
                 for (Time off = 0; off <= max_off; ++off) {
+                  // time-arith: off % period < period; sum < slots <= cap
                   connect(t_abs + off % period);
                 }
               }
@@ -122,9 +134,11 @@ fa::Nfa semi_periodic_to_nfa(const TvgAutomaton& a, Policy policy,
               // Tail instant with residue r = slot - t_abs: offsets
               // 0..min(d, period-1) cover all distinct residues.
               const Time max_off =
-                  std::min(policy.bound, period - 1);
+                  std::min(policy.bound, period - 1);  // time-arith: period >= 1
               for (Time off = 0; off <= max_off; ++off) {
+                // time-arith: slot - t_abs in [0, period); off < period
                 const Time r = (slot - t_abs + off) % period;
+                // time-arith: r < period, so t_abs + r < slots <= cap
                 connect(t_abs + r);
               }
             }

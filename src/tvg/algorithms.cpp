@@ -146,7 +146,7 @@ void for_each_departure(const ScheduleIndex& sx, EdgeId eid, Time t,
         if (dep == kTimeInfinity || dep > last) return;
         if (!fn(dep)) return;
         if (dep == last) return;
-        at = dep + 1;  // safe: dep < kTimeInfinity
+        at = dep + 1;  // time-arith: dep < kTimeInfinity (guarded above)
       }
       return;
     }
@@ -239,11 +239,14 @@ void dijkstra_wait(const TimeVaryingGraph& g, const ScheduleIndex& sx,
   }
   if (t_min == kTimeInfinity) return;  // no admissible root
 
+  // sat_sub: a finite-but-huge horizon minus a very negative start
+  // overflows; saturating to kTimeInfinity correctly fails the window
+  // check and routes the search to the heap backend.
   const bool bucketable = limits.horizon != kTimeInfinity &&
-                          limits.horizon - t_min < kMaxBucketWindow;
+                          sat_sub(limits.horizon, t_min) < kMaxBucketWindow;
   if (bucketable) {
     const auto window =
-        static_cast<std::size_t>(limits.horizon - t_min) + 1;
+        static_cast<std::size_t>(sat_sub(limits.horizon, t_min)) + 1;
     if (a.buckets.size() < window) a.buckets.resize(window);
     // The arena invariant is "buckets always empty between runs". The
     // drain loop clears each bucket as it passes, so the normal and
@@ -261,6 +264,7 @@ void dijkstra_wait(const TimeVaryingGraph& g, const ScheduleIndex& sx,
       }
     } guard{&a.buckets, 0, window};
     auto bucket_push = [&](Time t, std::int64_t idx) {
+      // time-arith: t in [t_min, horizon], so t - t_min in [0, window)
       a.buckets[static_cast<std::size_t>(t - t_min)].push_back(idx);
     };
     seed_roots(bucket_push);
@@ -270,6 +274,7 @@ void dijkstra_wait(const TimeVaryingGraph& g, const ScheduleIndex& sx,
       // Index loop: a zero-latency relaxation may append to the bucket
       // being drained.
       for (std::size_t i = 0; i < bucket.size(); ++i) {
+        // time-arith: b < window, so t_min + b <= horizon (no overflow)
         if (!expand(t_min + static_cast<Time>(b), bucket[i], bucket_push)) {
           return;  // budget exhausted; the guard empties the queue
         }
@@ -454,11 +459,13 @@ bool packed_word(const TimeVaryingGraph& g, const ScheduleIndex& sx,
   if (start_time == kTimeInfinity || start_time > limits.horizon) return true;
 
   const Time t_min = start_time;
+  // sat_sub: same overflow class as config_bfs — a huge finite horizon
+  // minus a very negative start saturates and falls back to the heap.
   const bool bucketed = limits.horizon != kTimeInfinity &&
-                        limits.horizon - t_min < kMaxBucketWindow;
+                        sat_sub(limits.horizon, t_min) < kMaxBucketWindow;
   std::size_t window = 0;
   if (bucketed) {
-    window = static_cast<std::size_t>(limits.horizon - t_min) + 1;
+    window = static_cast<std::size_t>(sat_sub(limits.horizon, t_min)) + 1;
     if (a.ms_buckets.size() < window) a.ms_buckets.resize(window);
   }
 
@@ -480,6 +487,7 @@ bool packed_word(const TimeVaryingGraph& g, const ScheduleIndex& sx,
     }
     ++queued;
     if (bucketed) {
+      // time-arith: t in [t_min, horizon], so t - t_min in [0, window)
       a.ms_buckets[static_cast<std::size_t>(t - t_min)].push_back(
           MsPacket{to, mask});
     } else {
@@ -564,6 +572,7 @@ bool packed_word(const TimeVaryingGraph& g, const ScheduleIndex& sx,
     for (std::size_t b = 0; ok && queued > 0 && b < window; ++b) {
       auto& bucket = a.ms_buckets[b];
       std::size_t scan = 0;
+      // time-arith: b < window, so t_min + b <= horizon (no overflow)
       drain_instant(t_min + static_cast<Time>(b), [&] {
         const bool any = scan < bucket.size();
         for (; scan < bucket.size(); ++scan) {
@@ -818,7 +827,7 @@ FastestJourneyResult fastest_journey_checked_in(
         }
         candidates.insert(dep);
       }
-      at = dep + 1;  // safe: dep < kTimeInfinity
+      at = dep + 1;  // time-arith: dep < kTimeInfinity (guarded above)
     }
   }
 
@@ -996,7 +1005,9 @@ std::optional<Time> temporal_diameter(const TimeVaryingGraph& g,
           connected = false;
           return false;
         }
-        diameter = std::max(diameter, t - start_time);
+        // sat_sub: finite-but-huge arrival minus a negative start_time
+        // must saturate, not wrap (the PR-4 overflow class).
+        diameter = std::max(diameter, sat_sub(t, start_time));
       }
     }
     return true;

@@ -1,0 +1,71 @@
+// Clang Thread Safety Analysis macro shim.
+//
+// The concurrent core (worker_pool, result_cache, query_engine) declares
+// its lock discipline through these macros: which mutex guards which
+// member (TVG_GUARDED_BY), which functions must be entered with a lock
+// held (TVG_REQUIRES), and which functions acquire/release one
+// (TVG_ACQUIRE / TVG_RELEASE). Under clang with -Wthread-safety the
+// annotations are *checked at compile time* — an unguarded access or a
+// missing lock is a build error on the CI thread-safety lane — and under
+// every other compiler they expand to nothing, so gcc builds are
+// byte-identical to the unannotated code.
+//
+// The macro set mirrors the canonical mutex.h shim from the clang
+// documentation (and abseil's base/thread_annotations.h); only the
+// spellings this codebase uses are included. Apply them to tvg::Mutex /
+// tvg::MutexLock (sync.hpp), never raw std::mutex — the analysis only
+// follows types whose lock/unlock functions are themselves annotated.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define TVG_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef TVG_THREAD_ANNOTATION
+#define TVG_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names the capability
+/// kind in diagnostics).
+#define TVG_CAPABILITY(x) TVG_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (std::scoped_lock-style).
+#define TVG_SCOPED_CAPABILITY TVG_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define TVG_GUARDED_BY(x) TVG_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define TVG_PT_GUARDED_BY(x) TVG_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that may only be called with the listed capabilities held
+/// (they stay held: the function neither acquires nor releases them).
+#define TVG_REQUIRES(...) \
+  TVG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities and returns holding
+/// them.
+#define TVG_ACQUIRE(...) \
+  TVG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities.
+#define TVG_RELEASE(...) \
+  TVG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability only when it returns `b`.
+#define TVG_TRY_ACQUIRE(b, ...) \
+  TVG_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function that must NOT be called with the listed capabilities held
+/// (deadlock guard for functions that acquire them internally).
+#define TVG_EXCLUDES(...) TVG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the capability guarding its result.
+#define TVG_RETURN_CAPABILITY(x) TVG_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only where
+/// the discipline is real but inexpressible (and say why in a comment).
+#define TVG_NO_THREAD_SAFETY_ANALYSIS \
+  TVG_THREAD_ANNOTATION(no_thread_safety_analysis)

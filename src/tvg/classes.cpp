@@ -29,13 +29,15 @@ std::optional<Time> edge_max_gap(const Edge& e) {
   Time max_gap = 0;
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Time next = i + 1 < points.size() ? points[i + 1]
-                                            : points.front() + period;
+                                            : sat_add(points.front(), period);
+    // time-arith: next >= points[i] >= 0 (sorted pattern points)
     max_gap = std::max(max_gap, next - points[i]);
   }
   // Gaps in the initial segment (plus the hand-off into the tail).
   const Time t0 = e.presence.initial_length();
   Time prev = -1;
   auto consider = [&](Time t) {
+    // time-arith: t > prev >= 0 (ascending presence points)
     if (prev >= 0) max_gap = std::max(max_gap, t - prev);
     prev = t;
   };
@@ -77,8 +79,11 @@ bool recurrently_connected(const TimeVaryingGraph& g, Policy policy,
   }
   SearchLimits limits;
   limits.max_configs = max_configs;
-  limits.horizon = (t_abs + period) * 8 + 64;  // generous settle window
-  for (Time t0 = 0; t0 < t_abs + period; ++t0) {
+  // sat ops: the lcm of edge periods can be astronomically large, and a
+  // wrapped horizon would silently truncate every connectivity probe.
+  const Time settle = sat_add(t_abs, period);
+  limits.horizon = sat_add(sat_mul(settle, 8), 64);
+  for (Time t0 = 0; t0 < settle; ++t0) {
     if (!temporally_connected(g, t0, policy, limits)) return false;
   }
   return true;

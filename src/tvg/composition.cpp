@@ -97,7 +97,9 @@ TimeVaryingGraph time_shifted(const TimeVaryingGraph& g, Time delta) {
       const Presence original = ed.presence;
       shifted = Presence::predicate(
           [original, delta](Time t) {
-            return t >= delta && original.present(t - delta);
+            // sat_sub: a negative delta turns t - delta into t + |delta|,
+            // which wraps for t near kTimeInfinity.
+            return t >= delta && original.present(sat_sub(t, delta));
           },
           ed.presence.to_string() + "+" + std::to_string(delta));
     }

@@ -19,7 +19,7 @@ std::vector<Contact> extract_contacts(const TimeVaryingGraph& g,
       Time end = *start + 1;
       while (end < horizon && ed.presence.present(end)) ++end;
       contacts.push_back(Contact{ed.from, ed.to, *start, end});
-      cursor = end + 1;
+      cursor = sat_add(end, 1);  // end can equal an unbounded horizon
     }
   }
   std::sort(contacts.begin(), contacts.end(),
@@ -103,6 +103,7 @@ TraceStats trace_stats(const std::vector<Contact>& contacts) {
   std::vector<std::pair<Time, Time>> spans;
   spans.reserve(contacts.size());
   for (const Contact& c : contacts) {
+    // time-arith: contacts lie in [0, horizon), end > start >= 0
     stats.total_contact_time += c.end - c.start;
     first_start = std::min(first_start, c.start);
     last_end = std::max(last_end, c.end);
@@ -110,13 +111,13 @@ TraceStats trace_stats(const std::vector<Contact>& contacts) {
   }
   stats.mean_contact_duration =
       stats.total_contact_time / static_cast<Time>(contacts.size());
-  stats.span = last_end - first_start;
+  stats.span = last_end - first_start;  // time-arith: both in [0, horizon)
   // Max gap on the merged global timeline.
   std::sort(spans.begin(), spans.end());
   Time covered_until = spans.front().second;
   for (const auto& [start, end] : spans) {
     if (start > covered_until) {
-      stats.max_gap_between_contacts =
+      stats.max_gap_between_contacts =  // time-arith: both in [0, horizon)
           std::max(stats.max_gap_between_contacts, start - covered_until);
     }
     covered_until = std::max(covered_until, end);

@@ -50,7 +50,7 @@ void for_each_policy_departure(const ScheduleIndex& sx, EdgeId eid, Time t,
         if (dep == kTimeInfinity || dep > last) return;
         if (!fn(dep)) return;
         if (dep == last) return;
-        at = dep + 1;  // safe: dep < kTimeInfinity
+        at = dep + 1;  // time-arith: dep < kTimeInfinity (guarded above)
       }
       return;
     }
@@ -63,7 +63,7 @@ void for_each_policy_departure(const ScheduleIndex& sx, EdgeId eid, Time t,
         const Time dep = sx.next_present(eid, at, cursor);
         if (dep == kTimeInfinity || dep > horizon) return;
         if (!fn(dep)) return;
-        at = dep + 1;  // safe: dep < kTimeInfinity
+        at = dep + 1;  // time-arith: dep < kTimeInfinity (guarded above)
       }
       return;
     }

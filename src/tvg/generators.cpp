@@ -88,6 +88,7 @@ TimeVaryingGraph make_random_scheduled(const RandomScheduledParams& params) {
   std::mt19937_64 rng(params.seed);
   std::uniform_int_distribution<NodeId> node_dist(
       0, static_cast<NodeId>(params.nodes - 1));
+  // time-arith: horizon is a positive finite generator parameter
   std::uniform_int_distribution<Time> start_dist(0, params.horizon - 1);
   std::uniform_int_distribution<Time> len_dist(1, params.max_window);
 
@@ -97,7 +98,10 @@ TimeVaryingGraph make_random_scheduled(const RandomScheduledParams& params) {
     IntervalSet schedule;
     for (std::size_t w = 0; w < params.windows_per_edge; ++w) {
       const Time lo = start_dist(rng);
-      schedule.insert({lo, std::min(lo + len_dist(rng), params.horizon)});
+      // sat_add: lo + window length can pass kTimeInfinity when callers
+      // generate near-unbounded horizons.
+      schedule.insert(
+          {lo, std::min(sat_add(lo, len_dist(rng)), params.horizon)});
     }
     g.add_edge(u, v, pick_symbol(params.alphabet, rng),
                Presence::intervals(schedule),

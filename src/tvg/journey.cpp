@@ -31,7 +31,10 @@ Time Journey::wait_before(const TimeVaryingGraph& g, std::size_t i) const {
   const Time prev_arrival =
       i == 0 ? start_time
              : g.edge(legs[i - 1].edge).arrival(legs[i - 1].departure);
-  return legs.at(i).departure - prev_arrival;
+  // sat_sub: journeys arrive unvalidated here, and geometric-latency
+  // graphs produce near-kTimeInfinity arrivals — raw subtraction against
+  // a huge (or negative-start) prev_arrival is signed-overflow UB.
+  return sat_sub(legs.at(i).departure, prev_arrival);
 }
 
 Time Journey::max_wait(const TimeVaryingGraph& g) const {
@@ -75,7 +78,7 @@ JourneyValidation validate_journey(const TimeVaryingGraph& g,
       return fail("leg " + std::to_string(i) +
                   " departs before arrival (time travel)");
     }
-    const Time wait = leg.departure - ready;
+    const Time wait = sat_sub(leg.departure, ready);
     switch (policy.kind) {
       case WaitingPolicy::kNoWait:
         if (wait != 0) {

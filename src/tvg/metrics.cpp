@@ -17,7 +17,9 @@ std::optional<Time> temporal_eccentricity(const TimeVaryingGraph& g,
   Time ecc = 0;
   for (Time arrival : tree.arrival) {
     if (arrival == kTimeInfinity) return std::nullopt;
-    ecc = std::max(ecc, arrival - start_time);
+    // sat_sub: a finite-but-huge arrival minus a negative start_time is
+    // the PR-4 overflow class (UB pre-fix, saturates now).
+    ecc = std::max(ecc, sat_sub(arrival, start_time));
   }
   return ecc;
 }
@@ -27,7 +29,8 @@ double temporal_closeness(std::span<const Time> row, NodeId v,
   double closeness = 0.0;
   for (NodeId u = 0; u < row.size(); ++u) {
     if (u == v || row[u] == kTimeInfinity) continue;
-    closeness += 1.0 / static_cast<double>(row[u] - start_time + 1);
+    closeness +=
+        1.0 / static_cast<double>(sat_add(sat_sub(row[u], start_time), 1));
   }
   return closeness;
 }
@@ -80,7 +83,7 @@ double average_density(const TimeVaryingGraph& g, Time horizon) {
   double total = 0.0;
   std::vector<EdgeId> buf;  // reused across instants
   for (Time t = 0; t < horizon; ++t) {
-    total += snapshot_density(g, t, buf);
+    total += snapshot_density(g, t, buf);  // time-arith: double accumulation
   }
   return total / static_cast<double>(horizon);
 }
@@ -92,7 +95,8 @@ std::optional<double> characteristic_temporal_distance(
   for (NodeId u = 0; u < rows.size(); ++u) {
     for (NodeId v = 0; v < rows[u].size(); ++v) {
       if (u == v || rows[u][v] == kTimeInfinity) continue;
-      total += static_cast<double>(rows[u][v] - start_time);
+      // time-arith: double accumulation (sat_sub already guards the Time op)
+      total += static_cast<double>(sat_sub(rows[u][v], start_time));
       ++pairs;
     }
   }

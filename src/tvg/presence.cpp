@@ -69,6 +69,7 @@ bool Presence::present(Time t) const {
   if (t < 0) return false;
   if (const auto* sp = std::get_if<SemiPeriodicData>(impl_.get())) {
     if (t < sp->t0) return sp->init.contains(t);
+    // time-arith: t >= t0 >= 0 (guarded above)
     return sp->pat.contains((t - sp->t0) % sp->per);
   }
   const auto& pd = std::get<PredicateData>(*impl_);
@@ -83,13 +84,16 @@ std::optional<Time> Presence::next_present(Time from) const {
       from = sp->t0;
     }
     if (sp->pat.empty()) return std::nullopt;
-    const Time r = (from - sp->t0) % sp->per;
+    const Time r = (from - sp->t0) % sp->per;  // time-arith: from >= t0 >= 0
     // sat_add: for `from` within a period of kTimeInfinity the hit in
     // this copy can sit past the representable range; saturating keeps
     // the "no such time" contract instead of overflowing.
+    // time-arith: *nr >= r, both in [0, per)
     if (auto nr = sp->pat.next_in(r)) return sat_add(from, *nr - r);
-    // Wrap to the first presence of the next period.
-    return sat_add(from, (sp->per - r) + *sp->pat.min());
+    // Wrap to the first presence of the next period. The inner sum
+    // saturates too: (per - r) + pat-min can pass kTimeInfinity for
+    // periods above half the Time range.
+    return sat_add(from, sat_add(sat_sub(sp->per, r), *sp->pat.min()));
   }
   const auto& pd = std::get<PredicateData>(*impl_);
   if (pd.next) return pd.next(from);
@@ -149,7 +153,8 @@ Presence Presence::dilated(Time s) const {
     std::function<std::optional<Time>(Time)> dilated_next =
         [next, s](Time from) -> std::optional<Time> {
       const Time base = std::max<Time>(from, 0);
-      const Time u = (base + s - 1) / s;  // ceil(base / s)
+      // time-arith: s >= 1 finite, so s - 1 is exact; the add saturates
+      const Time u = sat_add(base, s - 1) / s;  // ceil(base / s)
       if (auto t = next(u)) {
         if (mul_overflows(*t, s)) return std::nullopt;
         return *t * s;

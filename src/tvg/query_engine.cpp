@@ -94,13 +94,13 @@ QueryEngine::~QueryEngine() = default;
 
 QueryEngine::Lease::~Lease() {
   if (!ws_) return;
-  const std::scoped_lock lock(engine_.pool_mu_);
+  const MutexLock lock(engine_.pool_mu_);
   engine_.pool_.push_back(std::move(ws_));
 }
 
 QueryEngine::Lease QueryEngine::lease() const {
   {
-    const std::scoped_lock lock(pool_mu_);
+    const MutexLock lock(pool_mu_);
     if (!pool_.empty()) {
       auto ws = std::move(pool_.back());
       pool_.pop_back();

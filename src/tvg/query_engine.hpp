@@ -43,17 +43,18 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "tvg/algorithms.hpp"
+#include "tvg/annotations.hpp"
 #include "tvg/graph.hpp"
 #include "tvg/hashing.hpp"
 #include "tvg/journey.hpp"
 #include "tvg/policy.hpp"
 #include "tvg/result_cache.hpp"
+#include "tvg/sync.hpp"
 #include "tvg/worker_pool.hpp"
 
 namespace tvg {
@@ -319,8 +320,12 @@ class QueryEngine {
 
   const TimeVaryingGraph& g_;
   unsigned default_threads_;
-  mutable std::mutex pool_mu_;
-  mutable std::vector<std::unique_ptr<SearchWorkspace>> pool_;
+  /// pool_mu_ guards the workspace free list; leases are handed out and
+  /// returned under it (lock discipline proved by -Wthread-safety on the
+  /// CI clang lane).
+  mutable Mutex pool_mu_;
+  mutable std::vector<std::unique_ptr<SearchWorkspace>> pool_
+      TVG_GUARDED_BY(pool_mu_);
   /// Persistent workers behind every batch entry point: lazily started
   /// on the first multi-threaded batch, reused across calls (batches no
   /// longer pay per-query thread creation), joined in ~QueryEngine.

@@ -2,12 +2,13 @@
 
 #include <atomic>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
+#include "tvg/annotations.hpp"
 #include "tvg/hashing.hpp"
 #include "tvg/query_engine.hpp"
+#include "tvg/sync.hpp"
 
 namespace tvg {
 
@@ -149,20 +150,23 @@ struct ResultCache::Shard {
   Shard(std::size_t cap, std::size_t byte_cap)
       : capacity(cap), max_bytes(byte_cap) {}
 
-  std::mutex mu;
-  std::list<Entry> lru;  // front = most recently used
-  std::unordered_map<QueryKey, std::list<Entry>::iterator> map;
-  std::size_t capacity{1};
-  std::size_t max_bytes{0};  // 0 = count-based accounting only
-  std::size_t bytes{0};      // tracked only when max_bytes > 0
-  std::uint64_t hits{0};
-  std::uint64_t misses{0};
-  std::uint64_t evictions{0};
-  std::uint64_t generation_drops{0};
-  std::uint64_t oversized_rejects{0};
+  Mutex mu;
+  // capacity / max_bytes are set once at construction and immutable
+  // thereafter; everything else is per-shard mutable state under mu.
+  const std::size_t capacity{1};
+  const std::size_t max_bytes{0};  // 0 = count-based accounting only
+  std::list<Entry> lru TVG_GUARDED_BY(mu);  // front = most recently used
+  std::unordered_map<QueryKey, std::list<Entry>::iterator> map
+      TVG_GUARDED_BY(mu);
+  std::size_t bytes TVG_GUARDED_BY(mu){0};  // tracked when max_bytes > 0
+  std::uint64_t hits TVG_GUARDED_BY(mu){0};
+  std::uint64_t misses TVG_GUARDED_BY(mu){0};
+  std::uint64_t evictions TVG_GUARDED_BY(mu){0};
+  std::uint64_t generation_drops TVG_GUARDED_BY(mu){0};
+  std::uint64_t oversized_rejects TVG_GUARDED_BY(mu){0};
 
   /// Removes the LRU tail (caller holds mu and guarantees non-empty).
-  void evict_tail() {
+  void evict_tail() TVG_REQUIRES(mu) {
     bytes -= lru.back().bytes;
     map.erase(lru.back().key);
     lru.pop_back();
@@ -202,7 +206,7 @@ ResultCache::Shard& ResultCache::shard_for(const QueryKey& key) noexcept {
 ResultCache::ValuePtr ResultCache::find(const QueryKey& key,
                                         Generation generation) {
   Shard& s = shard_for(key);
-  const std::scoped_lock lock(s.mu);
+  const MutexLock lock(s.mu);
   const auto it = s.map.find(key);
   if (it == s.map.end()) {
     ++s.misses;
@@ -225,7 +229,7 @@ void ResultCache::insert(const QueryKey& key, Generation generation,
                          ValuePtr value, std::size_t bytes) {
   if (key.empty() || value == nullptr) return;
   Shard& s = shard_for(key);
-  const std::scoped_lock lock(s.mu);
+  const MutexLock lock(s.mu);
   if (s.capacity == 0) return;
   if (s.max_bytes == 0) bytes = 0;  // count-based: don't track weights
   if (s.max_bytes > 0 && bytes > s.max_bytes) {
@@ -258,7 +262,7 @@ void ResultCache::insert(const QueryKey& key, Generation generation,
 
 void ResultCache::clear() {
   for (const auto& shard : shards_) {
-    const std::scoped_lock lock(shard->mu);
+    const MutexLock lock(shard->mu);
     shard->map.clear();
     shard->lru.clear();
     shard->bytes = 0;
@@ -268,7 +272,7 @@ void ResultCache::clear() {
 CacheStats ResultCache::stats() const {
   CacheStats total;
   for (const auto& shard : shards_) {
-    const std::scoped_lock lock(shard->mu);
+    const MutexLock lock(shard->mu);
     total.hits += shard->hits;
     total.misses += shard->misses;
     total.evictions += shard->evictions;

@@ -16,6 +16,7 @@ void append_endpoints(const IntervalSet& set, std::vector<Time>& events) {
 /// [0, len); bits at or past len stay zero (bits_next relies on that).
 void append_bits(const IntervalSet& set, Time len,
                  std::vector<std::uint64_t>& bits) {
+  // time-arith: len is a short bitmask-segment length (build threshold)
   const std::size_t words = static_cast<std::size_t>((len + 63) / 64);
   const std::size_t base = bits.size();
   bits.resize(base + words, 0);
@@ -130,8 +131,9 @@ Time ScheduleIndex::next_present(EdgeId e, Time from, EventCursor& c) const {
                      ? endpoints_at_most(init_b, init_b + init_n, from)
                      : init_n;
     const Time tail_from = std::max(from, ce.t0);
+    // time-arith: tail_from >= t0 >= 0, base <= tail_from (period floor)
     c.base = ce.t0 + ((tail_from - ce.t0) / ce.period) * ce.period;
-    c.pat_pos =
+    c.pat_pos =  // time-arith: tail_from - base in [0, period)
         endpoints_at_most(pat_b, pat_b + pat_n, tail_from - c.base);
   }
   c.last_from = from;
@@ -149,24 +151,28 @@ Time ScheduleIndex::next_present(EdgeId e, Time from, EventCursor& c) const {
   }
   if (ce.pat_empty) return kTimeInfinity;
   if (ce.pat_bits) {
+    // time-arith: from >= t0 >= 0 (initial segment handled above)
     const Time r = (from - ce.t0) % ce.period;
     const Time nr = bits_next(ce.pat_lo, ce.pat_hi, r);
     // sat_add in both arms (mirrors Presence::next_present near
     // kTimeInfinity — a hit past the representable range is "no time").
+    // time-arith: nr >= r, both in [0, period)
     if (nr != kTimeInfinity) return sat_add(from, nr - r);
-    return sat_add(from, (ce.period - r) + ce.pat_min);
+    return sat_add(from, sat_add(sat_sub(ce.period, r), ce.pat_min));
   }
   if (from >= sat_add(c.base, ce.period)) {
+    // time-arith: from >= t0 >= 0, base <= from (period floor)
     c.base = ce.t0 + ((from - ce.t0) / ce.period) * ce.period;
     c.pat_pos = 0;
   }
-  const Time r = from - c.base;
+  const Time r = from - c.base;  // time-arith: r in [0, period)
   while (c.pat_pos < pat_n && pat_b[c.pat_pos] <= r) ++c.pat_pos;
   if ((c.pat_pos & 1u) != 0) return from;  // inside a pattern interval
+  // time-arith: endpoint >= r, both in [0, period]
   if (c.pat_pos < pat_n) return sat_add(from, pat_b[c.pat_pos] - r);
   // Wrap into the next period copy (mirrors Presence::next_present,
-  // including its saturation).
-  const Time result = sat_add(from, (ce.period - r) + ce.pat_min);
+  // including its saturation; the inner sum saturates too).
+  const Time result = sat_add(from, sat_add(sat_sub(ce.period, r), ce.pat_min));
   c.base = sat_add(c.base, ce.period);
   c.pat_pos = 0;
   return result;

@@ -266,7 +266,7 @@ inline bool ScheduleIndex::present(EdgeId e, Time t) const {
   }
   if (t < ce.t0) return seg_contains(ce.init_bits, ce.init_lo, ce.init_hi, t);
   return seg_contains(ce.pat_bits, ce.pat_lo, ce.pat_hi,
-                      (t - ce.t0) % ce.period);
+                      (t - ce.t0) % ce.period);  // time-arith: t >= t0 >= 0
 }
 
 inline Time ScheduleIndex::next_present(EdgeId e, Time from) const {
@@ -288,14 +288,18 @@ inline Time ScheduleIndex::next_present(EdgeId e, Time from) const {
     from = ce.t0;
   }
   if (ce.pat_empty) return kTimeInfinity;
+  // time-arith: from >= t0 >= 0 (initial segment handled above)
   const Time r = (from - ce.t0) % ce.period;
   const Time nr = seg_next(ce.pat_bits, ce.pat_lo, ce.pat_hi, r);
   // sat_add mirrors Presence::next_present: a hit within a period copy
   // of kTimeInfinity saturates to the sentinel instead of overflowing.
+  // time-arith: nr >= r, both in [0, period)
   if (nr != kTimeInfinity) return sat_add(from, nr - r);
   // Wrap to the first presence of the next period (mirrors
-  // Presence::next_present, including its saturation).
-  return sat_add(from, (ce.period - r) + ce.pat_min);
+  // Presence::next_present, including its saturation; the inner sum
+  // saturates too — (period - r) + pat_min can pass kTimeInfinity for
+  // periods above half the Time range).
+  return sat_add(from, sat_add(sat_sub(ce.period, r), ce.pat_min));
 }
 
 inline Time ScheduleIndex::arrival(EdgeId e, Time dep) const {

@@ -1,0 +1,79 @@
+// tvg::Mutex / tvg::MutexLock / tvg::CondVar — the annotated
+// synchronization primitives behind the concurrent core.
+//
+// Thin wrappers over std::mutex / std::condition_variable_any whose only
+// job is to carry the Clang Thread Safety annotations (annotations.hpp):
+// the analysis follows lock()/unlock() calls only on types annotated as
+// capabilities, so every mutex in worker_pool / result_cache /
+// query_engine is a tvg::Mutex and every scoped acquisition a
+// tvg::MutexLock. Off clang the annotations vanish and these compile to
+// the std primitives they wrap.
+//
+// CondVar pairs with Mutex directly (condition_variable_any over the
+// BasicLockable wrapper). There is deliberately no predicate-lambda
+// wait() overload: the analysis cannot see that a lambda runs under the
+// lock, so callers write the canonical
+//
+//     MutexLock lock(mu_);
+//     while (!ready_locked()) cv_.wait(mu_);
+//
+// loop instead — which keeps every guarded access inside an analyzed
+// function body.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "tvg/annotations.hpp"
+
+namespace tvg {
+
+/// Annotated exclusive mutex (std::mutex underneath).
+class TVG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TVG_ACQUIRE() { mu_.lock(); }
+  void unlock() TVG_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() TVG_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock of one Mutex (std::scoped_lock discipline: acquire in the
+/// constructor, release in the destructor, no unlock in between).
+class TVG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TVG_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() TVG_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable usable under a tvg::Mutex. wait() must be called
+/// with `mu` held (it releases while blocked and re-acquires before
+/// returning, which is capability-neutral from the caller's view — the
+/// annotation requires exactly that).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) TVG_REQUIRES(mu) { cv_.wait(mu); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace tvg

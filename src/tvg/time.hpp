@@ -32,6 +32,21 @@ inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max();
   return a + b;
 }
 
+/// Saturating subtraction: never overflows; kTimeInfinity is absorbing
+/// on the left (∞ − b = ∞ for finite b), and a finite value never
+/// wraps past either limit. Subtracting kTimeInfinity from a finite
+/// time saturates to the minimum (it is "-∞" in the ordering).
+[[nodiscard]] constexpr Time sat_sub(Time a, Time b) noexcept {
+  if (a == kTimeInfinity && b != kTimeInfinity) return kTimeInfinity;
+  if (b == kTimeInfinity) {
+    return a == kTimeInfinity ? 0 : std::numeric_limits<Time>::min();
+  }
+  if (b < 0 && a > kTimeInfinity + b) return kTimeInfinity;
+  if (b > 0 && a < std::numeric_limits<Time>::min() + b)
+    return std::numeric_limits<Time>::min();
+  return a - b;
+}
+
 /// Saturating multiplication for non-negative operands.
 [[nodiscard]] constexpr Time sat_mul(Time a, Time b) noexcept {
   assert(a >= 0 && b >= 0);

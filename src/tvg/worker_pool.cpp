@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <utility>
 
 namespace tvg {
 
@@ -17,10 +18,10 @@ struct WorkerPool::Batch {
   std::atomic<std::size_t> next{0};   // claim counter over [0, n)
   std::atomic<unsigned> slots{0};     // next participant slot to hand out
   std::atomic<bool> abort{false};     // set by the first failing task
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  std::size_t in_flight{0};           // participants inside run_claims
-  std::exception_ptr first_error;     // both guarded by done_mu
+  Mutex done_mu;
+  CondVar done_cv;
+  std::size_t in_flight TVG_GUARDED_BY(done_mu){0};  // inside run_claims
+  std::exception_ptr first_error TVG_GUARDED_BY(done_mu);
 
   /// True once no further index will ever be claimed from this batch.
   [[nodiscard]] bool exhausted() const {
@@ -30,16 +31,21 @@ struct WorkerPool::Batch {
 };
 
 WorkerPool::~WorkerPool() {
+  // Swap the worker vector out under the lock, then join outside it
+  // (workers take mu_ on their way to exit, so joining under it would
+  // deadlock — and the analysis would rightly reject the unlocked read).
+  std::vector<std::thread> workers;
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     stop_ = true;
+    workers.swap(workers_);
   }
   work_cv_.notify_all();
-  for (std::thread& t : workers_) t.join();
+  for (std::thread& t : workers) t.join();
 }
 
 std::size_t WorkerPool::threads_spawned() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return workers_.size();
 }
 
@@ -56,52 +62,52 @@ void WorkerPool::run_claims(Batch& b, unsigned slot) {
       (*b.fn)(i, slot);
     } catch (...) {
       {
-        const std::scoped_lock lock(b.done_mu);
+        const MutexLock lock(b.done_mu);
         if (!b.first_error) b.first_error = std::current_exception();
       }
       b.abort.store(true, std::memory_order_relaxed);
       break;
     }
   }
-  const std::scoped_lock lock(b.done_mu);
+  const MutexLock lock(b.done_mu);
   --b.in_flight;
   if (b.in_flight == 0) b.done_cv.notify_all();
 }
 
-void WorkerPool::worker_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  // Scans the queue for a batch with a free participant slot, dropping
-  // drained batches it walks past (the submitter also removes its own;
-  // whoever comes second finds it gone).
-  auto joinable = [&]() -> std::shared_ptr<Batch> {
-    for (std::size_t i = 0; i < queue_.size();) {
-      if (queue_[i]->exhausted()) {
-        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
-        continue;
-      }
-      if (queue_[i]->slots.load(std::memory_order_relaxed) <
-          queue_[i]->max_slots) {
-        return queue_[i];
-      }
-      ++i;  // fully subscribed; its participants will finish it
+std::shared_ptr<WorkerPool::Batch> WorkerPool::next_joinable() {
+  for (std::size_t i = 0; i < queue_.size();) {
+    if (queue_[i]->exhausted()) {
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
     }
-    return nullptr;
-  };
+    if (queue_[i]->slots.load(std::memory_order_relaxed) <
+        queue_[i]->max_slots) {
+      return queue_[i];
+    }
+    ++i;  // fully subscribed; its participants will finish it
+  }
+  return nullptr;
+}
+
+void WorkerPool::worker_loop() {
   for (;;) {
     std::shared_ptr<Batch> batch;
-    work_cv_.wait(lock,
-                  [&] { return stop_ || (batch = joinable()) != nullptr; });
-    if (stop_) return;
-    const unsigned slot = batch->slots.fetch_add(1, std::memory_order_relaxed);
-    if (slot >= batch->max_slots) continue;  // lost the race; rescan
+    unsigned slot = 0;
     {
-      const std::scoped_lock done_lock(batch->done_mu);
-      ++batch->in_flight;
+      const MutexLock lock(mu_);
+      while (!stop_ && (batch = next_joinable()) == nullptr) {
+        work_cv_.wait(mu_);
+      }
+      if (stop_) return;
+      slot = batch->slots.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= batch->max_slots) continue;  // lost the race; rescan
+      {
+        const MutexLock done_lock(batch->done_mu);
+        ++batch->in_flight;
+      }
     }
-    lock.unlock();
     run_claims(*batch, slot);
     batch.reset();
-    lock.lock();
   }
 }
 
@@ -117,7 +123,7 @@ void WorkerPool::parallel_for(std::size_t n, unsigned parallelism,
   batch->fn = &fn;
   batch->max_slots = parallelism;
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     // The submitter participates, so W-way parallelism needs W − 1 pool
     // workers; grow (monotonically) only when a call wants more than
     // every previous one did, and never past the clamp documented in
@@ -135,24 +141,24 @@ void WorkerPool::parallel_for(std::size_t n, unsigned parallelism,
   const unsigned slot = batch->slots.fetch_add(1, std::memory_order_relaxed);
   if (slot < batch->max_slots) {
     {
-      const std::scoped_lock done_lock(batch->done_mu);
+      const MutexLock done_lock(batch->done_mu);
       ++batch->in_flight;
     }
     run_claims(*batch, slot);
   }
   {
-    std::unique_lock<std::mutex> done_lock(batch->done_mu);
+    const MutexLock done_lock(batch->done_mu);
     // in_flight == 0 alone is not completion: a worker that joined but
     // has not yet entered run_claims is invisible to it. Requiring the
     // claim counter exhausted (or the abort flag) as well makes late
     // joiners harmless — they can no longer claim an index, so they
     // never touch `fn` after this wait returns.
-    batch->done_cv.wait(done_lock, [&] {
-      return batch->in_flight == 0 && batch->exhausted();
-    });
+    while (batch->in_flight != 0 || !batch->exhausted()) {
+      batch->done_cv.wait(batch->done_mu);
+    }
   }
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     for (std::size_t i = 0; i < queue_.size(); ++i) {
       if (queue_[i] == batch) {
         queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
@@ -162,7 +168,7 @@ void WorkerPool::parallel_for(std::size_t n, unsigned parallelism,
   }
   std::exception_ptr err;
   {
-    const std::scoped_lock done_lock(batch->done_mu);
+    const MutexLock done_lock(batch->done_mu);
     err = batch->first_error;
   }
   if (err) std::rethrow_exception(err);

@@ -27,19 +27,26 @@
 //    owner's lifetime rules cover this: QueryEngine is destroyed only
 //    after its entry points returned).
 //
+// Lock discipline is declared through the Clang Thread Safety
+// annotations (annotations.hpp / sync.hpp) and proved on the CI clang
+// lane: mu_ guards the batch queue, the worker vector, and the stop
+// flag; each batch's own done_mu guards its participant count and first
+// error (see Batch in the .cpp).
+//
 // This is also the substrate the async/streaming serving item on the
 // ROADMAP needs: a submission queue with completion signalling already
 // exists here; futures are a thin layer on top.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "tvg/annotations.hpp"
+#include "tvg/sync.hpp"
 
 namespace tvg {
 
@@ -70,29 +77,34 @@ class WorkerPool {
   /// and the same results — batch sharding is scheduling-only), but one
   /// absurdly wide call can no longer pin hundreds of idle OS threads
   /// for the pool's whole lifetime.
-  void parallel_for(std::size_t n, unsigned parallelism, const Task& fn);
+  void parallel_for(std::size_t n, unsigned parallelism, const Task& fn)
+      TVG_EXCLUDES(mu_);
 
   /// Workers ever spawned (monotone). The pool never shrinks while
   /// alive, so this equals the live worker count; exposed so tests can
   /// assert that consecutive batches REUSE workers instead of spawning.
-  [[nodiscard]] std::size_t threads_spawned() const;
+  [[nodiscard]] std::size_t threads_spawned() const TVG_EXCLUDES(mu_);
 
  private:
   /// One claim-counter batch; shared by the submitter and every worker
   /// that joins it.
   struct Batch;
 
-  void worker_loop();
+  void worker_loop() TVG_EXCLUDES(mu_);
   /// Runs the claim loop of `batch` as participant `slot`; returns with
   /// the participant count already decremented (and the submitter
   /// signalled when it hits zero).
   static void run_claims(Batch& batch, unsigned slot);
+  /// Scans the queue for a batch with a free participant slot, dropping
+  /// drained batches it walks past (the submitter also removes its own;
+  /// whoever comes second finds it gone).
+  [[nodiscard]] std::shared_ptr<Batch> next_joinable() TVG_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::shared_ptr<Batch>> queue_;
-  std::vector<std::thread> workers_;
-  bool stop_{false};
+  mutable Mutex mu_;
+  CondVar work_cv_;
+  std::deque<std::shared_ptr<Batch>> queue_ TVG_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_ TVG_GUARDED_BY(mu_);
+  bool stop_ TVG_GUARDED_BY(mu_){false};
 };
 
 }  // namespace tvg

@@ -1,0 +1,240 @@
+// Concurrency stress suite — the workload the TSan CI lane runs.
+//
+// Eight-plus threads hammer the three lock-protected components at once:
+//
+//  * WorkerPool — concurrent parallel_for submitters sharing one pool,
+//    asserting workers are REUSED across batches (threads_spawned is
+//    monotone and settles) and that a throwing batch neither wedges the
+//    queue nor poisons later batches;
+//  * ResultCache via QueryEngine — many threads replaying a small hot
+//    key set, with results checked against serially-computed references
+//    and the hit/miss counters checked for consistency afterwards;
+//  * QueryEngine end to end — mixed closure / journey-batch / acceptance
+//    traffic concurrently with poisoned batches (validation throws), and
+//    the engine must stay fully usable afterwards.
+//
+// Iteration counts are deliberately modest: the value of this suite is
+// interleavings (TSan lane) and invariants, not throughput.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "tvg/generators.hpp"
+#include "tvg/graph.hpp"
+#include "tvg/query_engine.hpp"
+#include "tvg/result_cache.hpp"
+#include "tvg/worker_pool.hpp"
+
+namespace {
+
+using namespace tvg;
+
+constexpr unsigned kThreads = 8;
+constexpr int kRounds = 20;
+
+void launch_all(std::vector<std::thread>& threads) {
+  for (auto& t : threads) t.join();
+}
+
+TimeVaryingGraph stress_graph() {
+  RandomPeriodicParams params;
+  params.nodes = 10;
+  params.edges = 28;
+  params.period = 6;
+  params.seed = 42;
+  return make_random_periodic(params);
+}
+
+TEST(ConcurrencyStress, WorkerPoolReusesWorkersAcrossConcurrentSubmitters) {
+  WorkerPool pool;
+  std::atomic<std::size_t> executed{0};
+
+  auto hammer = [&] {
+    for (int r = 0; r < kRounds; ++r) {
+      pool.parallel_for(64, 4, [&](std::size_t, unsigned) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  };
+  std::vector<std::thread> threads;
+  for (unsigned i = 0; i < kThreads; ++i) threads.emplace_back(hammer);
+  launch_all(threads);
+  EXPECT_EQ(executed.load(), std::size_t{kThreads} * kRounds * 64);
+
+  // Post-stress invariant: the pool settled. A second identical stress
+  // round must not spawn a single additional worker (reuse, not
+  // per-call spawning), and the count never exceeds the documented
+  // growth clamp.
+  const std::size_t settled = pool.threads_spawned();
+  EXPECT_GT(settled, 0u);
+  const std::size_t clamp = std::max<std::size_t>(
+      2 * std::thread::hardware_concurrency(), 8);
+  EXPECT_LE(settled, clamp);
+
+  std::vector<std::thread> again;
+  for (unsigned i = 0; i < kThreads; ++i) again.emplace_back(hammer);
+  launch_all(again);
+  EXPECT_EQ(pool.threads_spawned(), settled);  // monotone AND settled
+}
+
+TEST(ConcurrencyStress, WorkerPoolSurvivesConcurrentThrowingBatches) {
+  WorkerPool pool;
+  std::atomic<int> throws_seen{0};
+
+  auto hammer = [&] {
+    for (int r = 0; r < kRounds; ++r) {
+      try {
+        pool.parallel_for(32, 4, [&](std::size_t i, unsigned) {
+          if (i == 7) throw std::runtime_error("poisoned index");
+        });
+      } catch (const std::runtime_error&) {
+        throws_seen.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (unsigned i = 0; i < kThreads; ++i) threads.emplace_back(hammer);
+  launch_all(threads);
+  // Every batch contains the poisoned index, so every call must rethrow.
+  EXPECT_EQ(throws_seen.load(), static_cast<int>(kThreads) * kRounds);
+
+  // The pool is not wedged: a clean batch still runs every index.
+  std::atomic<std::size_t> executed{0};
+  pool.parallel_for(128, 4, [&](std::size_t, unsigned) {
+    executed.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(executed.load(), 128u);
+}
+
+TEST(ConcurrencyStress, CacheHotKeysServeConsistentResults) {
+  const TimeVaryingGraph g = stress_graph();
+
+  // Hot key set: a handful of untargeted foremost rows (cacheable).
+  std::vector<JourneyQuery> hot;
+  for (NodeId v = 0; v < 4; ++v) {
+    hot.push_back(JourneyQuery::foremost(v, /*start_time=*/0)
+                      .under(Policy::bounded_wait(3))
+                      .within(SearchLimits::up_to(96)));
+  }
+
+  // Reference results from a cache-less engine, computed serially.
+  QueryEngine cold(g, /*default_threads=*/1, CacheConfig::disabled());
+  std::vector<JourneyResult> reference;
+  reference.reserve(hot.size());
+  for (const auto& q : hot) reference.push_back(cold.run(q));
+
+  CacheConfig config;
+  config.capacity = 64;
+  QueryEngine engine(g, /*default_threads=*/2, config);
+  ASSERT_TRUE(engine.cache_enabled());
+
+  std::atomic<int> mismatches{0};
+  std::atomic<std::uint64_t> lookups{0};
+  auto hammer = [&] {
+    for (int r = 0; r < kRounds; ++r) {
+      for (std::size_t i = 0; i < hot.size(); ++i) {
+        const JourneyResult res = engine.run(hot[i]);
+        lookups.fetch_add(1, std::memory_order_relaxed);
+        if (!(res == reference[i])) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (unsigned i = 0; i < kThreads; ++i) threads.emplace_back(hammer);
+  launch_all(threads);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Post-stress stats consistency: every lookup was a hit or a miss,
+  // each distinct key missed at least once, nothing was evicted from a
+  // cache bigger than the key set, and the live entry count is bounded
+  // by the distinct keys.
+  const CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses, lookups.load());
+  EXPECT_GE(stats.misses, hot.size());
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_LE(stats.entries, hot.size());
+  EXPECT_GT(stats.hits, 0u);  // 160 replays of 4 keys cannot all miss
+}
+
+TEST(ConcurrencyStress, MixedTrafficWithPoisonedBatchesLeavesEngineUsable) {
+  const TimeVaryingGraph g = stress_graph();
+  QueryEngine engine(g, /*default_threads=*/2);
+  const NodeId n = static_cast<NodeId>(g.node_count());
+
+  // Reference answers computed before the stress (the engine is frozen,
+  // so they must still be the answers after it).
+  ClosureQuery closure_q;
+  closure_q.start_time = 0;
+  closure_q.policy = Policy::bounded_wait(3);
+  closure_q.limits = SearchLimits::up_to(96);
+  closure_q.threads = 2;
+  const ClosureResult closure_ref = engine.closure(closure_q);
+
+  std::vector<JourneyQuery> batch;
+  for (NodeId v = 0; v < n; ++v) {
+    batch.push_back(JourneyQuery::foremost(v, 0)
+                        .to((v + 1) % n)
+                        .under(Policy::wait())
+                        .within(SearchLimits::up_to(96)));
+  }
+  const std::vector<JourneyResult> batch_ref =
+      engine.run(std::span<const JourneyQuery>(batch), 2);
+
+  const std::size_t spawned_before = engine.worker_threads_spawned();
+
+  std::atomic<int> failures{0};
+  std::atomic<int> poison_throws{0};
+  auto expect = [&](bool ok) {
+    if (!ok) failures.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  auto closure_hammer = [&] {
+    for (int r = 0; r < kRounds / 2; ++r) {
+      expect(engine.closure(closure_q) == closure_ref);
+    }
+  };
+  auto batch_hammer = [&] {
+    for (int r = 0; r < kRounds / 2; ++r) {
+      const auto res = engine.run(std::span<const JourneyQuery>(batch), 2);
+      expect(res == batch_ref);
+    }
+  };
+  auto poison_hammer = [&] {
+    std::vector<JourneyQuery> poisoned = batch;
+    poisoned.push_back(JourneyQuery::foremost(n + 100, 0));  // out of range
+    for (int r = 0; r < kRounds / 2; ++r) {
+      try {
+        (void)engine.run(std::span<const JourneyQuery>(poisoned), 2);
+      } catch (const std::out_of_range&) {
+        poison_throws.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (unsigned i = 0; i < 3; ++i) threads.emplace_back(closure_hammer);
+  for (unsigned i = 0; i < 3; ++i) threads.emplace_back(batch_hammer);
+  for (unsigned i = 0; i < 2; ++i) threads.emplace_back(poison_hammer);
+  launch_all(threads);
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(poison_throws.load(), 2 * (kRounds / 2));
+
+  // Post-stress invariants: the worker pool only ever grew (monotone)
+  // and the engine is fully usable after the poisoned batches — both
+  // reference workloads still produce the reference answers.
+  EXPECT_GE(engine.worker_threads_spawned(), spawned_before);
+  const std::size_t spawned_after = engine.worker_threads_spawned();
+  EXPECT_TRUE(engine.closure(closure_q) == closure_ref);
+  EXPECT_TRUE(engine.run(std::span<const JourneyQuery>(batch), 2) ==
+              batch_ref);
+  EXPECT_EQ(engine.worker_threads_spawned(), spawned_after);  // settled
+}
+
+}  // namespace

@@ -11,7 +11,7 @@ namespace {
 TEST(Dfa, DeterminizeAgreesWithNfa) {
   const Nfa n = parse_regex("(a|b)*abb");
   const Dfa d = Dfa::determinize(n);
-  for (const Word& w : {"abb", "aabb", "babb", "ababb", "abab", "", "abba"}) {
+  for (const char* w : {"abb", "aabb", "babb", "ababb", "abab", "", "abba"}) {
     EXPECT_EQ(d.accepts(w), n.accepts(w)) << w;
   }
 }
@@ -27,7 +27,7 @@ TEST(Dfa, MinimizedIsCanonicallySmall) {
   const Dfa d = Dfa::determinize(parse_regex("(a|b)*abb"));
   const Dfa m = d.minimized();
   EXPECT_EQ(m.state_count(), 4u);
-  for (const Word& w : {"abb", "aabb", "ab", "abbb", ""}) {
+  for (const char* w : {"abb", "aabb", "ab", "abbb", ""}) {
     EXPECT_EQ(m.accepts(w), d.accepts(w)) << w;
   }
 }
@@ -45,7 +45,7 @@ TEST(Dfa, MinimizeAllAcceptingCollapses) {
 TEST(Dfa, ComplementFlipsMembership) {
   const Dfa d = regex_to_min_dfa("a*b");
   const Dfa c = d.complemented();
-  for (const Word& w : {"b", "ab", "aab", "", "a", "ba"}) {
+  for (const char* w : {"b", "ab", "aab", "", "a", "ba"}) {
     EXPECT_NE(d.accepts(w), c.accepts(w)) << w;
   }
 }
@@ -143,7 +143,7 @@ TEST(Dfa, ToNfaRoundTrip) {
 TEST(Dfa, RejectsSymbolsOutsideAlphabet) {
   const Dfa d = regex_to_min_dfa("a*", "a");
   EXPECT_FALSE(d.accepts("ax"));
-  EXPECT_THROW(d.transition(0, 'x'), std::invalid_argument);
+  EXPECT_THROW((void)d.transition(0, 'x'), std::invalid_argument);
 }
 
 TEST(Dfa, ToDotRenders) {

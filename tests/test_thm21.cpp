@@ -100,8 +100,8 @@ INSTANTIATE_TEST_SUITE_P(
         SuiteCase{"dyck1", "ab", tm::is_dyck, 9},
         SuiteCase{"ww", "ab", tm::is_ww, 8},
         SuiteCase{"unary_prime", "a", tm::is_unary_prime, 30}),
-    [](const ::testing::TestParamInfo<SuiteCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<SuiteCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(Thm21, TuringMachineInsideThePresenceFunction) {

@@ -92,8 +92,8 @@ INSTANTIATE_TEST_SUITE_P(
                       MachineCase{"palindrome", "ab", 9},
                       MachineCase{"even_a", "ab", 9},
                       MachineCase{"dyck", "ab", 10}),
-    [](const ::testing::TestParamInfo<MachineCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<MachineCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(Machine, LongInputsStillDecide) {
