@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#ifdef TVG_TRACE_SWITCH
+#include <cstdio>
+#endif
 #include <limits>
 #include <set>
 #include <stdexcept>
@@ -55,6 +58,16 @@ struct SearchArenas {
   std::vector<NodeId> ms_touched;          // nodes with nonzero scratch
   std::vector<std::vector<MsPacket>> ms_buckets;  // calendar backend
   std::vector<MsHeapItem> ms_heap;                // unbounded backend
+
+  /// Direction-optimized (pull) extensions of the packed kernel: per-node
+  /// settled lane words, the ascending-instant settle log feeding them
+  /// (folded with the uniform-latency lag, compacted from the front), and
+  /// the shrinking list of nodes still missing lanes that the gather
+  /// scans. Reused across words and closure calls like every other arena
+  /// (assign/clear keep the capacity).
+  std::vector<std::uint64_t> ms_settled;
+  std::vector<MsHeapItem> ms_settle_log;  // (instant, node, fresh lanes)
+  std::vector<NodeId> ms_unfinalized;
 };
 
 }  // namespace detail
@@ -440,11 +453,42 @@ using detail::MsPacket;
 ///  * Wait mode — total packets pushed + 1 reaching max_configs (serial
 ///    Dijkstra creates one config per improving push, and every
 ///    improving push for lane i maps to a packet containing lane i, so
-///    the packet total bounds every serial config count).
+///    the packet total bounds every serial config count). When
+///    max_configs > edge_count + 1 the packet counter is skipped
+///    entirely: a Wait-mode serial search over constant latencies
+///    expands each node at most once and creates at most one improving
+///    config per out-edge, so its config total is <= edges + 1 and no
+///    per-source run can possibly truncate.
+///
+/// Direction optimization (`dopt`): in the regime where the pull gather
+/// is provably exact — Wait mode, calendar backend, ONE uniform constant
+/// latency L >= 1 shared by every edge, unexhaustible budget — the
+/// kernel may stop scattering packets and instead, at each instant t,
+/// have every node still missing lanes OR in the lanes settled at its
+/// in-neighbors by t - L over in-edges present at t - L. With a uniform
+/// L, a lane settled at u at time s reaches v through edge e exactly at
+/// the first instant t with presence(e, t - L) and s <= t - L, so the
+/// gather finds precisely the serial foremost arrivals, instant by
+/// ascending instant (L >= 1 keeps same-instant cascades out of the
+/// gather's frame). kAuto switches push -> pull once, at the START of
+/// the first instant whose queued lane-deliveries (sum of packet mask
+/// popcounts in the instant's bucket) reach pull_density x lanes x the
+/// nodes not yet holding every lane. That right-hand side bounds both
+/// the lane-bits still missing anywhere AND what the gather would
+/// rescan per instant, so crossing it means this single instant's
+/// queue traffic already dwarfs the whole pull-side cost — which is
+/// exactly the blast-wave instant of a dense sweep, caught BEFORE its
+/// own — largest — scatter is paid. Staggered-arrival sweeps (thin
+/// masks, or fat re-deliveries to nodes each missing only a few
+/// stragglers — small Markovian traces, sparse Zipf regimes) never
+/// cross the threshold, whatever the node count, and keep the push
+/// path. Packets queued before the
+/// switch still drain (they settle lanes without scattering; the
+/// reached-mask dedup makes any double delivery harmless).
 bool packed_word(const TimeVaryingGraph& g, const ScheduleIndex& sx,
                  std::span<const NodeId> sources, Time start_time,
-                 Policy policy, SearchLimits limits, SearchArenas& a,
-                 std::span<std::vector<Time>> rows) {
+                 Policy policy, SearchLimits limits, DirectionOptions dopt,
+                 SearchArenas& a, std::span<std::vector<Time>> rows) {
   const std::size_t n = g.node_count();
   const bool wait_mode = policy.kind == WaitingPolicy::kWait;
   a.ms_seen.assign(n, 0);
@@ -472,16 +516,73 @@ bool packed_word(const TimeVaryingGraph& g, const ScheduleIndex& sx,
   // Same watchdog threshold as config_bfs (see watchdog_steps).
   const std::size_t max_expansion_steps = watchdog_steps(limits.max_configs);
 
+  // A Wait-mode serial Dijkstra over constant latencies expands each
+  // node at most once and records at most one improving config per
+  // out-edge, so a budget above edges + 1 can never truncate any
+  // per-source run this word replaces — the packed packet counter (whose
+  // total grows with lane count, not config count) would otherwise
+  // force spurious serial fallbacks at 10^5+ scale.
+  const bool budget_unexhaustible =
+      wait_mode && limits.max_configs > sx.edge_count() + 1;
+
+  // Pull-gather eligibility — see the function comment. uniform_lat is
+  // -1 unless every edge shares one constant latency.
+  const Time uniform_lat = sx.uniform_constant_latency();
+  const bool pull_eligible = wait_mode && bucketed && uniform_lat >= 1 &&
+                             budget_unexhaustible &&
+                             dopt.mode != FrontierMode::kPushOnly;
+  const std::uint64_t full_mask =
+      sources.size() >= 64 ? ~std::uint64_t{0}
+                           : (std::uint64_t{1} << sources.size()) - 1;
   bool ok = true;
   std::size_t admitted = 0;  // distinct (node, time) states (BFS modes)
   std::size_t pushes = 0;    // packets pushed (Wait-mode config bound)
   std::size_t queued = 0;    // packets pushed but not yet drained
 
+  bool pull_active = false;
+  std::size_t settle_cursor = 0;   // settle-log prefix already folded
+  std::size_t complete_nodes = 0;  // nodes already holding every lane
+  std::size_t settled_bits = 0;    // lane-work already done (push phase)
+  // Switching is rare (once per word, and only on dense sweeps), so the
+  // settle log is rebuilt HERE from the rows already written — the push
+  // path pays nothing per finalize while pull stays dormant.
+  auto activate_pull = [&] {
+    pull_active = true;
+    a.ms_settled.assign(n, 0);
+    a.ms_settle_log.clear();
+    settle_cursor = 0;
+    a.ms_unfinalized.clear();
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::uint64_t reached = a.ms_reached[v];
+      if (reached != full_mask) {
+        a.ms_unfinalized.push_back(static_cast<NodeId>(v));
+      }
+      for (std::uint64_t f = reached; f != 0; f &= f - 1) {
+        const std::size_t lane = static_cast<std::size_t>(std::countr_zero(f));
+        a.ms_settle_log.push_back(MsHeapItem{
+            rows[lane][v], static_cast<NodeId>(v), std::uint64_t{1} << lane});
+      }
+    }
+    std::sort(a.ms_settle_log.begin(), a.ms_settle_log.end(),
+              [](const MsHeapItem& x, const MsHeapItem& y) {
+                return x.time < y.time;
+              });
+  };
+  if (pull_eligible && dopt.mode == FrontierMode::kPullOnly) activate_pull();
+  // While true, kAuto is still shopping for a switch instant: the check
+  // runs and the counters below feed it. Closed one-way by switching OR
+  // by the sweep aging past the point where the O(settled)-cost
+  // activation could still be amortized (outstanding lane-work only
+  // shrinks) — after which the push path runs with zero eligibility
+  // bookkeeping.
+  bool switch_pending = pull_eligible && !pull_active;
+
   const auto heap_later = [](const MsHeapItem& x, const MsHeapItem& y) {
     return x.time > y.time;  // min-heap on time
   };
   auto push_state = [&](NodeId to, Time t, std::uint64_t mask) {
-    if (wait_mode && ++pushes + 1 >= limits.max_configs) {
+    if (wait_mode && !budget_unexhaustible &&
+        ++pushes + 1 >= limits.max_configs) {
       ok = false;
       return;
     }
@@ -516,7 +617,21 @@ bool packed_word(const TimeVaryingGraph& g, const ScheduleIndex& sx,
       for (std::uint64_t f = fresh; f != 0; f &= f - 1) {
         rows[static_cast<std::size_t>(std::countr_zero(f))][v] = t;
       }
+      if (switch_pending) {
+        // Feed the kAuto switch check: complete count normalizes the
+        // density threshold, settled bits drive the halfway guard.
+        if (a.ms_reached[v] == full_mask) ++complete_nodes;
+        settled_bits += static_cast<std::size_t>(std::popcount(fresh));
+      }
+      if (pull_active) {
+        // Log so a later gather can deliver these lanes onward once
+        // t + L arrives (pre-switch history is rebuilt from rows inside
+        // activate_pull; pre-switch-queued packets still draining after
+        // the switch land here).
+        a.ms_settle_log.push_back(MsHeapItem{t, v, fresh});
+      }
     }
+    if (pull_active) return;  // gather delivers these lanes from t + L on
     std::size_t steps = 0;
     for (const EdgeId eid : g.out_edges(v)) {
       for_each_departure(sx, eid, t, policy, limits.horizon, [&](Time dep) {
@@ -565,15 +680,117 @@ bool packed_word(const TimeVaryingGraph& g, const ScheduleIndex& sx,
     a.ms_touched.push_back(v);  // duplicates fine: delta dedups
   };
 
+  // Pull gather for one instant: fold settle events whose lanes are old
+  // enough to have departed (event time <= t - L) into the per-node
+  // settled words, then let every node still missing lanes OR them in
+  // over its in-edges present at the shared departure instant t - L.
+  auto pull_gather = [&](Time t) {
+    const Time dep = sat_sub(t, uniform_lat);  // uniform L >= 1, so dep < t
+    auto& log = a.ms_settle_log;
+    while (settle_cursor < log.size() && log[settle_cursor].time <= dep) {
+      a.ms_settled[log[settle_cursor].node] |= log[settle_cursor].mask;
+      ++settle_cursor;
+    }
+    if (settle_cursor >= 4096 && settle_cursor * 2 >= log.size()) {
+      log.erase(log.begin(),
+                log.begin() + static_cast<std::ptrdiff_t>(settle_cursor));
+      settle_cursor = 0;
+    }
+    for (std::size_t i = 0; i < a.ms_unfinalized.size();) {
+      const NodeId v = a.ms_unfinalized[i];
+      const std::uint64_t want = full_mask & ~a.ms_reached[v];
+      if (want == 0) {  // finalized by a pre-switch packet since last scan
+        a.ms_unfinalized[i] = a.ms_unfinalized.back();
+        a.ms_unfinalized.pop_back();
+        continue;
+      }
+      std::uint64_t gathered = 0;
+      for (const EdgeId eid : g.in_edges(v)) {
+        const std::uint64_t cand =
+            a.ms_settled[sx.record(eid).from] & want & ~gathered;
+        if (cand == 0 || !sx.present(eid, dep)) continue;
+        gathered |= cand;
+        if (gathered == want) break;
+      }
+      if (gathered != 0) {
+        a.ms_reached[v] |= gathered;
+        for (std::uint64_t f = gathered; f != 0; f &= f - 1) {
+          rows[static_cast<std::size_t>(std::countr_zero(f))][v] = t;
+        }
+        log.push_back(MsHeapItem{t, v, gathered});
+        if ((want ^ gathered) == 0) {
+          a.ms_unfinalized[i] = a.ms_unfinalized.back();
+          a.ms_unfinalized.pop_back();
+          continue;
+        }
+      }
+      ++i;
+    }
+  };
+
   if (bucketed) {
     // `queued` lets sparse propagation exit without sweeping the whole
     // calendar window (a NoWait word that reaches nothing drains only
-    // its seed bucket).
-    for (std::size_t b = 0; ok && queued > 0 && b < window; ++b) {
+    // its seed bucket); in pull mode the sweep instead runs while any
+    // node still misses lanes (the gather must visit every instant).
+    for (std::size_t b = 0; ok && b < window; ++b) {
+      if (pull_active ? (a.ms_unfinalized.empty() && queued == 0)
+                      : queued == 0) {
+        break;
+      }
       auto& bucket = a.ms_buckets[b];
       std::size_t scan = 0;
       // time-arith: b < window, so t_min + b <= horizon (no overflow)
-      drain_instant(t_min + static_cast<Time>(b), [&] {
+      const Time t = t_min + static_cast<Time>(b);
+      if (switch_pending) {
+        // Amortization guard: activate_pull's settle-log rebuild costs
+        // O(settled bits), so switching only pays while the sweep is
+        // YOUNG — remaining lane-work at least 8x what a rebuild would
+        // replay. A blast wave crosses the density threshold below at
+        // ~0.5% settled; staggered traces (Markovian-style stragglers
+        // whose fat-but-duplicate-heavy buckets only turn dense near
+        // the end) reach it at 12%+ settled and are blocked here. The
+        // guard is monotone, so crossing it retires the check for good.
+        const std::size_t outstanding = sources.size() * n - settled_bits;
+        if (outstanding <= 8 * (settled_bits + n)) {
+          switch_pending = false;
+        } else {
+#ifdef TVG_TRACE_SWITCH
+          {
+            std::size_t ql = 0;
+            for (const MsPacket& p : bucket)
+              ql += static_cast<std::size_t>(std::popcount(p.mask));
+            std::fprintf(stderr, "b=%zu lanes=%zu settled=%zu outst=%zu complete=%zu\n",
+                         b, ql, settled_bits, outstanding, complete_nodes);
+          }
+#endif
+          // unfinalized x lanes bounds the lane-bits still missing
+          // anywhere; unfinalized x avg-in-degree bounds the gather's
+          // per-instant in-edge scan (a complete-topology word has few
+          // nodes but hundreds of in-edges each — lanes alone
+          // undercount what pull would pay there). The queue traffic of
+          // ONE instant must dwarf both before switching makes sense.
+          const double threshold =
+              dopt.pull_density * static_cast<double>(n - complete_nodes) *
+              std::max(static_cast<double>(sources.size()),
+                       static_cast<double>(sx.edge_count()) /
+                           static_cast<double>(n));
+          // 64 x packet count bounds the bucket's lane-deliveries, so
+          // most instants skip the popcount pass outright.
+          if (static_cast<double>(64 * bucket.size()) >= threshold) {
+            std::size_t queued_lanes = 0;
+            for (const MsPacket& p : bucket) {
+              queued_lanes += static_cast<std::size_t>(std::popcount(p.mask));
+            }
+            if (static_cast<double>(queued_lanes) >= threshold) {
+              activate_pull();
+              switch_pending = false;
+            }
+          }
+        }
+      }
+      if (pull_active) pull_gather(t);
+      drain_instant(t, [&] {
         const bool any = scan < bucket.size();
         for (; scan < bucket.size(); ++scan) {
           accumulate(bucket[scan].node, bucket[scan].mask);
@@ -680,6 +897,16 @@ void multi_source_foremost(const TimeVaryingGraph& g,
                            SearchWorkspace& ws,
                            std::span<std::vector<Time>> rows,
                            std::span<char> truncated) {
+  multi_source_foremost(g, sources, start_time, policy, limits,
+                        DirectionOptions{}, ws, rows, truncated);
+}
+
+void multi_source_foremost(const TimeVaryingGraph& g,
+                           std::span<const NodeId> sources, Time start_time,
+                           Policy policy, SearchLimits limits,
+                           DirectionOptions direction, SearchWorkspace& ws,
+                           std::span<std::vector<Time>> rows,
+                           std::span<char> truncated) {
   if (rows.size() != sources.size() || truncated.size() != sources.size()) {
     throw std::invalid_argument(
         "multi_source_foremost: rows/truncated must have one entry per "
@@ -698,6 +925,18 @@ void multi_source_foremost(const TimeVaryingGraph& g,
   // take the per-source serial path below, which is exactly the code the
   // packed path is measured against.
   const bool eligible = sx.all_semi_periodic() && sx.all_latency_constant();
+  if (eligible) {
+    // One up-front reservation per closure call: the packed scratch is
+    // assign()ed per word, so sizing it here keeps the 10^6-node sweeps
+    // free of mid-word growth (the leased arenas keep the capacity).
+    detail::SearchArenas& a = ws.arenas();
+    a.ms_seen.reserve(n);
+    a.ms_expanded.reserve(n);
+    a.ms_reached.reserve(n);
+    a.ms_settled.reserve(n);
+    a.ms_touched.reserve(n);
+    a.ms_unfinalized.reserve(n);
+  }
   for (std::size_t base = 0; base < sources.size(); base += 64) {
     const std::size_t count = std::min<std::size_t>(64, sources.size() - base);
     const auto word_sources = sources.subspan(base, count);
@@ -706,7 +945,7 @@ void multi_source_foremost(const TimeVaryingGraph& g,
     if (eligible) {
       for (auto& row : word_rows) row.assign(n, kTimeInfinity);
       packed_ok = packed_word(g, sx, word_sources, start_time, policy, limits,
-                              ws.arenas(), word_rows);
+                              direction, ws.arenas(), word_rows);
       if (packed_ok) {
         // The guards proved no per-source serial search could have been
         // truncated (see packed_word), so the serial flags are all false.

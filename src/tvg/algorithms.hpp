@@ -30,6 +30,7 @@
 // that engine.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -86,6 +87,40 @@ struct SearchLimits {
 
   friend constexpr bool operator==(const SearchLimits&,
                                    const SearchLimits&) = default;
+};
+
+/// Which direction the packed multi-source kernel expands its frontier
+/// (classic direction optimization: Beamer-style push/pull switching).
+enum class FrontierMode : std::uint8_t {
+  kAuto = 0,      // push until the frontier turns dense, then pull
+  kPushOnly = 1,  // always scatter packets over out-edges
+  kPullOnly = 2,  // gather over in-edges whenever the word is eligible
+};
+
+/// Direction-optimization knobs for multi_source_foremost. Scheduling
+/// hints only: the pull path is gated to regimes where it provably
+/// reproduces the push rows bit for bit (Wait policy, bucketed window,
+/// one uniform constant latency, an unexhaustible config budget) and
+/// every ineligible word silently runs push — so rows are identical
+/// across all modes and thresholds, and the engine's cache keys exclude
+/// this struct exactly like the `threads` knob.
+struct DirectionOptions {
+  FrontierMode mode{FrontierMode::kAuto};
+  /// kAuto switches push -> pull at the start of the first instant
+  /// whose queued lane-deliveries (sum of packet-mask popcounts in the
+  /// instant's calendar bucket) reach this fraction of lanes x the
+  /// nodes not yet holding every lane. That normalizer bounds both the
+  /// lane-bits still missing anywhere and the gather's per-instant
+  /// rescan, so crossing it means one instant's queue traffic already
+  /// dwarfs the whole pull-side cost — the dense blast wave, caught
+  /// just BEFORE it pays its own (largest) scatter. Staggered sweeps
+  /// with thin masks, or re-deliveries to nodes each missing only a
+  /// few stragglers, never cross it and keep the push path. 0.0 =
+  /// switch at the first instant; huge = effectively never.
+  double pull_density{0.03};
+
+  friend constexpr bool operator==(const DirectionOptions&,
+                                   const DirectionOptions&) = default;
 };
 
 /// Result of a single-source foremost computation, with enough witness
@@ -174,6 +209,17 @@ void multi_source_foremost(const TimeVaryingGraph& g,
                            std::span<const NodeId> sources, Time start_time,
                            Policy policy, SearchLimits limits,
                            SearchWorkspace& ws,
+                           std::span<std::vector<Time>> rows,
+                           std::span<char> truncated);
+
+/// As above with explicit direction-optimization knobs (the two-argument
+/// form runs FrontierMode::kAuto). Rows and truncation flags are
+/// bit-identical across every mode — pull is an execution strategy, not
+/// a semantics change (see DirectionOptions).
+void multi_source_foremost(const TimeVaryingGraph& g,
+                           std::span<const NodeId> sources, Time start_time,
+                           Policy policy, SearchLimits limits,
+                           DirectionOptions direction, SearchWorkspace& ws,
                            std::span<std::vector<Time>> rows,
                            std::span<char> truncated);
 
@@ -267,6 +313,20 @@ struct std::hash<tvg::SearchLimits> {
                                     static_cast<std::uint64_t>(l.horizon));
     h = tvg::hash_mix(h, static_cast<std::uint64_t>(l.max_configs));
     h = tvg::hash_mix(h, static_cast<std::uint64_t>(l.max_fastest_candidates));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Hashing consistent with DirectionOptions::operator== (both knobs);
+/// feeds the hashes of query structs that embed it. The engine's cache
+/// keys still canonicalize it away (rows are mode-independent).
+template <>
+struct std::hash<tvg::DirectionOptions> {
+  [[nodiscard]] std::size_t operator()(
+      const tvg::DirectionOptions& d) const noexcept {
+    std::uint64_t h =
+        tvg::hash_mix(tvg::kHashSeed, static_cast<std::uint64_t>(d.mode));
+    h = tvg::hash_mix(h, std::bit_cast<std::uint64_t>(d.pull_density));
     return static_cast<std::size_t>(h);
   }
 };

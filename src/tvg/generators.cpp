@@ -1,6 +1,8 @@
 #include "tvg/generators.hpp"
 
+#include <cmath>
 #include <random>
+#include <vector>
 
 namespace tvg {
 namespace {
@@ -106,6 +108,50 @@ TimeVaryingGraph make_random_scheduled(const RandomScheduledParams& params) {
     g.add_edge(u, v, pick_symbol(params.alphabet, rng),
                Presence::intervals(schedule),
                Latency::constant(pick_latency(params.max_latency, rng)));
+  }
+  return g;
+}
+
+TimeVaryingGraph make_zipf_periodic(const ZipfPeriodicParams& params) {
+  TimeVaryingGraph g;
+  g.add_nodes(params.nodes);
+  std::mt19937_64 rng(params.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<NodeId> node_dist(
+      0, static_cast<NodeId>(params.nodes - 1));
+
+  // Zipf out-degrees by explicit per-node assignment (deterministic for
+  // a given seed): weight 1/(i+1)^s, renormalized so the mean degree is
+  // avg_degree, rounded per node.
+  std::vector<double> weight(params.nodes);
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < params.nodes; ++i) {
+    weight[i] = 1.0 / std::pow(static_cast<double>(i + 1),
+                               params.zipf_exponent);
+    total_weight += weight[i];
+  }
+  const double edge_budget =
+      params.avg_degree * static_cast<double>(params.nodes);
+
+  for (std::size_t u = 0; u < params.nodes; ++u) {
+    const auto degree = static_cast<std::size_t>(
+        edge_budget * weight[u] / total_weight + 0.5);
+    for (std::size_t d = 0; d < degree; ++d) {
+      NodeId v = node_dist(rng);
+      if (v == static_cast<NodeId>(u)) {
+        v = static_cast<NodeId>((v + 1) % params.nodes);
+        if (v == static_cast<NodeId>(u)) continue;  // single-node graph
+      }
+      IntervalSet pattern;
+      for (Time r = 0; r < params.period; ++r) {
+        if (coin(rng) < params.density) pattern.insert_point(r);
+      }
+      if (pattern.empty()) pattern.insert_point(0);  // keep the edge alive
+      g.add_edge(static_cast<NodeId>(u), v,
+                 pick_symbol(params.alphabet, rng),
+                 Presence::periodic(params.period, pattern),
+                 Latency::constant(params.latency));
+    }
   }
   return g;
 }

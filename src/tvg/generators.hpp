@@ -66,4 +66,29 @@ struct RandomScheduledParams {
 [[nodiscard]] TimeVaryingGraph make_random_scheduled(
     const RandomScheduledParams& params);
 
+/// The 10^5–10^6-node analytics workload: Zipf-skewed out-degrees over a
+/// semi-periodic schedule with ONE constant latency shared by every
+/// edge. The shared latency is what makes the direction-optimized
+/// (pull) closure kernel eligible (ScheduleIndex::
+/// uniform_constant_latency); `density` steers the frontier regime —
+/// high density saturates the lane frontier within a few instants
+/// (pull-favorable), low density keeps it sparse (push-favorable).
+struct ZipfPeriodicParams {
+  std::size_t nodes{100000};
+  /// Average out-degree; node i's expected degree scales with
+  /// 1 / (i + 1)^zipf_exponent, renormalized to this mean.
+  double avg_degree{8.0};
+  double zipf_exponent{1.0};  // 0 = uniform degrees
+  Time period{8};
+  double density{0.5};  // P(each pattern residue present)
+  Time latency{1};      // the single constant latency on every edge
+  std::string alphabet{"a"};
+  std::uint64_t seed{1};
+};
+
+/// Zipf-degree semi-periodic TVG for the analytics benches and the
+/// push/pull property sweeps.
+[[nodiscard]] TimeVaryingGraph make_zipf_periodic(
+    const ZipfPeriodicParams& params);
+
 }  // namespace tvg

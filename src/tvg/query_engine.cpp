@@ -36,6 +36,29 @@ namespace {
   return total;
 }
 
+[[nodiscard]] std::size_t approx_bytes(const KReachabilityResult& r) {
+  return sizeof(KReachabilityResult) +
+         r.counts.size() * sizeof(std::uint32_t) +
+         r.nodes.size() * sizeof(NodeId);
+}
+
+[[nodiscard]] std::size_t approx_bytes(const InfluenceResult& r) {
+  std::size_t total = sizeof(InfluenceResult) +
+                      r.total.size() * sizeof(std::size_t);
+  for (const auto& curve : r.spread) {
+    total += sizeof(curve) + curve.size() * sizeof(std::size_t);
+  }
+  return total;
+}
+
+[[nodiscard]] std::size_t approx_bytes(const BetweennessResult& r) {
+  return sizeof(BetweennessResult) + r.score.size() * sizeof(double);
+}
+
+[[nodiscard]] std::size_t approx_bytes(const CentralityResult& r) {
+  return sizeof(CentralityResult) + r.score.size() * sizeof(double);
+}
+
 [[nodiscard]] std::size_t approx_bytes(const std::vector<AcceptOutcome>& v) {
   std::size_t total = sizeof(v) + v.size() * sizeof(AcceptOutcome);
   for (const AcceptOutcome& o : v) {
@@ -303,7 +326,7 @@ ClosureResult QueryEngine::closure(const ClosureQuery& q) const {
     const std::size_t count = std::min<std::size_t>(64, sources.size() - lo);
     multi_source_foremost(
         g_, std::span<const NodeId>(sources).subspan(lo, count),
-        q.start_time, q.policy, q.limits, ws,
+        q.start_time, q.policy, q.limits, q.direction, ws,
         std::span<std::vector<Time>>(result.rows).subspan(lo, count),
         std::span<char>(truncated).subspan(lo, count));
   });
@@ -314,6 +337,289 @@ ClosureResult QueryEngine::closure(const ClosureQuery& q) const {
   if (cache_) {
     const auto owned =
         std::make_shared<const ClosureResult>(std::move(result));
+    cache_->insert(key, generation_, owned, approx_bytes(*owned));
+    return *owned;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Analytics over packed closure rows. Sweeps route through closure(),
+// so analytics sharing a source set + sweep knobs share cached rows;
+// each analytic then reduces the row block deterministically (disjoint
+// column shards; fixed-order floating-point loops inside one task).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The "empty = every node" expansion + bounds check shared by closure()
+/// and the analytics entry points.
+[[nodiscard]] std::vector<NodeId> materialize_sources(
+    const TimeVaryingGraph& g, const std::vector<NodeId>& sources,
+    const char* what) {
+  std::vector<NodeId> out = sources;
+  if (out.empty()) {
+    out.resize(g.node_count());
+    for (NodeId v = 0; v < g.node_count(); ++v) out[v] = v;
+  }
+  for (const NodeId u : out) {
+    if (u >= g.node_count()) throw std::out_of_range(what);
+  }
+  return out;
+}
+
+/// Column-shard width for the analytics reduces: wide enough that a task
+/// streams whole cache lines, narrow enough to load-balance 10^5-node
+/// graphs over any pool size.
+constexpr std::size_t kColumnChunk = 4096;
+
+}  // namespace
+
+KReachabilityResult QueryEngine::k_reachability(
+    const KReachabilityQuery& q) const {
+  const std::vector<NodeId> sources =
+      materialize_sources(g_, q.closure.sources,
+                          "QueryEngine::k_reachability: source out of range");
+  QueryKey key;
+  if (cache_) {
+    key = QueryKey::k_reachability(q, sources);
+    if (const auto hit = cache_->find(key, generation_)) {
+      return *static_cast<const KReachabilityResult*>(hit.get());
+    }
+  }
+  const ClosureResult swept = closure(q.closure);
+  const std::size_t n = g_.node_count();
+  KReachabilityResult result;
+  result.truncated = swept.truncated;
+  result.counts.assign(n, 0);
+  // Each task owns a contiguous column range: writes are disjoint and
+  // every count is a plain integer sum — identical at any thread count.
+  const std::size_t chunks = (n + kColumnChunk - 1) / kColumnChunk;
+  parallel_for(chunks, q.closure.threads,
+               [&](std::size_t c, SearchWorkspace&) {
+                 const std::size_t lo = c * kColumnChunk;
+                 const std::size_t hi = std::min(n, lo + kColumnChunk);
+                 for (const std::vector<Time>& row : swept.rows) {
+                   for (std::size_t v = lo; v < hi; ++v) {
+                     result.counts[v] += row[v] != kTimeInfinity ? 1u : 0u;
+                   }
+                 }
+               });
+  for (std::size_t v = 0; v < n; ++v) {
+    if (result.counts[v] >= q.k) {
+      result.nodes.push_back(static_cast<NodeId>(v));
+    }
+  }
+  if (cache_) {
+    const auto owned =
+        std::make_shared<const KReachabilityResult>(std::move(result));
+    cache_->insert(key, generation_, owned, approx_bytes(*owned));
+    return *owned;
+  }
+  return result;
+}
+
+InfluenceResult QueryEngine::influence_spread(const InfluenceQuery& q) const {
+  for (const auto& set : q.source_sets) {
+    for (const NodeId u : set) {
+      if (u >= g_.node_count()) {
+        throw std::out_of_range(
+            "QueryEngine::influence_spread: source out of range");
+      }
+    }
+  }
+  QueryKey key;
+  if (cache_) {
+    key = QueryKey::influence(q);
+    if (const auto hit = cache_->find(key, generation_)) {
+      return *static_cast<const InfluenceResult*>(hit.get());
+    }
+  }
+  const std::size_t n = g_.node_count();
+  const std::size_t samples = q.sample_times.size();
+  InfluenceResult result;
+  result.spread.resize(q.source_sets.size());
+  result.total.assign(q.source_sets.size(), 0);
+  const std::size_t chunks = (n + kColumnChunk - 1) / kColumnChunk;
+  for (std::size_t s = 0; s < q.source_sets.size(); ++s) {
+    result.spread[s].assign(samples, 0);
+    // An empty seed set infects nobody (it must NOT expand to "all
+    // nodes" the way an empty closure source list does).
+    if (q.source_sets[s].empty()) continue;
+    ClosureQuery sweep;
+    sweep.sources = q.source_sets[s];
+    sweep.start_time = q.start_time;
+    sweep.policy = q.policy;
+    sweep.limits = q.limits;
+    sweep.threads = q.threads;
+    const ClosureResult swept = closure(sweep);
+    result.truncated = result.truncated || swept.truncated;
+    // Per-chunk partial histograms merged in chunk order: the union
+    // cone's min-fold and the threshold counts are all integral, so the
+    // curve is identical at any thread count.
+    std::vector<std::vector<std::size_t>> partial(chunks);
+    parallel_for(chunks, q.threads, [&](std::size_t c, SearchWorkspace&) {
+      auto& p = partial[c];
+      p.assign(samples + 1, 0);
+      const std::size_t lo = c * kColumnChunk;
+      const std::size_t hi = std::min(n, lo + kColumnChunk);
+      for (std::size_t v = lo; v < hi; ++v) {
+        Time m = kTimeInfinity;
+        for (const std::vector<Time>& row : swept.rows) {
+          m = std::min(m, row[v]);
+        }
+        if (m == kTimeInfinity) continue;
+        ++p[samples];  // reached by the horizon
+        for (std::size_t j = 0; j < samples; ++j) {
+          if (m <= q.sample_times[j]) ++p[j];
+        }
+      }
+    });
+    for (const auto& p : partial) {
+      if (p.empty()) continue;
+      result.total[s] += p[samples];
+      for (std::size_t j = 0; j < samples; ++j) {
+        result.spread[s][j] += p[j];
+      }
+    }
+  }
+  if (cache_) {
+    const auto owned =
+        std::make_shared<const InfluenceResult>(std::move(result));
+    cache_->insert(key, generation_, owned, approx_bytes(*owned));
+    return *owned;
+  }
+  return result;
+}
+
+BetweennessResult QueryEngine::betweenness(const BetweennessQuery& q) const {
+  const std::vector<NodeId> sources = materialize_sources(
+      g_, q.sources, "QueryEngine::betweenness: source out of range");
+  QueryKey key;
+  if (cache_) {
+    key = QueryKey::betweenness(q, sources);
+    if (const auto hit = cache_->find(key, generation_)) {
+      return *static_cast<const BetweennessResult*>(hit.get());
+    }
+  }
+  const std::size_t n = g_.node_count();
+  BetweennessResult result;
+  result.score.assign(n, 0.0);
+  std::vector<char> truncated(sources.size(), 0);
+  // Per-source foremost trees accumulate under a merge lock; every
+  // contribution is an integer-valued double (witness-path counts), so
+  // the commutative merge cannot change any score bit.
+  Mutex merge_mu;
+  parallel_for(
+      sources.size(), q.threads, [&](std::size_t i, SearchWorkspace& ws) {
+        const ForemostTree tree = foremost_arrivals(
+            g_, sources[i], q.start_time, q.policy, q.limits, ws);
+        truncated[i] = tree.truncated ? 1 : 0;
+        // Brandes-style subtree fold over the witness forest: seed one
+        // unit at every reachable target's best config, fold children
+        // into parents (a parent's index always precedes its child's),
+        // and credit each non-root config's node with the paths passing
+        // strictly through it (its own seed excluded — endpoints don't
+        // count).
+        std::vector<double> weight(tree.configs.size(), 0.0);
+        std::vector<char> seeded(tree.configs.size(), 0);
+        for (std::size_t v = 0; v < n; ++v) {
+          if (static_cast<NodeId>(v) == tree.source) continue;
+          const std::int64_t cfg = tree.best_config[v];
+          if (cfg < 0) continue;
+          weight[static_cast<std::size_t>(cfg)] += 1.0;
+          seeded[static_cast<std::size_t>(cfg)] = 1;
+        }
+        std::vector<double> local(n, 0.0);
+        for (std::size_t idx = tree.configs.size(); idx-- > 0;) {
+          const auto& c = tree.configs[idx];
+          if (c.parent < 0) continue;  // root: the source endpoint
+          const double through = weight[idx] - (seeded[idx] ? 1.0 : 0.0);
+          if (through > 0.0) local[c.node] += through;
+          weight[static_cast<std::size_t>(c.parent)] += weight[idx];
+        }
+        const MutexLock lock(merge_mu);
+        for (std::size_t v = 0; v < n; ++v) result.score[v] += local[v];
+      });
+  result.truncated =
+      std::any_of(truncated.begin(), truncated.end(),
+                  [](char c) { return c != 0; });
+  if (cache_) {
+    const auto owned =
+        std::make_shared<const BetweennessResult>(std::move(result));
+    cache_->insert(key, generation_, owned, approx_bytes(*owned));
+    return *owned;
+  }
+  return result;
+}
+
+CentralityResult QueryEngine::centrality(const CentralityQuery& q) const {
+  const std::vector<NodeId> sources = materialize_sources(
+      g_, q.closure.sources, "QueryEngine::centrality: source out of range");
+  QueryKey key;
+  if (cache_) {
+    key = QueryKey::centrality(q, sources);
+    if (const auto hit = cache_->find(key, generation_)) {
+      return *static_cast<const CentralityResult*>(hit.get());
+    }
+  }
+  const ClosureResult swept = closure(q.closure);
+  const std::size_t n = g_.node_count();
+  const std::size_t s_count = sources.size();
+  // Endorsement weight of source s for node v: 1 / (1 + foremost delay),
+  // normalized by the row's total mass — recomputed on the fly each
+  // round so the iteration never materializes an S x n double matrix on
+  // top of the row block.
+  std::vector<double> mass(s_count, 0.0);
+  parallel_for(s_count, q.closure.threads,
+               [&](std::size_t s, SearchWorkspace&) {
+                 const std::vector<Time>& row = swept.rows[s];
+                 double m = 0.0;
+                 for (std::size_t v = 0; v < n; ++v) {
+                   if (row[v] == kTimeInfinity) continue;
+                   // time-arith: double accumulation (delta via sat_sub)
+                   m += 1.0 / (1.0 + static_cast<double>(sat_sub(
+                                         row[v], q.closure.start_time)));
+                 }
+                 mass[s] = m;
+               });
+  CentralityResult result;
+  result.truncated = swept.truncated;
+  result.score.assign(n, 1.0);
+  std::vector<double> next(n, 0.0);
+  std::vector<double> source_score(s_count, 0.0);
+  const std::size_t chunks = (n + kColumnChunk - 1) / kColumnChunk;
+  for (std::size_t round = 0; round < q.iterations; ++round) {
+    // Gather the sampled sources' current scores once (fixed order),
+    // then rebuild every node's score in disjoint column shards; the
+    // inner reduction always runs ascending over s inside one task, so
+    // the doubles come out bit-identical at any thread count.
+    for (std::size_t s = 0; s < s_count; ++s) {
+      source_score[s] = result.score[sources[s]];
+    }
+    parallel_for(chunks, q.closure.threads,
+                 [&](std::size_t c, SearchWorkspace&) {
+                   const std::size_t lo = c * kColumnChunk;
+                   const std::size_t hi = std::min(n, lo + kColumnChunk);
+                   for (std::size_t v = lo; v < hi; ++v) {
+                     double acc = 0.0;
+                     for (std::size_t s = 0; s < s_count; ++s) {
+                       if (mass[s] == 0.0) continue;
+                       const Time arr = swept.rows[s][v];
+                       if (arr == kTimeInfinity) continue;
+                       const double w =
+                           1.0 / (1.0 + static_cast<double>(sat_sub(
+                                            arr, q.closure.start_time)));
+                       acc += (w / mass[s]) * source_score[s];
+                     }
+                     next[v] = (1.0 - q.damping) + q.damping * acc;
+                   }
+                 });
+    result.score.swap(next);
+  }
+  if (cache_) {
+    const auto owned =
+        std::make_shared<const CentralityResult>(std::move(result));
     cache_->insert(key, generation_, owned, approx_bytes(*owned));
     return *owned;
   }

@@ -159,9 +159,13 @@ struct ClosureQuery {
   SearchLimits limits{};
   /// Worker threads for the row shard; 0 = the engine's default.
   unsigned threads{0};
+  /// Push/pull frontier hints for the packed kernel (scheduling-only:
+  /// rows are bit-identical in every mode, see DirectionOptions).
+  DirectionOptions direction{};
 
-  /// Field-wise equality (includes `threads`; the engine's cache key
-  /// deliberately does NOT — rows are bit-identical at any thread count).
+  /// Field-wise equality (includes `threads` and `direction`; the
+  /// engine's cache key deliberately does NOT — rows are bit-identical
+  /// at any thread count and in any frontier mode).
   friend bool operator==(const ClosureQuery&, const ClosureQuery&) = default;
 };
 
@@ -174,6 +178,127 @@ struct ClosureResult {
   bool truncated{false};
 
   friend bool operator==(const ClosureResult&, const ClosureResult&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Analytics queries — whole-graph temporal analytics layered over the
+// packed multi-source closure. Every request embeds (or mirrors) the
+// ClosureQuery that describes its underlying sweep; the engine routes
+// those sweeps through closure(), so two analytics on the SAME source
+// set + sweep knobs share one set of cached closure rows. Results are
+// deterministic at any thread count: integer accumulators are sharded
+// into disjoint slices, and every floating-point reduction runs in a
+// fixed order inside one task.
+// ---------------------------------------------------------------------------
+
+/// "Which nodes do at least k of these sources reach?" — a popcount-
+/// reduce down the columns of the packed closure rows.
+struct KReachabilityQuery {
+  /// The multi-source sweep (sources, start, policy, limits, threads).
+  ClosureQuery closure;
+  /// Minimum number of distinct sources that must reach a node.
+  std::size_t k{1};
+
+  friend bool operator==(const KReachabilityQuery&,
+                         const KReachabilityQuery&) = default;
+};
+
+struct KReachabilityResult {
+  /// counts[v] = number of request sources whose foremost arrival at v
+  /// is finite (index = NodeId).
+  std::vector<std::uint32_t> counts;
+  /// Nodes with counts[v] >= k, ascending by NodeId.
+  std::vector<NodeId> nodes;
+  /// True if any underlying row's search was truncated.
+  bool truncated{false};
+
+  friend bool operator==(const KReachabilityResult&,
+                         const KReachabilityResult&) = default;
+};
+
+/// Union-cone sizes over time for a batch of seed sets — the epidemic /
+/// outbreak primitive: spread[s][j] = how many nodes some member of
+/// source_sets[s] reaches by sample_times[j].
+struct InfluenceQuery {
+  /// Seed sets; each runs one (cached, shareable) closure sweep.
+  std::vector<std::vector<NodeId>> source_sets;
+  /// Ascending sample instants for the spread curves (may be empty:
+  /// only the by-horizon totals are computed then).
+  std::vector<Time> sample_times;
+  Time start_time{0};
+  Policy policy{Policy::wait()};
+  SearchLimits limits{};
+  /// Worker threads for the underlying sweeps; 0 = the engine's default.
+  unsigned threads{0};
+
+  friend bool operator==(const InfluenceQuery&,
+                         const InfluenceQuery&) = default;
+};
+
+struct InfluenceResult {
+  /// spread[s][j] = |{v : min over sources[s] of arrival(v) <=
+  /// sample_times[j]}| (curve per seed set, in request order).
+  std::vector<std::vector<std::size_t>> spread;
+  /// total[s] = nodes reached by the horizon (the curve's limit).
+  std::vector<std::size_t> total;
+  bool truncated{false};
+
+  friend bool operator==(const InfluenceResult&,
+                         const InfluenceResult&) = default;
+};
+
+/// Sampled-source temporal betweenness: for every sampled source, the
+/// engine builds the foremost witness tree and credits each interior
+/// node with the number of witness paths through it (Brandes-style
+/// subtree accumulation; endpoints excluded).
+struct BetweennessQuery {
+  /// Sampled sources; empty = every node, in NodeId order.
+  std::vector<NodeId> sources;
+  Time start_time{0};
+  Policy policy{Policy::wait()};
+  SearchLimits limits{};
+  unsigned threads{0};
+
+  friend bool operator==(const BetweennessQuery&,
+                         const BetweennessQuery&) = default;
+};
+
+struct BetweennessResult {
+  /// score[v] = number of (source, target) foremost witness paths with v
+  /// strictly interior, summed over the sampled sources. Integer-valued
+  /// doubles: the merge order cannot change the sum, so the scores are
+  /// bit-identical at any thread count.
+  std::vector<double> score;
+  bool truncated{false};
+
+  friend bool operator==(const BetweennessResult&,
+                         const BetweennessResult&) = default;
+};
+
+/// Temporal Katz/PageRank-style centrality iterated over the packed
+/// closure rows: source s endorses node v with weight 1 / (1 + delay)
+/// (row-normalized), and `iterations` damped rounds let mass flow
+/// through the sampled sources' own scores.
+struct CentralityQuery {
+  /// The sweep whose rows carry the endorsements (sources = sampled
+  /// hubs; empty = every node).
+  ClosureQuery closure;
+  double damping{0.85};
+  std::size_t iterations{20};
+
+  friend bool operator==(const CentralityQuery&,
+                         const CentralityQuery&) = default;
+};
+
+struct CentralityResult {
+  /// Per-node score (index = NodeId). Every per-node reduction runs
+  /// ascending over the sampled sources inside one task, so scores are
+  /// bit-identical at any thread count.
+  std::vector<double> score;
+  bool truncated{false};
+
+  friend bool operator==(const CentralityResult&,
+                         const CentralityResult&) = default;
 };
 
 /// The automaton side of a batched acceptance query: which nodes start
@@ -273,6 +398,23 @@ class QueryEngine {
 
   /// Multi-source foremost closure; see ClosureQuery / ClosureResult.
   [[nodiscard]] ClosureResult closure(const ClosureQuery& q) const;
+
+  /// Nodes reachable from >= k of the query's sources (see
+  /// KReachabilityQuery). The underlying sweep goes through closure(),
+  /// so analytics sharing a source set share its cached rows.
+  [[nodiscard]] KReachabilityResult k_reachability(
+      const KReachabilityQuery& q) const;
+
+  /// Union-cone spread curves for a batch of seed sets (see
+  /// InfluenceQuery); one closure() sweep per distinct seed set.
+  [[nodiscard]] InfluenceResult influence_spread(const InfluenceQuery& q) const;
+
+  /// Sampled-source temporal betweenness (see BetweennessQuery).
+  [[nodiscard]] BetweennessResult betweenness(const BetweennessQuery& q) const;
+
+  /// Damped centrality iterated over packed closure rows (see
+  /// CentralityQuery).
+  [[nodiscard]] CentralityResult centrality(const CentralityQuery& q) const;
 
   /// Batched TVG-automaton acceptance over the compiled index: the words
   /// are compiled into a trie and all of them are decided in ONE
@@ -374,6 +516,62 @@ struct std::hash<tvg::ClosureQuery> {
     h = tvg::hash_mix(h, std::hash<tvg::Policy>{}(q.policy));
     h = tvg::hash_mix(h, std::hash<tvg::SearchLimits>{}(q.limits));
     h = tvg::hash_mix(h, q.threads);
+    h = tvg::hash_mix(h, std::hash<tvg::DirectionOptions>{}(q.direction));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+template <>
+struct std::hash<tvg::KReachabilityQuery> {
+  [[nodiscard]] std::size_t operator()(
+      const tvg::KReachabilityQuery& q) const noexcept {
+    return static_cast<std::size_t>(
+        tvg::hash_mix(std::hash<tvg::ClosureQuery>{}(q.closure), q.k));
+  }
+};
+
+template <>
+struct std::hash<tvg::InfluenceQuery> {
+  [[nodiscard]] std::size_t operator()(
+      const tvg::InfluenceQuery& q) const noexcept {
+    std::uint64_t h = tvg::hash_mix(tvg::kHashSeed, q.source_sets.size());
+    for (const auto& set : q.source_sets) {
+      h = tvg::hash_mix(h, set.size());
+      for (const tvg::NodeId v : set) h = tvg::hash_mix(h, v);
+    }
+    h = tvg::hash_mix(h, q.sample_times.size());
+    for (const tvg::Time t : q.sample_times) {
+      h = tvg::hash_mix(h, static_cast<std::uint64_t>(t));
+    }
+    h = tvg::hash_mix(h, static_cast<std::uint64_t>(q.start_time));
+    h = tvg::hash_mix(h, std::hash<tvg::Policy>{}(q.policy));
+    h = tvg::hash_mix(h, std::hash<tvg::SearchLimits>{}(q.limits));
+    h = tvg::hash_mix(h, q.threads);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+template <>
+struct std::hash<tvg::BetweennessQuery> {
+  [[nodiscard]] std::size_t operator()(
+      const tvg::BetweennessQuery& q) const noexcept {
+    std::uint64_t h = tvg::hash_mix(tvg::kHashSeed, q.sources.size());
+    for (const tvg::NodeId v : q.sources) h = tvg::hash_mix(h, v);
+    h = tvg::hash_mix(h, static_cast<std::uint64_t>(q.start_time));
+    h = tvg::hash_mix(h, std::hash<tvg::Policy>{}(q.policy));
+    h = tvg::hash_mix(h, std::hash<tvg::SearchLimits>{}(q.limits));
+    h = tvg::hash_mix(h, q.threads);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+template <>
+struct std::hash<tvg::CentralityQuery> {
+  [[nodiscard]] std::size_t operator()(
+      const tvg::CentralityQuery& q) const noexcept {
+    std::uint64_t h = std::hash<tvg::ClosureQuery>{}(q.closure);
+    h = tvg::hash_mix(h, std::bit_cast<std::uint64_t>(q.damping));
+    h = tvg::hash_mix(h, q.iterations);
     return static_cast<std::size_t>(h);
   }
 };

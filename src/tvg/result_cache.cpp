@@ -1,6 +1,7 @@
 #include "tvg/result_cache.hpp"
 
 #include <atomic>
+#include <bit>
 #include <list>
 #include <unordered_map>
 #include <utility>
@@ -78,21 +79,85 @@ QueryKey QueryKey::journey(const JourneyQuery& q) {
   return k;
 }
 
+// `threads` and `direction` are scheduling-only (rows are bit-identical
+// at any thread count and in any frontier mode) and deliberately left
+// out of every key built through here.
+void QueryKey::append_sweep(Time start_time, const Policy& policy,
+                            const SearchLimits& limits,
+                            std::span<const NodeId> sources) {
+  append(static_cast<std::uint64_t>(start_time));
+  append(static_cast<std::uint64_t>(policy.kind));
+  append(canonical_bound(policy));
+  append(static_cast<std::uint64_t>(limits.horizon));
+  append(limits.max_configs);
+  append(limits.max_fastest_candidates);
+  append(static_cast<std::uint64_t>(sources.size()));
+  for (const NodeId v : sources) append(v);
+}
+
 QueryKey QueryKey::closure(const ClosureQuery& q,
                            std::span<const NodeId> sources) {
   QueryKey k;
   k.payload_.reserve(9 + sources.size());
   k.append(static_cast<std::uint64_t>(Kind::kClosure));
-  k.append(static_cast<std::uint64_t>(q.start_time));
-  k.append(static_cast<std::uint64_t>(q.policy.kind));
-  k.append(canonical_bound(q.policy));
-  k.append(static_cast<std::uint64_t>(q.limits.horizon));
-  k.append(q.limits.max_configs);
-  k.append(q.limits.max_fastest_candidates);
-  // q.threads is scheduling-only (rows are bit-identical at any thread
-  // count) and deliberately left out of the key.
-  k.append(static_cast<std::uint64_t>(sources.size()));
-  for (const NodeId v : sources) k.append(v);
+  k.append_sweep(q.start_time, q.policy, q.limits, sources);
+  k.seal();
+  return k;
+}
+
+QueryKey QueryKey::k_reachability(const KReachabilityQuery& q,
+                                  std::span<const NodeId> sources) {
+  QueryKey k;
+  k.payload_.reserve(10 + sources.size());
+  k.append(static_cast<std::uint64_t>(Kind::kKReachability));
+  k.append(q.k);
+  k.append_sweep(q.closure.start_time, q.closure.policy, q.closure.limits,
+               sources);
+  k.seal();
+  return k;
+}
+
+QueryKey QueryKey::influence(const InfluenceQuery& q) {
+  QueryKey k;
+  std::size_t ids = 0;
+  for (const auto& set : q.source_sets) ids += set.size() + 1;
+  k.payload_.reserve(9 + ids + q.sample_times.size());
+  k.append(static_cast<std::uint64_t>(Kind::kInfluence));
+  // Seed sets are positional (results are per set, in request order), so
+  // the key takes them verbatim, each length-prefixed.
+  k.append(static_cast<std::uint64_t>(q.source_sets.size()));
+  for (const auto& set : q.source_sets) {
+    k.append(static_cast<std::uint64_t>(set.size()));
+    for (const NodeId v : set) k.append(v);
+  }
+  k.append(static_cast<std::uint64_t>(q.sample_times.size()));
+  for (const Time t : q.sample_times) {
+    k.append(static_cast<std::uint64_t>(t));
+  }
+  k.append_sweep(q.start_time, q.policy, q.limits, {});
+  k.seal();
+  return k;
+}
+
+QueryKey QueryKey::betweenness(const BetweennessQuery& q,
+                               std::span<const NodeId> sources) {
+  QueryKey k;
+  k.payload_.reserve(9 + sources.size());
+  k.append(static_cast<std::uint64_t>(Kind::kBetweenness));
+  k.append_sweep(q.start_time, q.policy, q.limits, sources);
+  k.seal();
+  return k;
+}
+
+QueryKey QueryKey::centrality(const CentralityQuery& q,
+                              std::span<const NodeId> sources) {
+  QueryKey k;
+  k.payload_.reserve(11 + sources.size());
+  k.append(static_cast<std::uint64_t>(Kind::kCentrality));
+  k.append(std::bit_cast<std::uint64_t>(q.damping));
+  k.append(q.iterations);
+  k.append_sweep(q.closure.start_time, q.closure.policy, q.closure.limits,
+               sources);
   k.seal();
   return k;
 }

@@ -46,6 +46,12 @@ namespace tvg {
 struct JourneyQuery;  // query_engine.hpp
 struct ClosureQuery;
 struct AcceptSpec;
+struct Policy;        // policy.hpp
+struct SearchLimits;  // algorithms.hpp
+struct KReachabilityQuery;
+struct InfluenceQuery;
+struct BetweennessQuery;
+struct CentralityQuery;
 
 /// QueryEngine's caching knob (constructor parameter; default on).
 struct CacheConfig {
@@ -94,7 +100,15 @@ struct CacheStats {
 /// at construction (hash_mix over the payload words).
 class QueryKey {
  public:
-  enum class Kind : std::uint8_t { kJourney = 1, kClosure = 2, kAccept = 3 };
+  enum class Kind : std::uint8_t {
+    kJourney = 1,
+    kClosure = 2,
+    kAccept = 3,
+    kKReachability = 4,
+    kInfluence = 5,
+    kBetweenness = 6,
+    kCentrality = 7,
+  };
 
   QueryKey() = default;
 
@@ -118,6 +132,20 @@ class QueryKey {
   [[nodiscard]] static QueryKey accept(const AcceptSpec& spec,
                                        std::span<const Word> words);
 
+  /// Keys for the analytics entry points. Each embeds its underlying
+  /// sweep exactly as QueryKey::closure canonicalizes it — materialized
+  /// source list, scheduling-only knobs (threads, frontier direction)
+  /// excluded — plus the analytic's own parameters, so an analytics
+  /// entry never aliases a raw closure entry (distinct leading tag) and
+  /// never splits on knobs that cannot change the result.
+  [[nodiscard]] static QueryKey k_reachability(const KReachabilityQuery& q,
+                                               std::span<const NodeId> sources);
+  [[nodiscard]] static QueryKey influence(const InfluenceQuery& q);
+  [[nodiscard]] static QueryKey betweenness(const BetweennessQuery& q,
+                                            std::span<const NodeId> sources);
+  [[nodiscard]] static QueryKey centrality(const CentralityQuery& q,
+                                           std::span<const NodeId> sources);
+
   [[nodiscard]] std::size_t hash() const noexcept { return hash_; }
   [[nodiscard]] bool empty() const noexcept { return payload_.empty(); }
 
@@ -126,6 +154,12 @@ class QueryKey {
  private:
   void append(std::uint64_t v) { payload_.push_back(v); }
   void append_word(const Word& w);
+  /// Shared sweep payload for closure and the analytics keys layered on
+  /// one: start + policy + limits + the materialized source list
+  /// (scheduling-only knobs — threads, frontier direction — excluded).
+  void append_sweep(Time start_time, const Policy& policy,
+                    const SearchLimits& limits,
+                    std::span<const NodeId> sources);
   void seal();  // computes hash_ from the finished payload
 
   std::vector<std::uint64_t> payload_;

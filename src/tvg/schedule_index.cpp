@@ -49,7 +49,15 @@ ScheduleIndex::ScheduleIndex(const TimeVaryingGraph& g) {
       ce.lat_affine = true;
       ce.lat_a = coeff->first;
       ce.lat_b = coeff->second;
+      if (ce.lat_a != 0) {
+        uniform_latency_ = -1;  // time-dependent ζ: not a shared constant
+      } else if (e == 0) {
+        uniform_latency_ = ce.lat_b;
+      } else if (uniform_latency_ != ce.lat_b) {
+        uniform_latency_ = -1;
+      }
     } else {
+      uniform_latency_ = -1;
       ce.lat_affine = false;
       ce.lat_aux = static_cast<std::uint32_t>(fallback_latency_.size());
       fallback_latency_.push_back(ed.latency);

@@ -94,6 +94,15 @@ class ScheduleIndex {
   [[nodiscard]] bool all_semi_periodic() const noexcept {
     return all_semi_periodic_;
   }
+  /// The single constant ζ shared by EVERY edge, or -1 when the graph
+  /// has no edges, any ζ is non-constant, or two edges disagree. The
+  /// direction-optimized (pull) closure kernel gates on this: with one
+  /// uniform latency L, "who arrives at v at instant t" is exactly "who
+  /// was settled at an in-neighbor by t − L with the edge present at
+  /// t − L" — a per-edge word OR instead of a scatter.
+  [[nodiscard]] Time uniform_constant_latency() const noexcept {
+    return uniform_latency_;
+  }
 
   /// ρ_e(t); exact mirror of Presence::present. Defined inline below —
   /// these three queries are issued once per edge per configuration
@@ -175,6 +184,7 @@ class ScheduleIndex {
   std::vector<Latency> fallback_latency_;
   bool all_latency_constant_{true};
   bool all_semi_periodic_{true};
+  Time uniform_latency_{-1};  // -1 = no shared constant ζ (see accessor)
 };
 
 // ---------------------------------------------------------------------------

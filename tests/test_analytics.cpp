@@ -1,0 +1,379 @@
+// Property tests for the direction-optimized (push/pull) packed kernel
+// and the QueryEngine analytics suite layered on it:
+//  * direction-optimized rows are bit-identical to per-source
+//    foremost_scan across push-only / pull-only / auto-switch modes, in
+//    dense (pull-favorable) and sparse (push-favorable) regimes, for
+//    source counts crossing the 64-lane word boundaries;
+//  * the pull gate is conservative: non-uniform latencies, non-Wait
+//    policies, and exhaustible budgets all degrade to the push/serial
+//    paths and still agree bit for bit (rows AND truncation flags);
+//  * the analytics entry points (k_reachability, influence_spread,
+//    betweenness, centrality) are deterministic at 1/2/8 threads, match
+//    hand-computed reductions of the serial rows, and share cached
+//    closure rows across analytics on identical source sets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "tvg/algorithms.hpp"
+#include "tvg/generators.hpp"
+#include "tvg/latency.hpp"
+#include "tvg/presence.hpp"
+#include "tvg/query_engine.hpp"
+#include "tvg/schedule_index.hpp"
+
+namespace {
+
+using namespace tvg;
+
+struct Rows {
+  std::vector<std::vector<Time>> rows;
+  std::vector<char> truncated;
+
+  friend bool operator==(const Rows&, const Rows&) = default;
+};
+
+Rows serial_rows(const TimeVaryingGraph& g, const std::vector<NodeId>& sources,
+                 Time start_time, Policy policy, SearchLimits limits) {
+  Rows out;
+  out.rows.resize(sources.size());
+  out.truncated.resize(sources.size());
+  SearchWorkspace ws;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const ForemostScan scan =
+        foremost_scan(g, sources[i], start_time, policy, limits, ws);
+    out.rows[i].assign(scan.arrival.begin(), scan.arrival.end());
+    out.truncated[i] = scan.truncated ? 1 : 0;
+  }
+  return out;
+}
+
+Rows packed_rows(const TimeVaryingGraph& g, const std::vector<NodeId>& sources,
+                 Time start_time, Policy policy, SearchLimits limits,
+                 DirectionOptions direction) {
+  Rows out;
+  out.rows.resize(sources.size());
+  out.truncated.resize(sources.size());
+  SearchWorkspace ws;
+  multi_source_foremost(g, sources, start_time, policy, limits, direction, ws,
+                        out.rows, out.truncated);
+  return out;
+}
+
+std::vector<NodeId> cycling_sources(const TimeVaryingGraph& g,
+                                    std::size_t count) {
+  std::vector<NodeId> sources(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    sources[i] = static_cast<NodeId>((i * 7 + 3) % g.node_count());
+  }
+  return sources;
+}
+
+/// The three frontier modes plus an eager auto-switch (pull_density = 0
+/// flips to pull at the first drained instant) — every one must be
+/// row-invisible.
+std::vector<DirectionOptions> all_direction_options() {
+  DirectionOptions auto_default;
+  DirectionOptions auto_eager;
+  auto_eager.pull_density = 0.0;
+  DirectionOptions push;
+  push.mode = FrontierMode::kPushOnly;
+  DirectionOptions pull;
+  pull.mode = FrontierMode::kPullOnly;
+  return {auto_default, auto_eager, push, pull};
+}
+
+void expect_modes_match(const TimeVaryingGraph& g, Time start_time,
+                        SearchLimits limits, const char* label) {
+  for (const Policy policy :
+       {Policy::no_wait(), Policy::bounded_wait(3), Policy::wait()}) {
+    for (const std::size_t count : {1u, 63u, 64u, 65u, 130u}) {
+      const auto sources = cycling_sources(g, count);
+      const Rows serial = serial_rows(g, sources, start_time, policy, limits);
+      for (const DirectionOptions& direction : all_direction_options()) {
+        const Rows packed =
+            packed_rows(g, sources, start_time, policy, limits, direction);
+        ASSERT_EQ(packed, serial)
+            << label << " policy=" << policy.to_string()
+            << " sources=" << count
+            << " mode=" << static_cast<int>(direction.mode)
+            << " pull_density=" << direction.pull_density;
+      }
+    }
+  }
+}
+
+TimeVaryingGraph dense_zipf(std::uint64_t seed) {
+  ZipfPeriodicParams params;
+  params.nodes = 60;
+  params.avg_degree = 5.0;
+  params.zipf_exponent = 0.8;
+  params.period = 6;
+  params.density = 0.9;  // frontier saturates in a few instants
+  params.seed = seed;
+  return make_zipf_periodic(params);
+}
+
+TimeVaryingGraph sparse_zipf(std::uint64_t seed) {
+  ZipfPeriodicParams params;
+  params.nodes = 60;
+  params.avg_degree = 2.0;
+  params.zipf_exponent = 1.2;
+  params.period = 8;
+  params.density = 0.15;  // push-favorable: the frontier stays thin
+  params.seed = seed;
+  return make_zipf_periodic(params);
+}
+
+TEST(UniformLatency, ScheduleIndexDetectsTheSharedConstant) {
+  // The zipf generator stamps one constant latency on every edge.
+  ZipfPeriodicParams params;
+  params.nodes = 12;
+  params.latency = 2;
+  params.seed = 3;
+  const TimeVaryingGraph uniform = make_zipf_periodic(params);
+  EXPECT_EQ(uniform.schedule_index().uniform_constant_latency(), 2);
+
+  // Two disagreeing constants: no shared value.
+  TimeVaryingGraph mixed;
+  mixed.add_nodes(3);
+  mixed.add_edge(0, 1, 'a', Presence::always(), Latency::constant(1));
+  mixed.add_edge(1, 2, 'a', Presence::always(), Latency::constant(2));
+  EXPECT_EQ(mixed.schedule_index().uniform_constant_latency(), -1);
+
+  // A time-dependent ζ disqualifies even a lone edge.
+  TimeVaryingGraph affine;
+  affine.add_nodes(2);
+  affine.add_edge(0, 1, 'a', Presence::always(), Latency::affine(1, 1));
+  EXPECT_EQ(affine.schedule_index().uniform_constant_latency(), -1);
+
+  // No edges: nothing to share.
+  TimeVaryingGraph empty;
+  empty.add_nodes(2);
+  EXPECT_EQ(empty.schedule_index().uniform_constant_latency(), -1);
+}
+
+TEST(DirectionOptimizedForemost, ModesMatchSerialOnDenseGraphs) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const TimeVaryingGraph g = dense_zipf(seed);
+    ASSERT_EQ(g.schedule_index().uniform_constant_latency(), 1);
+    expect_modes_match(g, 0, SearchLimits::up_to(48), "dense-zipf");
+  }
+}
+
+TEST(DirectionOptimizedForemost, ModesMatchSerialOnSparseGraphs) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const TimeVaryingGraph g = sparse_zipf(seed);
+    expect_modes_match(g, 0, SearchLimits::up_to(64), "sparse-zipf");
+  }
+}
+
+TEST(DirectionOptimizedForemost, ModesMatchSerialOnMarkovianTraces) {
+  // Interval schedules (not periodic) with the shared unit latency: the
+  // pull gate stays open, over a bursty non-stationary frontier.
+  EdgeMarkovianParams params;
+  params.nodes = 48;
+  params.initial_on = 1.0 / 48;
+  params.p_birth = 0.02;
+  params.p_death = 0.5;
+  params.horizon = 64;
+  params.seed = 9;
+  const TimeVaryingGraph g = make_edge_markovian(params);
+  ASSERT_EQ(g.schedule_index().uniform_constant_latency(), 1);
+  expect_modes_match(g, 0, SearchLimits::up_to(120), "markovian");
+}
+
+TEST(DirectionOptimizedForemost, NonUniformLatencyKeepsTheGateShut) {
+  // max_latency 3 draws several distinct constants: pull-only must
+  // silently run the push path and still agree.
+  RandomPeriodicParams params;
+  params.nodes = 14;
+  params.edges = 50;
+  params.period = 8;
+  params.max_latency = 3;
+  params.seed = 2;
+  const TimeVaryingGraph g = make_random_periodic(params);
+  ASSERT_EQ(g.schedule_index().uniform_constant_latency(), -1);
+  expect_modes_match(g, 0, SearchLimits::up_to(80), "non-uniform-latency");
+}
+
+TEST(DirectionOptimizedForemost, TinyBudgetsFallBackBitIdentical) {
+  // An exhaustible budget closes the pull gate AND re-arms the packet
+  // guard; when it fires, the per-source fallback must reproduce serial
+  // truncation exactly — in every mode.
+  const TimeVaryingGraph g = dense_zipf(6);
+  for (const std::size_t max_configs :
+       {std::size_t{1}, std::size_t{3}, std::size_t{9}}) {
+    SearchLimits limits = SearchLimits::up_to(48);
+    limits.max_configs = max_configs;
+    for (const DirectionOptions& direction : all_direction_options()) {
+      const auto sources = cycling_sources(g, 70);
+      const Rows serial = serial_rows(g, sources, 0, Policy::wait(), limits);
+      const Rows packed =
+          packed_rows(g, sources, 0, Policy::wait(), limits, direction);
+      ASSERT_EQ(packed, serial)
+          << "max_configs=" << max_configs
+          << " mode=" << static_cast<int>(direction.mode);
+    }
+  }
+}
+
+TEST(AnalyticsEngine, KReachabilityMatchesSerialCountsAcrossThreads) {
+  const TimeVaryingGraph g = dense_zipf(11);
+  const auto sources = cycling_sources(g, 65);
+  const SearchLimits limits = SearchLimits::up_to(48);
+  const Rows serial = serial_rows(g, sources, 0, Policy::wait(), limits);
+  std::vector<std::uint32_t> expected_counts(g.node_count(), 0);
+  for (const auto& row : serial.rows) {
+    for (std::size_t v = 0; v < row.size(); ++v) {
+      expected_counts[v] += row[v] != kTimeInfinity ? 1u : 0u;
+    }
+  }
+  QueryEngine engine(g, 0, CacheConfig::disabled());
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    KReachabilityQuery q;
+    q.closure.sources = sources;
+    q.closure.limits = limits;
+    q.closure.threads = threads;
+    q.k = 3;
+    const KReachabilityResult result = engine.k_reachability(q);
+    ASSERT_EQ(result.counts, expected_counts) << "threads=" << threads;
+    for (const NodeId v : result.nodes) {
+      EXPECT_GE(result.counts[v], q.k);
+    }
+    EXPECT_TRUE(std::is_sorted(result.nodes.begin(), result.nodes.end()));
+    std::size_t over_k = 0;
+    for (const std::uint32_t c : expected_counts) over_k += c >= q.k ? 1 : 0;
+    EXPECT_EQ(result.nodes.size(), over_k);
+  }
+}
+
+TEST(AnalyticsEngine, InfluenceSpreadMatchesUnionConesAcrossThreads) {
+  const TimeVaryingGraph g = dense_zipf(12);
+  const SearchLimits limits = SearchLimits::up_to(48);
+  InfluenceQuery q;
+  q.source_sets = {{3, 10, 17}, {5}, {}};
+  q.sample_times = {2, 8, 20, 48};
+  q.limits = limits;
+  // Expected: per set, the min-fold of its serial rows thresholded at
+  // each sample instant.
+  InfluenceResult expected;
+  expected.spread.resize(q.source_sets.size());
+  expected.total.assign(q.source_sets.size(), 0);
+  for (std::size_t s = 0; s < q.source_sets.size(); ++s) {
+    expected.spread[s].assign(q.sample_times.size(), 0);
+    if (q.source_sets[s].empty()) continue;
+    const Rows rows =
+        serial_rows(g, q.source_sets[s], 0, Policy::wait(), limits);
+    for (std::size_t v = 0; v < g.node_count(); ++v) {
+      Time m = kTimeInfinity;
+      for (const auto& row : rows.rows) m = std::min(m, row[v]);
+      if (m == kTimeInfinity) continue;
+      ++expected.total[s];
+      for (std::size_t j = 0; j < q.sample_times.size(); ++j) {
+        if (m <= q.sample_times[j]) ++expected.spread[s][j];
+      }
+    }
+  }
+  QueryEngine engine(g, 0, CacheConfig::disabled());
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    q.threads = threads;
+    const InfluenceResult result = engine.influence_spread(q);
+    ASSERT_EQ(result.spread, expected.spread) << "threads=" << threads;
+    ASSERT_EQ(result.total, expected.total) << "threads=" << threads;
+    // Curves are monotone in the (ascending) sample instants.
+    for (const auto& curve : result.spread) {
+      EXPECT_TRUE(std::is_sorted(curve.begin(), curve.end()));
+    }
+  }
+}
+
+TEST(AnalyticsEngine, BetweennessCountsInteriorWitnessPaths) {
+  // Static chain 0 -> 1 -> 2 -> 3: from source 0 the witness tree routes
+  // targets {2, 3} through node 1 and {3} through node 2; from source 1,
+  // {3} through node 2. Endpoints never score.
+  TimeVaryingGraph g;
+  g.add_nodes(4);
+  g.add_static_edge(0, 1, 'a');
+  g.add_static_edge(1, 2, 'a');
+  g.add_static_edge(2, 3, 'a');
+  QueryEngine engine(g, 0, CacheConfig::disabled());
+  BetweennessQuery q;  // empty sources = every node
+  const BetweennessResult result = engine.betweenness(q);
+  ASSERT_EQ(result.score.size(), 4u);
+  EXPECT_EQ(result.score[0], 0.0);
+  EXPECT_EQ(result.score[1], 2.0);
+  EXPECT_EQ(result.score[2], 2.0);
+  EXPECT_EQ(result.score[3], 0.0);
+  EXPECT_FALSE(result.truncated);
+}
+
+TEST(AnalyticsEngine, BetweennessAndCentralityDeterministicAcrossThreads) {
+  const TimeVaryingGraph g = dense_zipf(13);
+  const SearchLimits limits = SearchLimits::up_to(48);
+  QueryEngine engine(g, 0, CacheConfig::disabled());
+
+  BetweennessQuery bq;
+  bq.sources = cycling_sources(g, 40);
+  bq.limits = limits;
+  bq.threads = 1;
+  const BetweennessResult b1 = engine.betweenness(bq);
+  CentralityQuery cq;
+  cq.closure.sources = cycling_sources(g, 33);
+  cq.closure.limits = limits;
+  cq.closure.threads = 1;
+  const CentralityResult c1 = engine.centrality(cq);
+  for (const double s : c1.score) {
+    EXPECT_GT(s, 0.0);  // damping floor keeps every score positive
+  }
+  for (const unsigned threads : {2u, 8u}) {
+    bq.threads = threads;
+    cq.closure.threads = threads;
+    EXPECT_EQ(engine.betweenness(bq).score, b1.score)
+        << "threads=" << threads;
+    EXPECT_EQ(engine.centrality(cq).score, c1.score)
+        << "threads=" << threads;
+  }
+}
+
+TEST(AnalyticsEngine, AnalyticsShareCachedClosureRows) {
+  const TimeVaryingGraph g = dense_zipf(14);
+  const SearchLimits limits = SearchLimits::up_to(48);
+  QueryEngine engine(g);  // cache on
+  const std::vector<NodeId> set = cycling_sources(g, 10);
+
+  KReachabilityQuery kq;
+  kq.closure.sources = set;
+  kq.closure.limits = limits;
+  kq.k = 2;
+  (void)engine.k_reachability(kq);
+  const CacheStats after_first = engine.cache_stats();
+
+  // Same source set + sweep knobs: influence_spread's internal sweep
+  // must HIT the closure rows k_reachability just cached.
+  InfluenceQuery iq;
+  iq.source_sets = {set};
+  iq.limits = limits;
+  (void)engine.influence_spread(iq);
+  const CacheStats after_second = engine.cache_stats();
+  EXPECT_GT(after_second.hits, after_first.hits);
+
+  // Scheduling-only knobs (threads, frontier direction) are excluded
+  // from the closure key: varying them still hits the same rows.
+  ClosureQuery cq;
+  cq.sources = set;
+  cq.limits = limits;
+  cq.threads = 7;
+  cq.direction.mode = FrontierMode::kPullOnly;
+  const std::uint64_t hits_before = engine.cache_stats().hits;
+  (void)engine.closure(cq);
+  EXPECT_GT(engine.cache_stats().hits, hits_before);
+
+  // Repeated analytics requests are themselves cache hits.
+  const std::uint64_t hits_mid = engine.cache_stats().hits;
+  (void)engine.k_reachability(kq);
+  EXPECT_GT(engine.cache_stats().hits, hits_mid);
+}
+
+}  // namespace
