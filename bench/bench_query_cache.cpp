@@ -20,20 +20,22 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <random>
 #include <string_view>
 #include <vector>
 
 #include "bench_report.hpp"
-#include "tvg/generators.hpp"
 #include "tvg/query_engine.hpp"
+#include "workload.hpp"
 
 namespace {
 
 using namespace tvg;
+using benchsupport::WorkloadSpec;
+using benchsupport::make_query_pool;
+using benchsupport::make_workload_graph;
+using benchsupport::zipf_order;
 
 constexpr std::size_t kStreamLength = 2048;
 
@@ -42,63 +44,16 @@ bool cache_enabled_from_env() {
   return v == nullptr || std::string_view(v) != "0";
 }
 
-TimeVaryingGraph make_workload(std::size_t nodes, std::uint64_t seed) {
-  EdgeMarkovianParams params;
-  params.nodes = nodes;
-  params.initial_on = 1.0 / static_cast<double>(nodes);
-  params.p_birth = 1.0 / (8.0 * static_cast<double>(nodes));
-  params.p_death = 0.6;
-  params.horizon = 64;
-  params.seed = seed;
-  return make_edge_markovian(params);
-}
-
-/// K distinct journey queries mixing all objectives, targeted and
-/// untargeted, across sources / start times / policies.
-std::vector<JourneyQuery> make_query_pool(const TimeVaryingGraph& g,
-                                          std::size_t k) {
-  std::vector<JourneyQuery> pool;
-  pool.reserve(k);
-  std::mt19937_64 rng(7);
-  const SearchLimits limits = SearchLimits::up_to(120);
-  for (std::size_t i = 0; i < k; ++i) {
-    const auto src = static_cast<NodeId>(rng() % g.node_count());
-    const auto dst = static_cast<NodeId>(rng() % g.node_count());
-    const Time t0 = static_cast<Time>(rng() % 8);
-    const Policy policy = (i % 3 == 0) ? Policy::wait()
-                          : (i % 3 == 1)
-                              ? Policy::bounded_wait(static_cast<Time>(i % 6))
-                              : Policy::no_wait();
-    JourneyQuery q = (i % 4 == 0) ? JourneyQuery::foremost(src, t0)
-                     : (i % 4 == 1)
-                         ? JourneyQuery::foremost(src, t0).to(dst)
-                     : (i % 4 == 2)
-                         ? JourneyQuery::shortest(src, dst, t0)
-                         : JourneyQuery::fastest(src, dst, t0, t0 + 30);
-    pool.push_back(q.under(policy).within(limits));
-  }
-  return pool;
-}
-
-/// `n` pool indices drawn Zipf(s)-distributed over ranks 1..k.
-std::vector<std::size_t> zipf_order(std::size_t k, std::size_t n, double s,
-                                    std::uint64_t seed) {
-  std::vector<double> cdf(k);
-  double sum = 0.0;
-  for (std::size_t r = 0; r < k; ++r) {
-    sum += 1.0 / std::pow(static_cast<double>(r + 1), s);
-    cdf[r] = sum;
-  }
-  std::mt19937_64 rng(seed);
-  std::uniform_real_distribution<double> uniform(0.0, sum);
-  std::vector<std::size_t> order(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double u = uniform(rng);
-    order[i] = static_cast<std::size_t>(
-        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
-    if (order[i] >= k) order[i] = k - 1;
-  }
-  return order;
+// The graph / query-pool / Zipf-stream generators live in workload.hpp
+// now, shared with bench_serving so the serving front end measures the
+// same traffic this bench feeds the kernels. The default WorkloadSpec
+// reproduces this bench's historical workload exactly.
+WorkloadSpec spec_for(std::size_t distinct, std::uint64_t stream_seed) {
+  WorkloadSpec spec;
+  spec.distinct = distinct;
+  spec.stream_length = kStreamLength;
+  spec.stream_seed = stream_seed;
+  return spec;
 }
 
 /// One pass over the Zipf stream, single queries. The env knob picks the
@@ -106,11 +61,12 @@ std::vector<std::size_t> zipf_order(std::size_t k, std::size_t n, double s,
 void BM_ZipfQueryMix(benchmark::State& state) {
   const auto distinct = static_cast<std::size_t>(state.range(0));
   const bool cache_on = cache_enabled_from_env();
-  const TimeVaryingGraph g = make_workload(64, 1);
+  const WorkloadSpec spec = spec_for(distinct, 42);
+  const TimeVaryingGraph g = make_workload_graph(spec);
   const QueryEngine engine(
       g, 1, cache_on ? CacheConfig{} : CacheConfig::disabled());
-  const auto pool = make_query_pool(g, distinct);
-  const auto order = zipf_order(distinct, kStreamLength, 1.0, 42);
+  const auto pool = make_query_pool(spec, g);
+  const auto order = zipf_order(spec);
   for (const std::size_t i : order) {  // steady-state: warm the cache
     benchmark::DoNotOptimize(engine.run(pool[i]).arrival);
   }
@@ -138,11 +94,12 @@ BENCHMARK(BM_ZipfQueryMix)->Arg(64)->Arg(256);
 void BM_ZipfBatchMix(benchmark::State& state) {
   const auto distinct = static_cast<std::size_t>(state.range(0));
   const bool cache_on = cache_enabled_from_env();
-  const TimeVaryingGraph g = make_workload(64, 1);
+  const WorkloadSpec spec = spec_for(distinct, 43);
+  const TimeVaryingGraph g = make_workload_graph(spec);
   const QueryEngine engine(
       g, 1, cache_on ? CacheConfig{} : CacheConfig::disabled());
-  const auto pool = make_query_pool(g, distinct);
-  const auto order = zipf_order(distinct, kStreamLength, 1.0, 43);
+  const auto pool = make_query_pool(spec, g);
+  const auto order = zipf_order(spec);
   std::vector<JourneyQuery> batch;
   batch.reserve(256);
   for (auto _ : state) {
@@ -168,10 +125,11 @@ void print_reproduction() {
   std::printf("%-9s %-12s %-12s %-9s %-9s %-7s %-7s %-6s\n", "distinct",
               "uncached/s", "cached/s", "speedup", "hit_rate", "hits",
               "misses", "evict");
-  const TimeVaryingGraph g = make_workload(64, 1);
+  const TimeVaryingGraph g = make_workload_graph(WorkloadSpec{});
   for (const std::size_t distinct : {64u, 256u, 1024u}) {
-    const auto pool = make_query_pool(g, distinct);
-    const auto order = zipf_order(distinct, kStreamLength, 1.0, 42);
+    const WorkloadSpec spec = spec_for(distinct, 42);
+    const auto pool = make_query_pool(spec, g);
+    const auto order = zipf_order(spec);
     const QueryEngine uncached(g, 1, CacheConfig::disabled());
     const QueryEngine cached(g, 1, CacheConfig{});
     auto time_stream = [&](const QueryEngine& engine, int passes) {

@@ -1,0 +1,157 @@
+// Shared, seeded workload generation for the serving-regime benches.
+//
+// bench_query_cache and bench_serving must measure the SAME traffic —
+// same graph family, same query pool, same Zipf(s) key skew, same
+// arrival process — or their numbers stop being comparable across PRs
+// (the kernel bench would quietly drift away from what the serving
+// bench front-ends). This header is that single definition: a seeded
+// WorkloadSpec plus the generators that realize it. Everything is
+// deterministic in the spec's seeds; two binaries given equal specs
+// replay identical query streams.
+//
+// The default spec values reproduce bench_query_cache's historical
+// workload exactly (64-node edge-Markovian graph, pool seed 7, Zipf
+// stream seed 42), so extracting this header changed no committed
+// baseline's meaning.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "tvg/generators.hpp"
+#include "tvg/graph.hpp"
+#include "tvg/query_engine.hpp"
+
+namespace tvg::benchsupport {
+
+/// One reproducible serving workload: graph + query mix + skew +
+/// arrival process. Benches share specs (or vary one knob) so serving
+/// and kernel numbers stay comparable.
+struct WorkloadSpec {
+  // Graph (edge-Markovian presence, the bench_query_cache family).
+  std::size_t nodes{64};
+  std::uint64_t graph_seed{1};
+  // Query mix: `distinct` pooled queries cycling objectives/policies.
+  std::size_t distinct{256};
+  std::uint64_t pool_seed{7};
+  // Key skew: stream of `stream_length` Zipf(zipf_s)-ranked pool picks.
+  double zipf_s{1.0};
+  std::size_t stream_length{2048};
+  std::uint64_t stream_seed{42};
+  // Arrival process (open-loop benches): Poisson at `arrival_rate`
+  // events/second when > 0; closed-loop benches ignore it.
+  double arrival_rate{0.0};
+  std::uint64_t arrival_seed{11};
+};
+
+/// The spec's graph: edge-Markovian presence over `nodes` nodes (the
+/// exact construction bench_query_cache has always measured).
+inline TimeVaryingGraph make_workload_graph(const WorkloadSpec& spec) {
+  EdgeMarkovianParams params;
+  params.nodes = spec.nodes;
+  params.initial_on = 1.0 / static_cast<double>(spec.nodes);
+  params.p_birth = 1.0 / (8.0 * static_cast<double>(spec.nodes));
+  params.p_death = 0.6;
+  params.horizon = 64;
+  params.seed = spec.graph_seed;
+  return make_edge_markovian(params);
+}
+
+/// `k` distinct journey queries mixing all objectives, targeted and
+/// untargeted, across sources / start times / policies.
+inline std::vector<JourneyQuery> make_query_pool(const TimeVaryingGraph& g,
+                                                 std::size_t k,
+                                                 std::uint64_t seed) {
+  std::vector<JourneyQuery> pool;
+  pool.reserve(k);
+  std::mt19937_64 rng(seed);
+  const SearchLimits limits = SearchLimits::up_to(120);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto src = static_cast<NodeId>(rng() % g.node_count());
+    const auto dst = static_cast<NodeId>(rng() % g.node_count());
+    const Time t0 = static_cast<Time>(rng() % 8);
+    const Policy policy = (i % 3 == 0) ? Policy::wait()
+                          : (i % 3 == 1)
+                              ? Policy::bounded_wait(static_cast<Time>(i % 6))
+                              : Policy::no_wait();
+    JourneyQuery q = (i % 4 == 0) ? JourneyQuery::foremost(src, t0)
+                     : (i % 4 == 1)
+                         ? JourneyQuery::foremost(src, t0).to(dst)
+                     : (i % 4 == 2)
+                         ? JourneyQuery::shortest(src, dst, t0)
+                         : JourneyQuery::fastest(src, dst, t0, t0 + 30);
+    pool.push_back(q.under(policy).within(limits));
+  }
+  return pool;
+}
+
+inline std::vector<JourneyQuery> make_query_pool(const WorkloadSpec& spec,
+                                                 const TimeVaryingGraph& g) {
+  return make_query_pool(g, spec.distinct, spec.pool_seed);
+}
+
+/// `n` pool indices drawn Zipf(s)-distributed over ranks 1..k (rank r
+/// with probability proportional to 1/r^s).
+inline std::vector<std::size_t> zipf_order(std::size_t k, std::size_t n,
+                                           double s, std::uint64_t seed) {
+  std::vector<double> cdf(k);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < k; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf[r] = sum;
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uniform(0.0, sum);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = uniform(rng);
+    order[i] = static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (order[i] >= k) order[i] = k - 1;
+  }
+  return order;
+}
+
+inline std::vector<std::size_t> zipf_order(const WorkloadSpec& spec) {
+  return zipf_order(spec.distinct, spec.stream_length, spec.zipf_s,
+                    spec.stream_seed);
+}
+
+/// Cumulative Poisson arrival offsets (seconds from stream start) for
+/// `n` events at `rate_per_sec`: exponential inter-arrival gaps, so an
+/// open-loop bench submits on this schedule regardless of how fast the
+/// server keeps up (no coordinated omission).
+inline std::vector<double> poisson_arrivals(double rate_per_sec,
+                                            std::size_t n,
+                                            std::uint64_t seed) {
+  std::vector<double> at(n, 0.0);
+  if (rate_per_sec <= 0.0) return at;
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> gap(rate_per_sec);
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += gap(rng);
+    at[i] = t;
+  }
+  return at;
+}
+
+inline std::vector<double> poisson_arrivals(const WorkloadSpec& spec) {
+  return poisson_arrivals(spec.arrival_rate, spec.stream_length,
+                          spec.arrival_seed);
+}
+
+/// Sorted-percentile helper for the latency reports (q in [0, 1];
+/// `sorted` ascending, non-empty).
+inline double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace tvg::benchsupport

@@ -45,6 +45,31 @@ def timings(doc):
     return out
 
 
+# Google-Benchmark JSON spells user counters (state.counters[...]) as
+# extra numeric keys on each benchmark entry; these are the standard
+# keys that are NOT counters.
+_STANDARD_KEYS = {
+    "name", "family_index", "per_family_instance_index", "run_name",
+    "run_type", "repetitions", "repetition_index", "threads",
+    "iterations", "real_time", "cpu_time", "time_unit",
+    "items_per_second", "bytes_per_second", "label",
+    "error_occurred", "error_message",
+}
+
+
+def counters(doc):
+    """Per-benchmark user counters (percentiles, qps, shed, ...)."""
+    out = {}
+    for b in doc["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue
+        extra = {k: v for k, v in b.items()
+                 if k not in _STANDARD_KEYS and isinstance(v, (int, float))}
+        if extra:
+            out[b["name"]] = extra
+    return out
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("before")
@@ -64,11 +89,22 @@ def main():
         if name in t_before and t_after[name] > 0:
             speedup[name] = round(t_before[name] / t_after[name], 3)
 
+    # Side-by-side user counters for benchmarks reporting distributions
+    # (p50/p99/p999, qps, shed, ...) rather than a single timing.
+    c_before = counters(before)
+    c_after = counters(after)
+    counter_diff = {}
+    for name in c_after:
+        if name in c_before:
+            counter_diff[name] = {"pre_pr": c_before[name],
+                                  "post_pr": c_after[name]}
+
     merged = {
         "bench": args.bench,
         "generated_by": "scripts/merge_bench_json.py",
         "note": args.note,
         "speedup": speedup,
+        "counters": counter_diff,
         "runs": {"pre_pr": before, "post_pr": after},
     }
     with open(args.out, "w") as f:
@@ -79,6 +115,15 @@ def main():
     for name in sorted(speedup):
         print(f"{name:<{width}}  {t_before[name]:>12.0f} ns -> "
               f"{t_after[name]:>12.0f} ns   x{speedup[name]}")
+    shown = ("p50_us", "p99_us", "p999_us", "p99_high_us", "qps", "shed")
+    for name in sorted(counter_diff):
+        pre, post = counter_diff[name]["pre_pr"], counter_diff[name]["post_pr"]
+        keys = [k for k in shown if k in pre and k in post]
+        if not keys:
+            continue
+        print(f"{name}:")
+        for k in keys:
+            print(f"    {k:<12} {pre[k]:>14.1f} -> {post[k]:>14.1f}")
 
 
 if __name__ == "__main__":

@@ -371,6 +371,14 @@ class QueryEngine {
     return workers_.threads_spawned();
   }
 
+  /// Observability snapshot of the engine's persistent pool (batches,
+  /// claims, queue high-water, idle wakeups — see WorkerPool::Stats).
+  /// The serving layer samples this around a load interval to separate
+  /// shard-scheduling pressure from query-queueing pressure.
+  [[nodiscard]] WorkerPool::Stats worker_stats() const {
+    return workers_.stats();
+  }
+
   /// True when this engine memoizes results (CacheConfig::enabled with a
   /// nonzero capacity).
   [[nodiscard]] bool cache_enabled() const noexcept {

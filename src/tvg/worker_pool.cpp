@@ -49,6 +49,19 @@ std::size_t WorkerPool::threads_spawned() const {
   return workers_.size();
 }
 
+WorkerPool::Stats WorkerPool::stats() const {
+  Stats s;
+  {
+    const MutexLock lock(mu_);
+    s.threads_spawned = workers_.size();
+    s.queue_depth_high_water = queue_high_water_;
+  }
+  s.batches_executed = batches_executed_.load(std::memory_order_relaxed);
+  s.tasks_claimed = tasks_claimed_.load(std::memory_order_relaxed);
+  s.idle_wakeups = idle_wakeups_.load(std::memory_order_relaxed);
+  return s;
+}
+
 void WorkerPool::run_claims(Batch& b, unsigned slot) {
   for (;;) {
     // Once any participant has failed, the batch outcome is fixed (the
@@ -58,6 +71,7 @@ void WorkerPool::run_claims(Batch& b, unsigned slot) {
     if (b.abort.load(std::memory_order_relaxed)) break;
     const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= b.n) break;
+    tasks_claimed_.fetch_add(1, std::memory_order_relaxed);
     try {
       (*b.fn)(i, slot);
     } catch (...) {
@@ -97,6 +111,7 @@ void WorkerPool::worker_loop() {
       const MutexLock lock(mu_);
       while (!stop_ && (batch = next_joinable()) == nullptr) {
         work_cv_.wait(mu_);
+        idle_wakeups_.fetch_add(1, std::memory_order_relaxed);
       }
       if (stop_) return;
       slot = batch->slots.fetch_add(1, std::memory_order_relaxed);
@@ -113,9 +128,13 @@ void WorkerPool::worker_loop() {
 
 void WorkerPool::parallel_for(std::size_t n, unsigned parallelism,
                               const Task& fn) {
+  batches_executed_.fetch_add(1, std::memory_order_relaxed);
   if (n == 0) return;
   if (parallelism <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      tasks_claimed_.fetch_add(1, std::memory_order_relaxed);
+      fn(i, 0);
+    }
     return;
   }
   const auto batch = std::make_shared<Batch>();
@@ -136,6 +155,7 @@ void WorkerPool::parallel_for(std::size_t n, unsigned parallelism,
       workers_.emplace_back([this] { worker_loop(); });
     }
     queue_.push_back(batch);
+    queue_high_water_ = std::max(queue_high_water_, queue_.size());
   }
   work_cv_.notify_all();
   const unsigned slot = batch->slots.fetch_add(1, std::memory_order_relaxed);

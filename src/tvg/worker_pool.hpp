@@ -38,7 +38,9 @@
 // exists here; futures are a thin layer on top.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -85,6 +87,35 @@ class WorkerPool {
   /// assert that consecutive batches REUSE workers instead of spawning.
   [[nodiscard]] std::size_t threads_spawned() const TVG_EXCLUDES(mu_);
 
+  /// Observability counters, all monotone since construction. The
+  /// serving bench samples these around a load interval; the deltas say
+  /// whether latency came from queueing (high-water depth), scheduling
+  /// churn (wakeups far above batches), or plain work volume (claims).
+  struct Stats {
+    /// == threads_spawned().
+    std::size_t threads_spawned{0};
+    /// Most batches ever simultaneously queued (submitted, not yet
+    /// drained) — the pool-level queueing pressure high-water mark.
+    std::size_t queue_depth_high_water{0};
+    /// parallel_for calls begun (counted at entry — an aborted batch
+    /// still counts), both the enqueued multi-thread path and the
+    /// serial n==0/parallelism<=1 fast paths.
+    std::uint64_t batches_executed{0};
+    /// Work indices actually claimed and run (serial fast-path indices
+    /// included). For an N-index batch that completes unaborted this
+    /// grows by exactly N.
+    std::uint64_t tasks_claimed{0};
+    /// Times an idle worker woke from the queue condition variable
+    /// (productively or not — a wakeup that loses the claim race goes
+    /// back to sleep and counts once per wake).
+    std::uint64_t idle_wakeups{0};
+  };
+
+  /// Consistent snapshot of the counters above (taken under the queue
+  /// lock; claim/wakeup counters are relaxed atomics, so a snapshot
+  /// racing live batches is monotone rather than exact-at-an-instant).
+  [[nodiscard]] Stats stats() const TVG_EXCLUDES(mu_);
+
  private:
   /// One claim-counter batch; shared by the submitter and every worker
   /// that joins it.
@@ -93,8 +124,9 @@ class WorkerPool {
   void worker_loop() TVG_EXCLUDES(mu_);
   /// Runs the claim loop of `batch` as participant `slot`; returns with
   /// the participant count already decremented (and the submitter
-  /// signalled when it hits zero).
-  static void run_claims(Batch& batch, unsigned slot);
+  /// signalled when it hits zero). Non-static only for the claim
+  /// counter — it touches no pool state that needs mu_.
+  void run_claims(Batch& batch, unsigned slot);
   /// Scans the queue for a batch with a free participant slot, dropping
   /// drained batches it walks past (the submitter also removes its own;
   /// whoever comes second finds it gone).
@@ -105,6 +137,13 @@ class WorkerPool {
   std::deque<std::shared_ptr<Batch>> queue_ TVG_GUARDED_BY(mu_);
   std::vector<std::thread> workers_ TVG_GUARDED_BY(mu_);
   bool stop_ TVG_GUARDED_BY(mu_){false};
+  /// Stats: high-water tracked where the queue mutates (under mu_);
+  /// the hot-path counters (claims, wakeups, batches) are relaxed
+  /// atomics so the claim loop never takes a pool-wide lock for them.
+  std::size_t queue_high_water_ TVG_GUARDED_BY(mu_){0};
+  std::atomic<std::uint64_t> batches_executed_{0};
+  std::atomic<std::uint64_t> tasks_claimed_{0};
+  std::atomic<std::uint64_t> idle_wakeups_{0};
 };
 
 }  // namespace tvg

@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -108,6 +109,53 @@ TEST(ConcurrencyStress, WorkerPoolSurvivesConcurrentThrowingBatches) {
     executed.fetch_add(1, std::memory_order_relaxed);
   });
   EXPECT_EQ(executed.load(), 128u);
+}
+
+TEST(ConcurrencyStress, WorkerPoolStatsAccountForStressTraffic) {
+  WorkerPool pool;
+  std::atomic<std::size_t> executed{0};
+
+  auto hammer = [&] {
+    for (int r = 0; r < kRounds; ++r) {
+      pool.parallel_for(64, 4, [&](std::size_t, unsigned) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  };
+  std::vector<std::thread> threads;
+  for (unsigned i = 0; i < kThreads; ++i) threads.emplace_back(hammer);
+  launch_all(threads);
+
+  // Exact accounting: one batch per parallel_for call, and every index
+  // of every (unaborted) batch claimed exactly once.
+  constexpr std::uint64_t kCalls = std::uint64_t{kThreads} * kRounds;
+  const WorkerPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.batches_executed, kCalls);
+  EXPECT_EQ(stats.tasks_claimed, kCalls * 64);
+  EXPECT_EQ(executed.load(), kCalls * 64);
+  EXPECT_EQ(stats.threads_spawned, pool.threads_spawned());
+  // Eight submitters racing a finite pool must have queued at least one
+  // batch at some point (the serial fallback path never queues).
+  EXPECT_GE(stats.queue_depth_high_water, 1u);
+  // Don't assert idle_wakeups: it counts every wake (productive or
+  // not), which is schedule-dependent — only monotonicity is checked
+  // below.
+
+  // Counters are monotone snapshots: more traffic never decreases any.
+  pool.parallel_for(16, 2, [](std::size_t, unsigned) {});
+  const WorkerPool::Stats later = pool.stats();
+  EXPECT_EQ(later.batches_executed, stats.batches_executed + 1);
+  EXPECT_EQ(later.tasks_claimed, stats.tasks_claimed + 16);
+  EXPECT_GE(later.queue_depth_high_water, stats.queue_depth_high_water);
+  EXPECT_GE(later.idle_wakeups, stats.idle_wakeups);
+  EXPECT_GE(later.threads_spawned, stats.threads_spawned);
+
+  // A serial batch (threads = 1) still counts: the batch and its claims
+  // are accounted identically to the pooled path.
+  pool.parallel_for(8, 1, [](std::size_t, unsigned) {});
+  const WorkerPool::Stats serial = pool.stats();
+  EXPECT_EQ(serial.batches_executed, later.batches_executed + 1);
+  EXPECT_EQ(serial.tasks_claimed, later.tasks_claimed + 8);
 }
 
 TEST(ConcurrencyStress, CacheHotKeysServeConsistentResults) {

@@ -15,6 +15,8 @@
 //    result-for-result on randomized query streams with repeats.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <random>
 #include <thread>
@@ -339,6 +341,68 @@ TEST(ResultCache, ConcurrentHotKeyHammeringIsSafeAndConsistent) {
   for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0) << t;
   const CacheStats stats = engine.cache_stats();
   EXPECT_GE(stats.hits, static_cast<std::uint64_t>(kThreads * kIters / 2));
+}
+
+TEST(ResultCache, StatsSnapshotsAreConsistentUnderConcurrentTraffic) {
+  // Regression guard for cache_stats() during traffic: each shard's
+  // counters are snapshotted under that shard's lock, so a concurrent
+  // reader must never observe torn or non-monotone aggregates (e.g. a
+  // hit counted before its lookup, or totals that go backwards between
+  // two stats() calls).
+  const TimeVaryingGraph g = test_graph(9);
+  CacheConfig config;
+  config.capacity = 32;  // small: concurrent evictions stay in play
+  config.shards = 4;
+  const QueryEngine engine(g, 1, config);
+  constexpr int kWriters = 6;
+  constexpr int kIters = 300;
+
+  // Every engine.run below counts here BEFORE the lookup it causes, so
+  // at any instant issued >= hits + misses seen by a stats() reader.
+  std::atomic<std::uint64_t> issued{0};
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+
+  std::thread reader([&] {
+    CacheStats last;
+    while (!done.load(std::memory_order_acquire)) {
+      const CacheStats now = engine.cache_stats();
+      const bool monotone = now.hits >= last.hits &&
+                            now.misses >= last.misses &&
+                            now.evictions >= last.evictions;
+      if (!monotone) violations.fetch_add(1, std::memory_order_relaxed);
+      if (now.hits + now.misses > issued.load(std::memory_order_acquire)) {
+        violations.fetch_add(1, std::memory_order_relaxed);
+      }
+      last = now;
+      std::this_thread::yield();
+    }
+  });
+  {
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (int t = 0; t < kWriters; ++t) {
+      writers.emplace_back([&, t] {
+        for (int i = 0; i < kIters; ++i) {
+          const auto q = JourneyQuery::foremost(
+              static_cast<NodeId>((t + i) % 8), i % 6);
+          issued.fetch_add(1, std::memory_order_release);
+          (void)engine.run(q);
+        }
+      });
+    }
+    for (std::thread& w : writers) w.join();
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  // Quiescent accounting: every issued lookup is exactly one hit or one
+  // miss, and the entry count respects capacity.
+  const CacheStats final_stats = engine.cache_stats();
+  EXPECT_EQ(final_stats.hits + final_stats.misses, issued.load());
+  EXPECT_EQ(issued.load(), std::uint64_t{kWriters} * kIters);
+  EXPECT_LE(final_stats.entries, config.capacity);
 }
 
 TEST(ResultCache, CachingAndUncachedEnginesAgreeOnRandomStreams) {

@@ -1,0 +1,434 @@
+// tvg::Server — the async serving front end.
+//
+// Deterministic coverage uses workers == 0 servers driven by run_one():
+// submissions stack up exactly as submitted, so weighted dequeue order,
+// deadline expiry at dequeue, and admission-control sheds are all
+// observable without racing a worker. The Server/ServerStress suites
+// also run under TSan (CI clang lane) with real workers: multi-client
+// mixed-lane traffic, shed/expired accounting, poisoned queries, and
+// the drain()/stop() lifecycle.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "tvg/generators.hpp"
+#include "tvg/graph.hpp"
+#include "tvg/query_engine.hpp"
+#include "tvg/server.hpp"
+#include "tvg/worker_pool.hpp"
+
+namespace {
+
+using namespace tvg;
+using std::chrono::milliseconds;
+
+TimeVaryingGraph serving_graph() {
+  RandomPeriodicParams params;
+  params.nodes = 10;
+  params.edges = 28;
+  params.period = 6;
+  params.seed = 42;
+  return make_random_periodic(params);
+}
+
+JourneyQuery query_for(NodeId src) {
+  return JourneyQuery::foremost(src, 0)
+      .under(Policy::bounded_wait(3))
+      .within(SearchLimits::up_to(96));
+}
+
+ServerConfig manual_config() {
+  ServerConfig config;
+  config.workers = 0;  // embedder drives with run_one(): deterministic
+  return config;
+}
+
+TEST(Server, FuturesMatchDirectEngineCalls) {
+  const TimeVaryingGraph g = serving_graph();
+  const QueryEngine engine(g, 2);
+  Server server(engine);
+
+  const JourneyQuery jq = query_for(0);
+  ClosureQuery cq;
+  cq.policy = Policy::wait();
+  cq.limits = SearchLimits::up_to(96);
+  AcceptSpec spec;
+  spec.initial = {0};
+  spec.accepting = {1, 2};
+  spec.policy = Policy::wait();
+  spec.horizon = 64;
+  const std::vector<Word> words = {"ab", "ba", ""};
+
+  auto jf = server.submit(jq);
+  auto cf = server.submit(cq);
+  auto af = server.submit(spec, words);
+
+  EXPECT_TRUE(jf.get() == engine.run(jq));
+  EXPECT_TRUE(cf.get() == engine.closure(cq));
+  EXPECT_TRUE(af.get() == engine.accepts(spec, words));
+
+  server.drain();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.queued_now, 0u);
+  EXPECT_EQ(stats.in_flight_now, 0u);
+}
+
+TEST(Server, StrictPriorityWhenEachLaneHoldsOneTask) {
+  const TimeVaryingGraph g = serving_graph();
+  const QueryEngine engine(g, 1);
+  Server server(engine, manual_config());
+
+  // Submit in REVERSE priority order; completion order must follow lane
+  // priority, not submission order.
+  std::vector<Lane> completion_order;
+  const auto submit_probe = [&](Lane lane) {
+    return server.submit(query_for(0), SubmitOptions::in_lane(lane));
+  };
+  auto batch_f = submit_probe(Lane::kBatch);
+  auto normal_f = submit_probe(Lane::kNormal);
+  auto high_f = submit_probe(Lane::kHigh);
+
+  const auto ready = [](std::future<JourneyResult>& f) {
+    return f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+  };
+  EXPECT_TRUE(server.run_one());
+  EXPECT_TRUE(ready(high_f));
+  EXPECT_FALSE(ready(normal_f));
+  EXPECT_FALSE(ready(batch_f));
+  EXPECT_TRUE(server.run_one());
+  EXPECT_TRUE(ready(normal_f));
+  EXPECT_FALSE(ready(batch_f));
+  EXPECT_TRUE(server.run_one());
+  EXPECT_TRUE(ready(batch_f));
+  EXPECT_FALSE(server.run_one());  // all lanes empty
+  (void)completion_order;
+}
+
+TEST(Server, WeightedDequeueNeverStarvesBatchUnderHighLoad) {
+  const TimeVaryingGraph g = serving_graph();
+  const QueryEngine engine(g, 1);
+  ServerConfig config = manual_config();
+  config.queue_capacity = {64, 64, 64};
+  Server server(engine, config);
+
+  constexpr std::size_t kPerLane = 20;
+  std::vector<std::future<JourneyResult>> high;
+  std::vector<std::future<JourneyResult>> batch;
+  for (std::size_t i = 0; i < kPerLane; ++i) {
+    high.push_back(
+        server.submit(query_for(0), SubmitOptions::in_lane(Lane::kHigh)));
+    batch.push_back(
+        server.submit(query_for(1), SubmitOptions::in_lane(Lane::kBatch)));
+  }
+
+  // One full weight cycle with both lanes saturated serves
+  // weights[kHigh] high tasks and weights[kBatch] batch tasks: after 9
+  // dequeues (8 high + 1 batch with the default {8, 4, 1}), batch made
+  // progress — a strict-priority queue would still have it at zero.
+  const unsigned cycle = server.config().weights[0] + server.config().weights[2];
+  for (unsigned i = 0; i < cycle; ++i) ASSERT_TRUE(server.run_one());
+  const auto done = [](std::vector<std::future<JourneyResult>>& fs) {
+    std::size_t n = 0;
+    for (auto& f : fs) {
+      if (f.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_EQ(done(high), server.config().weights[0]);
+  EXPECT_EQ(done(batch), server.config().weights[2]);
+
+  server.drain();  // workers == 0: drains on this thread
+  EXPECT_EQ(done(high), kPerLane);
+  EXPECT_EQ(done(batch), kPerLane);
+}
+
+TEST(Server, ShedsWithOverloadedWhenLaneAtCapacity) {
+  const TimeVaryingGraph g = serving_graph();
+  const QueryEngine engine(g, 1);
+  ServerConfig config = manual_config();
+  config.queue_capacity = {1, 1, 1};
+  Server server(engine, config);
+
+  auto accepted = server.submit(query_for(0));
+  auto shed = server.submit(query_for(1));
+
+  // Fail-fast: the shed future is ready IMMEDIATELY (nothing dequeued
+  // anything yet), and resolves to Overloaded.
+  ASSERT_EQ(shed.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_THROW(shed.get(), Overloaded);
+
+  // The accepted submission is untouched by the shed and completes.
+  EXPECT_TRUE(server.run_one());
+  EXPECT_TRUE(accepted.get() == engine.run(query_for(0)));
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.shed_per_lane[static_cast<std::size_t>(Lane::kNormal)], 1u);
+  EXPECT_EQ(stats.completed, 1u);
+
+  // With admission control off the same pressure queues unboundedly.
+  ServerConfig fifo = manual_config();
+  fifo.queue_capacity = {1, 1, 1};
+  fifo.admission_control = false;
+  Server unbounded(engine, fifo);
+  std::vector<std::future<JourneyResult>> fs;
+  for (int i = 0; i < 8; ++i) fs.push_back(unbounded.submit(query_for(0)));
+  EXPECT_EQ(unbounded.stats().shed, 0u);
+  EXPECT_EQ(unbounded.stats().queued_now, 8u);
+  unbounded.drain();
+  for (auto& f : fs) EXPECT_NO_THROW((void)f.get());
+}
+
+TEST(Server, ExpiredAtDequeueErrorsFutureWithoutExecuting) {
+  const TimeVaryingGraph g = serving_graph();
+  const QueryEngine engine(g, 1);
+  Server server(engine, manual_config());
+
+  // A query that would THROW if executed (source out of range): if the
+  // deadline check ever let it run, the future would hold
+  // std::out_of_range instead of DeadlineExceeded.
+  const JourneyQuery poisoned = JourneyQuery::foremost(1000, 0);
+  auto expired = server.submit(
+      poisoned, SubmitOptions{}.by(SubmitOptions::Clock::now() -
+                                   std::chrono::milliseconds(1)));
+  auto live = server.submit(query_for(0));
+
+  EXPECT_TRUE(server.run_one());  // dequeues + expires the first task
+  EXPECT_THROW(expired.get(), DeadlineExceeded);
+  EXPECT_TRUE(server.run_one());
+  EXPECT_NO_THROW((void)live.get());
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);  // the poisoned query never ran
+}
+
+TEST(Server, PoisonedQueryFailsOnlyItsOwnFutureAndDrainRecovers) {
+  const TimeVaryingGraph g = serving_graph();
+  const QueryEngine engine(g, 2);
+  Server server(engine);
+
+  // A poisoned batch: good, bad (validation throws in the engine), good.
+  auto good1 = server.submit(query_for(0));
+  auto bad = server.submit(JourneyQuery::foremost(1000, 0));
+  auto good2 = server.submit(query_for(1));
+
+  EXPECT_THROW(bad.get(), std::out_of_range);
+  EXPECT_TRUE(good1.get() == engine.run(query_for(0)));
+  EXPECT_TRUE(good2.get() == engine.run(query_for(1)));
+
+  // drain() after the poisoned traffic: the server settles idle and
+  // both the server and the engine remain fully usable.
+  server.drain();
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.queued_now, 0u);
+  EXPECT_EQ(stats.in_flight_now, 0u);
+
+  auto after = server.submit(query_for(2));
+  EXPECT_TRUE(after.get() == engine.run(query_for(2)));
+  EXPECT_TRUE(engine.run(query_for(2)) == engine.run(query_for(2)));
+}
+
+TEST(Server, StopDiscardsQueuedWorkAndRejectsNewSubmissions) {
+  const TimeVaryingGraph g = serving_graph();
+  const QueryEngine engine(g, 1);
+  Server server(engine, manual_config());
+
+  auto queued1 = server.submit(query_for(0));
+  auto queued2 = server.submit(query_for(1), SubmitOptions::in_lane(Lane::kBatch));
+  server.stop();
+
+  EXPECT_THROW(queued1.get(), ServerStopped);
+  EXPECT_THROW(queued2.get(), ServerStopped);
+
+  auto rejected = server.submit(query_for(0));
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_THROW(rejected.get(), ServerStopped);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.discarded_on_stop, 2u);
+  EXPECT_EQ(stats.rejected_stopped, 1u);
+  server.stop();  // idempotent
+  EXPECT_FALSE(server.run_one());
+}
+
+TEST(Server, DrainWaitsForInFlightWork) {
+  const TimeVaryingGraph g = serving_graph();
+  const QueryEngine engine(g, 2);
+  Server server(engine);
+
+  std::vector<std::future<JourneyResult>> fs;
+  for (int i = 0; i < 64; ++i) {
+    fs.push_back(server.submit(query_for(static_cast<NodeId>(i % 4))));
+  }
+  server.drain();
+  for (auto& f : fs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_NO_THROW((void)f.get());
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 64u);
+  EXPECT_EQ(stats.queued_now, 0u);
+  EXPECT_EQ(stats.in_flight_now, 0u);
+}
+
+TEST(Server, ZeroLaneWeightIsRejected) {
+  const TimeVaryingGraph g = serving_graph();
+  const QueryEngine engine(g, 1);
+  ServerConfig config;
+  config.weights = {8, 0, 1};
+  EXPECT_THROW(Server(engine, config), std::invalid_argument);
+}
+
+TEST(Server, WorkerPoolStatsObserveServedTraffic) {
+  // >64 nodes: the packed closure kernel shards by 64-source word
+  // group, so this graph produces a multi-task batch that actually
+  // lands on the engine's WorkerPool (a <=64-node closure is one word
+  // and runs serially).
+  RandomPeriodicParams params;
+  params.nodes = 130;
+  params.edges = 400;
+  params.period = 6;
+  params.seed = 42;
+  const TimeVaryingGraph g = make_random_periodic(params);
+  const QueryEngine engine(g, 2);
+  const WorkerPool::Stats before = engine.worker_stats();
+  Server server(engine);
+
+  // Closure queries fan shard batches into the engine's pool through
+  // the serving workers: the pool's batch/claim counters must move.
+  ClosureQuery cq;
+  cq.limits = SearchLimits::up_to(96);
+  cq.threads = 2;
+  auto f = server.submit(cq);
+  (void)f.get();
+  server.drain();
+
+  const WorkerPool::Stats after = engine.worker_stats();
+  EXPECT_GT(after.batches_executed, before.batches_executed);
+  EXPECT_GT(after.tasks_claimed, before.tasks_claimed);
+  EXPECT_GE(after.threads_spawned, before.threads_spawned);
+  EXPECT_GE(after.queue_depth_high_water, before.queue_depth_high_water);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-client stress — the TSan lane's serving workload.
+// ---------------------------------------------------------------------------
+
+TEST(ServerStress, MultiClientMixedLanesAccountsEverySubmission) {
+  const TimeVaryingGraph g = serving_graph();
+  const QueryEngine engine(g, 2);
+  ServerConfig config;
+  config.workers = 3;
+  config.queue_capacity = {8, 8, 8};  // small: force real sheds
+  Server server(engine, config);
+
+  constexpr unsigned kClients = 8;
+  constexpr int kPerClient = 40;
+
+  // Reference results for the four hot queries, computed up front.
+  std::vector<JourneyResult> reference;
+  for (NodeId v = 0; v < 4; ++v) reference.push_back(engine.run(query_for(v)));
+
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> expired{0};
+  std::atomic<std::uint64_t> mismatches{0};
+
+  auto client = [&](unsigned id) {
+    for (int i = 0; i < kPerClient; ++i) {
+      const NodeId key = static_cast<NodeId>((id + i) % 4);
+      SubmitOptions options =
+          SubmitOptions::in_lane(static_cast<Lane>(i % kLaneCount));
+      if (i % 7 == 0) {
+        // A mix of already-expired deadlines: these must NEVER execute.
+        options.by(SubmitOptions::Clock::now() - milliseconds(1));
+      }
+      auto f = server.submit(query_for(key), options);
+      try {
+        const JourneyResult r = f.get();
+        ok.fetch_add(1, std::memory_order_relaxed);
+        if (!(r == reference[key])) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      } catch (const Overloaded&) {
+        shed.fetch_add(1, std::memory_order_relaxed);
+      } catch (const DeadlineExceeded&) {
+        expired.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> clients;
+  for (unsigned c = 0; c < kClients; ++c) clients.emplace_back(client, c);
+  for (auto& t : clients) t.join();
+  server.drain();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(ok.load() + shed.load() + expired.load(),
+            std::uint64_t{kClients} * kPerClient);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, std::uint64_t{kClients} * kPerClient);
+  EXPECT_EQ(stats.completed, ok.load());
+  EXPECT_EQ(stats.shed, shed.load());
+  EXPECT_EQ(stats.expired, expired.load());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.queued_now, 0u);
+  EXPECT_EQ(stats.in_flight_now, 0u);
+  EXPECT_EQ(stats.accepted, stats.completed + stats.expired);
+}
+
+TEST(ServerStress, ConcurrentSubmittersWithStopMidTraffic) {
+  const TimeVaryingGraph g = serving_graph();
+  const QueryEngine engine(g, 2);
+  ServerConfig config;
+  config.workers = 2;
+  Server server(engine, config);
+
+  constexpr unsigned kClients = 6;
+  std::atomic<std::uint64_t> resolved{0};
+  auto client = [&] {
+    for (int i = 0; i < 50; ++i) {
+      auto f = server.submit(query_for(static_cast<NodeId>(i % 4)));
+      try {
+        (void)f.get();
+      } catch (const ServerStopped&) {
+      } catch (const Overloaded&) {
+      }
+      resolved.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> clients;
+  for (unsigned c = 0; c < kClients; ++c) clients.emplace_back(client);
+  // Stop while clients are mid-stream: every outstanding future must
+  // still resolve (value or ServerStopped) — nobody hangs.
+  std::this_thread::sleep_for(milliseconds(5));
+  server.stop();
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(resolved.load(), std::uint64_t{kClients} * 50);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, std::uint64_t{kClients} * 50);
+  EXPECT_EQ(stats.accepted, stats.completed + stats.failed +
+                                stats.expired + stats.discarded_on_stop);
+}
+
+}  // namespace
