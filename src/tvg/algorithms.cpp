@@ -9,6 +9,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "tvg/delta_overlay.hpp"
 #include "tvg/query_engine.hpp"
 #include "tvg/schedule_index.hpp"
 #include "tvg/visited.hpp"
@@ -114,6 +115,51 @@ class ArenaLease {
   bool leased_shared_{false};
 };
 
+/// The frozen-path model of the View concept the search kernels below
+/// are templated over: a (graph, compiled index) pair, forwarding every
+/// call straight to the index. The mutable path's OverlayView
+/// (delta_overlay.hpp) is the other model; both expose node_count /
+/// for_each_out (early-exit out-edge enumeration in CSR order) /
+/// edge_to / present / next_present(±cursor) / arrival /
+/// all_latency_constant with identical contracts, so each kernel is
+/// written once and an overlay read takes exactly the code path — and
+/// the exploration order, on which truncation depends — that a
+/// from-scratch rebuild would take.
+struct FrozenView {
+  const TimeVaryingGraph* g;
+  const ScheduleIndex* sx;
+
+  using EventCursor = ScheduleIndex::EventCursor;
+
+  [[nodiscard]] std::size_t node_count() const { return g->node_count(); }
+  template <typename Fn>
+  void for_each_out(NodeId v, Fn&& fn) const {
+    for (const EdgeId e : g->out_edges(v)) {
+      if (!fn(e)) return;
+    }
+  }
+  [[nodiscard]] NodeId edge_to(EdgeId e) const { return sx->record(e).to; }
+  [[nodiscard]] bool present(EdgeId e, Time t) const {
+    return sx->present(e, t);
+  }
+  [[nodiscard]] Time next_present(EdgeId e, Time from) const {
+    return sx->next_present(e, from);
+  }
+  [[nodiscard]] Time next_present(EdgeId e, Time from, EventCursor& c) const {
+    return sx->next_present(e, from, c);
+  }
+  [[nodiscard]] Time arrival(EdgeId e, Time dep) const {
+    return sx->arrival(e, dep);
+  }
+  [[nodiscard]] bool all_latency_constant() const {
+    return sx->all_latency_constant();
+  }
+};
+
+[[nodiscard]] FrozenView frozen_view(const TimeVaryingGraph& g) {
+  return FrozenView{&g, &g.schedule_index()};
+}
+
 /// Enumerates admissible departure times for edge `eid` when ready at `t`
 /// under `policy`, bounded by `horizon`, invoking `fn(dep)` for each.
 /// `fn` returns false to stop the enumeration early (searches use this
@@ -124,8 +170,13 @@ class ArenaLease {
 /// result is the "no such time" sentinel (a user-supplied
 /// predicate_with_next accelerator returning the literal kTimeInfinity is
 /// likewise treated as absence and never reaches `fn`).
-template <typename Fn>
-void for_each_departure(const ScheduleIndex& sx, EdgeId eid, Time t,
+///
+/// `View` needs only the presence subset of the kernel View concept
+/// (present / next_present(±cursor) / EventCursor) — the raw
+/// ScheduleIndex satisfies it too, which is what the packed multi-source
+/// kernel passes.
+template <typename View, typename Fn>
+void for_each_departure(const View& sx, EdgeId eid, Time t,
                         Policy policy, Time horizon, Fn&& fn) {
   switch (policy.kind) {
     case WaitingPolicy::kNoWait: {
@@ -152,7 +203,7 @@ void for_each_departure(const ScheduleIndex& sx, EdgeId eid, Time t,
       // per event.
       if (t == kTimeInfinity) return;  // sentinel: never ready
       const Time last = std::min(policy.max_departure(t), horizon);
-      ScheduleIndex::EventCursor cursor;
+      typename View::EventCursor cursor;
       Time at = t;
       while (at <= last && at != kTimeInfinity) {
         const Time dep = sx.next_present(eid, at, cursor);
@@ -191,10 +242,10 @@ void for_each_departure(const ScheduleIndex& sx, EdgeId eid, Time t,
 /// comparison churn — and a binary heap otherwise.
 constexpr Time kMaxBucketWindow = 1 << 14;
 
-void dijkstra_wait(const TimeVaryingGraph& g, const ScheduleIndex& sx,
-                   std::span<const ConfigRec> initial, SearchLimits limits,
-                   SearchArenas& a) {
-  const std::size_t n = g.node_count();
+template <typename View>
+void dijkstra_wait(const View& vw, std::span<const ConfigRec> initial,
+                   SearchLimits limits, SearchArenas& a) {
+  const std::size_t n = vw.node_count();
   a.arrival.assign(n, kTimeInfinity);
   a.best.assign(n, -1);
   a.configs.clear();
@@ -211,12 +262,12 @@ void dijkstra_wait(const TimeVaryingGraph& g, const ScheduleIndex& sx,
       a.truncated = true;
       return false;
     }
-    for (EdgeId eid : g.out_edges(v)) {
-      for_each_departure(sx, eid, t, Policy::wait(), limits.horizon,
+    vw.for_each_out(v, [&](EdgeId eid) {
+      for_each_departure(vw, eid, t, Policy::wait(), limits.horizon,
                          [&](Time dep) {
-        const Time arr = sx.arrival(eid, dep);
+        const Time arr = vw.arrival(eid, dep);
         if (arr == kTimeInfinity || arr > limits.horizon) return true;
-        const NodeId to = sx.record(eid).to;
+        const NodeId to = vw.edge_to(eid);
         if (arr < a.arrival[to]) {
           a.configs.push_back(ConfigRec{to, arr, idx, eid, dep});
           const auto nidx = static_cast<std::int64_t>(a.configs.size()) - 1;
@@ -226,7 +277,8 @@ void dijkstra_wait(const TimeVaryingGraph& g, const ScheduleIndex& sx,
         }
         return true;
       });
-    }
+      return true;
+    });
     return true;
   };
 
@@ -321,11 +373,11 @@ void dijkstra_wait(const TimeVaryingGraph& g, const ScheduleIndex& sx,
 /// `goal` is set, records the first config reaching it (min hops).
 /// Every admitted config is appended to a.configs exactly once and in
 /// FIFO order, so the frontier queue is just a scan index over a.configs.
-void config_bfs(const TimeVaryingGraph& g, const ScheduleIndex& sx,
-                std::span<const ConfigRec> initial, Policy policy,
-                SearchLimits limits, SearchArenas& a,
+template <typename View>
+void config_bfs(const View& vw, std::span<const ConfigRec> initial,
+                Policy policy, SearchLimits limits, SearchArenas& a,
                 std::optional<NodeId> goal = std::nullopt) {
-  const std::size_t n = g.node_count();
+  const std::size_t n = vw.node_count();
   a.arrival.assign(n, kTimeInfinity);
   a.best.assign(n, -1);
   a.configs.clear();
@@ -380,30 +432,33 @@ void config_bfs(const TimeVaryingGraph& g, const ScheduleIndex& sx,
     const ConfigRec cur = a.configs[next];
     const auto idx = static_cast<std::int64_t>(next);
     expansion_steps = 0;
-    for (EdgeId eid : g.out_edges(cur.node)) {
-      for_each_departure(sx, eid, cur.time, policy, limits.horizon,
+    vw.for_each_out(cur.node, [&](EdgeId eid) {
+      for_each_departure(vw, eid, cur.time, policy, limits.horizon,
                          [&](Time dep) {
         if (++expansion_steps > max_expansion_steps) {
           a.truncated = true;
           return false;
         }
-        const Time arr = sx.arrival(eid, dep);
+        const Time arr = vw.arrival(eid, dep);
         if (arr == kTimeInfinity || arr > limits.horizon) return true;
-        return push(ConfigRec{sx.record(eid).to, arr, idx, eid, dep});
+        return push(ConfigRec{vw.edge_to(eid), arr, idx, eid, dep});
       });
-      if (a.truncated) break;
-    }
+      return !a.truncated;
+    });
   }
 }
 
-void run_search(const TimeVaryingGraph& g, std::span<const ConfigRec> initial,
+template <typename View>
+void run_search(const View& vw, std::span<const ConfigRec> initial,
                 Policy policy, SearchLimits limits, SearchArenas& a,
                 std::optional<NodeId> goal = std::nullopt) {
-  const ScheduleIndex& sx = g.schedule_index();
-  if (policy.kind == WaitingPolicy::kWait && sx.all_latency_constant()) {
+  if (policy.kind == WaitingPolicy::kWait && vw.all_latency_constant()) {
     // Dominance argument requires that departing later never arrives
-    // earlier, which constant latencies guarantee.
-    dijkstra_wait(g, sx, initial, limits, a);
+    // earlier, which constant latencies guarantee. The fact is the
+    // view's (= effective over base ∪ delta for an overlay): one
+    // non-constant latency override must route the whole search to the
+    // enumeration kernel, exactly as a rebuild's index would.
+    dijkstra_wait(vw, initial, limits, a);
     return;
   }
   if (policy.kind == WaitingPolicy::kWait) {
@@ -412,10 +467,16 @@ void run_search(const TimeVaryingGraph& g, std::span<const ConfigRec> initial,
     Policy capped = Policy::bounded_wait(limits.horizon == kTimeInfinity
                                              ? kTimeInfinity
                                              : limits.horizon);
-    config_bfs(g, sx, initial, capped, limits, a, goal);
+    config_bfs(vw, initial, capped, limits, a, goal);
     return;
   }
-  config_bfs(g, sx, initial, policy, limits, a, goal);
+  config_bfs(vw, initial, policy, limits, a, goal);
+}
+
+void run_search(const TimeVaryingGraph& g, std::span<const ConfigRec> initial,
+                Policy policy, SearchLimits limits, SearchArenas& a,
+                std::optional<NodeId> goal = std::nullopt) {
+  run_search(frozen_view(g), initial, policy, limits, a, goal);
 }
 
 // ---------------------------------------------------------------------------
@@ -839,11 +900,12 @@ Journey journey_from_config(const std::vector<ConfigRec>& configs,
   return Journey{source, start_time, std::move(legs)};
 }
 
-ForemostTree foremost_arrivals_in(const TimeVaryingGraph& g, NodeId source,
+template <typename View>
+ForemostTree foremost_arrivals_in(const View& vw, NodeId source,
                                   Time start_time, Policy policy,
                                   SearchLimits limits, SearchArenas& a) {
   const ConfigRec root{source, start_time, -1, kInvalidEdge, 0};
-  run_search(g, {&root, 1}, policy, limits, a);
+  run_search(vw, {&root, 1}, policy, limits, a);
   ForemostTree tree;
   tree.source = source;
   tree.start_time = start_time;
@@ -872,14 +934,15 @@ ForemostTree foremost_arrivals(const TimeVaryingGraph& g, NodeId source,
                                Time start_time, Policy policy,
                                SearchLimits limits) {
   ArenaLease lease;
-  return foremost_arrivals_in(g, source, start_time, policy, limits, *lease);
+  return foremost_arrivals_in(frozen_view(g), source, start_time, policy,
+                              limits, *lease);
 }
 
 ForemostTree foremost_arrivals(const TimeVaryingGraph& g, NodeId source,
                                Time start_time, Policy policy,
                                SearchLimits limits, SearchWorkspace& ws) {
-  return foremost_arrivals_in(g, source, start_time, policy, limits,
-                              ws.arenas());
+  return foremost_arrivals_in(frozen_view(g), source, start_time, policy,
+                              limits, ws.arenas());
 }
 
 ForemostScan foremost_scan(const TimeVaryingGraph& g, NodeId source,
@@ -974,17 +1037,16 @@ std::optional<Journey> foremost_journey(const TimeVaryingGraph& g,
 
 namespace {
 
-std::optional<Journey> shortest_journey_in(const TimeVaryingGraph& g,
-                                           NodeId source, NodeId target,
-                                           Time start_time, Policy policy,
-                                           SearchLimits limits,
+template <typename View>
+std::optional<Journey> shortest_journey_in(const View& vw, NodeId source,
+                                           NodeId target, Time start_time,
+                                           Policy policy, SearchLimits limits,
                                            SearchArenas& arenas) {
   if (source == target) return Journey{source, start_time, {}};
-  const ScheduleIndex& sx = g.schedule_index();
-  if (policy.kind == WaitingPolicy::kWait && sx.all_latency_constant()) {
+  if (policy.kind == WaitingPolicy::kWait && vw.all_latency_constant()) {
     // Hop-layered DP: under Wait a min-hop journey never revisits a node,
     // so |V| - 1 layers suffice; per layer, earlier arrival dominates.
-    const std::size_t n = g.node_count();
+    const std::size_t n = vw.node_count();
     std::vector<Time> arr(n, kTimeInfinity);
     std::vector<Time> cur = arr;
     cur[source] = start_time;
@@ -997,13 +1059,13 @@ std::optional<Journey> shortest_journey_in(const TimeVaryingGraph& g,
       std::vector<std::int64_t> next_cfg(n, -1);
       for (NodeId v = 0; v < n; ++v) {
         if (cur[v] == kTimeInfinity) continue;
-        for (EdgeId eid : g.out_edges(v)) {
-          for_each_departure(sx, eid, cur[v], Policy::wait(), limits.horizon,
+        vw.for_each_out(v, [&](EdgeId eid) {
+          for_each_departure(vw, eid, cur[v], Policy::wait(), limits.horizon,
                              [&](Time dep) {
-                               const Time a = sx.arrival(eid, dep);
+                               const Time a = vw.arrival(eid, dep);
                                if (a == kTimeInfinity || a > limits.horizon)
                                  return true;
-                               const NodeId to = sx.record(eid).to;
+                               const NodeId to = vw.edge_to(eid);
                                if (a < next[to]) {
                                  next[to] = a;
                                  parents.push_back(ConfigRec{
@@ -1014,7 +1076,8 @@ std::optional<Journey> shortest_journey_in(const TimeVaryingGraph& g,
                                }
                                return true;
                              });
-        }
+          return true;
+        });
       }
       if (next[target] != kTimeInfinity) {
         return journey_from_config(parents, next_cfg[target], source,
@@ -1031,30 +1094,41 @@ std::optional<Journey> shortest_journey_in(const TimeVaryingGraph& g,
   }
   SearchArenas& a = arenas;
   const ConfigRec root{source, start_time, -1, kInvalidEdge, 0};
-  run_search(g, {&root, 1}, policy, limits, a, target);
+  run_search(vw, {&root, 1}, policy, limits, a, target);
   if (a.first_goal < 0) return std::nullopt;
   return journey_from_config(a.configs, a.first_goal, source, start_time);
 }
 
+/// Journey::arrival evaluated through the view instead of the graph's
+/// edge table (which cannot resolve an overlay-added edge id). For a
+/// frozen view this is the same value: the compiled index's arrival is
+/// the documented exact mirror of Edge::arrival.
+template <typename View>
+[[nodiscard]] Time journey_arrival_in(const View& vw, const Journey& j) {
+  if (j.legs.empty()) return j.start_time;
+  const JourneyLeg& last = j.legs.back();
+  return vw.arrival(last.edge, last.departure);
+}
+
+template <typename View>
 FastestJourneyResult fastest_journey_checked_in(
-    const TimeVaryingGraph& g, NodeId source, NodeId target, Time depart_lo,
+    const View& vw, NodeId source, NodeId target, Time depart_lo,
     Time depart_hi, Policy policy, SearchLimits limits, SearchArenas& arenas) {
   FastestJourneyResult result;
   if (source == target) {
     result.journey = Journey{source, depart_lo, {}};
     return result;
   }
-  const ScheduleIndex& sx = g.schedule_index();
   // Candidate first departures: presence events of source out-edges,
   // deduplicated across edges so shared schedules don't charge the budget
   // twice for one instant.
   std::set<Time> candidates;
-  for (EdgeId eid : g.out_edges(source)) {
-    if (result.truncated) break;  // no further edge can add a candidate
-    ScheduleIndex::EventCursor cursor;
+  vw.for_each_out(source, [&](EdgeId eid) {
+    if (result.truncated) return false;  // no further edge can add one
+    typename View::EventCursor cursor;
     Time at = depart_lo;
     while (at <= depart_hi) {
-      const Time dep = sx.next_present(eid, at, cursor);
+      const Time dep = vw.next_present(eid, at, cursor);
       if (dep == kTimeInfinity || dep > depart_hi) break;
       if (!candidates.contains(dep)) {
         if (candidates.size() >= limits.max_fastest_candidates) {
@@ -1068,14 +1142,15 @@ FastestJourneyResult fastest_journey_checked_in(
       }
       at = dep + 1;  // time-arith: dep < kTimeInfinity (guarded above)
     }
-  }
+    return true;
+  });
 
   SearchArenas& a = arenas;
   std::optional<Journey> best;
   Time best_duration = kTimeInfinity;
   for (Time s : candidates) {
     const ConfigRec root{source, s, -1, kInvalidEdge, 0};
-    run_search(g, {&root, 1}, policy, limits, a);
+    run_search(vw, {&root, 1}, policy, limits, a);
     if (a.truncated) result.truncated = true;
     if (a.best[target] < 0) continue;
     Journey j = journey_from_config(a.configs, a.best[target], source, s);
@@ -1084,7 +1159,9 @@ FastestJourneyResult fastest_journey_checked_in(
     // (with its true duration) under the later candidate equal to its
     // actual first departure; skip it here.
     if (j.legs.front().departure != s) continue;
-    const Time duration = j.duration(g);
+    // Journey::duration through the view — same raw subtraction.
+    const Time duration =  // time-arith: mirrors Journey::duration exactly
+        journey_arrival_in(vw, j) - j.legs.front().departure;
     if (duration < best_duration) {
       best_duration = duration;
       best = std::move(j);
@@ -1101,8 +1178,8 @@ std::optional<Journey> shortest_journey(const TimeVaryingGraph& g,
                                         Time start_time, Policy policy,
                                         SearchLimits limits) {
   ArenaLease lease;
-  return shortest_journey_in(g, source, target, start_time, policy, limits,
-                             *lease);
+  return shortest_journey_in(frozen_view(g), source, target, start_time,
+                             policy, limits, *lease);
 }
 
 std::optional<Journey> shortest_journey(const TimeVaryingGraph& g,
@@ -1110,8 +1187,8 @@ std::optional<Journey> shortest_journey(const TimeVaryingGraph& g,
                                         Time start_time, Policy policy,
                                         SearchLimits limits,
                                         SearchWorkspace& ws) {
-  return shortest_journey_in(g, source, target, start_time, policy, limits,
-                             ws.arenas());
+  return shortest_journey_in(frozen_view(g), source, target, start_time,
+                             policy, limits, ws.arenas());
 }
 
 FastestJourneyResult fastest_journey_checked(const TimeVaryingGraph& g,
@@ -1120,8 +1197,8 @@ FastestJourneyResult fastest_journey_checked(const TimeVaryingGraph& g,
                                              Policy policy,
                                              SearchLimits limits) {
   ArenaLease lease;
-  return fastest_journey_checked_in(g, source, target, depart_lo, depart_hi,
-                                    policy, limits, *lease);
+  return fastest_journey_checked_in(frozen_view(g), source, target, depart_lo,
+                                    depart_hi, policy, limits, *lease);
 }
 
 FastestJourneyResult fastest_journey_checked(const TimeVaryingGraph& g,
@@ -1130,8 +1207,8 @@ FastestJourneyResult fastest_journey_checked(const TimeVaryingGraph& g,
                                              Policy policy,
                                              SearchLimits limits,
                                              SearchWorkspace& ws) {
-  return fastest_journey_checked_in(g, source, target, depart_lo, depart_hi,
-                                    policy, limits, ws.arenas());
+  return fastest_journey_checked_in(frozen_view(g), source, target, depart_lo,
+                                    depart_hi, policy, limits, ws.arenas());
 }
 
 std::optional<Journey> fastest_journey(const TimeVaryingGraph& g,
@@ -1254,5 +1331,53 @@ std::optional<Time> temporal_diameter(const TimeVaryingGraph& g,
   if (!connected) return std::nullopt;
   return diameter;
 }
+
+// ---------------------------------------------------------------------------
+// Overlay-aware entry points (declared in delta_overlay.hpp): the same
+// kernel templates instantiated over OverlayView instead of FrozenView.
+// Defined here, next to the kernels, so the two instantiations can never
+// drift apart.
+// ---------------------------------------------------------------------------
+
+namespace overlay {
+
+ForemostTree foremost_arrivals(const OverlayView& view, NodeId source,
+                               Time start_time, Policy policy,
+                               SearchLimits limits, SearchWorkspace& ws) {
+  return foremost_arrivals_in(view, source, start_time, policy, limits,
+                              ws.arenas());
+}
+
+ForemostScan foremost_scan(const OverlayView& view, NodeId source,
+                           Time start_time, Policy policy, SearchLimits limits,
+                           SearchWorkspace& ws) {
+  SearchArenas& a = ws.arenas();
+  const ConfigRec root{source, start_time, -1, kInvalidEdge, 0};
+  run_search(view, {&root, 1}, policy, limits, a);
+  return ForemostScan{std::span<const Time>(a.arrival), a.truncated};
+}
+
+std::optional<Journey> shortest_journey(const OverlayView& view, NodeId source,
+                                        NodeId target, Time start_time,
+                                        Policy policy, SearchLimits limits,
+                                        SearchWorkspace& ws) {
+  return shortest_journey_in(view, source, target, start_time, policy, limits,
+                             ws.arenas());
+}
+
+FastestJourneyResult fastest_journey_checked(const OverlayView& view,
+                                             NodeId source, NodeId target,
+                                             Time depart_lo, Time depart_hi,
+                                             Policy policy, SearchLimits limits,
+                                             SearchWorkspace& ws) {
+  return fastest_journey_checked_in(view, source, target, depart_lo, depart_hi,
+                                    policy, limits, ws.arenas());
+}
+
+Time journey_arrival(const OverlayView& view, const Journey& j) {
+  return journey_arrival_in(view, j);
+}
+
+}  // namespace overlay
 
 }  // namespace tvg

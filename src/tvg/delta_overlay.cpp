@@ -1,0 +1,583 @@
+#include "tvg/delta_overlay.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace tvg {
+
+// ---------------------------------------------------------------------------
+// OverlaySnapshot
+// ---------------------------------------------------------------------------
+
+OverlaySnapshot::OverlaySnapshot(const TimeVaryingGraph& base,
+                                 std::span<const EdgeMutation> log,
+                                 std::uint64_t sequence)
+    : base_edges_(base.edge_count()), sequence_(sequence) {
+  // The bitmap is allocated even for an empty log: every merged read
+  // goes through has_override, so an empty overlay must still answer
+  // "no" for any base edge id without indexing past the end.
+  override_bits_.assign((base_edges_ + 63) / 64, 0);
+
+  for (const EdgeMutation& m : log) {
+    switch (m.kind) {
+      case EdgeMutation::Kind::kAddEdge: {
+        added_.push_back(AddedEdge{m.from, m.to, m.label, m.presence,
+                                   m.latency, m.name});
+        break;
+      }
+      case EdgeMutation::Kind::kRemoveEdge:
+      case EdgeMutation::Kind::kPatchPresence: {
+        if (m.edge < base_edges_) {
+          OverrideRec& r = overrides_[m.edge];
+          r.presence = m.presence;
+          r.has_presence = true;
+          override_bits_[m.edge >> 6] |= std::uint64_t{1} << (m.edge & 63u);
+        } else {
+          // Override of an edge added earlier in this same log: fold it
+          // into the added record (the override map keys base edges
+          // only, so the read path never double-dispatches).
+          added_.at(m.edge - base_edges_).presence = m.presence;
+        }
+        break;
+      }
+      case EdgeMutation::Kind::kOverrideLatency: {
+        if (m.edge < base_edges_) {
+          OverrideRec& r = overrides_[m.edge];
+          r.latency = m.latency;
+          r.has_latency = true;
+          override_bits_[m.edge >> 6] |= std::uint64_t{1} << (m.edge & 63u);
+        } else {
+          added_.at(m.edge - base_edges_).latency = m.latency;
+        }
+        break;
+      }
+    }
+  }
+
+  // Added-edge adjacency, sorted by source node with ids ascending
+  // inside each node (stable sort over an id-ascending input) — the
+  // exact per-node order a rebuilt CSR would list the appended edges in
+  // after the base segment (its counting sort is stable and fills in
+  // edge-id order).
+  added_adj_.reserve(added_.size());
+  for (std::size_t i = 0; i < added_.size(); ++i) {
+    added_adj_.emplace_back(added_[i].from,
+                            static_cast<EdgeId>(base_edges_ + i));
+  }
+  std::stable_sort(added_adj_.begin(), added_adj_.end(),
+                   [](const std::pair<NodeId, EdgeId>& x,
+                      const std::pair<NodeId, EdgeId>& y) {
+                     return x.first < y.first;
+                   });
+
+  // Effective graph-wide facts in O(delta): start from the base index's
+  // non-conforming-edge counters and adjust per override/addition with
+  // the SAME predicates the index counts with, so the overlay picks
+  // exactly the kernel a rebuilt index would.
+  const ScheduleIndex& sx = base.schedule_index();
+  std::size_t non_constant = sx.non_constant_latency_count();
+  std::size_t non_semi_periodic = sx.non_semi_periodic_count();
+  for (const auto& [eid, rec] : overrides_) {
+    const Edge& e = base.edge(eid);
+    if (rec.has_latency) {
+      if (!e.latency.is_constant()) --non_constant;
+      if (!rec.latency.is_constant()) ++non_constant;
+    }
+    if (rec.has_presence) {
+      if (!e.presence.is_semi_periodic()) --non_semi_periodic;
+      if (!rec.presence.is_semi_periodic()) ++non_semi_periodic;
+    }
+  }
+  for (const AddedEdge& ae : added_) {
+    if (!ae.latency.is_constant()) ++non_constant;
+    if (!ae.presence.is_semi_periodic()) ++non_semi_periodic;
+  }
+  all_latency_constant_ = non_constant == 0;
+  all_semi_periodic_ = non_semi_periodic == 0;
+}
+
+namespace {
+
+struct AdjNodeLess {
+  bool operator()(const std::pair<NodeId, EdgeId>& x, NodeId v) const {
+    return x.first < v;
+  }
+  bool operator()(NodeId v, const std::pair<NodeId, EdgeId>& x) const {
+    return v < x.first;
+  }
+};
+
+}  // namespace
+
+std::pair<const std::pair<NodeId, EdgeId>*, const std::pair<NodeId, EdgeId>*>
+OverlaySnapshot::added_out_range(NodeId v) const noexcept {
+  const auto [lo, hi] = std::equal_range(added_adj_.begin(), added_adj_.end(),
+                                         v, AdjNodeLess{});
+  return {added_adj_.data() + (lo - added_adj_.begin()),
+          added_adj_.data() + (hi - added_adj_.begin())};
+}
+
+// ---------------------------------------------------------------------------
+// DeltaOverlay
+// ---------------------------------------------------------------------------
+
+DeltaOverlay::DeltaOverlay(const TimeVaryingGraph& base)
+    : base_(&base),
+      snapshot_(std::make_shared<OverlaySnapshot>(
+          base, std::span<const EdgeMutation>{}, 0)) {}
+
+EdgeId DeltaOverlay::apply(EdgeMutation m) {
+  const std::size_t edges = snapshot_->edge_count();
+  EdgeId id = m.edge;
+  if (m.kind == EdgeMutation::Kind::kAddEdge) {
+    if (m.from >= base_->node_count() || m.to >= base_->node_count()) {
+      throw std::out_of_range("DeltaOverlay::apply: endpoint out of range");
+    }
+    id = static_cast<EdgeId>(edges);
+  } else {
+    if (m.edge >= edges) {
+      throw std::out_of_range("DeltaOverlay::apply: edge out of range");
+    }
+  }
+  log_.push_back(std::move(m));
+  ++sequence_;
+  snapshot_ = std::make_shared<OverlaySnapshot>(*base_, log_, sequence_);
+  return id;
+}
+
+void DeltaOverlay::rebase(const TimeVaryingGraph& new_base,
+                          std::size_t folded) {
+  base_ = &new_base;
+  log_.erase(log_.begin(),
+             log_.begin() + static_cast<std::ptrdiff_t>(
+                                std::min(folded, log_.size())));
+  // Sequence is NOT reset: it counts mutations ever applied, and the
+  // stale-insert mask history keys on it.
+  snapshot_ = std::make_shared<OverlaySnapshot>(*base_, log_, sequence_);
+}
+
+// ---------------------------------------------------------------------------
+// materialize
+// ---------------------------------------------------------------------------
+
+TimeVaryingGraph materialize(const TimeVaryingGraph& base,
+                             const OverlaySnapshot& overlay) {
+  TimeVaryingGraph g;
+  for (NodeId v = 0; v < base.node_count(); ++v) {
+    g.add_node(base.node_name(v));
+  }
+  // Base edges in id order with their effective ρ/ζ — tombstones stay as
+  // never-present records so every previously handed-out id resolves.
+  for (EdgeId e = 0; e < base.edge_count(); ++e) {
+    const Edge& ed = base.edge(e);
+    Presence presence = ed.presence;
+    Latency latency = ed.latency;
+    if (overlay.has_override(e)) {
+      const OverlaySnapshot::OverrideRec& r = overlay.override_rec(e);
+      if (r.has_presence) presence = r.presence;
+      if (r.has_latency) latency = r.latency;
+    }
+    g.add_edge(ed.from, ed.to, ed.label, std::move(presence),
+               std::move(latency), base.edge_name(e));
+  }
+  // Added edges appended in id order, so the materialized ids equal the
+  // overlay ids.
+  const auto base_edges = static_cast<EdgeId>(overlay.base_edge_count());
+  for (std::size_t i = 0; i < overlay.added_edge_count(); ++i) {
+    const OverlaySnapshot::AddedEdge& ae =
+        overlay.added(base_edges + static_cast<EdgeId>(i));
+    g.add_edge(ae.from, ae.to, ae.label, ae.presence, ae.latency, ae.name);
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// MutableEngine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Approximate heap footprint of a cached journey result (the engine's
+/// own accounting lives in query_engine.cpp's internal namespace; this
+/// mirrors its shape — exactness is not required, the number only feeds
+/// the cache's byte budget).
+[[nodiscard]] std::size_t approx_bytes(const JourneyResult& r) {
+  std::size_t bytes = sizeof(JourneyResult);
+  bytes += r.arrivals.capacity() * sizeof(Time);
+  if (r.journey) bytes += r.journey->legs.capacity() * sizeof(JourneyLeg);
+  return bytes;
+}
+
+/// Bounded mutation-mask history (see MutableEngine::MaskRec): enough to
+/// cover any realistic in-flight query against a busy mutation stream;
+/// an insert whose capture fell off the window is skipped, never served.
+constexpr std::size_t kMaskHistoryCap = 4096;
+
+}  // namespace
+
+MutableEngine::MutableEngine(TimeVaryingGraph base, unsigned default_threads,
+                             CacheConfig cache)
+    : default_threads_(default_threads != 0
+                           ? default_threads
+                           : std::max(1u,
+                                      std::thread::hardware_concurrency())) {
+  // Constructor: no concurrent access yet (clang's analysis exempts
+  // construction), so the guarded members initialize without mu_.
+  auto epoch = std::make_shared<Epoch>(std::move(base), default_threads_);
+  delta_.emplace(epoch->graph);
+  state_.epoch = std::move(epoch);
+  state_.overlay = delta_->snapshot();
+  if (cache.enabled && cache.capacity > 0) {
+    cache_ = std::make_unique<ResultCache>(cache);
+    generation_ = ResultCache::next_generation();
+  }
+}
+
+MutableEngine::~MutableEngine() {
+  // Wait out an in-flight background compaction before any member dies;
+  // pool_ is declared last, so its destructor (which joins the worker
+  // actually running that task's tail) runs before the state the task
+  // touched is destroyed.
+  const MutexLock lock(mu_);
+  while (compacting_) compaction_cv_.wait(mu_);
+}
+
+EdgeId MutableEngine::apply(const EdgeMutation& m) {
+  EdgeId id = kInvalidEdge;
+  EdgeTouch touch;
+  {
+    const MutexLock lock(mu_);
+    id = delta_->apply(m);  // throws on bad ids with the log unchanged
+    state_.overlay = delta_->snapshot();
+    if (m.kind == EdgeMutation::Kind::kAddEdge) {
+      touch = EdgeTouch{id, m.from, m.to};
+    } else if (id < state_.overlay->base_edge_count()) {
+      const Edge& e = state_.epoch->graph.edge(id);
+      touch = EdgeTouch{id, e.from, e.to};
+    } else {
+      const OverlaySnapshot::AddedEdge& ae = state_.overlay->added(id);
+      touch = EdgeTouch{id, ae.from, ae.to};
+    }
+    mask_history_.push_back(
+        MaskRec{delta_->sequence(),
+                footprint_bit(touch.from) | footprint_bit(touch.to)});
+    if (mask_history_.size() > kMaskHistoryCap) mask_history_.pop_front();
+  }
+  // Invalidation runs outside mu_ (it takes the shard locks; the lock
+  // order is mu_ -> shard, never the reverse). Publishing first is
+  // sound: any reader inserting after the publish re-checks the mask
+  // history under mu_ and skips an entry this mutation would have had
+  // to drop.
+  if (cache_) {
+    cache_->invalidate_keys_touching(std::span<const EdgeTouch>(&touch, 1));
+  }
+  return id;
+}
+
+MutableEngine::State MutableEngine::capture(std::uint64_t* seq_out) const {
+  const MutexLock lock(mu_);
+  if (seq_out) *seq_out = state_.overlay->sequence();
+  return state_;
+}
+
+bool MutableEngine::insert_allowed_locked(std::uint64_t captured_seq,
+                                          std::uint64_t footprint) const {
+  const std::uint64_t now = state_.overlay->sequence();
+  if (now == captured_seq) return true;  // nothing landed since capture
+  // Every mutation in (captured_seq, now] must be retained in the
+  // history and miss the entry's footprint; a gap (history overflowed)
+  // conservatively rejects the insert.
+  if (mask_history_.empty() || mask_history_.front().seq > captured_seq + 1) {
+    return false;
+  }
+  for (auto it = mask_history_.rbegin();
+       it != mask_history_.rend() && it->seq > captured_seq; ++it) {
+    if ((it->mask & footprint) != 0) return false;
+  }
+  return true;
+}
+
+JourneyResult MutableEngine::run(const JourneyQuery& q) const {
+  std::uint64_t seq = 0;
+  const State s = capture(&seq);
+  QueryKey key;
+  if (cache_) {
+    key = QueryKey::journey(q);
+    if (const auto hit = cache_->find(key, generation_)) {
+      return *static_cast<const JourneyResult*>(hit.get());
+    }
+  }
+  std::uint64_t footprint = kFootprintAll;
+  JourneyResult result = run_state(s, q, cache_ ? &footprint : nullptr);
+  if (cache_) {
+    const auto owned = std::make_shared<const JourneyResult>(result);
+    const std::size_t bytes = approx_bytes(*owned);
+    // The staleness check and the insert are one critical section: a
+    // mutation published between them would invalidate the cache BEFORE
+    // this entry exists, and the entry would survive as a stale hit.
+    const MutexLock lock(mu_);
+    if (insert_allowed_locked(seq, footprint)) {
+      cache_->insert(key, generation_, owned, bytes, footprint);
+    }
+  }
+  return result;
+}
+
+JourneyResult MutableEngine::run_state(const State& s, const JourneyQuery& q,
+                                       std::uint64_t* footprint_out) const {
+  const TimeVaryingGraph& g = s.epoch->graph;
+  if (q.source >= g.node_count()) {
+    throw std::out_of_range("MutableEngine::run: source out of range");
+  }
+  if (q.target && *q.target >= g.node_count()) {
+    throw std::out_of_range("MutableEngine::run: target out of range");
+  }
+  // Always read through the view — an empty overlay degenerates to the
+  // frozen path's exact behavior (same kernels, same order), so there is
+  // no separate fast path to keep consistent.
+  const OverlayView view(g, g.schedule_index(), *s.overlay);
+  auto ws = lease_ws();
+  JourneyResult result;
+  std::uint64_t footprint = kFootprintAll;
+  switch (q.objective) {
+    case JourneyObjective::kForemost: {
+      if (q.target) {
+        const ForemostTree tree = overlay::foremost_arrivals(
+            view, q.source, q.start_time, q.policy, q.limits, *ws);
+        result.truncated = tree.truncated;
+        result.arrival = tree.arrival[*q.target];
+        result.journey = tree.journey_to(g, *q.target);
+        if (!tree.truncated) {
+          footprint = footprint_bit(q.source);
+          for (NodeId v = 0; v < tree.arrival.size(); ++v) {
+            if (tree.arrival[v] != kTimeInfinity) {
+              footprint |= footprint_bit(v);
+            }
+          }
+        }
+      } else {
+        const ForemostScan scan = overlay::foremost_scan(
+            view, q.source, q.start_time, q.policy, q.limits, *ws);
+        result.truncated = scan.truncated;
+        result.arrivals.assign(scan.arrival.begin(), scan.arrival.end());
+        if (!scan.truncated) {
+          footprint = footprint_bit(q.source);
+          for (NodeId v = 0; v < scan.arrival.size(); ++v) {
+            if (scan.arrival[v] != kTimeInfinity) {
+              footprint |= footprint_bit(v);
+            }
+          }
+        }
+      }
+      break;
+    }
+    case JourneyObjective::kShortest: {
+      if (!q.target) {
+        throw std::invalid_argument(
+            "MutableEngine::run: shortest objective requires a target");
+      }
+      result.journey = overlay::shortest_journey(
+          view, q.source, *q.target, q.start_time, q.policy, q.limits, *ws);
+      if (result.journey) {
+        result.arrival = overlay::journey_arrival(view, *result.journey);
+      }
+      // Shortest/fastest results have no cheap reached-set by-product;
+      // they keep the all-partitions stamp and die on the first
+      // invalidation (sound, just conservative).
+      break;
+    }
+    case JourneyObjective::kFastest: {
+      if (!q.target) {
+        throw std::invalid_argument(
+            "MutableEngine::run: fastest objective requires a target");
+      }
+      if (q.depart_hi < q.start_time) {
+        throw std::invalid_argument(
+            "MutableEngine::run: fastest depart_hi precedes start_time "
+            "(empty departure window)");
+      }
+      FastestJourneyResult fastest = overlay::fastest_journey_checked(
+          view, q.source, *q.target, q.start_time, q.depart_hi, q.policy,
+          q.limits, *ws);
+      result.truncated = fastest.truncated;
+      result.journey = std::move(fastest.journey);
+      if (result.journey) {
+        result.arrival = overlay::journey_arrival(view, *result.journey);
+        result.duration =  // time-arith: mirrors Journey::duration exactly
+            result.journey->legs.empty()
+                ? 0
+                : result.arrival - result.journey->legs.front().departure;
+      }
+      break;
+    }
+  }
+  return_ws(std::move(ws));
+  if (footprint_out) *footprint_out = footprint;
+  return result;
+}
+
+ClosureResult MutableEngine::closure(const ClosureQuery& q) const {
+  const State s = capture(nullptr);
+  const TimeVaryingGraph& g = s.epoch->graph;
+  if (s.overlay->empty()) {
+    // No pending delta: the epoch's own engine runs the bit-parallel
+    // packed kernel (its cache is disabled, so nothing sticks).
+    return s.epoch->engine.closure(q);
+  }
+  std::vector<NodeId> sources = q.sources;
+  if (sources.empty()) {
+    sources.resize(g.node_count());
+    for (NodeId v = 0; v < g.node_count(); ++v) sources[v] = v;
+  }
+  for (const NodeId u : sources) {
+    if (u >= g.node_count()) {
+      throw std::out_of_range("MutableEngine::closure: source out of range");
+    }
+  }
+  // Overlay closure rows are served uncached and per-source serial (the
+  // packed kernel is frozen-only); sharding is by source, and each task
+  // writes only its own row, so the matrix is bit-identical at any
+  // thread count to the serial sweep — which multi_source_foremost's
+  // fallback path guarantees equals the packed rows a rebuilt engine
+  // would produce.
+  const OverlayView view(g, g.schedule_index(), *s.overlay);
+  const unsigned threads = q.threads != 0 ? q.threads : default_threads_;
+  const unsigned parallelism = static_cast<unsigned>(std::max<std::size_t>(
+      1, std::min<std::size_t>(threads, sources.size())));
+  std::vector<std::unique_ptr<SearchWorkspace>> workspaces;
+  workspaces.reserve(parallelism);
+  for (unsigned i = 0; i < parallelism; ++i) {
+    workspaces.push_back(lease_ws());
+  }
+  ClosureResult result;
+  result.rows.resize(sources.size());
+  std::vector<char> truncated(sources.size(), 0);
+  pool_.parallel_for(
+      sources.size(), parallelism, [&](std::size_t i, unsigned slot) {
+        const ForemostScan scan =
+            overlay::foremost_scan(view, sources[i], q.start_time, q.policy,
+                                   q.limits, *workspaces[slot]);
+        result.rows[i].assign(scan.arrival.begin(), scan.arrival.end());
+        truncated[i] = scan.truncated ? 1 : 0;
+      });
+  for (auto& ws : workspaces) return_ws(std::move(ws));
+  result.truncated = std::any_of(truncated.begin(), truncated.end(),
+                                 [](char c) { return c != 0; });
+  return result;
+}
+
+void MutableEngine::compact() {
+  {
+    const MutexLock lock(mu_);
+    while (compacting_) compaction_cv_.wait(mu_);
+    if (delta_->pending_mutations() == 0) return;
+    compacting_ = true;
+  }
+  do_compact();
+}
+
+bool MutableEngine::compact_async() {
+  {
+    const MutexLock lock(mu_);
+    if (compacting_ || delta_->pending_mutations() == 0) return false;
+    compacting_ = true;
+  }
+  pool_.submit([this] { do_compact(); });
+  return true;
+}
+
+void MutableEngine::wait_for_compaction() const {
+  const MutexLock lock(mu_);
+  while (compacting_) compaction_cv_.wait(mu_);
+}
+
+bool MutableEngine::compaction_in_flight() const {
+  const MutexLock lock(mu_);
+  return compacting_;
+}
+
+void MutableEngine::do_compact() {
+  // compacting_ is already set (by compact or compact_async), so there
+  // is exactly one of these running; mutations and reads proceed freely
+  // against the OLD epoch while the fold below builds the new one.
+  try {
+    State s;
+    std::size_t folded = 0;
+    {
+      const MutexLock lock(mu_);
+      s = state_;
+      folded = delta_->pending_mutations();
+    }
+    // Off-lock: materialize base ∪ delta and compile its index + CSR.
+    // The snapshot captured above covers exactly the first `folded` log
+    // entries (apply republishes under the same lock), so mutations
+    // landing during this build are untouched remainder.
+    auto next_epoch = std::make_shared<Epoch>(
+        tvg::materialize(s.epoch->graph, *s.overlay), default_threads_);
+    {
+      const MutexLock lock(mu_);
+      state_.epoch = next_epoch;
+      delta_->rebase(next_epoch->graph, folded);
+      state_.overlay = delta_->snapshot();
+      compacting_ = false;
+    }
+  } catch (...) {
+    // Best-effort: a failed fold (allocation, pathological ρ/ζ copy)
+    // leaves the old epoch + full delta serving correct results; just
+    // clear the flag so compaction can be retried.
+    const MutexLock lock(mu_);
+    compacting_ = false;
+  }
+  compaction_cv_.notify_all();
+}
+
+std::size_t MutableEngine::node_count() const {
+  const MutexLock lock(mu_);
+  return state_.epoch->graph.node_count();
+}
+
+std::size_t MutableEngine::edge_count() const {
+  const MutexLock lock(mu_);
+  return state_.overlay->edge_count();
+}
+
+std::size_t MutableEngine::pending_mutations() const {
+  const MutexLock lock(mu_);
+  return delta_->pending_mutations();
+}
+
+std::uint64_t MutableEngine::sequence() const {
+  const MutexLock lock(mu_);
+  return delta_->sequence();
+}
+
+std::vector<EdgeMutation> MutableEngine::pending_log() const {
+  const MutexLock lock(mu_);
+  const auto log = delta_->log();
+  return {log.begin(), log.end()};
+}
+
+TimeVaryingGraph MutableEngine::materialize() const {
+  const State s = capture(nullptr);
+  return tvg::materialize(s.epoch->graph, *s.overlay);
+}
+
+std::unique_ptr<SearchWorkspace> MutableEngine::lease_ws() const {
+  {
+    const MutexLock lock(ws_mu_);
+    if (!ws_pool_.empty()) {
+      auto ws = std::move(ws_pool_.back());
+      ws_pool_.pop_back();
+      return ws;
+    }
+  }
+  return std::make_unique<SearchWorkspace>();
+}
+
+void MutableEngine::return_ws(std::unique_ptr<SearchWorkspace> ws) const {
+  const MutexLock lock(ws_mu_);
+  ws_pool_.push_back(std::move(ws));
+}
+
+}  // namespace tvg

@@ -1,0 +1,599 @@
+// LSM-style mutability for temporal graphs: a delta overlay over the
+// frozen ScheduleIndex + CSR, and the tvg::MutableEngine façade that
+// serves live updates without ever rebuilding per mutation.
+//
+// The frozen read path (graph.hpp / schedule_index.hpp) is deliberately
+// immutable: QueryEngine compiles ρ/ζ once and every kernel assumes the
+// tables never move. Mutating a served graph therefore used to mean
+// "rebuild the index and the engine" — O(E) work and an engine-wide
+// cache generation bump per edit. This header adds the standard LSM
+// answer: keep the frozen base as the big immutable run, buffer edits
+// in a small in-memory delta, consult base ∪ delta on every read, and
+// fold the delta into a fresh base in the background when it grows.
+//
+//  * EdgeMutation — one buffered edit: add edge, remove edge (a
+//    tombstone: presence overridden to never(), so EdgeIds stay stable
+//    forever), patch ρ, or override ζ.
+//  * OverlaySnapshot — an immutable compiled form of the pending delta
+//    (override bitmap + map over base edges, appended edges with their
+//    own sorted out-adjacency, and the recomputed graph-wide facts).
+//    Published behind a shared_ptr: readers grab it once and never see
+//    a half-applied mutation.
+//  * OverlayView — the merged read interface the search kernels are
+//    templated over (algorithms.cpp). It mirrors the ScheduleIndex
+//    contract bit for bit: overridden and added edges dispatch to their
+//    Presence/Latency values (whose compiled forms the index documents
+//    as exact mirrors), everything else goes straight to the base
+//    index, and per-node edge enumeration yields base edges in CSR
+//    order then added edges in id order — exactly the order a from-
+//    scratch rebuild would produce, so overlay reads are bit-identical
+//    to rebuild reads (including truncation, which is exploration-order
+//    dependent).
+//  * DeltaOverlay — the mutation log plus its current snapshot. NOT
+//    thread-safe on its own; MutableEngine guards it (standalone use is
+//    fine single-threaded, e.g. the serialization round-trip).
+//  * MutableEngine — the serving façade: epoch-pointer concurrency
+//    (readers copy {epoch, overlay} under a mutex and then run lock-
+//    free), per-edge cache invalidation through footprint stamps
+//    (result_cache.hpp), and background compaction on a WorkerPool that
+//    folds the delta into a fresh epoch while readers keep serving the
+//    old one.
+//
+// Compaction keeps tombstoned edges (as never-present records), so an
+// EdgeId handed out by add_edge stays valid across any number of
+// compactions, and a compacted graph's CSR lists each node's edges in
+// the same order the overlay enumerated them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "tvg/algorithms.hpp"
+#include "tvg/annotations.hpp"
+#include "tvg/graph.hpp"
+#include "tvg/journey.hpp"
+#include "tvg/latency.hpp"
+#include "tvg/policy.hpp"
+#include "tvg/presence.hpp"
+#include "tvg/query_engine.hpp"
+#include "tvg/result_cache.hpp"
+#include "tvg/schedule_index.hpp"
+#include "tvg/sync.hpp"
+#include "tvg/time.hpp"
+#include "tvg/worker_pool.hpp"
+
+namespace tvg {
+
+/// One buffered schedule mutation. Build with the named constructors;
+/// `apply_update` on the Server and `apply` on MutableEngine/DeltaOverlay
+/// consume them.
+struct EdgeMutation {
+  enum class Kind : std::uint8_t {
+    kAddEdge,          // append a new edge (id = current edge_count())
+    kRemoveEdge,       // tombstone: ρ becomes never(), id stays valid
+    kPatchPresence,    // replace an edge's ρ
+    kOverrideLatency,  // replace an edge's ζ
+  };
+
+  Kind kind{Kind::kPatchPresence};
+  /// Target edge for remove/patch/override (ignored for kAddEdge).
+  EdgeId edge{kInvalidEdge};
+  /// Endpoints + label of a kAddEdge (ignored otherwise).
+  NodeId from{kInvalidNode};
+  NodeId to{kInvalidNode};
+  Symbol label{'?'};
+  /// New ρ for kAddEdge / kPatchPresence.
+  Presence presence{Presence::always()};
+  /// New ζ for kAddEdge / kOverrideLatency.
+  Latency latency{Latency::constant(1)};
+  /// Diagnostic name for kAddEdge ("" = auto "e<id>", like add_edge).
+  std::string name;
+
+  [[nodiscard]] static EdgeMutation add_edge(NodeId from, NodeId to,
+                                             Symbol label, Presence presence,
+                                             Latency latency,
+                                             std::string name = "") {
+    EdgeMutation m;
+    m.kind = Kind::kAddEdge;
+    m.from = from;
+    m.to = to;
+    m.label = label;
+    m.presence = std::move(presence);
+    m.latency = std::move(latency);
+    m.name = std::move(name);
+    return m;
+  }
+  [[nodiscard]] static EdgeMutation remove_edge(EdgeId e) {
+    EdgeMutation m;
+    m.kind = Kind::kRemoveEdge;
+    m.edge = e;
+    m.presence = Presence::never();
+    return m;
+  }
+  [[nodiscard]] static EdgeMutation patch_presence(EdgeId e,
+                                                   Presence presence) {
+    EdgeMutation m;
+    m.kind = Kind::kPatchPresence;
+    m.edge = e;
+    m.presence = std::move(presence);
+    return m;
+  }
+  [[nodiscard]] static EdgeMutation override_latency(EdgeId e,
+                                                     Latency latency) {
+    EdgeMutation m;
+    m.kind = Kind::kOverrideLatency;
+    m.edge = e;
+    m.latency = std::move(latency);
+    return m;
+  }
+};
+
+/// Immutable compiled form of a pending delta over one frozen base.
+/// Rebuilt (O(pending + E/64)) and republished behind a shared_ptr on
+/// every mutation; readers holding an older snapshot keep a consistent
+/// view for their whole query.
+class OverlaySnapshot {
+ public:
+  /// Per-base-edge override record: either field may be unset, in which
+  /// case the base index keeps answering for that aspect.
+  struct OverrideRec {
+    Presence presence{Presence::never()};
+    Latency latency{Latency::constant(0)};
+    bool has_presence{false};
+    bool has_latency{false};
+  };
+
+  /// One appended edge (id = base_edge_count() + position).
+  struct AddedEdge {
+    NodeId from{kInvalidNode};
+    NodeId to{kInvalidNode};
+    Symbol label{'?'};
+    Presence presence{Presence::always()};
+    Latency latency{Latency::constant(1)};
+    std::string name;
+  };
+
+  /// Compiles `log` against `base` (whose ScheduleIndex must already be
+  /// frozen — MutableEngine's epochs guarantee this). The effective
+  /// graph-wide facts (all-latency-constant, all-semi-periodic) are
+  /// recomputed from the base index's non-conforming-edge counters
+  /// adjusted by the delta, USING THE SAME Latency::is_constant() /
+  /// Presence::is_semi_periodic() predicates the index itself counts
+  /// with — so an overlay read takes exactly the kernel branch a
+  /// from-scratch rebuild would take.
+  OverlaySnapshot(const TimeVaryingGraph& base,
+                  std::span<const EdgeMutation> log, std::uint64_t sequence);
+
+  [[nodiscard]] bool empty() const noexcept {
+    return overrides_.empty() && added_.empty();
+  }
+  [[nodiscard]] std::size_t base_edge_count() const noexcept {
+    return base_edges_;
+  }
+  [[nodiscard]] std::size_t added_edge_count() const noexcept {
+    return added_.size();
+  }
+  /// Total edges the merged view exposes (base + added).
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return base_edges_ + added_.size();
+  }
+  [[nodiscard]] std::uint64_t sequence() const noexcept { return sequence_; }
+
+  /// True iff base edge `e` carries an override (bitmap test first, so
+  /// the common un-overridden edge costs one word load, no hashing).
+  [[nodiscard]] bool has_override(EdgeId e) const noexcept {
+    return (override_bits_[e >> 6] >> (e & 63u)) & 1u;
+  }
+  /// The override record for base edge `e` (has_override(e) required).
+  [[nodiscard]] const OverrideRec& override_rec(EdgeId e) const {
+    return overrides_.at(e);
+  }
+  /// The added-edge record for overlay edge id `e` (>= base_edge_count).
+  [[nodiscard]] const AddedEdge& added(EdgeId e) const {
+    return added_.at(e - base_edges_);
+  }
+
+  /// Added out-edges of `v`, ascending by edge id — the order a rebuilt
+  /// CSR would list them in after the base edges (its counting sort is
+  /// stable and fills in id order). Returned as a (from, id) pair range.
+  [[nodiscard]] std::pair<const std::pair<NodeId, EdgeId>*,
+                          const std::pair<NodeId, EdgeId>*>
+  added_out_range(NodeId v) const noexcept;
+
+  /// Effective graph-wide facts of base ∪ delta (what a rebuild's
+  /// ScheduleIndex would report).
+  [[nodiscard]] bool all_latency_constant() const noexcept {
+    return all_latency_constant_;
+  }
+  [[nodiscard]] bool all_semi_periodic() const noexcept {
+    return all_semi_periodic_;
+  }
+
+ private:
+  std::size_t base_edges_{0};
+  std::vector<std::uint64_t> override_bits_;  // one bit per base edge
+  std::unordered_map<EdgeId, OverrideRec> overrides_;
+  std::vector<AddedEdge> added_;
+  std::vector<std::pair<NodeId, EdgeId>> added_adj_;  // sorted (from, id)
+  bool all_latency_constant_{true};
+  bool all_semi_periodic_{true};
+  std::uint64_t sequence_{0};
+};
+
+/// The merged base ∪ delta read interface the search kernels are
+/// templated over. Satisfies the same contract as (graph, ScheduleIndex)
+/// on the materialized graph — see the header comment for the
+/// bit-identity argument. Cheap to construct (three references); build
+/// one per query against a consistent {epoch, snapshot} pair.
+class OverlayView {
+ public:
+  using EventCursor = ScheduleIndex::EventCursor;
+
+  OverlayView(const TimeVaryingGraph& base, const ScheduleIndex& index,
+              const OverlaySnapshot& overlay) noexcept
+      : g_(&base), sx_(&index), ov_(&overlay),
+        base_edges_(overlay.base_edge_count()) {}
+
+  [[nodiscard]] std::size_t node_count() const { return g_->node_count(); }
+  [[nodiscard]] std::size_t edge_count() const { return ov_->edge_count(); }
+  [[nodiscard]] const TimeVaryingGraph& base() const noexcept { return *g_; }
+  [[nodiscard]] const OverlaySnapshot& overlay() const noexcept {
+    return *ov_;
+  }
+
+  /// Enumerates v's out-edges — base CSR segment first, then added
+  /// edges ascending by id (= rebuild CSR order). `fn(eid)` returns
+  /// false to stop early.
+  template <typename Fn>
+  void for_each_out(NodeId v, Fn&& fn) const {
+    for (const EdgeId e : g_->out_edges(v)) {
+      if (!fn(e)) return;
+    }
+    const auto [lo, hi] = ov_->added_out_range(v);
+    for (const auto* it = lo; it != hi; ++it) {
+      if (!fn(it->second)) return;
+    }
+  }
+
+  [[nodiscard]] NodeId edge_to(EdgeId e) const {
+    // Overrides never change topology, so any base id answers from the
+    // compiled record.
+    if (e < base_edges_) return sx_->record(e).to;
+    return ov_->added(e).to;
+  }
+
+  [[nodiscard]] bool present(EdgeId e, Time t) const {
+    if (e < base_edges_) {
+      if (!ov_->has_override(e)) return sx_->present(e, t);
+      const OverlaySnapshot::OverrideRec& r = ov_->override_rec(e);
+      if (!r.has_presence) return sx_->present(e, t);
+      // Mirror ScheduleIndex::present exactly: t < 0 is outside the
+      // lifetime regardless of ρ.
+      return t >= 0 && r.presence.present(t);
+    }
+    return t >= 0 && ov_->added(e).presence.present(t);
+  }
+
+  [[nodiscard]] Time next_present(EdgeId e, Time from) const {
+    if (e < base_edges_) {
+      if (!ov_->has_override(e)) return sx_->next_present(e, from);
+      const OverlaySnapshot::OverrideRec& r = ov_->override_rec(e);
+      if (!r.has_presence) return sx_->next_present(e, from);
+      return presence_next(r.presence, from);
+    }
+    return presence_next(ov_->added(e).presence, from);
+  }
+
+  /// Cursor form: base edges keep their amortized-O(1) walk; overridden
+  /// and added edges fall back to the direct Presence query (the cursor
+  /// is left untouched, so a later base-edge query re-seeds cleanly).
+  [[nodiscard]] Time next_present(EdgeId e, Time from, EventCursor& c) const {
+    if (e < base_edges_ && !ov_->has_override(e)) {
+      return sx_->next_present(e, from, c);
+    }
+    return next_present(e, from);
+  }
+
+  [[nodiscard]] Time arrival(EdgeId e, Time dep) const {
+    if (e < base_edges_) {
+      if (!ov_->has_override(e)) return sx_->arrival(e, dep);
+      const OverlaySnapshot::OverrideRec& r = ov_->override_rec(e);
+      if (!r.has_latency) return sx_->arrival(e, dep);
+      return r.latency.arrival(dep);  // the index is its exact mirror
+    }
+    return ov_->added(e).latency.arrival(dep);
+  }
+
+  /// Effective fact of base ∪ delta: picks the same kernel (Dijkstra vs
+  /// configuration BFS) a rebuild would pick.
+  [[nodiscard]] bool all_latency_constant() const {
+    return ov_->all_latency_constant();
+  }
+
+ private:
+  [[nodiscard]] static Time presence_next(const Presence& p, Time from) {
+    // Mirror ScheduleIndex::next_present: clamp negative `from` to the
+    // lifetime start, map "no such time" to the kTimeInfinity sentinel.
+    const auto t = p.next_present(from < 0 ? 0 : from);
+    return t ? *t : kTimeInfinity;
+  }
+
+  const TimeVaryingGraph* g_;
+  const ScheduleIndex* sx_;
+  const OverlaySnapshot* ov_;
+  EdgeId base_edges_;
+};
+
+/// The mutation buffer: an append-only log plus its compiled snapshot.
+/// NOT thread-safe — MutableEngine serializes access under its mutex;
+/// standalone use (serialization round-trips, tests) must stay
+/// single-threaded. The referenced base graph must outlive the overlay
+/// and stay frozen (schedule index built) while it is attached.
+class DeltaOverlay {
+ public:
+  explicit DeltaOverlay(const TimeVaryingGraph& base);
+
+  /// Applies one mutation: validates ids against base ∪ delta, appends
+  /// to the log, and publishes a fresh snapshot. Returns the new edge's
+  /// id for kAddEdge and the target id otherwise. Throws
+  /// std::out_of_range on a bad node/edge id (the log is unchanged).
+  EdgeId apply(EdgeMutation m);
+
+  EdgeId add_edge(NodeId from, NodeId to, Symbol label, Presence presence,
+                  Latency latency, std::string name = "") {
+    return apply(EdgeMutation::add_edge(from, to, label, std::move(presence),
+                                        std::move(latency), std::move(name)));
+  }
+  void remove_edge(EdgeId e) { apply(EdgeMutation::remove_edge(e)); }
+  void patch_presence(EdgeId e, Presence presence) {
+    apply(EdgeMutation::patch_presence(e, std::move(presence)));
+  }
+  void override_latency(EdgeId e, Latency latency) {
+    apply(EdgeMutation::override_latency(e, std::move(latency)));
+  }
+
+  /// The current compiled snapshot (never null; empty() when no
+  /// mutations are pending).
+  [[nodiscard]] std::shared_ptr<const OverlaySnapshot> snapshot() const {
+    return snapshot_;
+  }
+  /// The pending (uncompacted) mutation log, oldest first.
+  [[nodiscard]] std::span<const EdgeMutation> log() const { return log_; }
+  [[nodiscard]] std::size_t pending_mutations() const { return log_.size(); }
+  /// Total mutations ever applied (monotone across rebase).
+  [[nodiscard]] std::uint64_t sequence() const { return sequence_; }
+  [[nodiscard]] const TimeVaryingGraph& base() const { return *base_; }
+
+  /// Compaction support: `new_base` is the old base with the first
+  /// `folded` log entries materialized into it. Drops that prefix and
+  /// recompiles the remainder against the new base. Edge ids are stable
+  /// by construction: a surviving add that had id old_base + j gets id
+  /// new_base + (j − folded_adds) = old_base + j again.
+  void rebase(const TimeVaryingGraph& new_base, std::size_t folded);
+
+ private:
+  const TimeVaryingGraph* base_;
+  std::vector<EdgeMutation> log_;
+  std::shared_ptr<const OverlaySnapshot> snapshot_;
+  std::uint64_t sequence_{0};
+};
+
+/// Materializes base ∪ delta into a standalone graph: every base edge
+/// with its effective ρ/ζ (tombstones kept as never-present edges, so
+/// ids are preserved), then the added edges in id order. The result's
+/// compiled index and CSR answer every query bit-identically to an
+/// OverlayView over (base, delta) — the property test suite pins this.
+[[nodiscard]] TimeVaryingGraph materialize(const TimeVaryingGraph& base,
+                                           const OverlaySnapshot& overlay);
+
+// ---------------------------------------------------------------------------
+// Overlay-aware search entry points (defined in algorithms.cpp, next to
+// the kernels they template). Same contracts as their frozen-graph
+// namesakes in algorithms.hpp, evaluated over base ∪ delta.
+// ---------------------------------------------------------------------------
+
+namespace overlay {
+
+[[nodiscard]] ForemostTree foremost_arrivals(const OverlayView& view,
+                                             NodeId source, Time start_time,
+                                             Policy policy, SearchLimits limits,
+                                             SearchWorkspace& ws);
+
+[[nodiscard]] ForemostScan foremost_scan(const OverlayView& view,
+                                         NodeId source, Time start_time,
+                                         Policy policy, SearchLimits limits,
+                                         SearchWorkspace& ws);
+
+[[nodiscard]] std::optional<Journey> shortest_journey(
+    const OverlayView& view, NodeId source, NodeId target, Time start_time,
+    Policy policy, SearchLimits limits, SearchWorkspace& ws);
+
+[[nodiscard]] FastestJourneyResult fastest_journey_checked(
+    const OverlayView& view, NodeId source, NodeId target, Time depart_lo,
+    Time depart_hi, Policy policy, SearchLimits limits, SearchWorkspace& ws);
+
+/// Journey::arrival evaluated through the view (Journey's own methods
+/// consult the base graph's edge table, which cannot resolve added-edge
+/// ids).
+[[nodiscard]] Time journey_arrival(const OverlayView& view, const Journey& j);
+
+}  // namespace overlay
+
+// ---------------------------------------------------------------------------
+// MutableEngine — the serving façade.
+// ---------------------------------------------------------------------------
+
+/// Mutable serving engine: a frozen epoch (graph + cache-disabled
+/// QueryEngine) plus a DeltaOverlay, swapped atomically under a mutex.
+///
+///  * Reads copy the {epoch, overlay} pair under the lock and then run
+///    entirely on immutable state — a concurrent mutation or compaction
+///    never blocks or torments an in-flight query.
+///  * Mutations append to the delta, publish a fresh snapshot, and
+///    invalidate exactly the cached results whose footprint intersects
+///    the touched edge's endpoint partitions
+///    (ResultCache::invalidate_keys_touching) — no generation bump.
+///  * The journey cache lives HERE (not in the epoch engines) with one
+///    fixed generation for the engine's lifetime: compaction is
+///    semantics-preserving, so surviving entries stay valid across it.
+///    A stale-insert race (mutation lands between a reader's snapshot
+///    capture and its insert) is closed by re-checking the mutation
+///    masks published since the capture. Closure results are served
+///    uncached (their footprint is the whole reached cone of every
+///    source; per-edge invalidation would drop them almost always).
+///  * compact() folds the pending delta into a fresh epoch;
+///    compact_async() does the same on the engine's WorkerPool while
+///    readers keep serving the old epoch. The destructor waits for an
+///    in-flight compaction.
+///
+/// Thread-safe: all public methods may be called concurrently.
+class MutableEngine {
+ public:
+  /// Takes the base graph by value (the engine owns its epochs).
+  /// `default_threads` = 0 picks hardware concurrency; `cache`
+  /// configures the engine-level journey cache.
+  explicit MutableEngine(TimeVaryingGraph base, unsigned default_threads = 0,
+                         CacheConfig cache = CacheConfig{});
+  ~MutableEngine();
+  MutableEngine(const MutableEngine&) = delete;
+  MutableEngine& operator=(const MutableEngine&) = delete;
+
+  // --- mutations ---
+
+  /// Applies one mutation (validated; throws std::out_of_range on bad
+  /// ids with no state change). Returns the new id for adds, the target
+  /// id otherwise. Completes the per-edge cache invalidation before
+  /// returning.
+  EdgeId apply(const EdgeMutation& m) TVG_EXCLUDES(mu_);
+
+  EdgeId add_edge(NodeId from, NodeId to, Symbol label, Presence presence,
+                  Latency latency, std::string name = "") {
+    return apply(EdgeMutation::add_edge(from, to, label, std::move(presence),
+                                        std::move(latency), std::move(name)));
+  }
+  void remove_edge(EdgeId e) { apply(EdgeMutation::remove_edge(e)); }
+  void patch_presence(EdgeId e, Presence presence) {
+    apply(EdgeMutation::patch_presence(e, std::move(presence)));
+  }
+  void override_latency(EdgeId e, Latency latency) {
+    apply(EdgeMutation::override_latency(e, std::move(latency)));
+  }
+
+  // --- reads (QueryEngine semantics over base ∪ delta) ---
+
+  [[nodiscard]] JourneyResult run(const JourneyQuery& q) const
+      TVG_EXCLUDES(mu_);
+  [[nodiscard]] ClosureResult closure(const ClosureQuery& q) const
+      TVG_EXCLUDES(mu_);
+
+  // --- compaction ---
+
+  /// Folds every pending mutation into a fresh epoch, inline on the
+  /// calling thread. If a background compaction is already running,
+  /// waits for it first and folds whatever is still pending after.
+  void compact() TVG_EXCLUDES(mu_);
+  /// Starts one background compaction on the engine's worker pool and
+  /// returns immediately. False (and no work) when a compaction is
+  /// already in flight or nothing is pending.
+  bool compact_async() TVG_EXCLUDES(mu_);
+  /// Blocks until no compaction is in flight.
+  void wait_for_compaction() const TVG_EXCLUDES(mu_);
+  [[nodiscard]] bool compaction_in_flight() const TVG_EXCLUDES(mu_);
+
+  // --- observability ---
+
+  [[nodiscard]] std::size_t node_count() const TVG_EXCLUDES(mu_);
+  /// Total edges the merged view exposes (tombstones included).
+  [[nodiscard]] std::size_t edge_count() const TVG_EXCLUDES(mu_);
+  [[nodiscard]] std::size_t pending_mutations() const TVG_EXCLUDES(mu_);
+  /// Mutations ever applied (monotone; compaction does not change it).
+  [[nodiscard]] std::uint64_t sequence() const TVG_EXCLUDES(mu_);
+  /// Copy of the pending (uncompacted) log, oldest first — what
+  /// to_text(graph, delta_log) persists for a crash-consistent dump.
+  [[nodiscard]] std::vector<EdgeMutation> pending_log() const
+      TVG_EXCLUDES(mu_);
+  /// Standalone base ∪ delta graph (the from-scratch-rebuild reference
+  /// the property tests compare overlay reads against).
+  [[nodiscard]] TimeVaryingGraph materialize() const TVG_EXCLUDES(mu_);
+  [[nodiscard]] CacheStats cache_stats() const {
+    return cache_ ? cache_->stats() : CacheStats{};
+  }
+  [[nodiscard]] WorkerPool::Stats worker_stats() const {
+    return pool_.stats();
+  }
+  [[nodiscard]] unsigned default_threads() const noexcept {
+    return default_threads_;
+  }
+
+ private:
+  /// One frozen generation of the graph: the compiled graph plus a
+  /// cache-disabled QueryEngine over it (the MutableEngine-level cache
+  /// is the only cache — epoch engines must not keep entries a later
+  /// epoch could not serve). Immovable once built; held via shared_ptr
+  /// so readers outlive a swap.
+  struct Epoch {
+    TimeVaryingGraph graph;
+    QueryEngine engine;
+    Epoch(TimeVaryingGraph g, unsigned threads)
+        : graph(std::move(g)),
+          engine(graph, threads, CacheConfig::disabled()) {}
+  };
+
+  /// What a reader copies under mu_: a consistent epoch/snapshot pair.
+  struct State {
+    std::shared_ptr<const Epoch> epoch;
+    std::shared_ptr<const OverlaySnapshot> overlay;
+  };
+
+  /// Mutation mask history for the stale-insert check: entry for
+  /// sequence s holds the endpoint-partition mask of the mutation that
+  /// advanced the overlay to s. Bounded; an insert whose capture
+  /// predates the retained window is conservatively skipped.
+  struct MaskRec {
+    std::uint64_t seq{0};
+    std::uint64_t mask{0};
+  };
+
+  [[nodiscard]] State capture(std::uint64_t* seq_out) const TVG_EXCLUDES(mu_);
+  [[nodiscard]] JourneyResult run_state(const State& s, const JourneyQuery& q,
+                                        std::uint64_t* footprint_out) const;
+  /// True iff no mutation with an intersecting mask landed in
+  /// (captured_seq, now].
+  [[nodiscard]] bool insert_allowed_locked(std::uint64_t captured_seq,
+                                           std::uint64_t footprint) const
+      TVG_REQUIRES(mu_);
+  void do_compact();  // one capture → fold → swap cycle (flag already set)
+
+  // Workspace pool (same lease discipline as QueryEngine's).
+  [[nodiscard]] std::unique_ptr<SearchWorkspace> lease_ws() const
+      TVG_EXCLUDES(ws_mu_);
+  void return_ws(std::unique_ptr<SearchWorkspace> ws) const
+      TVG_EXCLUDES(ws_mu_);
+
+  unsigned default_threads_{1};
+  mutable Mutex mu_;
+  State state_ TVG_GUARDED_BY(mu_);
+  std::optional<DeltaOverlay> delta_ TVG_GUARDED_BY(mu_);
+  bool compacting_ TVG_GUARDED_BY(mu_){false};
+  mutable CondVar compaction_cv_;
+  std::deque<MaskRec> mask_history_ TVG_GUARDED_BY(mu_);
+
+  mutable Mutex ws_mu_;
+  mutable std::vector<std::unique_ptr<SearchWorkspace>> ws_pool_
+      TVG_GUARDED_BY(ws_mu_);
+
+  std::unique_ptr<ResultCache> cache_;
+  ResultCache::Generation generation_{0};
+  /// Declared last: destroyed first, so a just-finished background
+  /// compaction's worker is joined before any state it touched dies.
+  mutable WorkerPool pool_;
+};
+
+}  // namespace tvg

@@ -28,8 +28,13 @@ namespace tvg {
 /// Invokes `fn(dep)` for each admissible departure of `eid` when ready
 /// at `t` under `policy`, in ascending order. `fn` returns false to stop
 /// the enumeration early (goal hit, branch resolved, budget spent).
-template <typename Fn>
-void for_each_policy_departure(const ScheduleIndex& sx, EdgeId eid, Time t,
+///
+/// `Index` is anything with the ScheduleIndex presence interface —
+/// present / next_present(+cursor) and a nested EventCursor type. The
+/// delta overlay's OverlayView (delta_overlay.hpp) satisfies it, so the
+/// same enumeration serves base-only and base ∪ delta reads.
+template <typename Index, typename Fn>
+void for_each_policy_departure(const Index& sx, EdgeId eid, Time t,
                                Policy policy, Time horizon,
                                std::size_t wait_budget, Fn&& fn) {
   switch (policy.kind) {
@@ -43,7 +48,7 @@ void for_each_policy_departure(const ScheduleIndex& sx, EdgeId eid, Time t,
       // window check and feed the sentinel into next_present.
       if (t == kTimeInfinity) return;
       const Time last = std::min(policy.max_departure(t), horizon);
-      ScheduleIndex::EventCursor cursor;
+      typename Index::EventCursor cursor;
       Time at = t;
       while (at <= last && at != kTimeInfinity) {
         const Time dep = sx.next_present(eid, at, cursor);
@@ -56,7 +61,7 @@ void for_each_policy_departure(const ScheduleIndex& sx, EdgeId eid, Time t,
     }
     case WaitingPolicy::kWait: {
       if (t == kTimeInfinity) return;  // see the bounded-wait note
-      ScheduleIndex::EventCursor cursor;
+      typename Index::EventCursor cursor;
       Time at = t;
       for (std::size_t k = 0; k < wait_budget; ++k) {
         if (at == kTimeInfinity) return;

@@ -43,6 +43,20 @@ EdgeId TimeVaryingGraph::add_static_edge(NodeId from, NodeId to, Symbol label,
                   Latency::constant(latency), std::move(name));
 }
 
+void TimeVaryingGraph::set_edge_presence(EdgeId e, Presence presence) {
+  if (e >= edges_.size())
+    throw std::out_of_range("set_edge_presence: bad edge id");
+  edges_[e].presence = std::move(presence);
+  invalidate_caches();
+}
+
+void TimeVaryingGraph::set_edge_latency(EdgeId e, Latency latency) {
+  if (e >= edges_.size())
+    throw std::out_of_range("set_edge_latency: bad edge id");
+  edges_[e].latency = std::move(latency);
+  invalidate_caches();
+}
+
 void TimeVaryingGraph::invalidate_caches() {
   csr_built_ = false;
   sched_.reset();

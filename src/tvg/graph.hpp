@@ -71,6 +71,13 @@ class TimeVaryingGraph {
   EdgeId add_static_edge(NodeId from, NodeId to, Symbol label,
                          Time latency = 1, std::string name = "");
 
+  /// Replaces an existing edge's ρ (topology and label unchanged). Used
+  /// by delta-overlay compaction / materialization; invalidates the
+  /// frozen caches like any mutation.
+  void set_edge_presence(EdgeId e, Presence presence);
+  /// Replaces an existing edge's ζ. Same cache semantics as above.
+  void set_edge_latency(EdgeId e, Latency latency);
+
   [[nodiscard]] std::size_t node_count() const noexcept {
     return node_names_.size();
   }

@@ -210,6 +210,7 @@ struct ResultCache::Shard {
     Generation generation{0};
     ValuePtr value;
     std::size_t bytes{0};
+    std::uint64_t footprint{kFootprintAll};
   };
 
   Shard(std::size_t cap, std::size_t byte_cap)
@@ -229,6 +230,8 @@ struct ResultCache::Shard {
   std::uint64_t evictions TVG_GUARDED_BY(mu){0};
   std::uint64_t generation_drops TVG_GUARDED_BY(mu){0};
   std::uint64_t oversized_rejects TVG_GUARDED_BY(mu){0};
+  std::uint64_t invalidations TVG_GUARDED_BY(mu){0};
+  std::uint64_t survivors TVG_GUARDED_BY(mu){0};
 
   /// Removes the LRU tail (caller holds mu and guarantees non-empty).
   void evict_tail() TVG_REQUIRES(mu) {
@@ -253,6 +256,8 @@ struct ResultCache::Shard {
     s.evictions = evictions;
     s.generation_drops = generation_drops;
     s.oversized_rejects = oversized_rejects;
+    s.invalidations = invalidations;
+    s.survivors = survivors;
     s.entries = map.size();
     s.bytes = bytes;
     return s;
@@ -311,7 +316,8 @@ ResultCache::ValuePtr ResultCache::find(const QueryKey& key,
 }
 
 void ResultCache::insert(const QueryKey& key, Generation generation,
-                         ValuePtr value, std::size_t bytes) {
+                         ValuePtr value, std::size_t bytes,
+                         std::uint64_t footprint) {
   if (key.empty() || value == nullptr) return;
   Shard& s = shard_for(key);
   const MutexLock lock(s.mu);
@@ -331,9 +337,11 @@ void ResultCache::insert(const QueryKey& key, Generation generation,
     it->second->bytes = bytes;
     it->second->generation = generation;
     it->second->value = std::move(value);
+    it->second->footprint = footprint;
     s.lru.splice(s.lru.begin(), s.lru, it->second);
   } else {
-    s.lru.push_front(Shard::Entry{key, generation, std::move(value), bytes});
+    s.lru.push_front(Shard::Entry{key, generation, std::move(value), bytes,
+                                  footprint});
     s.map.emplace(key, s.lru.begin());
     s.bytes += bytes;
   }
@@ -342,6 +350,28 @@ void ResultCache::insert(const QueryKey& key, Generation generation,
   while (s.map.size() > s.capacity ||
          (s.max_bytes > 0 && s.bytes > s.max_bytes)) {
     s.evict_tail();
+  }
+}
+
+void ResultCache::invalidate_keys_touching(std::span<const EdgeTouch> touched) {
+  std::uint64_t mask = 0;
+  for (const EdgeTouch& t : touched) {
+    mask |= footprint_bit(t.from) | footprint_bit(t.to);
+  }
+  if (mask == 0) return;
+  for (const auto& shard : shards_) {
+    const MutexLock lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if ((it->footprint & mask) != 0) {
+        shard->bytes -= it->bytes;
+        shard->map.erase(it->key);
+        it = shard->lru.erase(it);
+        ++shard->invalidations;
+      } else {
+        ++shard->survivors;
+        ++it;
+      }
+    }
   }
 }
 
@@ -367,6 +397,8 @@ CacheStats ResultCache::stats() const {
     total.evictions += s.evictions;
     total.generation_drops += s.generation_drops;
     total.oversized_rejects += s.oversized_rejects;
+    total.invalidations += s.invalidations;
+    total.survivors += s.survivors;
     total.entries += s.entries;
     total.bytes += s.bytes;
   }

@@ -30,6 +30,18 @@
 // Stats (hits / misses / evictions / generation drops / live entries)
 // are aggregated over the shards under their locks — TSan-clean — and
 // exposed through QueryEngine::cache_stats().
+//
+// For mutable serving (delta_overlay.hpp) the cache also supports
+// per-edge invalidation: every entry carries a 64-bit vertex-partition
+// Bloom footprint (bit v & 63 set for the query's source and every node
+// its result reached), a mutation publishes the touched edges'
+// endpoints, and invalidate_keys_touching drops exactly the entries
+// whose footprint intersects the touched partitions — instead of the
+// engine-wide generation bump a rebuild costs. The stamp is
+// conservative (a partition collision drops a still-valid entry, never
+// the reverse): a mutation on edge (u → v) can only change a query
+// whose pre-mutation reachable cone contains u, and u's partition bit
+// is in the footprint whenever u is in that cone.
 #pragma once
 
 #include <cstddef>
@@ -88,11 +100,36 @@ struct CacheStats {
   /// Inserts rejected because one value exceeded a shard's whole byte
   /// budget (only possible when CacheConfig::max_bytes is set).
   std::uint64_t oversized_rejects{0};
+  /// Entries dropped by invalidate_keys_touching (footprint intersected
+  /// a touched vertex partition).
+  std::uint64_t invalidations{0};
+  /// Entries inspected by invalidate_keys_touching and kept (their
+  /// footprint proved them untouched by the mutation).
+  std::uint64_t survivors{0};
   /// Live entries right now, summed over shards.
   std::size_t entries{0};
   /// Approximate bytes held right now (0 unless max_bytes accounting is
   /// on — without a budget the per-insert weights are not tracked).
   std::size_t bytes{0};
+};
+
+/// The "intersects everything" footprint: entries stamped with it are
+/// dropped by every invalidation (used for truncated results and result
+/// kinds whose reached set is not cheaply available).
+inline constexpr std::uint64_t kFootprintAll = ~std::uint64_t{0};
+
+/// The vertex-partition Bloom bit for node v (64 partitions, v mod 64).
+[[nodiscard]] inline constexpr std::uint64_t footprint_bit(NodeId v) noexcept {
+  return std::uint64_t{1} << (v & 63u);
+}
+
+/// One mutated edge, as published to the cache by a graph mutation: the
+/// id plus both endpoints (the cache only reads the endpoints — the id
+/// rides along for diagnostics and future finer-grained schemes).
+struct EdgeTouch {
+  EdgeId edge{kInvalidEdge};
+  NodeId from{kInvalidNode};
+  NodeId to{kInvalidNode};
 };
 
 /// Canonical cache key: one query kind tag plus the flattened request
@@ -198,8 +235,21 @@ class ResultCache {
   /// the byte accounting; QueryEngine computes it per result type. An
   /// insert whose `bytes` alone exceed the shard budget is rejected
   /// (counted in oversized_rejects). No-op for an empty key.
+  ///
+  /// `footprint` is the entry's vertex-partition Bloom stamp (see the
+  /// header comment): OR of footprint_bit(v) over the query's source and
+  /// every node its result reached. The default kFootprintAll is always
+  /// sound — such an entry just dies on the first invalidation.
   void insert(const QueryKey& key, Generation generation, ValuePtr value,
-              std::size_t bytes = 1);
+              std::size_t bytes = 1, std::uint64_t footprint = kFootprintAll);
+
+  /// Drops every entry whose footprint intersects the partitions of the
+  /// touched edges' endpoints (per-edge incremental invalidation — the
+  /// mutable engine's alternative to a generation bump). Each shard is
+  /// swept under its own lock; dropped entries count in
+  /// CacheStats::invalidations, inspected-and-kept entries in
+  /// CacheStats::survivors. No-op for an empty touch set.
+  void invalidate_keys_touching(std::span<const EdgeTouch> touched);
 
   /// Drops every entry (all shards). Stats counters are kept.
   void clear();

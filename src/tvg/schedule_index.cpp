@@ -41,9 +41,14 @@ ScheduleIndex::ScheduleIndex(const TimeVaryingGraph& g) {
     ce.from = ed.from;
     ce.to = ed.to;
     ce.label = ed.label;
-    all_latency_constant_ = all_latency_constant_ && ed.latency.is_constant();
-    all_semi_periodic_ =
-        all_semi_periodic_ && ed.presence.is_semi_periodic();
+    if (!ed.latency.is_constant()) {
+      all_latency_constant_ = false;
+      ++non_constant_latency_count_;
+    }
+    if (!ed.presence.is_semi_periodic()) {
+      all_semi_periodic_ = false;
+      ++non_semi_periodic_count_;
+    }
 
     if (const auto coeff = ed.latency.affine_coefficients()) {
       ce.lat_affine = true;

@@ -103,6 +103,16 @@ class ScheduleIndex {
   [[nodiscard]] Time uniform_constant_latency() const noexcept {
     return uniform_latency_;
   }
+  /// Number of edges whose ζ is NOT a constant. The delta overlay uses
+  /// this to recompute the effective all-latency-constant fact in
+  /// O(pending mutations) instead of rescanning the base graph.
+  [[nodiscard]] std::size_t non_constant_latency_count() const noexcept {
+    return non_constant_latency_count_;
+  }
+  /// Number of edges whose ρ is NOT semi-periodic (kPredicate records).
+  [[nodiscard]] std::size_t non_semi_periodic_count() const noexcept {
+    return non_semi_periodic_count_;
+  }
 
   /// ρ_e(t); exact mirror of Presence::present. Defined inline below —
   /// these three queries are issued once per edge per configuration
@@ -184,6 +194,8 @@ class ScheduleIndex {
   std::vector<Latency> fallback_latency_;
   bool all_latency_constant_{true};
   bool all_semi_periodic_{true};
+  std::size_t non_constant_latency_count_{0};
+  std::size_t non_semi_periodic_count_{0};
   Time uniform_latency_{-1};  // -1 = no shared constant ζ (see accessor)
 };
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "tvg/delta_overlay.hpp"
+
 namespace tvg {
 namespace {
 
@@ -192,12 +194,66 @@ std::string to_text(const TimeVaryingGraph& g) {
   return os.str();
 }
 
-TimeVaryingGraph from_text(const std::string& text) {
+std::string to_text(const TimeVaryingGraph& g,
+                    std::span<const EdgeMutation> delta) {
+  std::ostringstream os;
+  os << to_text(g);
+  // Ids the log's replay defines so far: base edges plus earlier adds.
+  EdgeId live_edges = g.edge_count();
+  for (const EdgeMutation& m : delta) {
+    switch (m.kind) {
+      case EdgeMutation::Kind::kAddEdge:
+        if (m.from >= g.node_count() || m.to >= g.node_count()) {
+          throw std::invalid_argument(
+              "to_text: delta add_edge endpoint out of range");
+        }
+        os << "delta add_edge " << g.node_name(m.from) << " "
+           << g.node_name(m.to) << " " << m.label
+           << " presence=" << presence_spec(m.presence)
+           << " latency=" << latency_spec(m.latency) << " name=" << m.name
+           << "\n";
+        ++live_edges;
+        break;
+      case EdgeMutation::Kind::kRemoveEdge:
+        if (m.edge >= live_edges) {
+          throw std::invalid_argument(
+              "to_text: delta remove_edge references an unknown edge");
+        }
+        os << "delta remove_edge " << m.edge << "\n";
+        break;
+      case EdgeMutation::Kind::kPatchPresence:
+        if (m.edge >= live_edges) {
+          throw std::invalid_argument(
+              "to_text: delta patch_presence references an unknown edge");
+        }
+        os << "delta patch_presence " << m.edge
+           << " presence=" << presence_spec(m.presence) << "\n";
+        break;
+      case EdgeMutation::Kind::kOverrideLatency:
+        if (m.edge >= live_edges) {
+          throw std::invalid_argument(
+              "to_text: delta override_latency references an unknown edge");
+        }
+        os << "delta override_latency " << m.edge
+           << " latency=" << latency_spec(m.latency) << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Shared parser: `delta_out == nullptr` is the strict mode (from_text),
+/// where a delta line falls through to "unknown directive".
+TimeVaryingGraph parse_text(const std::string& text,
+                            std::vector<EdgeMutation>* delta_out) {
   TimeVaryingGraph g;
   std::istringstream is(text);
   std::string line;
   std::size_t line_no = 0;
   bool header_seen = false;
+  EdgeId delta_adds = 0;
   auto fail = [&](const std::string& what) -> void {
     throw std::invalid_argument("from_text: line " +
                                 std::to_string(line_no) + ": " + what);
@@ -248,6 +304,79 @@ TimeVaryingGraph from_text(const std::string& text) {
       }
       g.add_edge(*from, *to, tokens[3][0], std::move(presence),
                  std::move(latency), std::move(name));
+    } else if (delta_out != nullptr && tokens[0] == "delta") {
+      if (tokens.size() < 2) fail("delta wants an operation");
+      // Ids defined so far under replay: base edges + adds parsed above.
+      const EdgeId live_edges = g.edge_count() + delta_adds;
+      auto parse_edge_id = [&](const std::string& tok) -> EdgeId {
+        EdgeId id = 0;
+        const char* begin = tok.data();
+        const char* end = tok.data() + tok.size();
+        const auto [ptr, ec] = std::from_chars(begin, end, id);
+        if (ec != std::errc{} || ptr != end) {
+          fail("expected an edge id, got '" + tok + "'");
+        }
+        return id;
+      };
+      if (tokens[1] == "add_edge") {
+        if (tokens.size() < 6) {
+          fail("delta add_edge wants: from to label presence= latency= ...");
+        }
+        const auto from = g.find_node(tokens[2]);
+        const auto to = g.find_node(tokens[3]);
+        if (!from) fail("unknown node '" + tokens[2] + "'");
+        if (!to) fail("unknown node '" + tokens[3] + "'");
+        if (tokens[4].size() != 1) fail("label must be a single character");
+        Presence presence = Presence::always();
+        Latency latency = Latency::constant(1);
+        std::string name;
+        bool presence_seen = false;
+        bool latency_seen = false;
+        for (std::size_t i = 5; i < tokens.size(); ++i) {
+          const std::string& tok = tokens[i];
+          if (tok.starts_with("presence=")) {
+            presence = parse_presence(tok.substr(9), line_no);
+            presence_seen = true;
+          } else if (tok.starts_with("latency=")) {
+            latency = parse_latency(tok.substr(8), line_no);
+            latency_seen = true;
+          } else if (tok.starts_with("name=")) {
+            name = tok.substr(5);
+          } else {
+            fail("unknown attribute '" + tok + "'");
+          }
+        }
+        if (!presence_seen || !latency_seen) {
+          fail("delta add_edge needs both presence= and latency=");
+        }
+        delta_out->push_back(EdgeMutation::add_edge(
+            *from, *to, tokens[4][0], std::move(presence), std::move(latency),
+            std::move(name)));
+        ++delta_adds;
+      } else if (tokens[1] == "remove_edge") {
+        if (tokens.size() != 3) fail("delta remove_edge wants an edge id");
+        const EdgeId id = parse_edge_id(tokens[2]);
+        if (id >= live_edges) fail("delta references unknown edge " + tokens[2]);
+        delta_out->push_back(EdgeMutation::remove_edge(id));
+      } else if (tokens[1] == "patch_presence") {
+        if (tokens.size() != 4 || !tokens[3].starts_with("presence=")) {
+          fail("delta patch_presence wants: <edge id> presence=...");
+        }
+        const EdgeId id = parse_edge_id(tokens[2]);
+        if (id >= live_edges) fail("delta references unknown edge " + tokens[2]);
+        delta_out->push_back(EdgeMutation::patch_presence(
+            id, parse_presence(tokens[3].substr(9), line_no)));
+      } else if (tokens[1] == "override_latency") {
+        if (tokens.size() != 4 || !tokens[3].starts_with("latency=")) {
+          fail("delta override_latency wants: <edge id> latency=...");
+        }
+        const EdgeId id = parse_edge_id(tokens[2]);
+        if (id >= live_edges) fail("delta references unknown edge " + tokens[2]);
+        delta_out->push_back(EdgeMutation::override_latency(
+            id, parse_latency(tokens[3].substr(8), line_no)));
+      } else {
+        fail("unknown delta operation '" + tokens[1] + "'");
+      }
     } else {
       fail("unknown directive '" + tokens[0] + "'");
     }
@@ -256,6 +385,19 @@ TimeVaryingGraph from_text(const std::string& text) {
     throw std::invalid_argument("from_text: empty input (missing header)");
   }
   return g;
+}
+
+}  // namespace
+
+TimeVaryingGraph from_text(const std::string& text) {
+  return parse_text(text, nullptr);
+}
+
+std::pair<TimeVaryingGraph, std::vector<EdgeMutation>> from_text_with_delta(
+    const std::string& text) {
+  std::vector<EdgeMutation> delta;
+  TimeVaryingGraph g = parse_text(text, &delta);
+  return {std::move(g), std::move(delta)};
 }
 
 }  // namespace tvg

@@ -18,21 +18,55 @@
 //   const:c | affine:a,b
 // Predicate presences and function latencies are runtime-only and are
 // rejected by the writer (by design: they cannot round-trip).
+//
+// A pending mutation log (delta_overlay.hpp) rides along as `delta`
+// lines after the base dump, so a mutable graph can be checkpointed
+// mid-stream without folding the delta first:
+//
+//   delta add_edge v0 v1 b presence=always latency=const:2 name=patch
+//   delta remove_edge 3
+//   delta patch_presence 0 presence=eventually:10
+//   delta override_latency 2 latency=const:7
+//
+// Edge ids in delta lines are the ids the log's own replay produces
+// (base edges in dump order, then each add in log order) — the same
+// numbering DeltaOverlay::apply hands out. Plain from_text stays
+// strict and rejects delta lines; use from_text_with_delta.
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "tvg/graph.hpp"
 
 namespace tvg {
 
+struct EdgeMutation;  // delta_overlay.hpp
+
 /// Serializes `g`. Throws std::invalid_argument if the graph contains
 /// runtime-only schedules (predicates / function latencies).
 [[nodiscard]] std::string to_text(const TimeVaryingGraph& g);
 
+/// Serializes `g` followed by one `delta` line per pending mutation
+/// (typically MutableEngine::pending_log()). Throws std::invalid_argument
+/// on runtime-only schedules or a log entry referencing an edge/node the
+/// pair (g, delta) does not define.
+[[nodiscard]] std::string to_text(const TimeVaryingGraph& g,
+                                  std::span<const EdgeMutation> delta);
+
 /// Parses the textual format. Throws std::invalid_argument with a line
-/// number on malformed input.
+/// number on malformed input (including any `delta` line: the plain
+/// parser is strict so a checkpoint with pending mutations cannot be
+/// silently truncated to its base).
 [[nodiscard]] TimeVaryingGraph from_text(const std::string& text);
+
+/// Parses base graph + pending mutation log. Replaying the returned log
+/// over the returned graph (DeltaOverlay / MutableEngine::apply)
+/// reproduces the serialized mutable state, pending delta included.
+[[nodiscard]] std::pair<TimeVaryingGraph, std::vector<EdgeMutation>>
+from_text_with_delta(const std::string& text);
 
 }  // namespace tvg

@@ -4,10 +4,21 @@
 #include <exception>
 #include <utility>
 
+#include "tvg/delta_overlay.hpp"
+
 namespace tvg {
 
 Server::Server(const QueryEngine& engine, ServerConfig config)
-    : engine_(engine), config_(std::move(config)) {
+    : engine_(&engine), config_(std::move(config)) {
+  start();
+}
+
+Server::Server(MutableEngine& engine, ServerConfig config)
+    : mutable_engine_(&engine), config_(std::move(config)) {
+  start();
+}
+
+void Server::start() {
   for (const unsigned w : config_.weights) {
     if (w == 0) {
       throw std::invalid_argument(
@@ -174,21 +185,48 @@ std::future<Result> Server::enqueue(Execute run_query,
 
 std::future<JourneyResult> Server::submit(const JourneyQuery& q,
                                           SubmitOptions options) {
-  return enqueue<JourneyResult>([this, q] { return engine_.run(q); },
-                                options);
+  return enqueue<JourneyResult>(
+      [this, q] {
+        return engine_ ? engine_->run(q) : mutable_engine_->run(q);
+      },
+      options);
 }
 
 std::future<ClosureResult> Server::submit(const ClosureQuery& q,
                                           SubmitOptions options) {
-  return enqueue<ClosureResult>([this, q] { return engine_.closure(q); },
-                                options);
+  return enqueue<ClosureResult>(
+      [this, q] {
+        return engine_ ? engine_->closure(q) : mutable_engine_->closure(q);
+      },
+      options);
 }
 
 std::future<std::vector<AcceptOutcome>> Server::submit(
     const AcceptSpec& spec, std::vector<Word> words, SubmitOptions options) {
   return enqueue<std::vector<AcceptOutcome>>(
       [this, spec, words = std::move(words)] {
-        return engine_.accepts(spec, words);
+        if (engine_ == nullptr) {
+          throw std::logic_error(
+              "tvg::Server::submit(AcceptSpec): the mutable backend serves "
+              "journey and closure queries only (construct the Server over "
+              "a QueryEngine for language queries)");
+        }
+        return engine_->accepts(spec, words);
+      },
+      options);
+}
+
+std::future<EdgeId> Server::apply_update(const EdgeMutation& m,
+                                         SubmitOptions options) {
+  return enqueue<EdgeId>(
+      [this, m] {
+        if (mutable_engine_ == nullptr) {
+          throw std::logic_error(
+              "tvg::Server::apply_update: server fronts an immutable "
+              "QueryEngine (construct it over a tvg::MutableEngine to "
+              "accept live updates)");
+        }
+        return mutable_engine_->apply(m);
       },
       options);
 }

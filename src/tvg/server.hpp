@@ -25,6 +25,12 @@
 //    DEQUEUE: work whose deadline passed while queued is dropped
 //    without executing and its future fails with DeadlineExceeded, so
 //    a backlog of stale work can't pin a serving worker;
+//  * a mutable-backend mode: constructed over a tvg::MutableEngine
+//    (delta_overlay.hpp) instead of a QueryEngine, the same lanes also
+//    carry apply_update() submissions — live schedule mutations ride
+//    the priority machinery (shedding, deadlines, weighted dequeue)
+//    exactly like queries, so an update burst cannot starve interactive
+//    reads and vice versa;
 //  * a drain()/stop() lifecycle mirroring WorkerPool::parallel_for's
 //    abort/first-error semantics: drain() blocks until every accepted
 //    query completed; stop() stops dequeuing (like the pool's abort
@@ -55,6 +61,9 @@
 #include "tvg/sync.hpp"
 
 namespace tvg {
+
+class MutableEngine;   // delta_overlay.hpp
+struct EdgeMutation;   // delta_overlay.hpp
 
 /// Thrown into a future when admission control sheds the submission
 /// (its lane was at capacity). The query never entered the queue.
@@ -155,11 +164,16 @@ struct ServerStats {
   std::size_t in_flight_now{0};
 };
 
-/// The serving front end. Construct over a live QueryEngine (the engine
-/// must outlive the server); submit from any number of threads.
+/// The serving front end. Construct over a live QueryEngine — or a
+/// MutableEngine for live-update serving (the engine must outlive the
+/// server either way); submit from any number of threads.
 class Server {
  public:
   explicit Server(const QueryEngine& engine, ServerConfig config = {});
+  /// Mutable backend: queries route to MutableEngine::run / closure and
+  /// apply_update() becomes available. accepts() submissions fail their
+  /// future (the mutable engine serves journeys and closures only).
+  explicit Server(MutableEngine& engine, ServerConfig config = {});
   /// Equivalent to stop().
   ~Server();
   Server(const Server&) = delete;
@@ -187,6 +201,17 @@ class Server {
   [[nodiscard]] std::future<std::vector<AcceptOutcome>> submit(
       const AcceptSpec& spec, std::vector<Word> words,
       SubmitOptions options = {}) TVG_EXCLUDES(mu_);
+
+  /// Async MutableEngine::apply: the mutation rides a lane like any
+  /// query (default kNormal — pass SubmitOptions::in_lane(Lane::kHigh)
+  /// for updates that must beat queued reads) and the future yields the
+  /// mutated/created EdgeId, the mutation's own validation error, or
+  /// std::logic_error when the server fronts an immutable QueryEngine.
+  /// Updates already applied keep their effect if the server is later
+  /// stopped; queued ones fail with ServerStopped like any submission.
+  [[nodiscard]] std::future<EdgeId> apply_update(const EdgeMutation& m,
+                                                 SubmitOptions options = {})
+      TVG_EXCLUDES(mu_);
 
   /// Runs at most one queued task on the calling thread, honoring the
   /// weighted lane order and the deadline check exactly like a serving
@@ -239,7 +264,14 @@ class Server {
 
   void worker_loop() TVG_EXCLUDES(mu_);
 
-  const QueryEngine& engine_;
+  /// Shared tail of both constructors: weight validation, round-robin
+  /// seeding, worker spawn.
+  void start() TVG_EXCLUDES(mu_);
+
+  /// Exactly one backend is set, at construction, for the server's whole
+  /// lifetime (no lock needed to read them).
+  const QueryEngine* engine_{nullptr};
+  MutableEngine* mutable_engine_{nullptr};
   const ServerConfig config_;
 
   mutable Mutex mu_;

@@ -14,6 +14,7 @@ namespace tvg {
 struct WorkerPool::Batch {
   std::size_t n{0};
   const Task* fn{nullptr};      // owned by the submitter's frame
+  Task owned;                   // submit(): fn points here instead
   unsigned max_slots{1};        // parallelism cap (submitter included)
   std::atomic<std::size_t> next{0};   // claim counter over [0, n)
   std::atomic<unsigned> slots{0};     // next participant slot to hand out
@@ -59,6 +60,7 @@ WorkerPool::Stats WorkerPool::stats() const {
   s.batches_executed = batches_executed_.load(std::memory_order_relaxed);
   s.tasks_claimed = tasks_claimed_.load(std::memory_order_relaxed);
   s.idle_wakeups = idle_wakeups_.load(std::memory_order_relaxed);
+  s.background_tasks = background_tasks_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -124,6 +126,31 @@ void WorkerPool::worker_loop() {
     run_claims(*batch, slot);
     batch.reset();
   }
+}
+
+void WorkerPool::submit(std::function<void()> task) {
+  if (!task) return;
+  background_tasks_.fetch_add(1, std::memory_order_relaxed);
+  const auto batch = std::make_shared<Batch>();
+  batch->n = 1;
+  batch->max_slots = 1;
+  // Unlike parallel_for, nobody's frame outlives the task, so the batch
+  // owns its callable; a worker claiming index 0 runs it, and any
+  // exception lands in first_error with no submitter to rethrow it
+  // (documented swallow).
+  batch->owned = [body = std::move(task)](std::size_t, unsigned) { body(); };
+  batch->fn = &batch->owned;
+  {
+    const MutexLock lock(mu_);
+    // The submitter never participates, so a fresh pool must spawn its
+    // first worker here or the task would sit queued forever.
+    if (workers_.empty()) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+    queue_.push_back(batch);
+    queue_high_water_ = std::max(queue_high_water_, queue_.size());
+  }
+  work_cv_.notify_one();
 }
 
 void WorkerPool::parallel_for(std::size_t n, unsigned parallelism,

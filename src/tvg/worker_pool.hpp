@@ -82,6 +82,17 @@ class WorkerPool {
   void parallel_for(std::size_t n, unsigned parallelism, const Task& fn)
       TVG_EXCLUDES(mu_);
 
+  /// Fire-and-forget background task: enqueues `task` as a one-index
+  /// batch the submitter does NOT participate in and returns
+  /// immediately. The pool spawns a worker if it has none, so the task
+  /// always runs eventually while the pool is alive; a task still queued
+  /// (never claimed) when the destructor runs is dropped, and one
+  /// already running is joined. Exceptions escaping `task` are swallowed
+  /// (there is no submitter left to rethrow to) — callers that care must
+  /// catch inside. This is the lane MutableEngine's background
+  /// compaction rides (delta_overlay.hpp).
+  void submit(std::function<void()> task) TVG_EXCLUDES(mu_);
+
   /// Workers ever spawned (monotone). The pool never shrinks while
   /// alive, so this equals the live worker count; exposed so tests can
   /// assert that consecutive batches REUSE workers instead of spawning.
@@ -109,6 +120,9 @@ class WorkerPool {
     /// (productively or not — a wakeup that loses the claim race goes
     /// back to sleep and counts once per wake).
     std::uint64_t idle_wakeups{0};
+    /// Fire-and-forget tasks accepted by submit() (counted at
+    /// submission — a task dropped unclaimed at shutdown still counts).
+    std::uint64_t background_tasks{0};
   };
 
   /// Consistent snapshot of the counters above (taken under the queue
@@ -144,6 +158,7 @@ class WorkerPool {
   std::atomic<std::uint64_t> batches_executed_{0};
   std::atomic<std::uint64_t> tasks_claimed_{0};
   std::atomic<std::uint64_t> idle_wakeups_{0};
+  std::atomic<std::uint64_t> background_tasks_{0};
 };
 
 }  // namespace tvg

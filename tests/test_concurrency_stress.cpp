@@ -19,7 +19,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <chrono>
 #include <cstdint>
+#include <future>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -80,6 +82,35 @@ TEST(ConcurrencyStress, WorkerPoolReusesWorkersAcrossConcurrentSubmitters) {
   for (unsigned i = 0; i < kThreads; ++i) again.emplace_back(hammer);
   launch_all(again);
   EXPECT_EQ(pool.threads_spawned(), settled);  // monotone AND settled
+}
+
+TEST(ConcurrencyStress, WorkerPoolSubmitRunsBackgroundTasksAndCounts) {
+  WorkerPool pool;
+  constexpr int kTasks = 64;
+  std::atomic<int> ran{0};
+  std::promise<void> all_done;
+  auto done_future = all_done.get_future();
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&] {
+      if (ran.fetch_add(1, std::memory_order_acq_rel) + 1 == kTasks) {
+        all_done.set_value();
+      }
+    });
+  }
+  // An exception escaping a background task is swallowed, not fatal,
+  // and must not wedge the queue behind it.
+  pool.submit([] { throw std::runtime_error("background poison"); });
+  ASSERT_EQ(done_future.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_EQ(pool.stats().background_tasks, std::uint64_t{kTasks} + 1);
+  // Foreground batches share the workers and the accounting stays split.
+  std::atomic<int> fg{0};
+  pool.parallel_for(8, 2, [&](std::size_t, unsigned) {
+    fg.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(fg.load(), 8);
+  EXPECT_EQ(pool.stats().background_tasks, std::uint64_t{kTasks} + 1);
 }
 
 TEST(ConcurrencyStress, WorkerPoolSurvivesConcurrentThrowingBatches) {

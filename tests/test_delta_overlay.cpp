@@ -1,0 +1,350 @@
+// Property suite for the LSM delta overlay (delta_overlay.hpp): the
+// load-bearing claim is BIT-IDENTITY — every read served through the
+// overlay (journeys, scans, closures, truncation flags included) must
+// equal the same query against a from-scratch rebuild of base ∪ delta.
+// The randomized tests below drive seeded mutation streams and compare
+// against MutableEngine::materialize() + a fresh QueryEngine after
+// every batch, across waiting policies, objectives, thread counts and
+// compactions.
+#include "tvg/delta_overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "tvg/generators.hpp"
+#include "tvg/serialization.hpp"
+
+namespace tvg {
+namespace {
+
+TimeVaryingGraph base_graph(std::uint64_t seed, std::size_t nodes = 10,
+                            std::size_t edges = 28) {
+  RandomPeriodicParams params;
+  params.nodes = nodes;
+  params.edges = edges;
+  params.period = 8;
+  params.density = 0.35;
+  params.max_latency = 2;
+  params.seed = seed;
+  return make_random_periodic(params);
+}
+
+Presence random_presence(std::mt19937_64& rng) {
+  const Time period = 6 + static_cast<Time>(rng() % 4);
+  IntervalSet pattern;
+  bool any = false;
+  for (Time t = 0; t < period; ++t) {
+    if (rng() % 3 == 0) {
+      pattern.insert_point(t);
+      any = true;
+    }
+  }
+  if (!any) pattern.insert_point(static_cast<Time>(rng() % period));
+  return Presence::periodic(period, std::move(pattern));
+}
+
+EdgeMutation random_mutation(std::mt19937_64& rng, std::size_t nodes,
+                             std::size_t edges) {
+  const auto node = [&] { return static_cast<NodeId>(rng() % nodes); };
+  const auto edge = [&] { return static_cast<EdgeId>(rng() % edges); };
+  switch (rng() % 8) {
+    case 0:
+    case 1:
+      return EdgeMutation::add_edge(node(), node(),
+                                    rng() % 2 == 0 ? 'a' : 'b',
+                                    random_presence(rng),
+                                    Latency::constant(1 + Time(rng() % 3)));
+    case 2:
+      return EdgeMutation::remove_edge(edge());
+    case 3:
+    case 4:
+    case 5:
+      return EdgeMutation::patch_presence(edge(), random_presence(rng));
+    default:
+      return EdgeMutation::override_latency(
+          edge(), Latency::constant(1 + Time(rng() % 4)));
+  }
+}
+
+/// The oracle check: every read through the overlay equals the same
+/// read against a freshly rebuilt engine over materialize().
+void expect_reads_match(const MutableEngine& me, const std::string& where) {
+  const TimeVaryingGraph rebuilt = me.materialize();
+  ASSERT_EQ(rebuilt.edge_count(), me.edge_count()) << where;
+  const QueryEngine ref(rebuilt, 2, CacheConfig::disabled());
+  const auto n = static_cast<NodeId>(rebuilt.node_count());
+  // Bounded horizon: the NoWait/BoundedWait configuration BFS explores
+  // (node, time) pairs, so an infinite horizon on a periodic schedule
+  // makes it crawl to the config cap on every query. Same idiom as the
+  // QueryEngine suites.
+  const SearchLimits lim = SearchLimits::up_to(48);
+  const SearchLimits tight = [] {
+    SearchLimits l;
+    l.horizon = 48;
+    l.max_configs = 24;  // small enough to truncate: pins exploration order
+    return l;
+  }();
+  for (const Policy& pol :
+       {Policy::wait(), Policy::no_wait(), Policy::bounded_wait(3)}) {
+    for (NodeId s = 0; s < n; ++s) {
+      const auto scan = JourneyQuery::foremost(s, 1).under(pol).within(lim);
+      EXPECT_EQ(me.run(scan), ref.run(scan)) << where << " scan from " << s;
+      const auto to =
+          JourneyQuery::foremost(s, 0).to((s + 1) % n).under(pol).within(lim);
+      EXPECT_EQ(me.run(to), ref.run(to)) << where << " foremost from " << s;
+      const auto sh =
+          JourneyQuery::shortest(s, (s + 3) % n, 0).under(pol).within(lim);
+      EXPECT_EQ(me.run(sh), ref.run(sh)) << where << " shortest from " << s;
+      const auto fa =
+          JourneyQuery::fastest(s, (s + 1) % n, 0, 12).under(pol).within(lim);
+      EXPECT_EQ(me.run(fa), ref.run(fa)) << where << " fastest from " << s;
+      const auto trunc = JourneyQuery::foremost(s, 0).under(pol).within(tight);
+      EXPECT_EQ(me.run(trunc), ref.run(trunc))
+          << where << " truncated scan from " << s;
+    }
+  }
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ClosureQuery cq;
+    cq.threads = threads;
+    cq.limits = lim;
+    EXPECT_EQ(me.closure(cq), ref.closure(cq))
+        << where << " closure at " << threads << " threads";
+  }
+}
+
+TEST(DeltaOverlay, OverlayMatchesRebuildUnderRandomMutations) {
+  for (const std::uint64_t seed : {7ull, 21ull, 99ull}) {
+    TimeVaryingGraph g = base_graph(seed);
+    const std::size_t nodes = g.node_count();
+    MutableEngine me(std::move(g), 2);
+    std::mt19937_64 rng(seed * 1000 + 17);
+    for (int batch = 0; batch < 4; ++batch) {
+      for (int i = 0; i < 6; ++i) {
+        me.apply(random_mutation(rng, nodes, me.edge_count()));
+      }
+      expect_reads_match(me, "seed " + std::to_string(seed) + " batch " +
+                                 std::to_string(batch));
+    }
+  }
+}
+
+TEST(DeltaOverlay, CompactionPreservesReadsAndEdgeIds) {
+  TimeVaryingGraph g = base_graph(5);
+  const std::size_t nodes = g.node_count();
+  const EdgeId base_edges = g.edge_count();
+  MutableEngine me(std::move(g), 2);
+
+  const EdgeId added = me.add_edge(0, 1, 'a', Presence::always(),
+                                   Latency::constant(1), "live-link");
+  EXPECT_EQ(added, base_edges);
+  me.patch_presence(2, Presence::eventually_always(4));
+  me.remove_edge(1);
+  EXPECT_EQ(me.pending_mutations(), 3u);
+
+  const auto before = me.run(JourneyQuery::foremost(0, 0));
+  me.compact();
+  EXPECT_EQ(me.pending_mutations(), 0u);
+  EXPECT_EQ(me.run(JourneyQuery::foremost(0, 0)), before);
+
+  // Ids survive the fold: the compacted graph still resolves `added`,
+  // tombstoned edge 1 keeps its slot, and both stay mutable.
+  EXPECT_EQ(me.edge_count(), std::size_t{base_edges} + 1);
+  me.override_latency(added, Latency::constant(2));
+  me.patch_presence(1, Presence::always());
+  expect_reads_match(me, "post-compaction");
+
+  // A second compaction folds the new delta the same way.
+  me.compact();
+  expect_reads_match(me, "second compaction");
+  const std::size_t n = nodes;
+  EXPECT_EQ(me.node_count(), n);
+}
+
+TEST(DeltaOverlay, BackgroundCompactionCountsAsBackgroundTask) {
+  TimeVaryingGraph g = base_graph(11);
+  MutableEngine me(std::move(g), 2);
+  EXPECT_FALSE(me.compact_async());  // nothing pending
+  me.patch_presence(0, Presence::never());
+  EXPECT_TRUE(me.compact_async());
+  me.wait_for_compaction();
+  EXPECT_EQ(me.pending_mutations(), 0u);
+  EXPECT_GE(me.worker_stats().background_tasks, 1u);
+  expect_reads_match(me, "after compact_async");
+}
+
+TEST(DeltaOverlay, ValidationRejectsBadIdsWithoutStateChange) {
+  TimeVaryingGraph g = base_graph(3);
+  const EdgeId edges = g.edge_count();
+  const auto nodes = static_cast<NodeId>(g.node_count());
+  MutableEngine me(std::move(g), 1);
+  const std::uint64_t seq = me.sequence();
+  EXPECT_THROW(me.patch_presence(edges, Presence::always()),
+               std::out_of_range);
+  EXPECT_THROW(me.remove_edge(edges + 5), std::out_of_range);
+  EXPECT_THROW(me.add_edge(nodes, 0, 'a', Presence::always(),
+                           Latency::constant(1)),
+               std::out_of_range);
+  EXPECT_THROW(me.add_edge(0, nodes, 'a', Presence::always(),
+                           Latency::constant(1)),
+               std::out_of_range);
+  EXPECT_EQ(me.sequence(), seq);
+  EXPECT_EQ(me.pending_mutations(), 0u);
+  // The id frontier moves with adds: the first add's id becomes valid
+  // as a mutation target immediately, one past it is still rejected.
+  const EdgeId added = me.add_edge(0, 1, 'a', Presence::always(),
+                                   Latency::constant(1));
+  me.override_latency(added, Latency::constant(3));
+  EXPECT_THROW(me.override_latency(added + 1, Latency::constant(3)),
+               std::out_of_range);
+}
+
+TEST(DeltaOverlay, PerEdgeCacheInvalidationHitsSurvivorsAndDrops) {
+  // Two disconnected components on distinct footprint partitions
+  // (node ids < 64, so every node owns its own bit).
+  TimeVaryingGraph g;
+  g.add_nodes(4);
+  const EdgeId a = g.add_edge(0, 1, 'a', Presence::always(),
+                              Latency::constant(1));
+  const EdgeId b = g.add_edge(2, 3, 'a', Presence::always(),
+                              Latency::constant(1));
+  MutableEngine me(std::move(g), 1);
+
+  const auto q = JourneyQuery::foremost(0, 0).to(1);
+  const auto cold = me.run(q);
+  EXPECT_EQ(me.run(q), cold);
+  EXPECT_EQ(me.cache_stats().hits, 1u);
+
+  // Mutating the far component must NOT evict the cached journey: its
+  // footprint {0,1} misses the touch mask {2,3}.
+  me.patch_presence(b, Presence::eventually_always(5));
+  EXPECT_EQ(me.run(q), cold);
+  const CacheStats after_far = me.cache_stats();
+  EXPECT_EQ(after_far.hits, 2u);
+  EXPECT_GE(after_far.survivors, 1u);
+  EXPECT_EQ(after_far.invalidations, 0u);
+
+  // Mutating the queried edge drops exactly that entry; the re-run
+  // recomputes and sees the new latency.
+  me.override_latency(a, Latency::constant(4));
+  const auto warm = me.run(q);
+  EXPECT_EQ(warm.arrival, 4);
+  const CacheStats after_near = me.cache_stats();
+  EXPECT_EQ(after_near.hits, 2u);  // unchanged: that last run was a miss
+  EXPECT_GE(after_near.invalidations, 1u);
+  expect_reads_match(me, "cache invalidation graph");
+}
+
+TEST(DeltaOverlay, ConcurrentMutateQueryCompactStress) {
+  // The TSan target: mutators, readers and background compactions race
+  // while every read stays internally consistent; final state must
+  // still match a full rebuild bit for bit.
+  TimeVaryingGraph g = base_graph(31, 12, 34);
+  const std::size_t nodes = g.node_count();
+  MutableEngine me(std::move(g), 2);
+  std::atomic<bool> stop{false};
+
+  std::thread mutator([&] {
+    std::mt19937_64 rng(4242);
+    for (int i = 0; i < 160; ++i) {
+      me.apply(random_mutation(rng, nodes, me.edge_count()));
+      if (i % 24 == 23) me.compact_async();
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (unsigned r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      std::mt19937_64 rng(100 + r);
+      while (!stop.load()) {
+        const auto s = static_cast<NodeId>(rng() % nodes);
+        const auto res = me.run(JourneyQuery::foremost(s, 0));
+        ASSERT_EQ(res.arrivals.size(), nodes);
+        ASSERT_EQ(res.arrivals[s], 0);  // the source is reached at start
+        ClosureQuery cq;
+        cq.sources = {s};
+        cq.threads = 2;
+        const auto rows = me.closure(cq);
+        ASSERT_EQ(rows.rows.size(), 1u);
+        ASSERT_EQ(rows.rows[0][s], 0);
+      }
+    });
+  }
+  mutator.join();
+  for (auto& t : readers) t.join();
+  me.wait_for_compaction();
+  expect_reads_match(me, "after concurrent stress");
+}
+
+TEST(DeltaSerialization, GraphPlusPendingLogRoundTrips) {
+  TimeVaryingGraph base = base_graph(13, 8, 18);
+  DeltaOverlay ov(base);
+  ov.add_edge(0, 5, 'b', Presence::periodic(6, [] {
+                IntervalSet s;
+                s.insert_point(2);
+                s.insert({4, 6});
+                return s;
+              }()),
+              Latency::constant(2), "patched-in");
+  ov.patch_presence(1, Presence::eventually_always(9));
+  ov.remove_edge(3);
+  const EdgeId added2 = ov.add_edge(7, 2, 'a', Presence::always(),
+                                    Latency::affine(2, 1));
+  ov.override_latency(added2, Latency::constant(1));  // targets an added edge
+
+  const std::string text = to_text(base, ov.log());
+  // The strict parser refuses a dump with pending mutations outright —
+  // a checkpoint cannot silently lose its delta.
+  EXPECT_THROW({ auto g = from_text(text); (void)g; }, std::invalid_argument);
+
+  auto [g2, log2] = from_text_with_delta(text);
+  ASSERT_EQ(log2.size(), ov.log().size());
+  DeltaOverlay ov2(g2);
+  for (const EdgeMutation& m : log2) ov2.apply(m);
+
+  // Replaying the parsed log reproduces the exact merged graph.
+  const TimeVaryingGraph merged1 = materialize(base, *ov.snapshot());
+  const TimeVaryingGraph merged2 = materialize(g2, *ov2.snapshot());
+  EXPECT_EQ(to_text(merged1), to_text(merged2));
+  // And the writer is a fixed point: dumping the parsed pair again
+  // yields byte-identical text.
+  EXPECT_EQ(to_text(g2, ov2.log()), text);
+}
+
+TEST(DeltaSerialization, WriterValidatesLogAgainstGraph) {
+  TimeVaryingGraph g;
+  g.add_nodes(2);
+  g.add_edge(0, 1, 'a', Presence::always(), Latency::constant(1));
+  const std::vector<EdgeMutation> bad_edge = {
+      EdgeMutation::remove_edge(7)};
+  EXPECT_THROW({ auto t = to_text(g, bad_edge); (void)t; },
+               std::invalid_argument);
+  const std::vector<EdgeMutation> bad_node = {EdgeMutation::add_edge(
+      0, 9, 'a', Presence::always(), Latency::constant(1))};
+  EXPECT_THROW({ auto t = to_text(g, bad_node); (void)t; },
+               std::invalid_argument);
+  // An add makes its own id addressable for later entries.
+  const std::vector<EdgeMutation> chained = {
+      EdgeMutation::add_edge(1, 0, 'b', Presence::always(),
+                             Latency::constant(2)),
+      EdgeMutation::override_latency(1, Latency::constant(3))};
+  const std::string text = to_text(g, chained);
+  const auto [g2, log2] = from_text_with_delta(text);
+  EXPECT_EQ(g2.edge_count(), 1u);
+  ASSERT_EQ(log2.size(), 2u);
+  EXPECT_EQ(log2[1].edge, 1u);
+}
+
+TEST(DeltaSerialization, EmptyDeltaMatchesPlainDump) {
+  const TimeVaryingGraph g = base_graph(1, 6, 10);
+  EXPECT_EQ(to_text(g, {}), to_text(g));
+  const auto [g2, log2] = from_text_with_delta(to_text(g));
+  EXPECT_TRUE(log2.empty());
+  EXPECT_EQ(to_text(g2), to_text(g));
+}
+
+}  // namespace
+}  // namespace tvg

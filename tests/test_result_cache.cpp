@@ -457,6 +457,96 @@ TEST(ResultCache, CachingAndUncachedEnginesAgreeOnRandomStreams) {
   }
 }
 
+TEST(ResultCache, InvalidateKeysTouchingDropsByFootprintOnly) {
+  // Store-level check of the per-edge invalidation contract: an entry
+  // dies iff its footprint intersects a touched endpoint's partition.
+  ResultCache cache(CacheConfig{});
+  const auto generation = ResultCache::next_generation();
+  auto key_for = [](NodeId target) {
+    return QueryKey::journey(JourneyQuery::foremost(0, 0).to(target));
+  };
+  auto value = std::make_shared<const int>(1);
+  cache.insert(key_for(0), generation, value, 1,
+               footprint_bit(0) | footprint_bit(1));
+  cache.insert(key_for(1), generation, value, 1,
+               footprint_bit(2) | footprint_bit(3));
+  cache.insert(key_for(2), generation, value, 1, kFootprintAll);
+  ASSERT_EQ(cache.stats().entries, 3u);
+
+  const EdgeTouch touch{/*edge=*/5, /*from=*/2, /*to=*/3};
+  cache.invalidate_keys_touching({&touch, 1});
+  CacheStats stats = cache.stats();
+  // {2,3} intersects, kFootprintAll intersects everything, {0,1} survives.
+  EXPECT_EQ(stats.invalidations, 2u);
+  EXPECT_EQ(stats.survivors, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_NE(cache.find(key_for(0), generation), nullptr);
+  EXPECT_EQ(cache.find(key_for(1), generation), nullptr);
+  EXPECT_EQ(cache.find(key_for(2), generation), nullptr);
+
+  // Partitions alias mod 64: node 65 lands in partition 1, so the {0,1}
+  // entry is (conservatively, correctly) dropped by a far-away edge.
+  const EdgeTouch aliased{/*edge=*/6, /*from=*/65, /*to=*/70};
+  cache.invalidate_keys_touching({&aliased, 1});
+  EXPECT_EQ(cache.find(key_for(0), generation), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 3u);
+}
+
+TEST(ResultCache, ConcurrentInvalidationUnderTrafficIsSafeAndAccounted) {
+  // Regression: invalidate_keys_touching walks whole shards while other
+  // threads insert and find. Run under TSan in CI; the quiescent
+  // accounting below catches lost updates either way.
+  CacheConfig config;
+  config.shards = 4;
+  config.capacity = 4096;  // never binds: evictions stay out of the way
+  ResultCache cache(config);
+  const auto generation = ResultCache::next_generation();
+  constexpr int kWriters = 4;
+  constexpr int kIters = 400;
+  std::atomic<bool> stop{false};
+
+  std::thread invalidator([&] {
+    std::mt19937_64 rng(99);
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto v = static_cast<NodeId>(rng() % 64);
+      const EdgeTouch touch{0, v, static_cast<NodeId>((v + 1) % 64)};
+      cache.invalidate_keys_touching({&touch, 1});
+      std::this_thread::yield();
+    }
+  });
+  {
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (int t = 0; t < kWriters; ++t) {
+      writers.emplace_back([&, t] {
+        auto value = std::make_shared<const int>(t);
+        for (int i = 0; i < kIters; ++i) {
+          // Unique key per insert: a refresh would break the quiescent
+          // accounting below.
+          const auto target = static_cast<NodeId>(t * kIters + i);
+          const QueryKey key =
+              QueryKey::journey(JourneyQuery::foremost(0, 0).to(target));
+          cache.insert(key, generation, value, 1,
+                       footprint_bit(target) | footprint_bit(0));
+          (void)cache.find(key, generation);
+        }
+      });
+    }
+    for (std::thread& w : writers) w.join();
+  }
+  stop.store(true, std::memory_order_release);
+  invalidator.join();
+
+  // Nothing was evicted or generation-dropped, so every entry ever
+  // inserted is either resident now or was invalidated; survivors count
+  // inspections, never entries, so they can only exceed residents.
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.generation_drops, 0u);
+  EXPECT_EQ(stats.entries + stats.invalidations,
+            std::uint64_t{kWriters} * kIters);
+}
+
 TEST(ResultCache, BatchRunServesHitsAndComputesMisses) {
   const TimeVaryingGraph g = test_graph(20);
   const QueryEngine engine(g);
