@@ -1,0 +1,108 @@
+// Crash-safe serving, end to end: a DurableEngine persisting every
+// schedule mutation (WAL + checkpoint, durable_engine.hpp), a Server
+// front end with priority lanes and admission control (server.hpp), and
+// a client that reacts to Overloaded the documented way — seeded
+// exponential backoff via retry_on_overloaded (retry.hpp).
+//
+// The demo "crashes" the process the honest way available inside one
+// binary: it abandons the engine object mid-stream (no checkpoint, no
+// clean shutdown) and calls DurableEngine::recover() on the directory,
+// printing what recovery found and proving the recovered engine answers
+// queries identically to the pre-crash one.
+//
+//   $ ./example_durable_serving
+#include <cstdio>
+
+#include <filesystem>
+#include <optional>
+
+#include "tvg/durable_engine.hpp"
+#include "tvg/generators.hpp"
+#include "tvg/retry.hpp"
+#include "tvg/server.hpp"
+
+using namespace tvg;
+
+int main() {
+  // A periodic contact network: 64 sensor nodes, sparse periodic links.
+  RandomPeriodicParams params;
+  params.nodes = 64;
+  params.edges = 220;
+  params.period = 16;
+  params.density = 0.2;
+  params.max_latency = 2;
+  params.seed = 9;
+  const TimeVaryingGraph base = make_random_periodic(params);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "tvg_durable_serving")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  const JourneyQuery probe = JourneyQuery::foremost(0, 0).to(63);
+  JourneyResult before_crash;
+
+  // --- phase 1: serve, mutate, checkpoint ... then "crash" -------------
+  {
+    DurableOptions options;
+    options.wal.sync = SyncPolicy::kAlways;  // acknowledged == durable
+    DurableEngine engine(base, dir, options);
+
+    ServerConfig config;
+    config.workers = 2;
+    config.queue_capacity = {4, 4, 4};  // tiny: sheds are easy to hit
+    Server server(engine.mutable_engine(), config);
+
+    // Live schedule changes, logged before visible. A link drops out;
+    // a maintenance window patches another link's availability.
+    engine.apply(EdgeMutation::remove_edge(3));
+    IntervalSet window;
+    window.insert({2, 6});
+    engine.apply(EdgeMutation::patch_presence(
+        7, Presence::periodic(16, std::move(window))));
+    engine.checkpoint();  // atomic: temp file + fsync + rename
+    engine.apply(
+        EdgeMutation::override_latency(11, Latency::constant(2)));
+
+    // A client that retries sheds with seeded jittered backoff: the
+    // delay sequence is replayable (policy.seed), so incidents can be
+    // reproduced exactly.
+    RetryPolicy policy;
+    policy.max_attempts = 6;
+    policy.initial_delay = std::chrono::milliseconds(2);
+    policy.seed = 42;
+    before_crash =
+        retry_on_overloaded([&] { return server.submit(probe); }, policy);
+
+    std::printf("served pre-crash: foremost(0->63) arrival at %lld\n",
+                static_cast<long long>(before_crash.arrival));
+    const auto stats = engine.stats();
+    std::printf("durable sequence %llu (synced %llu), %llu WAL bytes\n",
+                static_cast<unsigned long long>(stats.sequence),
+                static_cast<unsigned long long>(stats.wal.synced_sequence),
+                static_cast<unsigned long long>(stats.wal.bytes_written));
+    server.stop();
+    // NO clean shutdown of the engine state: the handle dies here with
+    // one mutation past the last checkpoint — exactly what a crash
+    // leaves behind.
+  }
+
+  // --- phase 2: recover and serve again --------------------------------
+  const auto recovered = DurableEngine::recover(dir);
+  const auto info = recovered->stats().recovery;
+  std::printf(
+      "recovered: checkpoint seq %llu + %llu replayed WAL records "
+      "(%llu torn tails repaired, %llu checkpoints rejected)\n",
+      static_cast<unsigned long long>(info.checkpoint_sequence),
+      static_cast<unsigned long long>(info.replayed_records),
+      static_cast<unsigned long long>(info.torn_tails_repaired),
+      static_cast<unsigned long long>(info.checkpoints_rejected));
+
+  Server server(recovered->mutable_engine());
+  const JourneyResult after = server.submit(probe).get();
+  std::printf("served post-crash: foremost(0->63) arrival at %lld -> %s\n",
+              static_cast<long long>(after.arrival),
+              after == before_crash ? "identical to pre-crash result"
+                                    : "MISMATCH (bug!)");
+  return after == before_crash ? 0 : 1;
+}

@@ -127,19 +127,23 @@ DeltaOverlay::DeltaOverlay(const TimeVaryingGraph& base)
       snapshot_(std::make_shared<OverlaySnapshot>(
           base, std::span<const EdgeMutation>{}, 0)) {}
 
-EdgeId DeltaOverlay::apply(EdgeMutation m) {
-  const std::size_t edges = snapshot_->edge_count();
-  EdgeId id = m.edge;
+EdgeId validate_mutation(const EdgeMutation& m, std::size_t node_count,
+                         std::size_t edge_count) {
   if (m.kind == EdgeMutation::Kind::kAddEdge) {
-    if (m.from >= base_->node_count() || m.to >= base_->node_count()) {
-      throw std::out_of_range("DeltaOverlay::apply: endpoint out of range");
+    if (m.from >= node_count || m.to >= node_count) {
+      throw std::out_of_range("validate_mutation: endpoint out of range");
     }
-    id = static_cast<EdgeId>(edges);
-  } else {
-    if (m.edge >= edges) {
-      throw std::out_of_range("DeltaOverlay::apply: edge out of range");
-    }
+    return static_cast<EdgeId>(edge_count);
   }
+  if (m.edge >= edge_count) {
+    throw std::out_of_range("validate_mutation: edge out of range");
+  }
+  return m.edge;
+}
+
+EdgeId DeltaOverlay::apply(EdgeMutation m) {
+  const EdgeId id =
+      validate_mutation(m, base_->node_count(), snapshot_->edge_count());
   log_.push_back(std::move(m));
   ++sequence_;
   snapshot_ = std::make_shared<OverlaySnapshot>(*base_, log_, sequence_);

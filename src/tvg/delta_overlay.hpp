@@ -135,6 +135,17 @@ struct EdgeMutation {
   }
 };
 
+/// Validates `m` against a graph with `node_count` nodes and
+/// `edge_count` edges (base ∪ delta totals) and returns the edge id
+/// apply() would hand out: `edge_count` for kAddEdge (ids are assigned
+/// densely in log order), the target id otherwise. Throws
+/// std::out_of_range on a bad node/edge id. Shared by
+/// DeltaOverlay::apply and the durability layer (durable_engine.hpp),
+/// which must know the id BEFORE logging so the WAL record carries it.
+[[nodiscard]] EdgeId validate_mutation(const EdgeMutation& m,
+                                       std::size_t node_count,
+                                       std::size_t edge_count);
+
 /// Immutable compiled form of a pending delta over one frozen base.
 /// Rebuilt (O(pending + E/64)) and republished behind a shared_ptr on
 /// every mutation; readers holding an older snapshot keep a consistent

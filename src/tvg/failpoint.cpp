@@ -1,0 +1,139 @@
+#include "tvg/failpoint.hpp"
+
+namespace tvg {
+
+std::atomic<int> FailPointRegistry::armed_count_{0};
+
+FailPointRegistry& FailPointRegistry::instance() {
+  static FailPointRegistry registry;
+  return registry;
+}
+
+namespace {
+
+/// splitmix64 — the standard 64-bit mix; one draw per (seed, hit №)
+/// makes seeded schedules stateless and replayable.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FailPointRegistry::Site& FailPointRegistry::site_locked(
+    const std::string& name) {
+  return sites_[name];
+}
+
+void FailPointRegistry::arm_on_hit(const std::string& name,
+                                   std::uint64_t hit_no,
+                                   FailPointAction action) {
+  const MutexLock lock(mu_);
+  Site& s = site_locked(name);
+  if (!s.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  s.mode = Site::Mode::kOnHit;
+  s.armed = true;
+  s.hits = 0;
+  s.trigger = hit_no;
+  s.action = action;
+}
+
+void FailPointRegistry::arm_every(const std::string& name,
+                                  std::uint64_t every_n,
+                                  FailPointAction action) {
+  const MutexLock lock(mu_);
+  Site& s = site_locked(name);
+  if (!s.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  s.mode = Site::Mode::kEveryN;
+  s.armed = true;
+  s.hits = 0;
+  s.trigger = every_n == 0 ? 1 : every_n;
+  s.action = action;
+}
+
+void FailPointRegistry::arm_seeded(const std::string& name,
+                                   std::uint64_t seed,
+                                   std::uint32_t millionths,
+                                   FailPointAction action) {
+  const MutexLock lock(mu_);
+  Site& s = site_locked(name);
+  if (!s.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  s.mode = Site::Mode::kSeeded;
+  s.armed = true;
+  s.hits = 0;
+  s.seed = seed;
+  s.millionths = millionths > 1'000'000 ? 1'000'000 : millionths;
+  s.action = action;
+}
+
+void FailPointRegistry::disarm(const std::string& name) {
+  const MutexLock lock(mu_);
+  const auto it = sites_.find(name);
+  if (it != sites_.end() && it->second.armed) {
+    it->second.armed = false;
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPointRegistry::disarm_all() {
+  const MutexLock lock(mu_);
+  for (auto& [name, s] : sites_) {
+    if (s.armed) {
+      s.armed = false;
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::uint64_t FailPointRegistry::hits(const std::string& name) const {
+  const MutexLock lock(mu_);
+  const auto it = sites_.find(name);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> FailPointRegistry::armed_sites() const {
+  const MutexLock lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, s] : sites_) {
+    if (s.armed) out.push_back(name);
+  }
+  return out;
+}
+
+FailPointAction FailPointRegistry::consume(const char* name) {
+  const MutexLock lock(mu_);
+  const auto it = sites_.find(name);
+  if (it == sites_.end() || !it->second.armed) return {};
+  Site& s = it->second;
+  ++s.hits;
+  bool fire = false;
+  switch (s.mode) {
+    case Site::Mode::kOnHit:
+      fire = s.hits == s.trigger;
+      break;
+    case Site::Mode::kEveryN:
+      fire = s.hits % s.trigger == 0;
+      break;
+    case Site::Mode::kSeeded:
+      fire = mix64(s.seed ^ (s.hits * 0xd1342543de82ef95ULL)) % 1'000'000 <
+             s.millionths;
+      break;
+  }
+  return fire ? s.action : FailPointAction{};
+}
+
+void FailPointRegistry::on_hit(const char* name) {
+  const FailPointAction a = consume(name);
+  switch (a.kind) {
+    case FailPointAction::Kind::kNone:
+      return;
+    case FailPointAction::Kind::kError:
+      throw FailPointError(std::string("failpoint fired (error): ") + name);
+    case FailPointAction::Kind::kCrash:
+      throw CrashInjected(std::string("failpoint fired (crash): ") + name);
+  }
+}
+
+}  // namespace tvg

@@ -1,0 +1,186 @@
+// tvg::FailPoint — a registry of named, deterministic fault-injection
+// sites for the durability layer's crash-recovery torture suite
+// (wal.hpp / durable_engine.hpp / tests/test_recovery.cpp).
+//
+// Correctness across a process lifetime cannot be tested by running the
+// process: the interesting states are the ones a crash leaves behind —
+// a half-written WAL record, a checkpoint that was written but never
+// renamed, an fsync that failed. Failpoints make those states
+// REACHABLE and DETERMINISTIC:
+//
+//  * a *site* is a named place in library code (`TVG_FAILPOINT("wal.fsync")`)
+//    that does nothing until armed — the disarmed fast path is one
+//    relaxed atomic load of a global armed-site counter, so shipping
+//    the hooks costs nothing measurable;
+//  * *arming* attaches a trigger schedule to a site by name: fire on
+//    the k-th hit, fire every n-th hit, or fire per-hit with a seeded
+//    deterministic pseudo-random coin (splitmix64 over (seed, hit №) —
+//    the same seed always fires on the same hits, so every "random"
+//    fault schedule is replayable from its seed);
+//  * *firing* raises a typed error at the site: `FailPointError` models
+//    a failed syscall the caller must surface (e.g. fsync returning
+//    EIO), `CrashInjected` models the process dying right there — the
+//    torture suite catches it, abandons the engine, and recovers from
+//    whatever reached disk. Sites that need partial effects (a torn
+//    write) consume the action explicitly via TVG_FAILPOINT_CONSUME and
+//    interpret its `arg` (the WAL writes `arg` bytes of the record
+//    before "crashing").
+//
+// The macros compile out entirely with -DTVG_FAILPOINTS=OFF (CMake
+// option; defines TVG_FAILPOINTS_ENABLED when on). Test and CI builds
+// keep them on; release/production builds turn them off and the sites
+// vanish from the binary.
+//
+// Thread-safe: arming, disarming and hits may race freely (the registry
+// takes one mutex per armed-path hit; the concurrent torture tests run
+// under TSan).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tvg/annotations.hpp"
+#include "tvg/sync.hpp"
+
+namespace tvg {
+
+/// Raised by a site armed with Kind::kError: models a failed operation
+/// (fsync, write, rename) the caller must handle and surface.
+class FailPointError : public std::runtime_error {
+ public:
+  explicit FailPointError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// Raised by a site armed with Kind::kCrash: "the process died here".
+/// Only the torture harness catches this — library code must let it
+/// propagate so the simulated crash truncates all in-memory work, the
+/// way a real crash would.
+class CrashInjected : public std::runtime_error {
+ public:
+  explicit CrashInjected(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// What an armed site does when its schedule fires.
+struct FailPointAction {
+  enum class Kind : std::uint8_t {
+    kNone,   // not armed / schedule did not fire this hit
+    kError,  // throw FailPointError (simulated syscall failure)
+    kCrash,  // throw CrashInjected (simulated process death)
+  };
+  Kind kind{Kind::kNone};
+  /// Site-interpreted payload. The WAL append site reads it as "bytes
+  /// of the record to write before crashing" (a torn write); other
+  /// sites ignore it.
+  std::uint64_t arg{0};
+
+  [[nodiscard]] static FailPointAction error() {
+    return {Kind::kError, 0};
+  }
+  [[nodiscard]] static FailPointAction crash(std::uint64_t arg = 0) {
+    return {Kind::kCrash, arg};
+  }
+};
+
+class FailPointRegistry {
+ public:
+  /// The process-wide registry (sites are global names, like the real
+  /// syscalls they stand in for).
+  static FailPointRegistry& instance();
+
+  // --- arming (test-side) ---
+
+  /// Fire `action` on exactly the `hit_no`-th hit (1-based) after
+  /// arming; later hits pass through.
+  void arm_on_hit(const std::string& name, std::uint64_t hit_no,
+                  FailPointAction action) TVG_EXCLUDES(mu_);
+  /// Fire on every `every_n`-th hit after arming (1 = every hit).
+  void arm_every(const std::string& name, std::uint64_t every_n,
+                 FailPointAction action) TVG_EXCLUDES(mu_);
+  /// Fire per-hit with probability `millionths` / 1e6, decided by a
+  /// deterministic splitmix64 draw over (seed, hit №): the same seed
+  /// replays the same fault schedule, hit for hit.
+  void arm_seeded(const std::string& name, std::uint64_t seed,
+                  std::uint32_t millionths, FailPointAction action)
+      TVG_EXCLUDES(mu_);
+  void disarm(const std::string& name) TVG_EXCLUDES(mu_);
+  void disarm_all() TVG_EXCLUDES(mu_);
+
+  /// Hits site `name` took since it was first armed (armed-phase hits
+  /// only: the disarmed fast path never reaches the registry).
+  [[nodiscard]] std::uint64_t hits(const std::string& name) const
+      TVG_EXCLUDES(mu_);
+  /// Names with a live arming (for harness assertions/diagnostics).
+  [[nodiscard]] std::vector<std::string> armed_sites() const
+      TVG_EXCLUDES(mu_);
+
+  // --- site-side (called by the macros; also usable directly) ---
+
+  /// Counts a hit on `name` and returns the action its schedule fires
+  /// (Kind::kNone when disarmed or not scheduled for this hit). Sites
+  /// with partial effects (torn writes) use this and act on `arg`.
+  [[nodiscard]] FailPointAction consume(const char* name) TVG_EXCLUDES(mu_);
+  /// consume() + throw: kError -> FailPointError, kCrash -> CrashInjected.
+  void on_hit(const char* name) TVG_EXCLUDES(mu_);
+
+  /// True iff any site is armed anywhere — the macro fast path. A
+  /// single relaxed load; disarmed builds never take the registry lock.
+  [[nodiscard]] static bool any_armed() noexcept {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+ private:
+  struct Site {
+    enum class Mode : std::uint8_t { kOnHit, kEveryN, kSeeded };
+    Mode mode{Mode::kOnHit};
+    bool armed{false};
+    std::uint64_t hits{0};
+    std::uint64_t trigger{0};  // hit_no (kOnHit) or n (kEveryN)
+    std::uint64_t seed{0};
+    std::uint32_t millionths{0};
+    FailPointAction action{};
+  };
+
+  [[nodiscard]] Site& site_locked(const std::string& name) TVG_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::map<std::string, Site> sites_ TVG_GUARDED_BY(mu_);
+  static std::atomic<int> armed_count_;
+};
+
+/// RAII disarm-all for tests: guarantees one test's armed schedule
+/// cannot leak into the next, whichever way the test exits.
+class FailPointGuard {
+ public:
+  FailPointGuard() = default;
+  ~FailPointGuard() { FailPointRegistry::instance().disarm_all(); }
+  FailPointGuard(const FailPointGuard&) = delete;
+  FailPointGuard& operator=(const FailPointGuard&) = delete;
+};
+
+}  // namespace tvg
+
+// The site macros. TVG_FAILPOINT throws when the site's schedule fires;
+// TVG_FAILPOINT_CONSUME evaluates to the FailPointAction so the site
+// can stage partial effects before raising. Both compile to (nearly)
+// nothing when failpoints are disabled at configure time.
+#if defined(TVG_FAILPOINTS_ENABLED)
+#define TVG_FAILPOINT(name)                                \
+  do {                                                     \
+    if (::tvg::FailPointRegistry::any_armed()) {           \
+      ::tvg::FailPointRegistry::instance().on_hit(name);   \
+    }                                                      \
+  } while (0)
+#define TVG_FAILPOINT_CONSUME(name)                        \
+  (::tvg::FailPointRegistry::any_armed()                   \
+       ? ::tvg::FailPointRegistry::instance().consume(name)\
+       : ::tvg::FailPointAction{})
+#else
+#define TVG_FAILPOINT(name) ((void)0)
+#define TVG_FAILPOINT_CONSUME(name) (::tvg::FailPointAction{})
+#endif

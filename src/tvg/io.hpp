@@ -1,0 +1,34 @@
+// tvg::IoError — typed file-I/O failure with errno context.
+//
+// Every file-touching path in the library (WAL, checkpoints, the text
+// format's file helpers in serialization.hpp, CLI/example dump paths)
+// throws this instead of silently truncating on a failed stream write
+// or propagating a bare errno. what() always names the operation, the
+// path, and strerror(errno) so an operator can tell a full disk from a
+// permissions problem from the log line alone.
+#pragma once
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace tvg {
+
+class IoError : public std::runtime_error {
+ public:
+  IoError(const std::string& op, const std::string& path, int error_number)
+      : std::runtime_error(op + ": " + path + ": " +
+                           (error_number != 0 ? std::strerror(error_number)
+                                              : "unknown I/O error")),
+        errno_value_(error_number) {}
+
+  /// The captured errno (0 when the failure had no errno, e.g. a
+  /// short read detected at the stream level).
+  [[nodiscard]] int errno_value() const noexcept { return errno_value_; }
+
+ private:
+  int errno_value_;
+};
+
+}  // namespace tvg

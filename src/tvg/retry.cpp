@@ -1,0 +1,48 @@
+#include "tvg/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tvg {
+
+namespace {
+
+/// splitmix64 — the same cheap deterministic mixer the failpoint
+/// registry uses for seeded sites.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::optional<std::chrono::milliseconds> Backoff::next_delay() {
+  if (attempts_ >= policy_.max_attempts) return std::nullopt;
+  const unsigned retry_index = attempts_ - 1;  // 0 for the first retry
+  ++attempts_;
+
+  // Saturating exponential: initial * multiplier^retry_index, capped.
+  double delay = static_cast<double>(policy_.initial_delay.count());
+  const double cap = static_cast<double>(policy_.max_delay.count());
+  const double mult = std::max(policy_.multiplier, 1.0);
+  for (unsigned i = 0; i < retry_index && delay < cap; ++i) delay *= mult;
+  delay = std::min(delay, cap);
+
+  // Deterministic jitter over (seed, attempt): uniform in
+  // [delay * (1 - jitter), delay].
+  const double jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+  if (jitter > 0.0) {
+    const std::uint64_t r =
+        mix64(policy_.seed ^ (static_cast<std::uint64_t>(retry_index) *
+                              0xD1342543DE82EF95ULL));
+    const double unit =
+        static_cast<double>(r >> 11) * 0x1.0p-53;  // [0, 1)
+    delay *= 1.0 - jitter * unit;
+  }
+  return std::chrono::milliseconds(
+      std::max<long long>(0, static_cast<long long>(std::llround(delay))));
+}
+
+}  // namespace tvg

@@ -1,0 +1,103 @@
+// tvg::RetryPolicy / tvg::Backoff — jittered exponential backoff for
+// clients of the serving layer (server.hpp).
+//
+// Admission control sheds with tvg::Overloaded when a lane is full; the
+// correct client reaction is to back off and resubmit, with jitter so a
+// burst of shed clients does not resynchronize into the next burst
+// (the classic retry-storm failure). This header packages that policy
+// once instead of letting every example and test hand-roll a sleep
+// loop:
+//
+//  * RetryPolicy — the knobs: attempt cap, initial delay, multiplier,
+//    delay cap, jitter fraction, and a SEED. Jitter is drawn from a
+//    deterministic stream over (seed, attempt), so a given policy
+//    replays the same delay sequence every run — the unit tests pin
+//    exact sequences, no statistical assertions.
+//  * Backoff — the per-operation iterator over that policy:
+//    next_delay() yields the attempt's delay or nullopt when the
+//    attempt budget is spent.
+//  * retry_on_overloaded(submit, policy, sleep) — the loop: call
+//    `submit` (returning a std::future), get() it, resubmit on
+//    Overloaded after the backoff delay, propagate every other outcome
+//    (including DeadlineExceeded / ServerStopped — retrying those is a
+//    policy decision this helper deliberately does not make). The
+//    sleep function is injectable so tests drive the loop with a fake
+//    clock and assert the exact delays requested.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "tvg/server.hpp"
+
+namespace tvg {
+
+struct RetryPolicy {
+  /// Total tries including the first (1 = no retries).
+  unsigned max_attempts{5};
+  /// Delay before the first retry; each later retry multiplies it.
+  std::chrono::milliseconds initial_delay{10};
+  /// Exponential growth factor (>= 1).
+  double multiplier{2.0};
+  /// Ceiling the exponential saturates at.
+  std::chrono::milliseconds max_delay{1000};
+  /// Fraction of the delay randomized: the actual delay is drawn
+  /// uniformly from [delay * (1 - jitter), delay]. 0 = fully
+  /// deterministic, 1 = "full jitter".
+  double jitter{0.5};
+  /// Seeds the jitter stream; same (seed, attempt) → same delay.
+  std::uint64_t seed{0};
+};
+
+/// One operation's walk through a RetryPolicy. Not thread-safe; make
+/// one per retried operation.
+class Backoff {
+ public:
+  explicit Backoff(RetryPolicy policy) : policy_(policy) {}
+
+  /// Delay to wait before the NEXT attempt, or nullopt when the
+  /// attempt budget (max_attempts) is exhausted. The first call
+  /// accounts for attempt #1 having failed.
+  [[nodiscard]] std::optional<std::chrono::milliseconds> next_delay();
+
+  /// Attempts accounted so far (calls to next_delay that returned a
+  /// delay, plus the implicit first attempt).
+  [[nodiscard]] unsigned attempts() const noexcept { return attempts_; }
+
+  void reset() noexcept { attempts_ = 1; }
+
+ private:
+  RetryPolicy policy_;
+  unsigned attempts_{1};
+};
+
+/// Calls `submit` (which must return a std::future) until its get()
+/// stops throwing tvg::Overloaded or the policy's attempt budget runs
+/// out, sleeping the backoff delay between attempts via `sleep`
+/// (injectable for deterministic tests; defaults to a real sleep).
+/// Returns the future's value; rethrows the last Overloaded on
+/// exhaustion and every non-Overloaded error immediately.
+template <typename Submit,
+          typename Sleep = void (*)(std::chrono::milliseconds)>
+auto retry_on_overloaded(
+    Submit&& submit, const RetryPolicy& policy,
+    Sleep sleep = [](std::chrono::milliseconds d) {
+      std::this_thread::sleep_for(d);
+    }) {
+  Backoff backoff(policy);
+  for (;;) {
+    try {
+      return submit().get();
+    } catch (const Overloaded&) {
+      const auto delay = backoff.next_delay();
+      if (!delay) throw;  // budget spent: the caller sees the shed
+      sleep(*delay);
+    }
+  }
+}
+
+}  // namespace tvg

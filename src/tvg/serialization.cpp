@@ -1,11 +1,14 @@
 #include "tvg/serialization.hpp"
 
+#include <cerrno>
 #include <charconv>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
 #include "tvg/delta_overlay.hpp"
+#include "tvg/io.hpp"
 
 namespace tvg {
 namespace {
@@ -128,6 +131,9 @@ class SpecParser {
   std::size_t line_;
 };
 
+// parse_presence/parse_latency sit below the anonymous-namespace spec
+// parser; the public *_from_spec wrappers at the bottom of this file
+// reuse them with a synthetic line number.
 Presence parse_presence(std::string_view spec, std::size_t line) {
   SpecParser p(spec, line);
   if (p.consume_word("always")) return Presence::always();
@@ -398,6 +404,45 @@ std::pair<TimeVaryingGraph, std::vector<EdgeMutation>> from_text_with_delta(
   std::vector<EdgeMutation> delta;
   TimeVaryingGraph g = parse_text(text, &delta);
   return {std::move(g), std::move(delta)};
+}
+
+std::string presence_to_spec(const Presence& p) { return presence_spec(p); }
+
+std::string latency_to_spec(const Latency& l) { return latency_spec(l); }
+
+Presence presence_from_spec(std::string_view spec) {
+  return parse_presence(spec, 0);
+}
+
+Latency latency_from_spec(std::string_view spec) {
+  return parse_latency(spec, 0);
+}
+
+void write_text_file(const std::string& path, std::string_view content) {
+  // errno is only meaningful right after the failing operation; capture
+  // it before any further stream call can clobber it.
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("write_text_file: open", path, errno);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (out.fail()) throw IoError("write_text_file: write", path, errno);
+  out.flush();
+  if (out.fail()) throw IoError("write_text_file: flush", path, errno);
+  out.close();
+  if (out.fail()) throw IoError("write_text_file: close", path, errno);
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("read_text_file: open", path, errno);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  // A mid-read I/O error leaves failbit/badbit set with a partial
+  // buffer — surface it instead of returning a silently truncated
+  // graph dump (eof on its own is the normal exit).
+  if (in.bad() || (in.fail() && !in.eof())) {
+    throw IoError("read_text_file: read", path, errno);
+  }
+  return buffer.str();
 }
 
 }  // namespace tvg

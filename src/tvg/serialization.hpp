@@ -69,4 +69,40 @@ struct EdgeMutation;  // delta_overlay.hpp
 [[nodiscard]] std::pair<TimeVaryingGraph, std::vector<EdgeMutation>>
 from_text_with_delta(const std::string& text);
 
+// ---------------------------------------------------------------------------
+// Component spec strings — the `presence=`/`latency=` vocabulary above,
+// exposed standalone so binary formats (the WAL's EdgeMutation records,
+// wal.hpp) can embed exactly the schedule encoding the text format
+// round-trips, instead of inventing a second one.
+// ---------------------------------------------------------------------------
+
+/// Spec-string form of one ρ (e.g. "periodic:24:{6,7}"). Throws
+/// std::invalid_argument on runtime-only (predicate) presences.
+[[nodiscard]] std::string presence_to_spec(const Presence& p);
+/// Spec-string form of one ζ (e.g. "const:3"). Throws
+/// std::invalid_argument on runtime-only (function) latencies.
+[[nodiscard]] std::string latency_to_spec(const Latency& l);
+/// Inverse of presence_to_spec. Throws std::invalid_argument on a
+/// malformed spec.
+[[nodiscard]] Presence presence_from_spec(std::string_view spec);
+/// Inverse of latency_to_spec. Throws std::invalid_argument on a
+/// malformed spec.
+[[nodiscard]] Latency latency_from_spec(std::string_view spec);
+
+// ---------------------------------------------------------------------------
+// Checked file helpers — every text-format file exchange in examples,
+// benches and the durability layer goes through these instead of raw
+// ofstream/ifstream, so a full disk or an unwritable path is a typed
+// tvg::IoError (io.hpp) with errno context, never a silent truncation.
+// ---------------------------------------------------------------------------
+
+/// Writes `content` to `path` (replacing any existing file), verifying
+/// every stream operation. Throws tvg::IoError on open/write/close
+/// failure. NOT atomic — checkpoint writers that need crash-atomicity
+/// use the temp-file + fsync + rename path in durable_engine.cpp.
+void write_text_file(const std::string& path, std::string_view content);
+
+/// Reads all of `path`. Throws tvg::IoError on open/read failure.
+[[nodiscard]] std::string read_text_file(const std::string& path);
+
 }  // namespace tvg

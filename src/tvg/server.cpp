@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "tvg/delta_overlay.hpp"
+#include "tvg/failpoint.hpp"
 
 namespace tvg {
 
@@ -79,7 +80,17 @@ void Server::execute(Task& task) {
         "tvg::Server: deadline passed before the query was dequeued")));
     outcome = Outcome::kExpired;
   } else {
-    outcome = task.run() ? Outcome::kCompleted : Outcome::kFailed;
+    try {
+      // Fault-injection site: an injected FailPointError fails THIS
+      // task's future and nothing else — the server stays serving,
+      // same blast radius as a query throwing its own error.
+      // (task.run itself never throws; it traps the query's errors.)
+      TVG_FAILPOINT("server.execute");
+      outcome = task.run() ? Outcome::kCompleted : Outcome::kFailed;
+    } catch (const FailPointError&) {
+      task.fail(std::current_exception());
+      outcome = Outcome::kFailed;
+    }
   }
   const MutexLock lock(mu_);
   switch (outcome) {
@@ -274,6 +285,9 @@ ServerStats Server::stats() const {
   ServerStats snapshot = stats_;
   snapshot.queued_now = queued_locked();
   snapshot.in_flight_now = in_flight_;
+  for (std::size_t i = 0; i < kLaneCount; ++i) {
+    snapshot.lane_depth_now[i] = lanes_[i].size();
+  }
   return snapshot;
 }
 

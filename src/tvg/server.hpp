@@ -158,6 +158,10 @@ struct ServerStats {
   std::array<std::uint64_t, kLaneCount> shed_per_lane{};
   /// Most entries any single lane ever held.
   std::size_t lane_depth_high_water{0};
+  /// Entries queued in each lane right now (index = Lane) — the live
+  /// complement of lane_depth_high_water, for load-shedding dashboards
+  /// and retry backoff decisions.
+  std::array<std::size_t, kLaneCount> lane_depth_now{};
   /// Entries queued across all lanes right now.
   std::size_t queued_now{0};
   /// Queries executing on workers right now.

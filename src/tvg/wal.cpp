@@ -1,0 +1,374 @@
+#include "tvg/wal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "tvg/failpoint.hpp"
+#include "tvg/io.hpp"
+#include "tvg/serialization.hpp"
+
+namespace tvg {
+
+// ---------------------------------------------------------------------------
+// CRC-32C
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrc32cTable = make_crc32c_table();
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ kCrc32cTable[(crc ^ p[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+// ---------------------------------------------------------------------------
+// Binary framing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'V', 'G', 'W', 'A', 'L', '0', '1'};
+/// payload_len + crc + sequence + assigned_edge.
+constexpr std::size_t kFrameBytes = 4 + 4 + 8 + 4;
+/// A record longer than this is corruption, not data (sanity cap so a
+/// flipped length byte cannot ask replay to allocate gigabytes).
+constexpr std::uint32_t kMaxPayload = 1u << 26;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out.append(b, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.append(b, 8);
+}
+
+/// Bounds-checked little-endian reads over the replay buffer. CRC has
+/// already vouched for record payloads when these run, so a failure
+/// here is flagged as corruption by the caller, never UB.
+struct Reader {
+  const char* p;
+  std::size_t n;
+  std::size_t pos{0};
+
+  [[nodiscard]] bool have(std::size_t k) const { return n - pos >= k; }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    std::memcpy(&v, p + pos, 4);
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    std::memcpy(&v, p + pos, 8);
+    pos += 8;
+    return v;
+  }
+};
+
+/// kind(u8) label(u8) pad(u16) edge(u32) from(u32) to(u32)
+/// name_len(u32) name  presence_len(u32) spec  latency_len(u32) spec
+std::string encode_mutation(const EdgeMutation& m) {
+  // Spec conversion first: a runtime-only schedule throws here, before
+  // a single byte is staged for the file.
+  const std::string presence = presence_to_spec(m.presence);
+  const std::string latency = latency_to_spec(m.latency);
+  std::string out;
+  out.push_back(static_cast<char>(m.kind));
+  out.push_back(m.label);
+  out.push_back('\0');
+  out.push_back('\0');
+  put_u32(out, m.edge);
+  put_u32(out, m.from);
+  put_u32(out, m.to);
+  put_u32(out, static_cast<std::uint32_t>(m.name.size()));
+  out.append(m.name);
+  put_u32(out, static_cast<std::uint32_t>(presence.size()));
+  out.append(presence);
+  put_u32(out, static_cast<std::uint32_t>(latency.size()));
+  out.append(latency);
+  return out;
+}
+
+EdgeMutation decode_mutation(const char* data, std::size_t size,
+                             std::uint64_t sequence) {
+  auto corrupt = [&](const char* what) -> void {
+    throw RecoveryError("wal replay: record " + std::to_string(sequence) +
+                        ": checksum valid but payload undecodable (" + what +
+                        ") — format bug or crafted corruption");
+  };
+  Reader r{data, size};
+  if (!r.have(16)) corrupt("truncated fixed fields");
+  const auto kind = static_cast<std::uint8_t>(data[r.pos]);
+  const char label = data[r.pos + 1];
+  r.pos += 4;
+  const std::uint32_t edge = r.u32();
+  const std::uint32_t from = r.u32();
+  const std::uint32_t to = r.u32();
+  auto take_string = [&](const char* what) -> std::string {
+    if (!r.have(4)) corrupt(what);
+    const std::uint32_t len = r.u32();
+    if (!r.have(len)) corrupt(what);
+    std::string s(data + r.pos, len);
+    r.pos += len;
+    return s;
+  };
+  const std::string name = take_string("name");
+  const std::string presence_spec = take_string("presence");
+  const std::string latency_spec = take_string("latency");
+  if (r.pos != size) corrupt("trailing bytes");
+
+  EdgeMutation m;
+  switch (static_cast<EdgeMutation::Kind>(kind)) {
+    case EdgeMutation::Kind::kAddEdge:
+      m = EdgeMutation::add_edge(from, to, label,
+                                 presence_from_spec(presence_spec),
+                                 latency_from_spec(latency_spec), name);
+      break;
+    case EdgeMutation::Kind::kRemoveEdge:
+      m = EdgeMutation::remove_edge(edge);
+      break;
+    case EdgeMutation::Kind::kPatchPresence:
+      m = EdgeMutation::patch_presence(edge,
+                                       presence_from_spec(presence_spec));
+      break;
+    case EdgeMutation::Kind::kOverrideLatency:
+      m = EdgeMutation::override_latency(edge,
+                                         latency_from_spec(latency_spec));
+      break;
+    default:
+      corrupt("unknown mutation kind");
+  }
+  return m;
+}
+
+void write_all(int fd, const char* data, std::size_t size,
+               const std::string& path) {
+  while (size > 0) {
+    const ssize_t written = ::write(fd, data, size);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("wal: write", path, errno);
+    }
+    data += written;
+    size -= static_cast<std::size_t>(written);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Wal
+// ---------------------------------------------------------------------------
+
+Wal::Wal(std::string path, WalOptions options, std::uint64_t base_sequence,
+         std::uint64_t next_sequence)
+    : path_(std::move(path)),
+      options_(options),
+      next_sequence_(next_sequence),
+      last_sync_(std::chrono::steady_clock::now()) {
+  if (options_.every_n == 0) options_.every_n = 1;
+  fd_ = ::open(path_.c_str(), O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) throw IoError("wal: open", path_, errno);
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError("wal: fstat", path_, saved);
+  }
+  if (st.st_size == 0) {
+    std::string header(kMagic, sizeof(kMagic));
+    put_u64(header, base_sequence);
+    try {
+      write_all(fd_, header.data(), header.size(), path_);
+    } catch (...) {
+      ::close(fd_);
+      fd_ = -1;
+      throw;
+    }
+    stats_.bytes_written += header.size();
+  }
+  stats_.next_sequence = next_sequence_;
+  // Everything already on disk (replayed records) is considered synced;
+  // only appends made through THIS handle can lag.
+  stats_.synced_sequence = next_sequence_ - 1;
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint64_t Wal::append(const EdgeMutation& m, EdgeId assigned_edge) {
+  const std::uint64_t sequence = next_sequence_;
+  const std::string payload = encode_mutation(m);  // throws pre-write
+
+  std::string frame;
+  frame.reserve(kFrameBytes + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, 0);  // crc placeholder
+  put_u64(frame, sequence);
+  put_u32(frame, assigned_edge);
+  frame.append(payload);
+  const std::uint32_t crc = crc32c(frame.data() + 8, frame.size() - 8);
+  std::memcpy(frame.data() + 4, &crc, 4);
+
+  TVG_FAILPOINT("wal.append.before");
+  const FailPointAction partial = TVG_FAILPOINT_CONSUME("wal.append.partial");
+  if (partial.kind != FailPointAction::Kind::kNone) {
+    // Torn write: `arg` bytes of the frame reach the file, then the
+    // "process dies". Clamped below the full frame so the tail really
+    // is torn, whatever arg the schedule drew.
+    const std::size_t bytes =
+        std::min<std::size_t>(partial.arg, frame.size() - 1);
+    write_all(fd_, frame.data(), bytes, path_);
+    if (partial.kind == FailPointAction::Kind::kError) {
+      throw FailPointError("wal.append.partial: short write injected");
+    }
+    throw CrashInjected("wal.append.partial: crash mid-append injected");
+  }
+
+  write_all(fd_, frame.data(), frame.size(), path_);
+  ++next_sequence_;
+  ++appends_since_sync_;
+  ++stats_.appends;
+  stats_.bytes_written += frame.size();
+  stats_.next_sequence = next_sequence_;
+  TVG_FAILPOINT("wal.append.after");
+  return sequence;
+}
+
+bool Wal::maybe_sync() {
+  bool due = false;
+  switch (options_.sync) {
+    case SyncPolicy::kAlways:
+      due = appends_since_sync_ > 0;
+      break;
+    case SyncPolicy::kEveryN:
+      due = appends_since_sync_ >= options_.every_n;
+      break;
+    case SyncPolicy::kInterval:
+      due = appends_since_sync_ > 0 &&
+            std::chrono::steady_clock::now() - last_sync_ >= options_.interval;
+      break;
+  }
+  if (due) sync();
+  return due;
+}
+
+void Wal::sync() {
+  if (next_sequence_ - 1 == stats_.synced_sequence) return;
+  TVG_FAILPOINT("wal.fsync");
+  if (::fsync(fd_) != 0) throw IoError("wal: fsync", path_, errno);
+  stats_.synced_sequence = next_sequence_ - 1;
+  ++stats_.syncs;
+  appends_since_sync_ = 0;
+  last_sync_ = std::chrono::steady_clock::now();
+}
+
+Wal::ReplayResult Wal::replay(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("wal replay: open", path, errno);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw IoError("wal replay: read", path, errno);
+  const std::string data = buffer.str();
+
+  ReplayResult result;
+  if (data.size() < kHeaderBytes ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw RecoveryError("wal replay: " + path +
+                        ": missing or corrupt header (not a TVGWAL01 file)");
+  }
+  std::memcpy(&result.base_sequence, data.data() + sizeof(kMagic), 8);
+  result.valid_bytes = kHeaderBytes;
+
+  std::size_t pos = kHeaderBytes;
+  std::uint64_t expected = result.base_sequence + 1;
+  while (pos < data.size()) {
+    // Anything that fails from here to the CRC check is a torn tail:
+    // record what was valid and stop (recovery truncates the rest).
+    if (data.size() - pos < kFrameBytes) {
+      result.torn = true;
+      break;
+    }
+    std::uint32_t payload_len;
+    std::uint32_t crc_stored;
+    std::uint64_t sequence;
+    std::uint32_t assigned;
+    std::memcpy(&payload_len, data.data() + pos, 4);
+    std::memcpy(&crc_stored, data.data() + pos + 4, 4);
+    std::memcpy(&sequence, data.data() + pos + 8, 8);
+    std::memcpy(&assigned, data.data() + pos + 16, 4);
+    if (payload_len > kMaxPayload ||
+        data.size() - pos - kFrameBytes < payload_len) {
+      result.torn = true;
+      break;
+    }
+    const std::size_t record_bytes = kFrameBytes + payload_len;
+    const std::uint32_t crc_actual =
+        crc32c(data.data() + pos + 8, record_bytes - 8);
+    if (crc_actual != crc_stored) {
+      result.torn = true;
+      break;
+    }
+    // CRC-valid record: from here on failures are corruption of the
+    // log's own invariants, not a crash artifact.
+    if (sequence != expected) {
+      throw RecoveryError(
+          "wal replay: " + path + ": sequence gap (expected " +
+          std::to_string(expected) + ", found " + std::to_string(sequence) +
+          ") — records lost in the middle of an intact log");
+    }
+    Record record;
+    record.sequence = sequence;
+    record.assigned_edge = assigned;
+    record.mutation =
+        decode_mutation(data.data() + pos + kFrameBytes, payload_len,
+                        sequence);
+    result.records.push_back(std::move(record));
+    pos += record_bytes;
+    result.valid_bytes = pos;
+    ++expected;
+  }
+  return result;
+}
+
+void Wal::truncate_to(const std::string& path, std::uint64_t valid_bytes) {
+  if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+    throw IoError("wal: truncate", path, errno);
+  }
+}
+
+}  // namespace tvg

@@ -5,6 +5,8 @@
 #include <exception>
 #include <utility>
 
+#include "tvg/failpoint.hpp"
+
 namespace tvg {
 
 /// One submitted batch. The submitter and every worker that joins share
@@ -75,6 +77,11 @@ void WorkerPool::run_claims(Batch& b, unsigned slot) {
     if (i >= b.n) break;
     tasks_claimed_.fetch_add(1, std::memory_order_relaxed);
     try {
+      // Fault-injection site: a FailPointError thrown here takes the
+      // batch's normal first-error path (abort + rethrow by the
+      // submitter), which is exactly the claim the torture suite makes
+      // about a task dying mid-batch.
+      TVG_FAILPOINT("worker_pool.task");
       (*b.fn)(i, slot);
     } catch (...) {
       {

@@ -1,0 +1,202 @@
+// Deterministic tests for tvg::RetryPolicy / tvg::Backoff /
+// tvg::retry_on_overloaded (retry.hpp). The jitter stream is seeded, so
+// every assertion here pins an EXACT delay sequence — no statistical
+// bounds, no flaky sleeps; the injectable sleep records what the loop
+// asked for instead of waiting.
+#include "tvg/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+namespace tvg {
+namespace {
+
+using std::chrono::milliseconds;
+
+RetryPolicy no_jitter_policy() {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  p.initial_delay = milliseconds(10);
+  p.multiplier = 2.0;
+  p.max_delay = milliseconds(1000);
+  p.jitter = 0.0;
+  return p;
+}
+
+TEST(Backoff, ZeroJitterIsExactExponential) {
+  Backoff b(no_jitter_policy());
+  EXPECT_EQ(b.next_delay(), milliseconds(10));
+  EXPECT_EQ(b.next_delay(), milliseconds(20));
+  EXPECT_EQ(b.next_delay(), milliseconds(40));
+  EXPECT_EQ(b.next_delay(), milliseconds(80));
+  // 5 attempts total: the first is implicit, four retries fit.
+  EXPECT_EQ(b.next_delay(), std::nullopt);
+  EXPECT_EQ(b.attempts(), 5u);
+}
+
+TEST(Backoff, SaturatesAtMaxDelay) {
+  RetryPolicy p = no_jitter_policy();
+  p.max_attempts = 12;
+  p.max_delay = milliseconds(100);
+  Backoff b(p);
+  std::vector<milliseconds> delays;
+  while (const auto d = b.next_delay()) delays.push_back(*d);
+  ASSERT_EQ(delays.size(), 11u);
+  EXPECT_EQ(delays[0], milliseconds(10));
+  EXPECT_EQ(delays[1], milliseconds(20));
+  EXPECT_EQ(delays[2], milliseconds(40));
+  EXPECT_EQ(delays[3], milliseconds(80));
+  for (std::size_t i = 4; i < delays.size(); ++i) {
+    EXPECT_EQ(delays[i], milliseconds(100)) << "retry " << i;
+  }
+}
+
+TEST(Backoff, HugeMultiplierSaturatesInsteadOfOverflowing) {
+  RetryPolicy p = no_jitter_policy();
+  p.max_attempts = 8;
+  p.multiplier = 1e12;  // exponent overflows double precision quickly
+  p.max_delay = milliseconds(250);
+  Backoff b(p);
+  (void)b.next_delay();  // 10ms
+  EXPECT_EQ(b.next_delay(), milliseconds(250));
+  EXPECT_EQ(b.next_delay(), milliseconds(250));
+}
+
+TEST(Backoff, JitterStaysInTheDocumentedWindow) {
+  RetryPolicy p = no_jitter_policy();
+  p.max_attempts = 30;
+  p.jitter = 0.5;
+  p.seed = 7;
+  Backoff b(p);
+  milliseconds nominal = p.initial_delay;
+  while (const auto d = b.next_delay()) {
+    EXPECT_GE(*d, milliseconds(nominal.count() / 2));
+    EXPECT_LE(*d, nominal);
+    const auto grown =
+        milliseconds(static_cast<std::int64_t>(
+            static_cast<double>(nominal.count()) * p.multiplier));
+    nominal = std::min(grown, p.max_delay);
+  }
+}
+
+TEST(Backoff, SameSeedReplaysSameSequence) {
+  RetryPolicy p = no_jitter_policy();
+  p.jitter = 0.5;
+  p.seed = 42;
+  p.max_attempts = 10;
+  Backoff b1(p), b2(p);
+  for (int i = 0; i < 9; ++i) {
+    const auto d1 = b1.next_delay();
+    const auto d2 = b2.next_delay();
+    ASSERT_TRUE(d1 && d2);
+    EXPECT_EQ(*d1, *d2) << "retry " << i;
+  }
+}
+
+TEST(Backoff, DifferentSeedsDiverge) {
+  RetryPolicy p = no_jitter_policy();
+  p.jitter = 0.9;
+  p.max_attempts = 20;
+  p.seed = 1;
+  Backoff b1(p);
+  p.seed = 2;
+  Backoff b2(p);
+  bool diverged = false;
+  for (int i = 0; i < 19; ++i) {
+    if (b1.next_delay() != b2.next_delay()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Backoff, ResetRestartsTheSchedule) {
+  Backoff b(no_jitter_policy());
+  (void)b.next_delay();
+  (void)b.next_delay();
+  b.reset();
+  EXPECT_EQ(b.attempts(), 1u);
+  EXPECT_EQ(b.next_delay(), milliseconds(10));
+}
+
+TEST(Backoff, SingleAttemptPolicyNeverRetries) {
+  RetryPolicy p = no_jitter_policy();
+  p.max_attempts = 1;
+  Backoff b(p);
+  EXPECT_EQ(b.next_delay(), std::nullopt);
+}
+
+// --- retry_on_overloaded ----------------------------------------------------
+
+template <typename T>
+std::future<T> ready_future(T value) {
+  std::promise<T> promise;
+  promise.set_value(std::move(value));
+  return promise.get_future();
+}
+
+template <typename T, typename E>
+std::future<T> failed_future(E error) {
+  std::promise<T> promise;
+  promise.set_exception(std::make_exception_ptr(std::move(error)));
+  return promise.get_future();
+}
+
+TEST(RetryOnOverloaded, SucceedsAfterShedsAndSleepsTheExactSchedule) {
+  int calls = 0;
+  std::vector<milliseconds> slept;
+  const int result = retry_on_overloaded(
+      [&] {
+        ++calls;
+        if (calls < 4) return failed_future<int>(Overloaded("lane full"));
+        return ready_future(99);
+      },
+      no_jitter_policy(), [&](milliseconds d) { slept.push_back(d); });
+  EXPECT_EQ(result, 99);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(slept, (std::vector<milliseconds>{milliseconds(10),
+                                              milliseconds(20),
+                                              milliseconds(40)}));
+}
+
+TEST(RetryOnOverloaded, RethrowsOverloadedWhenBudgetSpends) {
+  RetryPolicy p = no_jitter_policy();
+  p.max_attempts = 3;
+  int calls = 0;
+  std::vector<milliseconds> slept;
+  EXPECT_THROW(retry_on_overloaded(
+                   [&] {
+                     ++calls;
+                     return failed_future<int>(Overloaded("always full"));
+                   },
+                   p, [&](milliseconds d) { slept.push_back(d); }),
+               Overloaded);
+  EXPECT_EQ(calls, 3);  // max_attempts counts the first try
+  EXPECT_EQ(slept.size(), 2u);
+}
+
+TEST(RetryOnOverloaded, NonOverloadedErrorsPropagateImmediately) {
+  int calls = 0;
+  EXPECT_THROW(retry_on_overloaded(
+                   [&] {
+                     ++calls;
+                     return failed_future<int>(
+                         std::runtime_error("not a shed"));
+                   },
+                   no_jitter_policy(),
+                   [](milliseconds) { FAIL() << "must not sleep"; }),
+               std::runtime_error);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryOnOverloaded, FirstTrySuccessNeverSleeps) {
+  const int result = retry_on_overloaded(
+      [] { return ready_future(7); }, no_jitter_policy(),
+      [](milliseconds) { FAIL() << "must not sleep"; });
+  EXPECT_EQ(result, 7);
+}
+
+}  // namespace
+}  // namespace tvg

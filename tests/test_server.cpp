@@ -20,6 +20,7 @@
 #include "tvg/generators.hpp"
 #include "tvg/graph.hpp"
 #include "tvg/query_engine.hpp"
+#include "tvg/retry.hpp"
 #include "tvg/server.hpp"
 #include "tvg/worker_pool.hpp"
 
@@ -531,6 +532,135 @@ TEST(ServerStress, ConcurrentSubmittersWithStopMidTraffic) {
   EXPECT_EQ(stats.submitted, std::uint64_t{kClients} * 50);
   EXPECT_EQ(stats.accepted, stats.completed + stats.failed +
                                 stats.expired + stats.discarded_on_stop);
+}
+
+TEST(Server, RetryOnOverloadedRecoversFromAShedDeterministically) {
+  // The documented client reaction to Overloaded (retry.hpp) against a
+  // REAL overloaded server: capacity-1 lane, workers == 0 so this
+  // thread controls exactly when capacity frees up — the injected sleep
+  // drains one task, turning the backoff delay into the thing that
+  // makes the retry succeed.
+  const TimeVaryingGraph g = serving_graph();
+  const QueryEngine engine(g, 1);
+  ServerConfig config = manual_config();
+  config.queue_capacity = {1, 1, 1};
+  Server server(engine, config);
+
+  auto prefill = server.submit(query_for(1));  // fills Lane::kNormal
+
+  RetryPolicy policy;
+  policy.jitter = 0.0;  // exact delay sequence
+  policy.initial_delay = milliseconds(10);
+  std::vector<milliseconds> slept;
+  const auto ready = [](std::future<JourneyResult>& f) {
+    return f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+  };
+  const JourneyResult result = retry_on_overloaded(
+      [&] {
+        auto f = server.submit(query_for(0));
+        // A shed future is ready (with Overloaded) at submit; an
+        // accepted one is queued — drive it now, workers == 0.
+        if (!ready(f)) server.run_one();
+        return f;
+      },
+      policy,
+      [&](milliseconds d) {
+        slept.push_back(d);
+        server.run_one();  // capacity frees during the backoff
+      });
+
+  EXPECT_TRUE(result == engine.run(query_for(0)));
+  EXPECT_EQ(slept, std::vector<milliseconds>{milliseconds(10)});
+  EXPECT_NO_THROW((void)prefill.get());
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 3u);  // prefill + shed try + accepted retry
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(Server, StatsReportLiveLaneDepths) {
+  const TimeVaryingGraph g = serving_graph();
+  const QueryEngine engine(g, 1);
+  ServerConfig config = manual_config();
+  config.queue_capacity = {8, 8, 8};
+  Server server(engine, config);
+
+  std::vector<std::future<JourneyResult>> fs;
+  fs.push_back(server.submit(query_for(0), SubmitOptions::in_lane(Lane::kHigh)));
+  for (int i = 0; i < 2; ++i) {
+    fs.push_back(
+        server.submit(query_for(0), SubmitOptions::in_lane(Lane::kNormal)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    fs.push_back(
+        server.submit(query_for(0), SubmitOptions::in_lane(Lane::kBatch)));
+  }
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.lane_depth_now[static_cast<std::size_t>(Lane::kHigh)], 1u);
+  EXPECT_EQ(stats.lane_depth_now[static_cast<std::size_t>(Lane::kNormal)], 2u);
+  EXPECT_EQ(stats.lane_depth_now[static_cast<std::size_t>(Lane::kBatch)], 3u);
+  EXPECT_EQ(stats.queued_now, 6u);
+
+  ASSERT_TRUE(server.run_one());  // strict priority: the high task
+  stats = server.stats();
+  EXPECT_EQ(stats.lane_depth_now[static_cast<std::size_t>(Lane::kHigh)], 0u);
+  EXPECT_EQ(stats.lane_depth_now[static_cast<std::size_t>(Lane::kNormal)], 2u);
+
+  server.drain();
+  stats = server.stats();
+  for (const std::size_t depth : stats.lane_depth_now) EXPECT_EQ(depth, 0u);
+  EXPECT_EQ(stats.queued_now, 0u);
+  for (auto& f : fs) EXPECT_NO_THROW((void)f.get());
+}
+
+TEST(ServerStress, LaneDepthsStayCoherentUnderConcurrentSubmitters) {
+  // satellite-4 regression: stats() races real submit/dequeue traffic;
+  // every snapshot must be internally coherent — per-lane depths within
+  // capacity and summing to at most queued_now's cap — and the TSan
+  // lane proves the reads are race-free.
+  const TimeVaryingGraph g = serving_graph();
+  const QueryEngine engine(g, 2);
+  ServerConfig config;
+  config.workers = 2;
+  config.queue_capacity = {16, 16, 16};
+  Server server(engine, config);
+
+  std::atomic<bool> done{false};
+  std::thread watcher([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const ServerStats s = server.stats();
+      std::size_t sum = 0;
+      for (std::size_t lane = 0; lane < kLaneCount; ++lane) {
+        EXPECT_LE(s.lane_depth_now[lane], config.queue_capacity[lane]);
+        sum += s.lane_depth_now[lane];
+      }
+      EXPECT_LE(sum, std::size_t{3} * 16);
+    }
+  });
+  const auto client = [&](Lane lane) {
+    for (int i = 0; i < 40; ++i) {
+      try {
+        (void)server.submit(query_for(static_cast<NodeId>(i % 4)),
+                            SubmitOptions::in_lane(lane))
+            .get();
+      } catch (const Overloaded&) {
+      }
+    }
+  };
+  std::thread c1(client, Lane::kHigh);
+  std::thread c2(client, Lane::kNormal);
+  std::thread c3(client, Lane::kBatch);
+  c1.join();
+  c2.join();
+  c3.join();
+  server.drain();
+  done.store(true, std::memory_order_relaxed);
+  watcher.join();
+
+  const ServerStats stats = server.stats();
+  for (const std::size_t depth : stats.lane_depth_now) EXPECT_EQ(depth, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,470 @@
+// Unit suite for the durability primitives: CRC-32C vectors, WAL
+// append/replay round trips, sync policies, torn-tail semantics, the
+// failpoint registry's trigger schedules, and the checked file helpers'
+// typed I/O errors. The crash-recovery *system* tests (checkpoint +
+// recover torture) live in tests/test_recovery.cpp.
+#include "tvg/wal.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tvg/failpoint.hpp"
+#include "tvg/io.hpp"
+#include "tvg/serialization.hpp"
+
+namespace fs = std::filesystem;
+
+namespace tvg {
+namespace {
+
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir =
+      (fs::path(::testing::TempDir()) / ("tvg_wal_" + std::to_string(::getpid()) + "_" + tag)).string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<EdgeMutation> sample_mutations() {
+  IntervalSet pattern;
+  pattern.insert_point(2);
+  pattern.insert_point(5);
+  std::vector<EdgeMutation> muts;
+  muts.push_back(EdgeMutation::add_edge(0, 1, 'a', Presence::always(),
+                                        Latency::constant(3), "uplink"));
+  muts.push_back(EdgeMutation::add_edge(
+      1, 2, 'b', Presence::periodic(8, std::move(pattern)),
+      Latency::affine(2, 1), ""));
+  muts.push_back(
+      EdgeMutation::patch_presence(0, Presence::eventually_always(10)));
+  muts.push_back(EdgeMutation::override_latency(1, Latency::constant(7)));
+  muts.push_back(EdgeMutation::remove_edge(0));
+  return muts;
+}
+
+std::string read_raw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+void write_raw(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32C
+// ---------------------------------------------------------------------------
+
+TEST(Crc32c, KnownVectors) {
+  // The canonical CRC-32C check value (RFC 3720 appendix / every
+  // Castagnoli implementation): crc32c("123456789") == 0xE3069283.
+  const std::string check = "123456789";
+  EXPECT_EQ(crc32c(check.data(), check.size()), 0xE3069283u);
+  // 32 zero bytes — another published vector.
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  EXPECT_EQ(crc32c(nullptr, 0), 0u);
+}
+
+TEST(Crc32c, SeedChainsPartialComputations) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = crc32c(data.data(), data.size());
+  for (const std::size_t split : {std::size_t{1}, std::size_t{7},
+                                  data.size() - 1}) {
+    const std::uint32_t first = crc32c(data.data(), split);
+    const std::uint32_t chained =
+        crc32c(data.data() + split, data.size() - split, first);
+    EXPECT_EQ(chained, whole) << "split at " << split;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Append / replay round trip
+// ---------------------------------------------------------------------------
+
+TEST(Wal, AppendReplayRoundTrip) {
+  const std::string dir = fresh_dir("roundtrip");
+  const std::string path = dir + "/wal-0.log";
+  const auto muts = sample_mutations();
+  {
+    Wal wal(path, WalOptions{}, 0, 1);
+    EdgeId next_add = 10;  // pretend the graph had 10 edges
+    std::uint64_t expect_seq = 1;
+    for (const EdgeMutation& m : muts) {
+      const EdgeId assigned =
+          m.kind == EdgeMutation::Kind::kAddEdge ? next_add++ : m.edge;
+      EXPECT_EQ(wal.append(m, assigned), expect_seq++);
+      EXPECT_TRUE(wal.maybe_sync());  // kAlways
+    }
+    const Wal::Stats s = wal.stats();
+    EXPECT_EQ(s.appends, muts.size());
+    EXPECT_EQ(s.syncs, muts.size());
+    EXPECT_EQ(s.next_sequence, muts.size() + 1);
+    EXPECT_EQ(s.synced_sequence, muts.size());
+  }
+
+  const Wal::ReplayResult replayed = Wal::replay(path);
+  EXPECT_FALSE(replayed.torn);
+  EXPECT_EQ(replayed.base_sequence, 0u);
+  ASSERT_EQ(replayed.records.size(), muts.size());
+  EdgeId next_add = 10;
+  for (std::size_t i = 0; i < muts.size(); ++i) {
+    const Wal::Record& rec = replayed.records[i];
+    const EdgeMutation& orig = muts[i];
+    EXPECT_EQ(rec.sequence, i + 1);
+    EXPECT_EQ(rec.assigned_edge,
+              orig.kind == EdgeMutation::Kind::kAddEdge ? next_add++
+                                                        : orig.edge);
+    EXPECT_EQ(rec.mutation.kind, orig.kind);
+    EXPECT_EQ(rec.mutation.edge, orig.edge);
+    EXPECT_EQ(rec.mutation.from, orig.from);
+    EXPECT_EQ(rec.mutation.to, orig.to);
+    EXPECT_EQ(rec.mutation.label, orig.label);
+    EXPECT_EQ(rec.mutation.name, orig.name);
+    // ρ/ζ round-trip through the shared spec-string vocabulary.
+    EXPECT_EQ(presence_to_spec(rec.mutation.presence),
+              presence_to_spec(orig.presence));
+    EXPECT_EQ(latency_to_spec(rec.mutation.latency),
+              latency_to_spec(orig.latency));
+  }
+}
+
+TEST(Wal, ReopenContinuesSequence) {
+  const std::string dir = fresh_dir("reopen");
+  const std::string path = dir + "/wal-0.log";
+  const auto muts = sample_mutations();
+  {
+    Wal wal(path, WalOptions{}, 0, 1);
+    wal.append(muts[0], 10);
+    wal.sync();
+  }
+  {
+    // The contract: replay first, then reopen with the next sequence.
+    const auto replayed = Wal::replay(path);
+    ASSERT_EQ(replayed.records.size(), 1u);
+    Wal wal(path, WalOptions{}, 0, replayed.records.back().sequence + 1);
+    EXPECT_EQ(wal.append(muts[2], 0), 2u);
+    wal.sync();
+  }
+  const auto replayed = Wal::replay(path);
+  ASSERT_EQ(replayed.records.size(), 2u);
+  EXPECT_EQ(replayed.records[0].sequence, 1u);
+  EXPECT_EQ(replayed.records[1].sequence, 2u);
+  EXPECT_EQ(replayed.records[1].mutation.kind,
+            EdgeMutation::Kind::kPatchPresence);
+}
+
+TEST(Wal, RuntimeOnlyScheduleRejectedBeforeWrite) {
+  const std::string dir = fresh_dir("runtime_only");
+  const std::string path = dir + "/wal-0.log";
+  Wal wal(path, WalOptions{}, 0, 1);
+  const auto size_before = fs::file_size(path);
+  EXPECT_THROW(
+      wal.append(EdgeMutation::patch_presence(
+                     0, Presence::predicate([](Time) { return true; })),
+                 0),
+      std::invalid_argument);
+  // Nothing reached the file and the sequence did not advance.
+  EXPECT_EQ(fs::file_size(path), size_before);
+  EXPECT_EQ(wal.stats().next_sequence, 1u);
+  EXPECT_EQ(wal.append(sample_mutations()[0], 5), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Sync policies
+// ---------------------------------------------------------------------------
+
+TEST(Wal, SyncPolicyEveryN) {
+  const std::string dir = fresh_dir("every_n");
+  WalOptions options;
+  options.sync = SyncPolicy::kEveryN;
+  options.every_n = 3;
+  Wal wal(dir + "/wal-0.log", options, 0, 1);
+  const auto muts = sample_mutations();
+  std::uint64_t syncs = 0;
+  for (int i = 0; i < 7; ++i) {
+    wal.append(muts[i % muts.size()], 100);
+    if (wal.maybe_sync()) ++syncs;
+  }
+  EXPECT_EQ(syncs, 2u);  // after appends 3 and 6
+  const Wal::Stats s = wal.stats();
+  EXPECT_EQ(s.syncs, 2u);
+  EXPECT_EQ(s.synced_sequence, 6u);  // append 7 is the durability lag
+  EXPECT_EQ(s.next_sequence, 8u);
+  wal.sync();
+  EXPECT_EQ(wal.stats().synced_sequence, 7u);
+  // Forcing again with nothing unsynced is a no-op, not another fsync.
+  wal.sync();
+  EXPECT_EQ(wal.stats().syncs, 3u);
+}
+
+TEST(Wal, SyncPolicyInterval) {
+  const std::string dir = fresh_dir("interval");
+  WalOptions options;
+  options.sync = SyncPolicy::kInterval;
+  options.interval = std::chrono::milliseconds(0);  // always elapsed
+  Wal wal(dir + "/wal-0.log", options, 0, 1);
+  wal.append(sample_mutations()[0], 0);
+  EXPECT_TRUE(wal.maybe_sync());
+  EXPECT_EQ(wal.stats().synced_sequence, 1u);
+  // Nothing new appended: nothing to sync, whatever the clock says.
+  EXPECT_FALSE(wal.maybe_sync());
+
+  WalOptions lazy;
+  lazy.sync = SyncPolicy::kInterval;
+  lazy.interval = std::chrono::hours(1);
+  Wal wal2(dir + "/wal-1.log", lazy, 0, 1);
+  wal2.append(sample_mutations()[0], 0);
+  EXPECT_FALSE(wal2.maybe_sync());  // interval not elapsed
+  EXPECT_EQ(wal2.stats().synced_sequence, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Torn tails and corruption
+// ---------------------------------------------------------------------------
+
+TEST(Wal, TornTailDetectedAndTruncated) {
+  const std::string dir = fresh_dir("torn");
+  const std::string path = dir + "/wal-0.log";
+  const auto muts = sample_mutations();
+  {
+    Wal wal(path, WalOptions{}, 0, 1);
+    for (int i = 0; i < 3; ++i) wal.append(muts[i], 10 + EdgeId(i));
+    wal.sync();
+  }
+  const std::string intact = read_raw(path);
+
+  // Chop bytes off the last record: short frame = torn tail.
+  write_raw(path, intact.substr(0, intact.size() - 5));
+  Wal::ReplayResult replayed = Wal::replay(path);
+  EXPECT_TRUE(replayed.torn);
+  EXPECT_EQ(replayed.records.size(), 2u);
+  EXPECT_LT(replayed.valid_bytes, intact.size());
+
+  Wal::truncate_to(path, replayed.valid_bytes);
+  replayed = Wal::replay(path);
+  EXPECT_FALSE(replayed.torn);
+  EXPECT_EQ(replayed.records.size(), 2u);
+
+  // Garbage appended after valid records is equally a torn tail.
+  write_raw(path, intact + "garbage bytes that are not a frame");
+  replayed = Wal::replay(path);
+  EXPECT_TRUE(replayed.torn);
+  EXPECT_EQ(replayed.records.size(), 3u);
+  EXPECT_EQ(replayed.valid_bytes, intact.size());
+}
+
+TEST(Wal, BitFlipStopsReplayAtFlippedRecord) {
+  const std::string dir = fresh_dir("bitflip");
+  const std::string path = dir + "/wal-0.log";
+  const auto muts = sample_mutations();
+  {
+    Wal wal(path, WalOptions{}, 0, 1);
+    for (int i = 0; i < 3; ++i) wal.append(muts[i], 10 + EdgeId(i));
+    wal.sync();
+  }
+  std::string data = read_raw(path);
+  // Flip one bit well inside the SECOND record's frame (past the
+  // 16-byte header and the first record).
+  const std::size_t target = 16 + (data.size() - 16) / 2;
+  data[target] = static_cast<char>(data[target] ^ 0x10);
+  write_raw(path, data);
+  const Wal::ReplayResult replayed = Wal::replay(path);
+  EXPECT_TRUE(replayed.torn);
+  EXPECT_LT(replayed.records.size(), 3u);
+}
+
+TEST(Wal, CorruptHeaderThrowsRecoveryError) {
+  const std::string dir = fresh_dir("header");
+  const std::string path = dir + "/bad.log";
+  write_raw(path, "this is not a TVGWAL01 file at all");
+  EXPECT_THROW(Wal::replay(path), RecoveryError);
+  write_raw(path, "short");
+  EXPECT_THROW(Wal::replay(path), RecoveryError);
+  EXPECT_THROW(Wal::replay(dir + "/does_not_exist.log"), IoError);
+}
+
+// ---------------------------------------------------------------------------
+// Failpoint sites in the WAL
+// ---------------------------------------------------------------------------
+
+TEST(WalFailpoints, PartialAppendLeavesTornTail) {
+  const FailPointGuard guard;
+  const std::string dir = fresh_dir("fp_partial");
+  const std::string path = dir + "/wal-0.log";
+  const auto muts = sample_mutations();
+  {
+    Wal wal(path, WalOptions{}, 0, 1);
+    wal.append(muts[0], 10);
+    wal.sync();
+    FailPointRegistry::instance().arm_on_hit("wal.append.partial", 1,
+                                             FailPointAction::crash(9));
+    EXPECT_THROW(wal.append(muts[1], 11), CrashInjected);
+    // Sequence not advanced: the record never fully landed.
+    EXPECT_EQ(wal.stats().next_sequence, 2u);
+  }
+  FailPointRegistry::instance().disarm_all();
+
+  Wal::ReplayResult replayed = Wal::replay(path);
+  EXPECT_TRUE(replayed.torn);
+  ASSERT_EQ(replayed.records.size(), 1u);
+  Wal::truncate_to(path, replayed.valid_bytes);
+
+  // Reopen at the right sequence and keep appending — the repaired log
+  // replays clean.
+  {
+    Wal wal(path, WalOptions{}, 0, 2);
+    EXPECT_EQ(wal.append(muts[1], 11), 2u);
+    wal.sync();
+  }
+  replayed = Wal::replay(path);
+  EXPECT_FALSE(replayed.torn);
+  EXPECT_EQ(replayed.records.size(), 2u);
+}
+
+TEST(WalFailpoints, FsyncFailureSurfacesAndDoesNotAdvanceSyncedSeq) {
+  const FailPointGuard guard;
+  const std::string dir = fresh_dir("fp_fsync");
+  Wal wal(dir + "/wal-0.log", WalOptions{}, 0, 1);
+  wal.append(sample_mutations()[0], 10);
+  FailPointRegistry::instance().arm_on_hit("wal.fsync", 1,
+                                           FailPointAction::error());
+  EXPECT_THROW(wal.sync(), FailPointError);
+  EXPECT_EQ(wal.stats().synced_sequence, 0u);  // failure did not advance
+  FailPointRegistry::instance().disarm_all();
+  wal.sync();
+  EXPECT_EQ(wal.stats().synced_sequence, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Failpoint registry semantics
+// ---------------------------------------------------------------------------
+
+TEST(FailPointRegistry, OnHitFiresOnExactHit) {
+  const FailPointGuard guard;
+  auto& reg = FailPointRegistry::instance();
+  reg.arm_on_hit("test.site", 3, FailPointAction::error());
+  EXPECT_NO_THROW(reg.on_hit("test.site"));
+  EXPECT_NO_THROW(reg.on_hit("test.site"));
+  EXPECT_THROW(reg.on_hit("test.site"), FailPointError);
+  EXPECT_NO_THROW(reg.on_hit("test.site"));  // only the 3rd hit fires
+  EXPECT_EQ(reg.hits("test.site"), 4u);
+}
+
+TEST(FailPointRegistry, EveryNFiresPeriodically) {
+  const FailPointGuard guard;
+  auto& reg = FailPointRegistry::instance();
+  reg.arm_every("test.every", 2, FailPointAction::crash(7));
+  int fired = 0;
+  for (int i = 0; i < 6; ++i) {
+    try {
+      reg.on_hit("test.every");
+    } catch (const CrashInjected&) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(FailPointRegistry, SeededScheduleIsReplayable) {
+  const FailPointGuard guard;
+  auto& reg = FailPointRegistry::instance();
+  const auto run_schedule = [&](std::uint64_t seed) {
+    reg.disarm_all();
+    reg.arm_seeded("test.seeded", seed, 300000, FailPointAction::error());
+    std::vector<int> fired_hits;
+    for (int i = 0; i < 64; ++i) {
+      try {
+        reg.on_hit("test.seeded");
+      } catch (const FailPointError&) {
+        fired_hits.push_back(i);
+      }
+    }
+    return fired_hits;
+  };
+  const auto a = run_schedule(42);
+  const auto b = run_schedule(42);
+  const auto c = run_schedule(43);
+  EXPECT_EQ(a, b);          // same seed, same schedule, hit for hit
+  EXPECT_NE(a, c);          // different seed, different schedule
+  EXPECT_FALSE(a.empty());  // 30% over 64 hits fires at least once
+  EXPECT_LT(a.size(), 64u);
+}
+
+TEST(FailPointRegistry, ConsumeReturnsArgForPartialEffects) {
+  const FailPointGuard guard;
+  auto& reg = FailPointRegistry::instance();
+  reg.arm_on_hit("test.consume", 1, FailPointAction::crash(1234));
+  const FailPointAction a = reg.consume("test.consume");
+  EXPECT_EQ(a.kind, FailPointAction::Kind::kCrash);
+  EXPECT_EQ(a.arg, 1234u);
+  EXPECT_EQ(reg.consume("test.consume").kind, FailPointAction::Kind::kNone);
+}
+
+TEST(FailPointRegistry, DisarmAllClearsFastPath) {
+  auto& reg = FailPointRegistry::instance();
+  EXPECT_FALSE(FailPointRegistry::any_armed());
+  reg.arm_on_hit("test.a", 1, FailPointAction::error());
+  reg.arm_on_hit("test.b", 1, FailPointAction::error());
+  EXPECT_TRUE(FailPointRegistry::any_armed());
+  EXPECT_EQ(reg.armed_sites().size(), 2u);
+  reg.disarm("test.a");
+  EXPECT_TRUE(FailPointRegistry::any_armed());
+  reg.disarm_all();
+  EXPECT_FALSE(FailPointRegistry::any_armed());
+  EXPECT_TRUE(reg.armed_sites().empty());
+  // An unarmed site never throws.
+  EXPECT_NO_THROW(reg.on_hit("test.a"));
+}
+
+// ---------------------------------------------------------------------------
+// Checked file helpers (io.hpp satellite)
+// ---------------------------------------------------------------------------
+
+TEST(CheckedFileIo, WriteToImpossiblePathThrowsIoError) {
+  const std::string dir = fresh_dir("io_err");
+  // A path whose parent is a regular FILE fails with ENOTDIR for any
+  // user (a read-only directory would not stop root, and tests run as
+  // root in some CI containers).
+  write_text_file(dir + "/blocker", "i am a file");
+  try {
+    write_text_file(dir + "/blocker/child.txt", "cannot exist");
+    FAIL() << "expected tvg::IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.errno_value(), ENOTDIR);
+    EXPECT_NE(std::string(e.what()).find("blocker/child.txt"),
+              std::string::npos);
+  }
+}
+
+TEST(CheckedFileIo, ReadMissingFileThrowsIoError) {
+  const std::string dir = fresh_dir("io_missing");
+  try {
+    (void)read_text_file(dir + "/no_such_file.txt");
+    FAIL() << "expected tvg::IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.errno_value(), ENOENT);
+  }
+}
+
+TEST(CheckedFileIo, RoundTrip) {
+  const std::string dir = fresh_dir("io_roundtrip");
+  const std::string content = "tvg 1\nnode v0\n# with a comment\n";
+  write_text_file(dir + "/file.txt", content);
+  EXPECT_EQ(read_text_file(dir + "/file.txt"), content);
+  // Overwrite replaces, never appends.
+  write_text_file(dir + "/file.txt", "short\n");
+  EXPECT_EQ(read_text_file(dir + "/file.txt"), "short\n");
+}
+
+}  // namespace
+}  // namespace tvg
